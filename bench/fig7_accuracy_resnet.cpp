@@ -1,0 +1,57 @@
+// Fig. 7 — Classification accuracy of the 8-bit ResNet-18 SNN as a
+// function of spike timesteps, with the FP32 ANN and quantized-ANN
+// reference lines.
+//
+// Paper (CIFAR-10, width 64, GPU-trained): ANN 95.83%, quantized ANN
+// 94.37%, SNN 94.71% — SNN exceeds the quantized ANN after ~8 timesteps
+// and settles within 1% of the ANN. Here the same pipeline runs on the
+// synthetic CIFAR substitute at reduced width (see DESIGN.md); the claim
+// under reproduction is the curve SHAPE: SNN rises with T, crosses the
+// quantized-ANN line, and settles within ~1 point of the ANN.
+#include "bench/common.hpp"
+#include "util/csv.hpp"
+
+int main() {
+    using namespace sia;
+    bench::print_header(
+        "Fig. 7: ResNet-18 SNN accuracy vs timesteps (paper: ANN 95.83 / "
+        "QANN 94.37 / SNN 94.71 @CIFAR-10)");
+    util::WallTimer timer;
+
+    const auto trained = bench::train_model(/*resnet=*/true, /*width=*/8);
+    const std::int64_t timesteps = 30;
+    const auto acc = core::evaluate_snn_over_time(
+        trained.result.snn, trained.data.test, timesteps, trained.encoder());
+
+    const double ann = trained.result.ann_accuracy * 100.0;
+    const double qann = trained.result.qann_accuracy * 100.0;
+    std::cout << "ANN (FP32)          : " << util::cell(ann, 2) << "%\n";
+    std::cout << "ANN (quantized, L=2): " << util::cell(qann, 2) << "%\n";
+
+    util::Table table("SNN accuracy vs timesteps (synthetic substitute)");
+    table.header({"T", "SNN acc", "vs QANN", "vs ANN"});
+    std::int64_t crossover = -1;
+    for (std::int64_t t = 0; t < timesteps; ++t) {
+        const double a = acc[static_cast<std::size_t>(t)] * 100.0;
+        if (crossover < 0 && a >= qann) crossover = t + 1;
+        table.row({util::cell(t + 1), util::cell_pct(a),
+                   util::cell(a - qann, 2), util::cell(a - ann, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "SNN crosses the quantized-ANN line at T="
+              << (crossover > 0 ? std::to_string(crossover) : std::string(">30"))
+              << "  (paper: ~8)\n";
+    std::cout << "final SNN-vs-ANN gap: "
+              << util::cell(acc.back() * 100.0 - ann, 2) << " points (paper: <1)\n";
+
+    util::CsvWriter csv("fig7_accuracy_resnet.csv");
+    csv.row({"timesteps", "snn_acc", "ann_acc", "qann_acc"});
+    for (std::int64_t t = 0; t < timesteps; ++t) {
+        csv.row({std::to_string(t + 1),
+                 util::cell(acc[static_cast<std::size_t>(t)] * 100.0, 3),
+                 util::cell(ann, 3), util::cell(qann, 3)});
+    }
+    std::cout << "series written to fig7_accuracy_resnet.csv ("
+              << util::cell(timer.seconds(), 1) << " s)\n";
+    return 0;
+}

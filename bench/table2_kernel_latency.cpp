@@ -1,0 +1,107 @@
+// Table II — Latency as a function of kernel size: a single 64-channel
+// conv layer on a 32x32 input, kernels 3x3 / 5x5 / 7x7 / 11x11, T=8.
+//
+// The paper's reconfigurability demonstration: latency grows only mildly
+// with kernel size because the fixed per-layer costs dominate and the
+// event-driven window schedule (3 cycles per row segment) amortises.
+#include "bench/common.hpp"
+#include "core/compiler.hpp"
+#include "core/convert.hpp"
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "sim/sia.hpp"
+#include "snn/encoding.hpp"
+
+namespace {
+
+using namespace sia;
+
+/// Single conv layer IR: in 3ch 32x32 -> 64ch, kernel k.
+snn::SnnModel single_conv_model(std::int64_t kernel, util::Rng& rng,
+                                std::vector<std::unique_ptr<nn::Conv2d>>& convs,
+                                std::vector<std::unique_ptr<nn::BatchNorm2d>>& bns,
+                                std::vector<std::unique_ptr<nn::Activation>>& acts) {
+    const tensor::ConvGeometry g{3, 64, kernel, 1, kernel / 2};
+    convs.push_back(std::make_unique<nn::Conv2d>(g, rng, "conv"));
+    bns.push_back(std::make_unique<nn::BatchNorm2d>(64, "bn"));
+    acts.push_back(std::make_unique<nn::Activation>("act"));
+    auto& conv = *convs.back();
+    auto& bn = *bns.back();
+    auto& act = *acts.back();
+
+    tensor::Tensor x(tensor::Shape{2, 3, 32, 32});
+    for (std::int64_t i = 0; i < x.numel(); ++i) x.flat(i) = rng.uniform(0.0F, 1.0F);
+    for (int rep = 0; rep < 3; ++rep) (void)bn.forward(conv.forward(x, true), true);
+    act.begin_calibration();
+    (void)act.forward(bn.forward(conv.forward(x, false), false), false);
+    act.end_calibration();
+    act.enable_quant(2);
+
+    nn::NetworkIR ir;
+    ir.model_name = "conv" + std::to_string(kernel);
+    ir.input_channels = 3;
+    ir.input_h = 32;
+    ir.input_w = 32;
+    nn::IrNode in;
+    in.op = nn::IrOp::kInput;
+    in.out_channels = 3;
+    in.out_h = 32;
+    in.out_w = 32;
+    ir.nodes.push_back(in);
+    nn::IrNode node;
+    node.op = nn::IrOp::kConv;
+    node.label = "conv";
+    node.input = 0;
+    node.conv = &conv;
+    node.bn = &bn;
+    node.act = &act;
+    node.out_channels = 64;
+    node.out_h = 32;
+    node.out_w = 32;
+    ir.nodes.push_back(node);
+    return core::AnnToSnnConverter().convert(ir);
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header(
+        "Table II: latency vs kernel size — Conv(k x k, 64) on 32x32, T=8");
+
+    const std::vector<std::pair<std::int64_t, double>> cases = {
+        {3, 0.9479}, {5, 0.95}, {7, 0.9677}, {11, 0.9839}};
+
+    const sim::SiaConfig cfg;
+    util::Rng rng(13);
+    tensor::Tensor img(tensor::Shape{1, 3, 32, 32});
+    // Input activity in the converted-SNN regime (~0.15 spikes/step,
+    // Fig. 6/8) rather than dense pixels.
+    for (std::int64_t i = 0; i < img.numel(); ++i) img.flat(i) = rng.uniform(0.0F, 0.3F);
+    const auto input = snn::encode_thermometer(img, 8);
+
+    util::Table table("single-layer latency by kernel size");
+    table.header({"kernel", "window cycles", "measured (ms)", "paper (ms)",
+                  "vs 3x3 (ms)"});
+    double base_ms = 0.0;
+    for (const auto& [k, paper_ms] : cases) {
+        std::vector<std::unique_ptr<nn::Conv2d>> convs;
+        std::vector<std::unique_ptr<nn::BatchNorm2d>> bns;
+        std::vector<std::unique_ptr<nn::Activation>> acts;
+        util::Rng model_rng(17);
+        const auto model = single_conv_model(k, model_rng, convs, bns, acts);
+        const auto program = core::SiaCompiler(cfg).compile(model);
+        sim::Sia sia(cfg, model, program);
+        const auto res = sia.run(input);
+        const double ms = res.total_ms(cfg);
+        if (k == 3) base_ms = ms;
+        table.row({util::cell(k), util::cell(sim::SiaConfig::window_cycles(k)),
+                   util::cell(ms, 4), util::cell(paper_ms, 4),
+                   util::cell(ms - base_ms, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "shape check: latency grows mildly with kernel size because the\n"
+                 "fixed per-layer cost dominates the event-driven window schedule\n"
+                 "(paper: 0.9479 -> 0.9839 ms from 3x3 to 11x11).\n";
+    return 0;
+}

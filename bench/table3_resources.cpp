@@ -1,0 +1,46 @@
+// Table III — FPGA resource utilisation of the SIA on the PYNQ-Z2
+// (XC7Z020), from the block-level analytic resource model, plus the
+// 1.54 W board power figure.
+#include "bench/common.hpp"
+#include "hw/power.hpp"
+#include "hw/resources.hpp"
+
+int main() {
+    using namespace sia;
+    bench::print_header("Table III: FPGA resource utilisation (PYNQ-Z2)");
+
+    const sim::SiaConfig cfg;
+    const hw::ResourceReport rep = hw::estimate_resources(cfg);
+
+    util::Table blocks("block-level breakdown");
+    blocks.header({"block", "LUT", "FF", "DSP", "BRAM36", "LUTRAM", "BUFG"});
+    for (const auto& b : rep.blocks) {
+        blocks.row({b.name, util::cell(b.res.lut), util::cell(b.res.ff),
+                    util::cell(b.res.dsp), util::cell(b.res.bram36),
+                    util::cell(b.res.lutram), util::cell(b.res.bufg)});
+    }
+    blocks.print(std::cout);
+
+    util::Table table("Table III (measured vs paper)");
+    table.header({"Parameter", "Utilized", "Available", "Percentage", "paper"});
+    table.row({"LUTs", util::cell(rep.total.lut), util::cell(rep.capacity.lut),
+               util::cell_pct(rep.lut_pct()), "11932 (22.43%)"});
+    table.row({"FFs", util::cell(rep.total.ff), util::cell(rep.capacity.ff),
+               util::cell_pct(rep.ff_pct()), "8157 (7.67%)"});
+    table.row({"DSPs", util::cell(rep.total.dsp), util::cell(rep.capacity.dsp),
+               util::cell_pct(rep.dsp_pct()), "17 (7.67%)"});
+    table.row({"BRAMs", util::cell(rep.total.bram36), util::cell(rep.capacity.bram36),
+               util::cell_pct(rep.bram_pct()), "95 (67.86%)"});
+    table.row({"LUTRAMs", util::cell(rep.total.lutram), util::cell(rep.capacity.lutram),
+               util::cell_pct(rep.lutram_pct()), "158 (0.90%)"});
+    table.row({"BUFG", util::cell(rep.total.bufg), util::cell(rep.capacity.bufg),
+               util::cell_pct(rep.bufg_pct()), "1 (3.13%)"});
+    table.print(std::cout);
+
+    std::cout << "board power: " << util::cell(hw::rated_board_watts(), 2)
+              << " W (paper: 1.54 W)\n";
+    std::cout << "peak throughput: " << util::cell(cfg.peak_gops(), 1)
+              << " GOPS (paper: 38.4), " << util::cell(cfg.peak_gops() / 64.0, 2)
+              << " GOPS/PE (paper: 0.6)\n";
+    return 0;
+}

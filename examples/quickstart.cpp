@@ -1,0 +1,88 @@
+// Quickstart: the whole co-optimisation flow on a small ResNet-18.
+//
+//   1. generate a synthetic 10-class image dataset;
+//   2. train an FP32 ResNet-18 (reduced width for CPU speed);
+//   3. quantize activations (L-level ReLU) and finetune;
+//   4. convert to an integer SNN (IF neurons, INT8 weights);
+//   5. deploy on the cycle-accurate SIA simulator and cross-check
+//      bit-exactness against the functional reference;
+//   6. report accuracy vs timesteps and hardware cycle/power figures.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/deploy.hpp"
+#include "core/hybrid.hpp"
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "hw/power.hpp"
+#include "nn/resnet.hpp"
+#include "snn/encoding.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace sia;
+
+    // 1. Data.
+    data::SyntheticConfig dcfg;
+    dcfg.train_per_class = 80;
+    dcfg.test_per_class = 20;
+    const data::TrainTest tt = data::make_synthetic(dcfg);
+    std::cout << "dataset: " << tt.train.size() << " train / " << tt.test.size()
+              << " test images (synthetic CIFAR substitute)\n";
+
+    // 2-4. Pipeline.
+    util::Rng rng(7);
+    nn::ResNetConfig mcfg;
+    mcfg.width = 8;  // paper uses 64; reduced for CPU-only quickstart
+    nn::ResNet18 model(mcfg, rng);
+
+    core::PipelineConfig pcfg;
+    pcfg.train.epochs = 4;
+    pcfg.train.batch_size = 32;
+    pcfg.train.sgd.lr = 0.05F;
+    pcfg.levels = 2;                    // the paper's L=2 quantized ReLU
+    pcfg.finetune_epochs = 2;
+    pcfg.convert.host_front_layers = 1; // PS-side frame conversion (SIV)
+    pcfg.verbose = true;
+    const core::Pipeline pipeline(pcfg);
+    core::PipelineResult result = pipeline.run(model, tt.train, tt.test);
+
+    std::cout << "ANN  (FP32)      accuracy: " << result.ann_accuracy * 100.0 << "%\n";
+    std::cout << "ANN  (quantized) accuracy: " << result.qann_accuracy * 100.0 << "%\n";
+
+    // 6a. SNN accuracy vs timesteps (functional engine). The first conv
+    // layer runs on the "processor" (HybridFrontEnd), mirroring the
+    // ZYNQ's frame-data-conversion role.
+    const std::int64_t timesteps = 12;
+    const core::HybridFrontEnd front_end(model.ir(), 1);
+    const core::InputEncoder encoder = [&](const tensor::Tensor& img, std::int64_t t) {
+        return front_end.encode(img, t);
+    };
+    const auto acc = core::evaluate_snn_over_time(result.snn, tt.test, timesteps, encoder);
+    util::Table table("SNN accuracy vs timesteps");
+    table.header({"T", "accuracy"});
+    for (std::size_t t = 0; t < acc.size(); ++t) {
+        table.row({util::cell(static_cast<long long>(t + 1)),
+                   util::cell_pct(acc[t] * 100.0)});
+    }
+    table.print(std::cout);
+
+    // 5/6b. Deploy one sample on the cycle-accurate simulator.
+    const auto spikes = front_end.encode(tt.test.sample(0), timesteps);
+    core::Deployer deployer;
+    const core::DeployReport report = deployer.deploy(result.snn, spikes);
+    std::cout << "hardware/software bit-exact: " << (report.bit_exact ? "YES" : "NO");
+    if (!report.bit_exact) std::cout << "  (" << report.mismatch << ")";
+    std::cout << "\n";
+    std::cout << "simulated inference: " << report.hardware.total_ms(deployer.config())
+              << " ms @" << deployer.config().clock_mhz << " MHz, "
+              << report.hardware.effective_gops(deployer.config())
+              << " effective GOPS\n";
+
+    const hw::PowerReport power =
+        hw::estimate_power(report.hardware, deployer.config());
+    std::cout << "estimated board power: " << power.total_watts << " W ("
+              << power.gops_per_watt << " GOPS/W)\n";
+    return report.bit_exact ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// Reconfigurability demo (§III-A, Table II): one SIA instance executes
+// conv layers of different kernel sizes and a fully-connected layer by
+// reprogramming the per-layer configuration — no hardware change. Prints
+// the compiled schedule and the PE window schedule for each shape.
+//
+// Build & run:  ./build/examples/reconfigure_kernels
+#include <iostream>
+
+#include "core/compiler.hpp"
+#include "sim/config.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace sia;
+
+    const sim::SiaConfig cfg;
+    std::cout << "SIA instance: " << cfg.pe_count() << " PEs ("
+              << cfg.pe_rows << "x" << cfg.pe_cols << ") @" << cfg.clock_mhz
+              << " MHz, " << cfg.weight_bytes / 1024 << " kB weight memory ("
+              << cfg.weight_bytes / cfg.pe_count() << " B kernel slot per PE)\n\n";
+
+    // PE window schedule per kernel size (the 3-mux/8-bit-adder datapath).
+    util::Table schedule("PE window schedule by kernel size");
+    schedule.header({"kernel", "rows", "segments/row", "cycles/window",
+                     "slot fit (IC per load)"});
+    for (const std::int64_t k : {1L, 3L, 5L, 7L, 11L}) {
+        const std::int64_t slot = cfg.weight_bytes / cfg.pe_count();
+        schedule.row({util::cell(k), util::cell(k), util::cell((k + 2) / 3),
+                      util::cell(sim::SiaConfig::window_cycles(k)),
+                      util::cell(std::max<std::int64_t>(1, slot / (k * k)))});
+    }
+    schedule.print(std::cout);
+
+    // Compile a mixed-shape model: each layer reconfigures the core.
+    snn::SnnModel model;
+    model.input_channels = 8;
+    model.input_h = 16;
+    model.input_w = 16;
+    model.classes = 10;
+    const auto add_conv = [&](std::int64_t kernel, std::int64_t oc, const char* label) {
+        snn::SnnLayer layer;
+        layer.op = snn::LayerOp::kConv;
+        layer.label = label;
+        layer.input = static_cast<int>(model.layers.size()) - 1;
+        const std::int64_t ic =
+            model.layers.empty() ? model.input_channels : model.layers.back().out_channels;
+        layer.main.in_channels = ic;
+        layer.main.out_channels = oc;
+        layer.main.kernel = kernel;
+        layer.main.stride = 1;
+        layer.main.padding = kernel / 2;
+        layer.main.weights.assign(static_cast<std::size_t>(ic * oc * kernel * kernel), 1);
+        layer.main.gain.assign(static_cast<std::size_t>(oc), 256);
+        layer.main.bias.assign(static_cast<std::size_t>(oc), 0);
+        layer.out_channels = oc;
+        layer.out_h = 16;
+        layer.out_w = 16;
+        layer.in_h = 16;
+        layer.in_w = 16;
+        model.layers.push_back(layer);
+    };
+    add_conv(3, 32, "conv3x3");
+    add_conv(5, 32, "conv5x5");
+    add_conv(7, 64, "conv7x7");
+    add_conv(1, 64, "conv1x1");
+    {
+        snn::SnnLayer fc;
+        fc.op = snn::LayerOp::kLinear;
+        fc.label = "fc";
+        fc.input = static_cast<int>(model.layers.size()) - 1;
+        fc.spiking = false;
+        fc.main.in_features = 64 * 16 * 16;
+        fc.main.out_features = 10;
+        fc.main.weights.assign(static_cast<std::size_t>(10 * 64 * 16 * 16), 1);
+        fc.main.gain.assign(10, 256);
+        fc.main.bias.assign(10, 0);
+        fc.out_channels = 10;
+        model.layers.push_back(fc);
+    }
+    model.validate();
+
+    const auto program = core::SiaCompiler(cfg).compile(model);
+    util::Table plans("compiled per-layer configuration (one hardware, five shapes)");
+    plans.header({"layer", "kernel", "OC tiles", "IC chunk", "IC passes",
+                  "spatial tiles", "path"});
+    for (const auto& plan : program.layers) {
+        const auto& layer = model.layers[static_cast<std::size_t>(plan.layer)];
+        plans.row({layer.label,
+                   layer.op == snn::LayerOp::kConv ? util::cell(layer.main.kernel)
+                                                   : std::string("-"),
+                   util::cell(plan.oc_tiles), util::cell(plan.ic_chunk),
+                   util::cell(plan.ic_passes), util::cell(plan.spatial_tiles),
+                   plan.mmio ? "AXI-lite (PS)" : "DMA"});
+    }
+    plans.print(std::cout);
+    std::cout << "every shape maps onto the same 64-PE array by reconfiguring the\n"
+                 "window schedule, kernel-slot chunking and tiling — the paper's\n"
+                 "reconfigurability claim (SIII-A, Table II).\n";
+    return 0;
+}

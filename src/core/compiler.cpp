@@ -1,0 +1,93 @@
+#include "core/compiler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sia::core {
+
+namespace {
+std::int64_t bits_to_bytes(std::int64_t bits) noexcept { return (bits + 7) / 8; }
+}  // namespace
+
+sim::CompiledProgram SiaCompiler::compile(const snn::SnnModel& model) const {
+    model.validate();
+    sim::CompiledProgram program;
+    const std::int64_t lanes = config_.pe_count();
+    /// Each PE owns one kernel slot in the weight memory.
+    const std::int64_t slot_bytes = config_.weight_bytes / lanes;
+
+    for (std::size_t li = 0; li < model.layers.size(); ++li) {
+        const snn::SnnLayer& layer = model.layers[li];
+        sim::LayerPlan plan;
+        plan.layer = static_cast<int>(li);
+        plan.membrane_bytes = layer.neurons() * 2;
+
+        if (layer.op == snn::LayerOp::kConv) {
+            const snn::Branch& b = layer.main;
+            plan.oc_tiles = (b.out_channels + lanes - 1) / lanes;
+
+            // Kernels larger than a PE slot stream in IC chunks.
+            const std::int64_t kernel_bytes_per_ic = b.kernel * b.kernel;
+            const std::int64_t chunk =
+                std::max<std::int64_t>(1, slot_bytes / kernel_bytes_per_ic);
+            plan.ic_chunk = std::min(chunk, b.in_channels);
+            plan.ic_passes = (b.in_channels + plan.ic_chunk - 1) / plan.ic_chunk;
+
+            plan.weight_stream_bytes =
+                b.out_channels * b.in_channels * kernel_bytes_per_ic;
+            plan.spike_in_bytes =
+                bits_to_bytes(b.in_channels * layer.in_h * layer.in_w);
+            plan.spike_out_bytes = bits_to_bytes(layer.neurons());
+            if (layer.has_skip()) {
+                // Residual partial sums / skip spikes staged from the PS
+                // through the 128 kB residual memory (§III-D).
+                const std::int64_t skip_bits =
+                    layer.skip_is_identity
+                        ? layer.neurons()
+                        : layer.skip.in_channels * layer.in_h * layer.in_w;
+                plan.residual_in_bytes = bits_to_bytes(skip_bits);
+                if (plan.residual_in_bytes > config_.residual_bytes) {
+                    throw std::invalid_argument(
+                        "compile: residual traffic exceeds residual memory for layer " +
+                        layer.label);
+                }
+            }
+        } else {
+            const snn::Branch& b = layer.main;
+            plan.oc_tiles = (b.out_features + lanes - 1) / lanes;
+            plan.ic_chunk = b.in_features;
+            plan.ic_passes = 1;
+            plan.weight_stream_bytes = b.stream_weight_bytes > 0
+                                           ? b.stream_weight_bytes
+                                           : b.in_features * b.out_features;
+            plan.spike_in_bytes = bits_to_bytes(b.in_features);
+            plan.spike_out_bytes = bits_to_bytes(layer.neurons());
+            // FC kernels (one weight per input feature) never fit the
+            // per-PE slots; they ride the PS word path (Fig. 4).
+            plan.mmio = true;
+        }
+
+        const std::int64_t bank = config_.membrane_bytes / 2;
+        if (plan.membrane_bytes > bank && layer.spiking) {
+            // Spatial tiling: slice the layer so each slice's potentials
+            // fit one ping-pong bank; input spikes re-stream per slice.
+            plan.spatial_tiles = (plan.membrane_bytes + bank - 1) / bank;
+        }
+
+        const std::int64_t resident_weights =
+            plan.oc_tiles * plan.ic_passes == 1 ? plan.weight_stream_bytes : 0;
+        program.peak_weight_bytes =
+            std::max(program.peak_weight_bytes,
+                     resident_weights > 0 ? resident_weights
+                                          : std::min(plan.weight_stream_bytes,
+                                                     config_.weight_bytes));
+        program.peak_membrane_bytes =
+            std::max(program.peak_membrane_bytes,
+                     std::min(plan.membrane_bytes, bank));
+
+        program.layers.push_back(plan);
+    }
+    return program;
+}
+
+}  // namespace sia::core

@@ -1,0 +1,36 @@
+// SIA compiler: maps a converted SnnModel onto the accelerator's
+// physical constraints (Fig. 2 "configuration"), producing the
+// sim::CompiledProgram executed by the cycle-accurate simulator.
+//
+// Responsibilities:
+//   * tile output channels over the 64-PE array (ceil(OC/64) passes);
+//   * pack kernels into the 8 kB weight memory — each PE owns one
+//     kernel slot of weight_bytes/64 bytes; kernels larger than a slot
+//     split into input-channel chunks streamed in multiple passes;
+//   * route FC layers over the PS-mediated AXI4-lite word path;
+//   * compute per-timestep transfer volumes (spikes in/out, kernels,
+//     residual partial sums) and membrane-memory residency, flagging
+//     DDR spill when a layer's potentials exceed one ping-pong bank.
+#pragma once
+
+#include "sim/config.hpp"
+#include "sim/program.hpp"
+#include "snn/model.hpp"
+
+namespace sia::core {
+
+class SiaCompiler {
+public:
+    explicit SiaCompiler(sim::SiaConfig config = {}) : config_(config) {}
+
+    /// Compile; throws std::invalid_argument if a layer cannot be
+    /// scheduled at all (e.g. zero-size geometry).
+    [[nodiscard]] sim::CompiledProgram compile(const snn::SnnModel& model) const;
+
+    [[nodiscard]] const sim::SiaConfig& config() const noexcept { return config_; }
+
+private:
+    sim::SiaConfig config_;
+};
+
+}  // namespace sia::core

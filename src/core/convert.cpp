@@ -1,0 +1,326 @@
+#include "core/convert.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/quantize.hpp"
+#include "util/fixed_point.hpp"
+#include "util/log.hpp"
+
+namespace sia::core {
+
+namespace {
+
+constexpr float kThetaInt = static_cast<float>(1 << util::kThetaFracBits);  // 256
+
+/// Per-IR-node bookkeeping during conversion.
+struct SourceInfo {
+    int snn_index = -1;     ///< producing SNN layer (-1 = network input)
+    float amplitude = 1.0F; ///< real value carried by one output spike
+    std::int64_t channels = 0;
+    std::int64_t h = 0;
+    std::int64_t w = 0;
+};
+
+struct BnFold {
+    std::vector<double> g;  ///< gamma / sqrt(var + eps), per channel
+    std::vector<double> h;  ///< beta - mu * g, per channel
+};
+
+BnFold fold_bn(const nn::BatchNorm2d* bn, std::int64_t channels) {
+    BnFold fold;
+    fold.g.assign(static_cast<std::size_t>(channels), 1.0);
+    fold.h.assign(static_cast<std::size_t>(channels), 0.0);
+    if (bn == nullptr) return fold;
+    if (bn->channels() != channels) {
+        throw std::invalid_argument("convert: BN channel mismatch");
+    }
+    for (std::int64_t c = 0; c < channels; ++c) {
+        const double inv_std =
+            1.0 / std::sqrt(static_cast<double>(bn->running_var()[static_cast<std::size_t>(c)]) +
+                            static_cast<double>(bn->eps()));
+        const double g = static_cast<double>(bn->gamma().value.flat(c)) * inv_std;
+        fold.g[static_cast<std::size_t>(c)] = g;
+        fold.h[static_cast<std::size_t>(c)] =
+            static_cast<double>(bn->beta().value.flat(c)) -
+            static_cast<double>(bn->running_mean()[static_cast<std::size_t>(c)]) * g;
+    }
+    return fold;
+}
+
+/// Fill a branch's per-channel aggregation coefficients.
+void set_branch_coeffs(snn::Branch& branch, const BnFold& fold, float qw,
+                       float input_amplitude, float step) {
+    const std::int64_t oc = static_cast<std::int64_t>(fold.g.size());
+    double max_gain = 0.0;
+    std::vector<double> gains(static_cast<std::size_t>(oc), 0.0);
+    for (std::int64_t c = 0; c < oc; ++c) {
+        gains[static_cast<std::size_t>(c)] = fold.g[static_cast<std::size_t>(c)] *
+                                             static_cast<double>(qw) *
+                                             static_cast<double>(input_amplitude) *
+                                             kThetaInt / static_cast<double>(step);
+        max_gain = std::max(max_gain, std::abs(gains[static_cast<std::size_t>(c)]));
+    }
+    branch.gain_shift = select_gain_shift(max_gain);
+    branch.gain.resize(static_cast<std::size_t>(oc));
+    branch.bias.resize(static_cast<std::size_t>(oc));
+    for (std::int64_t c = 0; c < oc; ++c) {
+        branch.gain[static_cast<std::size_t>(c)] = util::saturate16(
+            std::llround(gains[static_cast<std::size_t>(c)] *
+                         static_cast<double>(std::int64_t{1} << branch.gain_shift)));
+        branch.bias[static_cast<std::size_t>(c)] = util::saturate16(std::llround(
+            fold.h[static_cast<std::size_t>(c)] * kThetaInt / static_cast<double>(step)));
+    }
+    branch.weight_scale = qw;
+}
+
+float activation_step(const nn::IrNode& node) {
+    if (node.act == nullptr) {
+        throw std::invalid_argument("convert: spiking node '" + node.label +
+                                    "' has no activation");
+    }
+    const float s = node.act->step();
+    if (!(s > 0.0F)) {
+        throw std::invalid_argument("convert: non-positive activation step at '" +
+                                    node.label + "' (run calibration + enable_quant)");
+    }
+    return s;
+}
+
+}  // namespace
+
+int select_gain_shift(double max_gain) noexcept {
+    // Largest shift in [0, 14] with round(max_gain * 2^shift) <= int16 max.
+    for (int shift = 14; shift >= 0; --shift) {
+        const double scaled = max_gain * static_cast<double>(std::int64_t{1} << shift);
+        if (scaled <= 32767.0) return shift;
+    }
+    util::log_warn("convert: branch gain ", max_gain,
+                   " overflows int16 even at shift 0; saturating");
+    return 0;
+}
+
+snn::SnnModel AnnToSnnConverter::convert(const nn::NetworkIR& ir) const {
+    if (ir.nodes.empty() || ir.nodes.front().op != nn::IrOp::kInput) {
+        throw std::invalid_argument("convert: IR must start with an input node");
+    }
+
+    snn::SnnModel model;
+    model.name = ir.model_name + "-snn";
+    model.input_channels = ir.input_channels;
+    model.input_h = ir.input_h;
+    model.input_w = ir.input_w;
+
+    std::vector<SourceInfo> info(ir.nodes.size());
+    info[0] = SourceInfo{-1, options_.input_amplitude, ir.input_channels, ir.input_h,
+                         ir.input_w};
+    // AvgPool folding: pool node index -> (source node, kernel).
+    std::vector<std::int64_t> pool_kernel(ir.nodes.size(), 0);
+    std::vector<int> pool_source(ir.nodes.size(), -1);
+    int conv_seen = 0;
+
+    for (std::size_t ni = 1; ni < ir.nodes.size(); ++ni) {
+        const nn::IrNode& node = ir.nodes[ni];
+        switch (node.op) {
+            case nn::IrOp::kInput:
+                throw std::invalid_argument("convert: multiple input nodes");
+            case nn::IrOp::kAvgPool: {
+                if (pool_kernel[static_cast<std::size_t>(node.input)] != 0) {
+                    throw std::invalid_argument("convert: pool after pool unsupported");
+                }
+                const auto& src = info[static_cast<std::size_t>(node.input)];
+                pool_kernel[ni] = node.pool_kernel;
+                pool_source[ni] = node.input;
+                info[ni] = src;  // pass-through; folding happens at the consumer
+                break;
+            }
+            case nn::IrOp::kConv: {
+                if (conv_seen < options_.host_front_layers) {
+                    // This layer runs on the processor; its quantized
+                    // activations become the accelerator's spike input.
+                    const float step = activation_step(node);
+                    info[ni] = SourceInfo{-1, step, node.out_channels, node.out_h,
+                                          node.out_w};
+                    model.input_channels = node.out_channels;
+                    model.input_h = node.out_h;
+                    model.input_w = node.out_w;
+                    ++conv_seen;
+                    break;
+                }
+                ++conv_seen;
+                const auto& src = info[static_cast<std::size_t>(node.input)];
+                if (pool_kernel[static_cast<std::size_t>(node.input)] != 0) {
+                    throw std::invalid_argument(
+                        "convert: conv after pool unsupported (models pool only "
+                        "before the classifier)");
+                }
+                const float step = activation_step(node);
+                const auto& geom = node.conv->geometry();
+
+                snn::SnnLayer layer;
+                layer.op = snn::LayerOp::kConv;
+                layer.label = node.label;
+                layer.input = src.snn_index;
+                layer.spiking = true;
+                layer.neuron = options_.neuron;
+                layer.reset = options_.reset;
+                layer.leak_shift = options_.leak_shift;
+                layer.step_size = step;
+                layer.out_channels = node.out_channels;
+                layer.out_h = node.out_h;
+                layer.out_w = node.out_w;
+                layer.in_h = src.h;
+                layer.in_w = src.w;
+
+                snn::Branch& main = layer.main;
+                main.in_channels = geom.in_channels;
+                main.out_channels = geom.out_channels;
+                main.kernel = geom.kernel;
+                main.stride = geom.stride;
+                main.padding = geom.padding;
+                const auto q = quantize_weights(node.conv->weight().value.data(),
+                                                options_.weight_bits, options_.clip_pct);
+                main.weights = q.values;
+                set_branch_coeffs(main, fold_bn(node.bn, geom.out_channels), q.scale,
+                                  src.amplitude, step);
+
+                if (node.skip_src >= 0) {
+                    const auto& skip_src = info[static_cast<std::size_t>(node.skip_src)];
+                    layer.skip_src = skip_src.snn_index;
+                    if (node.skip_conv == nullptr) {
+                        layer.skip_is_identity = true;
+                        layer.identity_skip.charge = util::saturate16(std::llround(
+                            static_cast<double>(skip_src.amplitude) * kThetaInt /
+                            static_cast<double>(step)));
+                    } else {
+                        layer.skip_is_identity = false;
+                        const auto& sgeom = node.skip_conv->geometry();
+                        snn::Branch& skip = layer.skip;
+                        skip.in_channels = sgeom.in_channels;
+                        skip.out_channels = sgeom.out_channels;
+                        skip.kernel = sgeom.kernel;
+                        skip.stride = sgeom.stride;
+                        skip.padding = sgeom.padding;
+                        const auto sq =
+                            quantize_weights(node.skip_conv->weight().value.data(),
+                                             options_.weight_bits, options_.clip_pct);
+                        skip.weights = sq.values;
+                        set_branch_coeffs(skip, fold_bn(node.skip_bn, sgeom.out_channels),
+                                          sq.scale, skip_src.amplitude, step);
+                    }
+                }
+
+                model.layers.push_back(std::move(layer));
+                info[ni] = SourceInfo{static_cast<int>(model.layers.size()) - 1, step,
+                                      node.out_channels, node.out_h, node.out_w};
+                break;
+            }
+            case nn::IrOp::kLinear: {
+                // Resolve through a folded average pool if present.
+                int src_node = node.input;
+                std::int64_t pool_k = 1;
+                if (pool_kernel[static_cast<std::size_t>(src_node)] != 0) {
+                    pool_k = pool_kernel[static_cast<std::size_t>(src_node)];
+                    src_node = pool_source[static_cast<std::size_t>(src_node)];
+                }
+                const auto& src = info[static_cast<std::size_t>(src_node)];
+
+                const std::int64_t full_features = src.channels * src.h * src.w;
+                const std::int64_t out_features = node.fc->out_features();
+                // Expand pooled weights to full resolution / k^2.
+                std::vector<float> w_eff(
+                    static_cast<std::size_t>(out_features * full_features), 0.0F);
+                const std::int64_t ph = src.h / pool_k;
+                const std::int64_t pw = src.w / pool_k;
+                const float inv_area = 1.0F / static_cast<float>(pool_k * pool_k);
+                const auto& w = node.fc->weight().value;
+                if (node.fc->in_features() != src.channels * ph * pw) {
+                    throw std::invalid_argument(
+                        "convert: FC in_features does not match pooled source");
+                }
+                for (std::int64_t f = 0; f < out_features; ++f) {
+                    for (std::int64_t c = 0; c < src.channels; ++c) {
+                        for (std::int64_t y = 0; y < src.h; ++y) {
+                            for (std::int64_t x = 0; x < src.w; ++x) {
+                                const std::int64_t dp =
+                                    (c * ph + y / pool_k) * pw + x / pool_k;
+                                const std::int64_t d = (c * src.h + y) * src.w + x;
+                                w_eff[static_cast<std::size_t>(f * full_features + d)] =
+                                    w.at(f, dp) * inv_area;
+                            }
+                        }
+                    }
+                }
+
+                const auto q = quantize_weights(w_eff, options_.weight_bits,
+                                                options_.clip_pct);
+
+                snn::SnnLayer layer;
+                layer.op = snn::LayerOp::kLinear;
+                layer.label = node.label;
+                layer.input = src.snn_index;
+                layer.out_channels = out_features;
+                layer.out_h = 1;
+                layer.out_w = 1;
+                layer.neuron = options_.neuron;
+                layer.reset = options_.reset;
+                layer.leak_shift = options_.leak_shift;
+
+                snn::Branch& main = layer.main;
+                main.in_features = full_features;
+                main.out_features = out_features;
+                main.weights = q.values;
+                main.weight_scale = q.scale;
+                // The hardware streams the physical (pre-pool-unroll)
+                // weight matrix; the unrolled copy exists only so engine
+                // indexing stays binary-spike-addressed.
+                main.stream_weight_bytes = out_features * node.fc->in_features();
+                main.gain.resize(static_cast<std::size_t>(out_features));
+                main.bias.resize(static_cast<std::size_t>(out_features));
+
+                const auto& bias = node.fc->bias().value;
+                if (node.act == nullptr) {
+                    // Readout: logits accumulate in units of q_w * theta_in.
+                    layer.spiking = false;
+                    main.gain_shift = util::kBnGainShift;
+                    const auto unit_gain = static_cast<std::int16_t>(
+                        std::int16_t{1} << util::kBnGainShift);
+                    const double denom = static_cast<double>(q.scale) *
+                                         static_cast<double>(src.amplitude);
+                    for (std::int64_t f = 0; f < out_features; ++f) {
+                        main.gain[static_cast<std::size_t>(f)] = unit_gain;
+                        main.bias[static_cast<std::size_t>(f)] = util::saturate16(
+                            std::llround(static_cast<double>(bias.flat(f)) / denom));
+                    }
+                } else {
+                    layer.spiking = true;
+                    const float step = activation_step(node);
+                    layer.step_size = step;
+                    BnFold fold;
+                    fold.g.assign(static_cast<std::size_t>(out_features), 1.0);
+                    fold.h.resize(static_cast<std::size_t>(out_features));
+                    for (std::int64_t f = 0; f < out_features; ++f) {
+                        fold.h[static_cast<std::size_t>(f)] =
+                            static_cast<double>(bias.flat(f));
+                    }
+                    set_branch_coeffs(main, fold, q.scale, src.amplitude, step);
+                    // set_branch_coeffs sized gain/bias for fold.g entries.
+                }
+
+                model.layers.push_back(std::move(layer));
+                info[ni] = SourceInfo{static_cast<int>(model.layers.size()) - 1,
+                                      node.act != nullptr ? node.act->step() : 0.0F,
+                                      out_features, 1, 1};
+                break;
+            }
+        }
+    }
+
+    if (model.layers.empty()) throw std::invalid_argument("convert: empty model");
+    model.classes = model.layers.back().out_channels;
+    model.validate();
+    return model;
+}
+
+}  // namespace sia::core

@@ -1,0 +1,62 @@
+// ANN -> SNN conversion (Fig. 1, stage 3).
+//
+// Consumes the NetworkIR of a trained, activation-quantized model and
+// produces the integer SnnModel the hardware executes:
+//   * conv/FC weights quantized to INT8 with per-branch scale q_w;
+//   * each quantized-ReLU site becomes an IF neuron layer whose 16-bit
+//     threshold is the learnt step size s_l (theta_int = 2^8, i.e. the
+//     membrane LSB is s_l / 256), initial potential s_l/2 (= 128);
+//   * batch norm folds into the aggregation core's per-channel (G, H)
+//     per Eq. (2): G = gamma * q_w * theta_in / (sqrt(var+eps) * u_lsb),
+//     H = (beta - mu * gamma / sqrt(var+eps)) / u_lsb per timestep.
+//     (The paper prints H = mu*G/q_w - beta; the sign convention here is
+//     the algebraically consistent one — see EXPERIMENTS.md note.)
+//   * residual adds become membrane-current injections: identity skips
+//     inject theta_src per source spike; downsample skips convert as a
+//     1x1 conv branch with their own (G, H);
+//   * the trailing average pool folds into the FC readout weights
+//     (weights / k^2 replicated over the pooled window), keeping every
+//     hardware input strictly binary.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/ir.hpp"
+#include "snn/model.hpp"
+
+namespace sia::core {
+
+struct ConvertOptions {
+    int weight_bits = 8;
+    float clip_pct = 1.0F;          ///< weight-scale quantile (1.0 = abs-max)
+    snn::NeuronKind neuron = snn::NeuronKind::kIf;
+    snn::ResetMode reset = snn::ResetMode::kSubtract;
+    int leak_shift = 4;             ///< only used for LIF ablations
+    /// Amplitude of network-input spikes (1.0 for thermometer-coded
+    /// pixels in [0, 1]).
+    float input_amplitude = 1.0F;
+    /// Number of leading conv layers computed on the processor side
+    /// ("frame data conversion", §IV): the converted model then starts
+    /// at the first on-accelerator layer and its input spikes are the
+    /// PS-computed activations encoded by core::HybridFrontEnd. 0 = the
+    /// whole network runs on the SIA.
+    int host_front_layers = 0;
+};
+
+class AnnToSnnConverter {
+public:
+    explicit AnnToSnnConverter(ConvertOptions options = {}) : options_(options) {}
+
+    /// Convert; throws std::invalid_argument on unsupported topology or
+    /// non-positive activation steps.
+    [[nodiscard]] snn::SnnModel convert(const nn::NetworkIR& ir) const;
+
+private:
+    ConvertOptions options_;
+};
+
+/// Select the fixed-point shift for a branch gain: the largest shift in
+/// [0, 14] such that round(max_gain * 2^shift) fits int16.
+[[nodiscard]] int select_gain_shift(double max_gain) noexcept;
+
+}  // namespace sia::core

@@ -1,0 +1,28 @@
+#include "core/deploy.hpp"
+
+#include <sstream>
+
+namespace sia::core {
+
+DeployReport Deployer::deploy(const snn::SnnModel& model,
+                              const snn::SpikeTrain& input) const {
+    DeployReport report;
+    report.functional = snn::run_snn(model, input);
+
+    const sim::CompiledProgram program = compiler_.compile(model);
+    sim::Sia sia(config_, model, program);
+    report.hardware = sia.run(input);
+
+    std::ostringstream mismatch;
+    if (report.functional.logits_per_step != report.hardware.logits_per_step) {
+        mismatch << "per-timestep logits differ; ";
+    }
+    if (report.functional.spike_counts != report.hardware.spike_counts) {
+        mismatch << "per-layer spike counts differ; ";
+    }
+    report.mismatch = mismatch.str();
+    report.bit_exact = report.mismatch.empty();
+    return report;
+}
+
+}  // namespace sia::core

@@ -1,0 +1,43 @@
+// Deployer: the hardware-software co-verification loop.
+//
+// Runs the same SnnModel through the functional reference engine and the
+// cycle-accurate SIA simulator and checks that per-timestep logits and
+// per-layer spike counts match bit-exactly. A converted model is only
+// considered "deployed" when this check passes — the executable form of
+// the paper's claim that software-trained models run on the hardware
+// without accuracy loss beyond quantization.
+#pragma once
+
+#include <string>
+
+#include "core/compiler.hpp"
+#include "sim/sia.hpp"
+#include "snn/engine.hpp"
+#include "snn/model.hpp"
+
+namespace sia::core {
+
+struct DeployReport {
+    bool bit_exact = false;
+    std::string mismatch;           ///< empty when bit_exact
+    snn::RunResult functional;
+    sim::SiaRunResult hardware;
+};
+
+class Deployer {
+public:
+    explicit Deployer(sim::SiaConfig config = {}) : config_(config), compiler_(config) {}
+
+    /// Compile, simulate, cross-check against the functional engine.
+    [[nodiscard]] DeployReport deploy(const snn::SnnModel& model,
+                                      const snn::SpikeTrain& input) const;
+
+    [[nodiscard]] const sim::SiaConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const SiaCompiler& compiler() const noexcept { return compiler_; }
+
+private:
+    sim::SiaConfig config_;
+    SiaCompiler compiler_;
+};
+
+}  // namespace sia::core

@@ -1,0 +1,55 @@
+#include "core/hybrid.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "snn/encoding.hpp"
+
+namespace sia::core {
+
+HybridFrontEnd::HybridFrontEnd(nn::NetworkIR ir, int host_layers)
+    : ir_(std::move(ir)), host_layers_(host_layers) {
+    if (host_layers <= 0) {
+        throw std::invalid_argument("HybridFrontEnd: host_layers must be positive");
+    }
+    int seen = 0;
+    for (std::size_t ni = 1; ni < ir_.nodes.size() && seen < host_layers; ++ni) {
+        const nn::IrNode& node = ir_.nodes[ni];
+        if (node.op != nn::IrOp::kConv || node.skip_src >= 0 || node.act == nullptr) {
+            throw std::invalid_argument(
+                "HybridFrontEnd: host front must be a plain conv(+BN)+act chain");
+        }
+        ++seen;
+    }
+    if (seen < host_layers) {
+        throw std::invalid_argument("HybridFrontEnd: fewer conv layers than host_layers");
+    }
+}
+
+snn::SpikeTrain HybridFrontEnd::encode(const tensor::Tensor& image,
+                                       std::int64_t timesteps) const {
+    tensor::Tensor x = image;
+    float step = 1.0F;
+    int seen = 0;
+    for (std::size_t ni = 1; ni < ir_.nodes.size() && seen < host_layers_; ++ni) {
+        const nn::IrNode& node = ir_.nodes[ni];
+        if (node.op != nn::IrOp::kConv) continue;
+        // IR stores const module pointers (the converter never mutates);
+        // inference-mode forward does not modify observable state, so the
+        // const_cast below is safe and confined to this host-side path.
+        auto* conv = const_cast<nn::Conv2d*>(node.conv);
+        auto* bn = const_cast<nn::BatchNorm2d*>(node.bn);
+        auto* act = const_cast<nn::Activation*>(node.act);
+        x = conv->forward(x, /*training=*/false);
+        if (bn != nullptr) x = bn->forward(x, /*training=*/false);
+        x = act->forward(x, /*training=*/false);
+        step = act->step();
+        ++seen;
+    }
+    // Normalise activations ([0, step]) to [0, 1] for the encoder; the
+    // converter already set the SNN input amplitude to `step`.
+    if (step > 0.0F) x.scale_(1.0F / step);
+    return snn::encode_thermometer(x, timesteps);
+}
+
+}  // namespace sia::core

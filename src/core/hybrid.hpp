@@ -1,0 +1,41 @@
+// Processor-side front end ("frame data conversion", §IV).
+//
+// The paper's ZYNQ processor converts frame data into spike streams for
+// the PL. When ConvertOptions::host_front_layers > 0, the first conv
+// layer(s) execute on the PS in quantized-ANN arithmetic and their
+// L-level activations are thermometer-encoded into the spike train fed
+// to the SIA. This removes the input-coding unevenness that otherwise
+// delays deep-network convergence (see the coding ablation bench), at
+// the cost of one small convolution on the processor.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/ir.hpp"
+#include "snn/spike.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sia::core {
+
+class HybridFrontEnd {
+public:
+    /// The IR is stored by value (it is a cheap node list), but its
+    /// module pointers reference the model — the MODEL must outlive the
+    /// front end. `host_layers` = number of leading conv layers run on
+    /// the PS; must match ConvertOptions::host_front_layers used for the
+    /// conversion.
+    HybridFrontEnd(nn::NetworkIR ir, int host_layers);
+
+    /// Compute the PS-side activations for one image [1, C, H, W] and
+    /// thermometer-encode them over `timesteps`.
+    [[nodiscard]] snn::SpikeTrain encode(const tensor::Tensor& image,
+                                         std::int64_t timesteps) const;
+
+    [[nodiscard]] int host_layers() const noexcept { return host_layers_; }
+
+private:
+    nn::NetworkIR ir_;
+    int host_layers_;
+};
+
+}  // namespace sia::core

@@ -1,0 +1,123 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "snn/encoding.hpp"
+#include "snn/engine.hpp"
+#include "util/log.hpp"
+
+namespace sia::core {
+
+void Pipeline::train_ann(nn::Model& model, const data::Dataset& train) const {
+    nn::Trainer trainer(model, config_.train);
+    trainer.fit(train.images, train.labels);
+}
+
+void Pipeline::quantize_and_finetune(nn::Model& model, const data::Dataset& train) const {
+    // Calibrate activation ranges on a training prefix.
+    const data::Dataset calib = train.take(config_.calibration_samples);
+    model.begin_activation_calibration();
+    (void)nn::evaluate(model, calib.images, calib.labels);
+    model.end_activation_calibration();
+
+    model.enable_quantized_activations(config_.levels);
+
+    nn::TrainConfig ft = config_.train;
+    ft.epochs = config_.finetune_epochs;
+    ft.sgd.lr = config_.finetune_lr;
+    ft.verbose = config_.verbose;
+    nn::Trainer trainer(model, ft);
+    trainer.fit(train.images, train.labels);
+}
+
+snn::SnnModel Pipeline::convert(nn::Model& model) const {
+    AnnToSnnConverter converter(config_.convert);
+    return converter.convert(model.ir());
+}
+
+PipelineResult Pipeline::run(nn::Model& model, const data::Dataset& train,
+                             const data::Dataset& test) const {
+    PipelineResult result;
+
+    train_ann(model, train);
+    result.ann_accuracy = nn::evaluate(model, test.images, test.labels).accuracy;
+    if (config_.verbose) {
+        util::log_info("pipeline stage 1 (FP32 ANN): test accuracy ",
+                       result.ann_accuracy);
+    }
+
+    quantize_and_finetune(model, train);
+    result.qann_accuracy = nn::evaluate(model, test.images, test.labels).accuracy;
+    if (config_.verbose) {
+        util::log_info("pipeline stage 2 (quantized ReLU, L=", config_.levels,
+                       "): test accuracy ", result.qann_accuracy);
+    }
+
+    result.snn = convert(model);
+    for (const auto* act : model.activations()) result.step_sizes.push_back(act->step());
+    return result;
+}
+
+InputEncoder pixel_encoder() {
+    return [](const tensor::Tensor& image, std::int64_t timesteps) {
+        return snn::encode_thermometer(image, timesteps);
+    };
+}
+
+std::vector<double> evaluate_snn_over_time(const snn::SnnModel& model,
+                                           const data::Dataset& test,
+                                           std::int64_t timesteps,
+                                           const InputEncoder& encoder) {
+    snn::FunctionalEngine engine(model);
+    std::vector<std::int64_t> correct(static_cast<std::size_t>(timesteps), 0);
+    const std::int64_t n = test.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const auto train_enc = encoder(test.sample(i), timesteps);
+        const snn::RunResult res = engine.run(train_enc);
+        for (std::int64_t t = 0; t < timesteps; ++t) {
+            if (res.predicted_class(t) == test.labels[static_cast<std::size_t>(i)]) {
+                ++correct[static_cast<std::size_t>(t)];
+            }
+        }
+    }
+    std::vector<double> acc(static_cast<std::size_t>(timesteps), 0.0);
+    for (std::int64_t t = 0; t < timesteps; ++t) {
+        acc[static_cast<std::size_t>(t)] =
+            n > 0 ? static_cast<double>(correct[static_cast<std::size_t>(t)]) /
+                        static_cast<double>(n)
+                  : 0.0;
+    }
+    return acc;
+}
+
+SpikeRateProfile measure_spike_rates(const snn::SnnModel& model, const data::Dataset& data,
+                                     std::int64_t timesteps,
+                                     const InputEncoder& encoder) {
+    snn::FunctionalEngine engine(model);
+    SpikeRateProfile profile;
+    std::vector<double> spike_sums(model.layers.size(), 0.0);
+    const std::int64_t n = data.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const auto enc = encoder(data.sample(i), timesteps);
+        const snn::RunResult res = engine.run(enc);
+        for (std::size_t l = 0; l < model.layers.size(); ++l) {
+            spike_sums[l] += static_cast<double>(res.spike_counts[l]);
+        }
+    }
+    double total_spikes = 0.0;
+    double total_neuron_steps = 0.0;
+    for (std::size_t l = 0; l < model.layers.size(); ++l) {
+        const snn::SnnLayer& layer = model.layers[l];
+        if (!layer.spiking) continue;
+        const double denom = static_cast<double>(layer.neurons()) *
+                             static_cast<double>(timesteps) * static_cast<double>(n);
+        profile.labels.push_back(layer.label);
+        profile.rates.push_back(denom > 0 ? spike_sums[l] / denom : 0.0);
+        total_spikes += spike_sums[l];
+        total_neuron_steps += denom;
+    }
+    profile.overall = total_neuron_steps > 0 ? total_spikes / total_neuron_steps : 0.0;
+    return profile;
+}
+
+}  // namespace sia::core

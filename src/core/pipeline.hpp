@@ -1,0 +1,85 @@
+// The three-stage co-optimisation pipeline of Fig. 1:
+//   1. train the FP32 ANN (ReLU activations);
+//   2. calibrate activation ranges, swap in L-level quantized ReLU with
+//      learnable step sizes, finetune (weights + steps + quant scales);
+//   3. convert to the integer SnnModel (IF thresholds = learnt steps,
+//      INT8 weights, BN folded to aggregation-core G/H).
+// Plus the evaluation drivers used by the accuracy/spike-rate figures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/convert.hpp"
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/tensor.hpp"
+#include "snn/model.hpp"
+#include "snn/spike.hpp"
+
+namespace sia::core {
+
+struct PipelineConfig {
+    nn::TrainConfig train;              ///< stage-1 schedule
+    int levels = 2;                     ///< quantized-ReLU levels L (paper: L=2)
+    std::size_t finetune_epochs = 2;    ///< stage-2 schedule
+    float finetune_lr = 0.01F;
+    std::int64_t calibration_samples = 256;
+    ConvertOptions convert;
+    bool verbose = false;
+};
+
+struct PipelineResult {
+    double ann_accuracy = 0.0;   ///< FP32 baseline (Fig. 7/9 "ANN")
+    double qann_accuracy = 0.0;  ///< quantized-ReLU finetuned ("ANN post fine tune")
+    snn::SnnModel snn;
+    std::vector<float> step_sizes;  ///< learnt s_l per spiking layer
+};
+
+class Pipeline {
+public:
+    explicit Pipeline(PipelineConfig config) : config_(config) {}
+
+    /// Run all three stages. The model is trained in place.
+    [[nodiscard]] PipelineResult run(nn::Model& model, const data::Dataset& train,
+                                     const data::Dataset& test) const;
+
+    /// Stages exposed individually (used by ablations).
+    void train_ann(nn::Model& model, const data::Dataset& train) const;
+    void quantize_and_finetune(nn::Model& model, const data::Dataset& train) const;
+    [[nodiscard]] snn::SnnModel convert(nn::Model& model) const;
+
+private:
+    PipelineConfig config_;
+};
+
+/// Input encoder: image -> spike train of the given length. The default
+/// is thermometer coding of raw pixels; pass a core::HybridFrontEnd
+/// bound via lambda for PS-side front-layer execution.
+using InputEncoder =
+    std::function<snn::SpikeTrain(const tensor::Tensor&, std::int64_t)>;
+
+/// Thermometer coding of raw pixels (the default InputEncoder).
+[[nodiscard]] InputEncoder pixel_encoder();
+
+/// SNN accuracy as a function of timesteps: runs each test sample once
+/// for `timesteps` steps and scores the prefix prediction at every t.
+/// Returns accuracy[t] for t = 1..timesteps (index 0 = 1 step).
+[[nodiscard]] std::vector<double> evaluate_snn_over_time(
+    const snn::SnnModel& model, const data::Dataset& test, std::int64_t timesteps,
+    const InputEncoder& encoder = pixel_encoder());
+
+/// Per-layer average spike rates (spikes / neuron / timestep) over a
+/// dataset — the series of Fig. 6 / Fig. 8.
+struct SpikeRateProfile {
+    std::vector<std::string> labels;
+    std::vector<double> rates;
+    double overall = 0.0;
+};
+[[nodiscard]] SpikeRateProfile measure_spike_rates(
+    const snn::SnnModel& model, const data::Dataset& data, std::int64_t timesteps,
+    const InputEncoder& encoder = pixel_encoder());
+
+}  // namespace sia::core

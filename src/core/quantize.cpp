@@ -1,0 +1,57 @@
+#include "core/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sia::core {
+
+QuantizedWeights quantize_weights(std::span<const float> weights, int bits,
+                                  float clip_pct) {
+    if (bits < 2 || bits > 8) throw std::invalid_argument("quantize_weights: bits in [2,8]");
+    if (!(clip_pct > 0.0F && clip_pct <= 1.0F)) {
+        throw std::invalid_argument("quantize_weights: clip_pct in (0,1]");
+    }
+    const std::int32_t qmax = (1 << (bits - 1)) - 1;
+
+    float range = 0.0F;
+    if (clip_pct >= 1.0F) {
+        for (const float w : weights) range = std::max(range, std::abs(w));
+    } else {
+        std::vector<float> mags;
+        mags.reserve(weights.size());
+        for (const float w : weights) mags.push_back(std::abs(w));
+        std::sort(mags.begin(), mags.end());
+        const auto idx = static_cast<std::size_t>(
+            clip_pct * static_cast<float>(mags.size() - 1) + 0.5F);
+        range = mags.empty() ? 0.0F : mags[std::min(idx, mags.size() - 1)];
+    }
+
+    QuantizedWeights out;
+    out.scale = range > 0.0F ? range / static_cast<float>(qmax)
+                             : 1.0F / static_cast<float>(qmax);
+    out.values.reserve(weights.size());
+    double sse = 0.0;
+    for (const float w : weights) {
+        const auto q = static_cast<std::int32_t>(
+            std::lround(static_cast<double>(w) / out.scale));
+        const auto clamped = static_cast<std::int8_t>(std::clamp(q, -qmax, qmax));
+        out.values.push_back(clamped);
+        const float err =
+            std::abs(w - static_cast<float>(clamped) * out.scale);
+        out.max_abs_error = std::max(out.max_abs_error, err);
+        sse += static_cast<double>(err) * err;
+    }
+    out.mse = weights.empty() ? 0.0F
+                              : static_cast<float>(sse / static_cast<double>(weights.size()));
+    return out;
+}
+
+std::vector<float> dequantize(const QuantizedWeights& q) {
+    std::vector<float> out;
+    out.reserve(q.values.size());
+    for (const auto v : q.values) out.push_back(static_cast<float>(v) * q.scale);
+    return out;
+}
+
+}  // namespace sia::core

@@ -1,0 +1,30 @@
+// Weight quantization (the "reduced precision" half of the paper's
+// co-optimisation): symmetric per-tensor INT8 with a per-layer scale
+// q_w. The scale is the learnable quantity of Fig. 1's stage 2; here it
+// is fitted to the trained weights (abs-max / 127, optionally tightened
+// by a percentile clip), and the quantization error metrics used by the
+// precision-ablation bench are computed alongside.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sia::core {
+
+struct QuantizedWeights {
+    std::vector<std::int8_t> values;
+    float scale = 1.0F;          ///< q_w
+    float max_abs_error = 0.0F;  ///< real-unit worst-case rounding error
+    float mse = 0.0F;            ///< mean squared quantization error
+};
+
+/// Quantize to signed `bits` (2..8) with symmetric range. `clip_pct`
+/// in (0, 1]: scale covers that quantile of |w| (1.0 = abs-max).
+[[nodiscard]] QuantizedWeights quantize_weights(std::span<const float> weights,
+                                                int bits = 8, float clip_pct = 1.0F);
+
+/// Dequantize for round-trip checks.
+[[nodiscard]] std::vector<float> dequantize(const QuantizedWeights& q);
+
+}  // namespace sia::core

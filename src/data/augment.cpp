@@ -1,0 +1,47 @@
+#include "data/augment.hpp"
+
+namespace sia::data {
+
+Dataset augment(const Dataset& input, const AugmentConfig& config) {
+    const std::int64_t n = input.size();
+    const std::int64_t c = input.images.dim(1);
+    const std::int64_t h = input.images.dim(2);
+    const std::int64_t w = input.images.dim(3);
+    const std::int64_t total = n * (1 + config.copies);
+
+    Dataset out;
+    out.classes = input.classes;
+    out.images = tensor::Tensor(tensor::Shape{total, c, h, w});
+    out.labels.resize(static_cast<std::size_t>(total));
+
+    // Originals first.
+    std::copy(input.images.raw(), input.images.raw() + n * c * h * w, out.images.raw());
+    std::copy(input.labels.begin(), input.labels.end(), out.labels.begin());
+
+    util::Rng rng(config.seed);
+    std::int64_t dst = n;
+    for (std::int64_t copy = 0; copy < config.copies; ++copy) {
+        for (std::int64_t s = 0; s < n; ++s, ++dst) {
+            out.labels[static_cast<std::size_t>(dst)] = input.labels[static_cast<std::size_t>(s)];
+            const auto dy = rng.integer(-config.pad, config.pad);
+            const auto dx = rng.integer(-config.pad, config.pad);
+            const bool flip = config.horizontal_flip && rng.bernoulli(0.5);
+            for (std::int64_t ch = 0; ch < c; ++ch) {
+                for (std::int64_t y = 0; y < h; ++y) {
+                    for (std::int64_t x = 0; x < w; ++x) {
+                        const std::int64_t sx0 = flip ? (w - 1 - x) : x;
+                        const std::int64_t sy = y + dy;
+                        const std::int64_t sx = sx0 + dx;
+                        const float v = (sy >= 0 && sy < h && sx >= 0 && sx < w)
+                                            ? input.images.at(s, ch, sy, sx)
+                                            : 0.0F;
+                        out.images.at(dst, ch, y, x) = v;
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace sia::data

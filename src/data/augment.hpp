@@ -1,0 +1,24 @@
+// Training-time augmentation: pad-and-crop plus horizontal flip, the
+// standard CIFAR recipe. Applied as a dataset expansion pass so the
+// trainer stays a pure SGD loop.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace sia::data {
+
+struct AugmentConfig {
+    std::int64_t pad = 4;         ///< zero padding before random crop
+    bool horizontal_flip = true;
+    std::int64_t copies = 1;      ///< augmented copies appended per sample
+    std::uint64_t seed = util::kDefaultSeed;
+};
+
+/// Returns the original dataset plus `copies` augmented duplicates of
+/// every sample (labels repeated accordingly).
+[[nodiscard]] Dataset augment(const Dataset& input, const AugmentConfig& config);
+
+}  // namespace sia::data

@@ -1,0 +1,76 @@
+#include "data/cifar.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace sia::data {
+
+namespace {
+
+constexpr std::int64_t kRecordBytes = 1 + 3 * 32 * 32;
+
+/// Append records from one CIFAR batch file; returns false on I/O error.
+bool append_file(const std::string& path, std::vector<float>& pixels,
+                 std::vector<std::int64_t>& labels, std::int64_t max_records) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::vector<unsigned char> record(static_cast<std::size_t>(kRecordBytes));
+    std::int64_t taken = 0;
+    while (in.read(reinterpret_cast<char*>(record.data()), kRecordBytes)) {
+        labels.push_back(record[0]);
+        for (std::size_t i = 1; i < record.size(); ++i) {
+            pixels.push_back(static_cast<float>(record[i]) / 255.0F);
+        }
+        if (max_records > 0 && ++taken >= max_records) break;
+    }
+    return !labels.empty();
+}
+
+Dataset to_dataset(std::vector<float> pixels, std::vector<std::int64_t> labels) {
+    Dataset ds;
+    ds.classes = 10;
+    const auto n = static_cast<std::int64_t>(labels.size());
+    ds.images = tensor::Tensor(tensor::Shape{n, 3, 32, 32}, std::move(pixels));
+    ds.labels = std::move(labels);
+    return ds;
+}
+
+}  // namespace
+
+std::optional<CifarSplits> load_cifar10(const std::string& dir, std::int64_t max_train,
+                                        std::int64_t max_test) {
+    std::vector<float> train_pixels;
+    std::vector<std::int64_t> train_labels;
+    for (int b = 1; b <= 5; ++b) {
+        const std::string path = dir + "/data_batch_" + std::to_string(b) + ".bin";
+        const std::int64_t remaining =
+            max_train > 0 ? max_train - static_cast<std::int64_t>(train_labels.size()) : 0;
+        if (max_train > 0 && remaining <= 0) break;
+        if (!append_file(path, train_pixels, train_labels, remaining)) {
+            if (b == 1) return std::nullopt;  // directory absent/corrupt
+            break;
+        }
+    }
+    if (train_labels.empty()) return std::nullopt;
+
+    std::vector<float> test_pixels;
+    std::vector<std::int64_t> test_labels;
+    if (!append_file(dir + "/test_batch.bin", test_pixels, test_labels, max_test)) {
+        return std::nullopt;
+    }
+
+    CifarSplits splits;
+    splits.train = to_dataset(std::move(train_pixels), std::move(train_labels));
+    splits.test = to_dataset(std::move(test_pixels), std::move(test_labels));
+    normalize01(splits.train, {&splits.test});
+    util::log_info("loaded CIFAR-10: ", splits.train.size(), " train / ",
+                   splits.test.size(), " test from ", dir);
+    return splits;
+}
+
+std::string default_cifar_dir() { return "data/cifar-10-batches-bin"; }
+
+}  // namespace sia::data

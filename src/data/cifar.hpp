@@ -1,0 +1,31 @@
+// CIFAR-10 binary-format loader.
+//
+// The offline environment ships no dataset files; when a directory with
+// the standard `data_batch_*.bin` / `test_batch.bin` files is present
+// (e.g. data/cifar-10-batches-bin), benches use the real dataset instead
+// of the synthetic substitute. Each record is 1 label byte + 3072 pixel
+// bytes (R, G, B planes, row-major), per the CIFAR-10 distribution.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace sia::data {
+
+struct CifarSplits {
+    Dataset train;
+    Dataset test;
+};
+
+/// Load CIFAR-10 from `dir`; nullopt if the files are missing/corrupt.
+/// `max_train`/`max_test` cap the number of records read (0 = all).
+[[nodiscard]] std::optional<CifarSplits> load_cifar10(const std::string& dir,
+                                                      std::int64_t max_train = 0,
+                                                      std::int64_t max_test = 0);
+
+/// Convenience: standard location checked by benches.
+[[nodiscard]] std::string default_cifar_dir();
+
+}  // namespace sia::data

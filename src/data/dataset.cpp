@@ -1,0 +1,89 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace sia::data {
+
+void standardize(Dataset& reference, std::vector<Dataset*> others) {
+    if (reference.size() == 0) return;
+    const std::int64_t c = reference.images.dim(1);
+    const std::int64_t hw = reference.images.dim(2) * reference.images.dim(3);
+    const std::int64_t n = reference.size();
+
+    std::vector<float> mean(static_cast<std::size_t>(c), 0.0F);
+    std::vector<float> inv_std(static_cast<std::size_t>(c), 1.0F);
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+        util::RunningStat stat;
+        for (std::int64_t s = 0; s < n; ++s) {
+            const float* p = reference.images.raw() + (s * c + ch) * hw;
+            for (std::int64_t i = 0; i < hw; ++i) stat.add(p[i]);
+        }
+        mean[static_cast<std::size_t>(ch)] = static_cast<float>(stat.mean());
+        const double sd = stat.stddev();
+        inv_std[static_cast<std::size_t>(ch)] =
+            sd > 1e-8 ? static_cast<float>(1.0 / sd) : 1.0F;
+    }
+
+    const auto apply = [&](Dataset& ds) {
+        const std::int64_t m = ds.size();
+        for (std::int64_t s = 0; s < m; ++s) {
+            for (std::int64_t ch = 0; ch < c; ++ch) {
+                float* p = ds.images.raw() + (s * c + ch) * hw;
+                for (std::int64_t i = 0; i < hw; ++i) {
+                    p[i] = (p[i] - mean[static_cast<std::size_t>(ch)]) *
+                           inv_std[static_cast<std::size_t>(ch)];
+                }
+            }
+        }
+    };
+    apply(reference);
+    for (Dataset* ds : others) {
+        if (ds != nullptr) apply(*ds);
+    }
+}
+
+void normalize01(Dataset& reference, std::vector<Dataset*> others) {
+    if (reference.size() == 0) return;
+    const std::int64_t c = reference.images.dim(1);
+    const std::int64_t hw = reference.images.dim(2) * reference.images.dim(3);
+    const std::int64_t n = reference.size();
+
+    std::vector<float> lo(static_cast<std::size_t>(c), 0.0F);
+    std::vector<float> inv_range(static_cast<std::size_t>(c), 1.0F);
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+        float mn = reference.images.at(0, ch, 0, 0);
+        float mx = mn;
+        for (std::int64_t s = 0; s < n; ++s) {
+            const float* p = reference.images.raw() + (s * c + ch) * hw;
+            for (std::int64_t i = 0; i < hw; ++i) {
+                mn = std::min(mn, p[i]);
+                mx = std::max(mx, p[i]);
+            }
+        }
+        lo[static_cast<std::size_t>(ch)] = mn;
+        inv_range[static_cast<std::size_t>(ch)] = mx > mn ? 1.0F / (mx - mn) : 1.0F;
+    }
+
+    const auto apply = [&](Dataset& ds) {
+        const std::int64_t m = ds.size();
+        for (std::int64_t s = 0; s < m; ++s) {
+            for (std::int64_t ch = 0; ch < c; ++ch) {
+                float* p = ds.images.raw() + (s * c + ch) * hw;
+                for (std::int64_t i = 0; i < hw; ++i) {
+                    p[i] = std::clamp((p[i] - lo[static_cast<std::size_t>(ch)]) *
+                                          inv_range[static_cast<std::size_t>(ch)],
+                                      0.0F, 1.0F);
+                }
+            }
+        }
+    };
+    apply(reference);
+    for (Dataset* ds : others) {
+        if (ds != nullptr) apply(*ds);
+    }
+}
+
+}  // namespace sia::data

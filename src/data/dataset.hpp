@@ -1,0 +1,54 @@
+// In-memory labelled image dataset (NCHW float), shared by training,
+// conversion calibration and the SNN/simulator evaluation paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace sia::data {
+
+struct Dataset {
+    tensor::Tensor images;              ///< [N, C, H, W]
+    std::vector<std::int64_t> labels;   ///< size N, values in [0, classes)
+    std::int64_t classes = 10;
+
+    [[nodiscard]] std::int64_t size() const noexcept {
+        return images.rank() == 4 ? images.dim(0) : 0;
+    }
+
+    /// Copy of sample `i` as a batch-of-one tensor.
+    [[nodiscard]] tensor::Tensor sample(std::int64_t i) const {
+        const std::int64_t plane = images.dim(1) * images.dim(2) * images.dim(3);
+        std::vector<float> buf(images.raw() + i * plane, images.raw() + (i + 1) * plane);
+        return tensor::Tensor(
+            tensor::Shape{1, images.dim(1), images.dim(2), images.dim(3)}, std::move(buf));
+    }
+
+    /// First `n` samples as a new dataset (used to cap bench runtimes).
+    [[nodiscard]] Dataset take(std::int64_t n) const {
+        n = std::min<std::int64_t>(n, size());
+        const std::int64_t plane = images.dim(1) * images.dim(2) * images.dim(3);
+        std::vector<float> buf(images.raw(), images.raw() + n * plane);
+        Dataset out;
+        out.images = tensor::Tensor(
+            tensor::Shape{n, images.dim(1), images.dim(2), images.dim(3)}, std::move(buf));
+        out.labels.assign(labels.begin(), labels.begin() + n);
+        out.classes = classes;
+        return out;
+    }
+};
+
+/// Per-channel standardisation: (x - mean_c) / std_c computed over the
+/// dataset itself; applies the same statistics to `others` (test sets).
+void standardize(Dataset& reference, std::vector<Dataset*> others);
+
+/// Per-channel min-max normalisation into [0, 1] using the reference
+/// dataset's statistics; `others` are mapped with the same affine and
+/// clamped. This is the input convention of the spike encoder (pixels in
+/// [0, 1] thermometer-code into at most T spikes), so every model that
+/// will be SNN-converted trains on normalize01 data.
+void normalize01(Dataset& reference, std::vector<Dataset*> others);
+
+}  // namespace sia::data

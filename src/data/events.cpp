@@ -1,0 +1,81 @@
+#include "data/events.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sia::data {
+
+std::vector<Event> make_event_scene(const EventSceneConfig& config) {
+    util::Rng rng(config.seed);
+    struct Obj {
+        float x, y, vx, vy, radius;
+    };
+    std::vector<Obj> objs;
+    const auto size_f = static_cast<float>(config.size);
+    for (std::int64_t i = 0; i < config.objects; ++i) {
+        const float angle = rng.uniform(0.0F, 6.2831853F);
+        objs.push_back(Obj{rng.uniform(0.2F * size_f, 0.8F * size_f),
+                           rng.uniform(0.2F * size_f, 0.8F * size_f),
+                           config.speed * std::cos(angle), config.speed * std::sin(angle),
+                           rng.uniform(1.5F, 3.0F)});
+    }
+
+    std::vector<Event> events;
+    for (std::int32_t t = 0; t < config.timesteps; ++t) {
+        for (auto& o : objs) {
+            const float px = o.x;
+            const float py = o.y;
+            o.x += o.vx;
+            o.y += o.vy;
+            // Bounce off sensor edges.
+            if (o.x < 0.0F || o.x >= size_f) {
+                o.vx = -o.vx;
+                o.x = std::clamp(o.x, 0.0F, size_f - 1.0F);
+            }
+            if (o.y < 0.0F || o.y >= size_f) {
+                o.vy = -o.vy;
+                o.y = std::clamp(o.y, 0.0F, size_f - 1.0F);
+            }
+            // Leading edge emits ON events, trailing edge OFF events.
+            for (std::int64_t yy = 0; yy < config.size; ++yy) {
+                for (std::int64_t xx = 0; xx < config.size; ++xx) {
+                    const float fx = static_cast<float>(xx);
+                    const float fy = static_cast<float>(yy);
+                    const float d_new = std::hypot(fx - o.x, fy - o.y);
+                    const float d_old = std::hypot(fx - px, fy - py);
+                    const bool inside_new = d_new <= o.radius;
+                    const bool inside_old = d_old <= o.radius;
+                    if (inside_new == inside_old) continue;
+                    if (!rng.bernoulli(config.event_rate)) continue;
+                    events.push_back(Event{static_cast<std::int16_t>(xx),
+                                           static_cast<std::int16_t>(yy), t, inside_new});
+                }
+            }
+        }
+        // Background noise.
+        const auto pixels = config.size * config.size;
+        const auto noise_events =
+            static_cast<std::int64_t>(config.noise_rate * static_cast<float>(pixels));
+        for (std::int64_t i = 0; i < noise_events; ++i) {
+            events.push_back(Event{static_cast<std::int16_t>(rng.integer(0, config.size - 1)),
+                                   static_cast<std::int16_t>(rng.integer(0, config.size - 1)),
+                                   t, rng.bernoulli(0.5)});
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) { return a.t < b.t; });
+    return events;
+}
+
+tensor::Tensor events_to_frames(const std::vector<Event>& events, std::int64_t size,
+                                std::int64_t timesteps) {
+    tensor::Tensor frames(tensor::Shape{timesteps, 2, size, size});
+    for (const Event& e : events) {
+        if (e.t < 0 || e.t >= timesteps) continue;
+        if (e.x < 0 || e.x >= size || e.y < 0 || e.y >= size) continue;
+        frames.at(e.t, e.on ? 0 : 1, e.y, e.x) = 1.0F;
+    }
+    return frames;
+}
+
+}  // namespace sia::data

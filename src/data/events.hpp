@@ -1,0 +1,45 @@
+// Synthetic DVS-style event streams.
+//
+// The paper motivates the SIA with event-driven inputs (the ZYNQ "can
+// transfer event-driven data streams directly to the SIA", §IV). Real
+// DVS recordings are not available offline, so this module synthesises
+// address-event streams from moving-object scenes; the event-driven
+// example application feeds them straight into the accelerator without
+// frame conversion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace sia::data {
+
+/// One address event: pixel coordinates, timestep, polarity.
+struct Event {
+    std::int16_t x = 0;
+    std::int16_t y = 0;
+    std::int32_t t = 0;      ///< timestep index
+    bool on = true;          ///< polarity (brightness increase)
+};
+
+struct EventSceneConfig {
+    std::int64_t size = 32;        ///< sensor resolution (square)
+    std::int64_t timesteps = 8;
+    std::int64_t objects = 2;      ///< moving bright blobs
+    float speed = 1.5F;            ///< pixels per timestep
+    float event_rate = 0.9F;       ///< probability a crossing pixel fires
+    float noise_rate = 0.002F;     ///< background noise events per pixel per step
+    std::uint64_t seed = util::kDefaultSeed;
+};
+
+/// Generate a stream sorted by timestep.
+[[nodiscard]] std::vector<Event> make_event_scene(const EventSceneConfig& config);
+
+/// Rasterise events into spike frames [T, 2, H, W] (channel 0 = ON,
+/// channel 1 = OFF), the input format of the SNN front-end.
+[[nodiscard]] tensor::Tensor events_to_frames(const std::vector<Event>& events,
+                                              std::int64_t size, std::int64_t timesteps);
+
+}  // namespace sia::data

@@ -1,0 +1,120 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace sia::data {
+
+namespace {
+
+/// Class-defining texture parameters, drawn once per class.
+struct ClassProto {
+    // Three sinusoid components per channel: amplitude, fx, fy, phase.
+    struct Wave {
+        float amp, fx, fy, phase;
+    };
+    std::vector<Wave> waves;  // channels * 3
+    // Two Gaussian blobs: centre (normalised), sigma, per-channel gain.
+    struct Blob {
+        float cx, cy, sigma;
+        float gain[3];
+    };
+    Blob blobs[2];
+};
+
+ClassProto make_proto(util::Rng& rng, std::int64_t channels) {
+    ClassProto p;
+    p.waves.reserve(static_cast<std::size_t>(channels) * 3);
+    for (std::int64_t c = 0; c < channels; ++c) {
+        for (int k = 0; k < 3; ++k) {
+            ClassProto::Wave w;
+            w.amp = rng.uniform(0.25F, 0.6F);
+            w.fx = rng.uniform(0.5F, 3.0F);
+            w.fy = rng.uniform(0.5F, 3.0F);
+            w.phase = rng.uniform(0.0F, 2.0F * std::numbers::pi_v<float>);
+            p.waves.push_back(w);
+        }
+    }
+    for (auto& blob : p.blobs) {
+        blob.cx = rng.uniform(0.2F, 0.8F);
+        blob.cy = rng.uniform(0.2F, 0.8F);
+        blob.sigma = rng.uniform(0.08F, 0.2F);
+        for (float& g : blob.gain) g = rng.uniform(-0.8F, 0.8F);
+    }
+    return p;
+}
+
+/// Render the prototype at pixel (y, x) for channel c, with the sample's
+/// sub-pattern shift applied.
+float render(const ClassProto& p, std::int64_t c, float y, float x) {
+    float v = 0.0F;
+    for (int k = 0; k < 3; ++k) {
+        const auto& w = p.waves[static_cast<std::size_t>(c * 3 + k)];
+        v += w.amp * std::sin(2.0F * std::numbers::pi_v<float> * (w.fx * x + w.fy * y) +
+                              w.phase);
+    }
+    for (const auto& blob : p.blobs) {
+        const float dx = x - blob.cx;
+        const float dy = y - blob.cy;
+        v += blob.gain[c % 3] *
+             std::exp(-(dx * dx + dy * dy) / (2.0F * blob.sigma * blob.sigma));
+    }
+    return v;
+}
+
+Dataset generate_split(const std::vector<ClassProto>& protos, const SyntheticConfig& cfg,
+                       std::int64_t per_class, util::Rng& rng) {
+    const std::int64_t n = cfg.classes * per_class;
+    Dataset ds;
+    ds.classes = cfg.classes;
+    ds.images = tensor::Tensor(tensor::Shape{n, cfg.channels, cfg.size, cfg.size});
+    ds.labels.resize(static_cast<std::size_t>(n));
+
+    const auto sz = static_cast<float>(cfg.size);
+    std::int64_t idx = 0;
+    // Interleave classes so truncated prefixes (Dataset::take) stay balanced.
+    for (std::int64_t i = 0; i < per_class; ++i) {
+        for (std::int64_t cls = 0; cls < cfg.classes; ++cls, ++idx) {
+            ds.labels[static_cast<std::size_t>(idx)] = cls;
+            const auto& proto = protos[static_cast<std::size_t>(cls)];
+            const auto shift_x = static_cast<float>(rng.integer(-cfg.max_shift, cfg.max_shift));
+            const auto shift_y = static_cast<float>(rng.integer(-cfg.max_shift, cfg.max_shift));
+            const float contrast = 1.0F + rng.uniform(-cfg.jitter, cfg.jitter);
+            const float brightness = rng.uniform(-cfg.jitter, cfg.jitter);
+            for (std::int64_t c = 0; c < cfg.channels; ++c) {
+                for (std::int64_t y = 0; y < cfg.size; ++y) {
+                    for (std::int64_t x = 0; x < cfg.size; ++x) {
+                        const float yn = (static_cast<float>(y) + shift_y) / sz;
+                        const float xn = (static_cast<float>(x) + shift_x) / sz;
+                        const float clean = render(proto, c, yn, xn);
+                        ds.images.at(idx, c, y, x) = contrast * clean + brightness +
+                                                     rng.normal(0.0F, cfg.noise_stddev);
+                    }
+                }
+            }
+        }
+    }
+    return ds;
+}
+
+}  // namespace
+
+TrainTest make_synthetic(const SyntheticConfig& config) {
+    util::Rng proto_rng(config.seed);
+    std::vector<ClassProto> protos;
+    protos.reserve(static_cast<std::size_t>(config.classes));
+    for (std::int64_t c = 0; c < config.classes; ++c) {
+        protos.push_back(make_proto(proto_rng, config.channels));
+    }
+
+    util::Rng train_rng(config.seed ^ 0x7261696EULL);  // "rain"
+    util::Rng test_rng(config.seed ^ 0x74657374ULL);   // "test"
+    TrainTest tt;
+    tt.train = generate_split(protos, config, config.train_per_class, train_rng);
+    tt.test = generate_split(protos, config, config.test_per_class, test_rng);
+    normalize01(tt.train, {&tt.test});
+    return tt;
+}
+
+}  // namespace sia::data

@@ -1,0 +1,26 @@
+#include "hw/asic.hpp"
+
+namespace sia::hw {
+
+AsicProjection project_asic(const sim::SiaConfig& fpga, const AsicConfig& asic) {
+    AsicProjection proj;
+    proj.clock_mhz = asic.clock_mhz;
+    // Throughput scales with clock (same PE array, same ops/cycle).
+    proj.throughput_gops = fpga.peak_gops() * asic.clock_mhz / fpga.clock_mhz;
+
+    const double mem_kb =
+        static_cast<double>(fpga.incoming_spike_bytes + fpga.residual_bytes +
+                            fpga.membrane_bytes + fpga.weight_bytes + fpga.output_bytes) /
+        1024.0;
+    const double core_mm2 = static_cast<double>(fpga.pe_count()) * asic.pe_area_mm2 +
+                            asic.aggregation_area_mm2 + asic.control_area_mm2 +
+                            mem_kb * asic.sram_area_mm2_per_kb;
+    proj.area_mm2 = core_mm2 * (1.0 + asic.interconnect_overhead);
+
+    proj.power_w =
+        asic.leakage_watts + proj.throughput_gops * asic.dynamic_watts_per_gops;
+    proj.gops_per_watt = proj.power_w > 0 ? proj.throughput_gops / proj.power_w : 0.0;
+    return proj;
+}
+
+}  // namespace sia::hw

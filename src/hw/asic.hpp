@@ -1,0 +1,40 @@
+// TSMC 40 nm ASIC projection (§V, last paragraph): the paper projects
+// the SIA to 192 GOPS at 500 MHz in 11 mm^2 consuming 2.17 W. This
+// module reproduces that projection methodology: frequency scaling of
+// throughput, gate/macro area roll-up, and dynamic+leakage power at the
+// scaled node.
+#pragma once
+
+#include "sim/config.hpp"
+
+namespace sia::hw {
+
+struct AsicConfig {
+    double clock_mhz = 500.0;
+
+    // Area model (40 nm, post-synthesis + memory macros).
+    double pe_area_mm2 = 0.021;          ///< one PE incl. local weight regs
+    double aggregation_area_mm2 = 0.65;  ///< 16 MAC lanes + activation
+    double control_area_mm2 = 0.42;
+    double sram_area_mm2_per_kb = 0.027; ///< 6T SRAM macro density
+    double interconnect_overhead = 0.18; ///< fraction added for routing/pads
+
+    // Power model.
+    double core_volts = 0.9;
+    double dynamic_watts_per_gops = 0.0095;
+    double leakage_watts = 0.35;
+};
+
+struct AsicProjection {
+    double throughput_gops = 0.0;
+    double area_mm2 = 0.0;
+    double power_w = 0.0;
+    double gops_per_watt = 0.0;
+    double clock_mhz = 0.0;
+};
+
+/// Project the FPGA-validated design to the ASIC node.
+[[nodiscard]] AsicProjection project_asic(const sim::SiaConfig& fpga,
+                                          const AsicConfig& asic = {});
+
+}  // namespace sia::hw

@@ -1,0 +1,21 @@
+#include "hw/mac_baseline.hpp"
+
+namespace sia::hw {
+
+MacArrayEstimate estimate_mac_array(const snn::SnnModel& model,
+                                    const MacArrayConfig& config) {
+    MacArrayEstimate est;
+    est.dsp = config.macs;
+    // ops_per_timestep counts 2 ops per MAC; a dense CNN pass executes
+    // the same MAC volume once.
+    const auto macs_total = static_cast<double>(model.ops_per_timestep()) / 2.0;
+    const double effective_macs_per_cycle =
+        static_cast<double>(config.macs) * config.utilization;
+    est.cycles = static_cast<std::int64_t>(macs_total / effective_macs_per_cycle + 0.5);
+    est.latency_ms = static_cast<double>(est.cycles) / (config.clock_mhz * 1e3);
+    est.peak_gops = 2.0 * static_cast<double>(config.macs) * config.clock_mhz * 1e6 / 1e9;
+    est.gops_per_dsp = est.dsp > 0 ? est.peak_gops / static_cast<double>(est.dsp) : 0.0;
+    return est;
+}
+
+}  // namespace sia::hw

@@ -1,0 +1,36 @@
+// Conventional dense MAC-array baseline.
+//
+// The prior-art rows of Table IV are DSP-based dense CNN accelerators.
+// Beyond quoting their published specs, this analytic model lets the
+// ablation benches compare the SIA's mux+adder event-driven PEs against
+// a dense MAC array *mechanistically*: same network, same clock, one
+// DSP-backed MAC per PE, cycles = dense MACs / array size.
+#pragma once
+
+#include <cstdint>
+
+#include "snn/model.hpp"
+
+namespace sia::hw {
+
+struct MacArrayConfig {
+    std::int64_t macs = 64;       ///< parallel MAC units (each uses one DSP)
+    double clock_mhz = 100.0;
+    double utilization = 0.85;    ///< achievable fraction of peak (dataflow losses)
+};
+
+struct MacArrayEstimate {
+    std::int64_t cycles = 0;      ///< per inference (T timesteps of dense compute
+                                  ///  collapse to one dense pass for a CNN)
+    double latency_ms = 0.0;
+    double peak_gops = 0.0;
+    double gops_per_dsp = 0.0;
+    std::int64_t dsp = 0;
+};
+
+/// Estimate a dense CNN execution of the same topology (one pass, no
+/// temporal dimension — the ANN equivalent of the SNN model).
+[[nodiscard]] MacArrayEstimate estimate_mac_array(const snn::SnnModel& model,
+                                                  const MacArrayConfig& config = {});
+
+}  // namespace sia::hw

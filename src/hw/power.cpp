@@ -1,0 +1,55 @@
+#include "hw/power.hpp"
+
+namespace sia::hw {
+
+namespace {
+/// Nominal PL dynamic power of the prototype under sustained inference —
+/// the calibration point that closes the budget to the paper's 1.54 W:
+/// 1.25 (PS) + 0.105 (static) + 0.118 (clock) + 0.067 (activity) = 1.54.
+constexpr double kNominalActivityWatts = 0.067;
+}  // namespace
+
+PowerReport estimate_power(const sim::SiaRunResult& result,
+                           const sim::SiaConfig& sia_config,
+                           const PowerConfig& power_config) {
+    PowerReport rep;
+    rep.ps_watts = power_config.ps_watts;
+    rep.pl_static_watts = power_config.pl_static_watts;
+    rep.runtime_ms = result.total_ms(sia_config);
+
+    double dynamic_joules = 0.0;
+    std::int64_t bram_bytes = 0;
+    std::int64_t axi_bytes = 0;
+    std::int64_t aggregates = 0;
+    for (const auto& s : result.layer_stats) {
+        dynamic_joules +=
+            static_cast<double>(s.event_additions) * power_config.energy_per_pe_add;
+        aggregates += s.aggregate;
+        // DMA cycles move dma_bytes_per_cycle bytes each.
+        axi_bytes += static_cast<std::int64_t>(static_cast<double>(s.dma) *
+                                               sia_config.dma_bytes_per_cycle);
+        axi_bytes += (s.mmio / sia_config.mmio_cycles_per_word) * 4;
+    }
+    // Membrane read+write per aggregate retirement (2 bytes each way).
+    bram_bytes += aggregates * 4;
+    dynamic_joules += static_cast<double>(aggregates) * power_config.energy_per_aggregate;
+    dynamic_joules += static_cast<double>(bram_bytes) * power_config.energy_per_bram_byte;
+    dynamic_joules += static_cast<double>(axi_bytes) * power_config.energy_per_axi_byte;
+
+    const double runtime_s = rep.runtime_ms / 1e3;
+    const double activity_watts = runtime_s > 0 ? dynamic_joules / runtime_s : 0.0;
+    rep.pl_dynamic_watts = power_config.pl_clock_watts + activity_watts;
+    rep.total_watts = rep.ps_watts + rep.pl_static_watts + rep.pl_dynamic_watts;
+    rep.energy_mj = rep.total_watts * runtime_s * 1e3;
+
+    const double gops = result.effective_gops(sia_config);
+    rep.gops_per_watt = rep.total_watts > 0 ? gops / rep.total_watts : 0.0;
+    return rep;
+}
+
+double rated_board_watts(const PowerConfig& power_config) {
+    return power_config.ps_watts + power_config.pl_static_watts +
+           power_config.pl_clock_watts + kNominalActivityWatts;
+}
+
+}  // namespace sia::hw

@@ -1,0 +1,49 @@
+// Power and energy model.
+//
+// Total board power = PS (ZYNQ ARM subsystem) + PL static + PL dynamic,
+// where PL dynamic is activity-based: energy per PE addition, per
+// aggregation retirement (DSP multiply + compare), per BRAM byte and per
+// AXI byte, integrated over a simulated run. The fixed terms are
+// calibrated so the reference workload reproduces the paper's 1.54 W
+// board figure; the activity terms use standard 28 nm FPGA energy
+// coefficients so ablations (activity sweeps) respond realistically.
+#pragma once
+
+#include "sim/config.hpp"
+#include "sim/sia.hpp"
+
+namespace sia::hw {
+
+struct PowerConfig {
+    double ps_watts = 1.25;         ///< ZYNQ PS subsystem (ARM, DDR PHY)
+    double pl_static_watts = 0.105; ///< PL leakage at 25C
+
+    // Dynamic energy coefficients (joules per event).
+    double energy_per_pe_add = 3.2e-12;       ///< 8-bit add + mux select
+    double energy_per_aggregate = 9.5e-12;    ///< DSP multiply + compare + reset
+    double energy_per_bram_byte = 1.8e-12;
+    double energy_per_axi_byte = 12.0e-12;
+    /// Clock tree + idle toggle of the PL at 100 MHz, in watts.
+    double pl_clock_watts = 0.118;
+};
+
+struct PowerReport {
+    double ps_watts = 0.0;
+    double pl_static_watts = 0.0;
+    double pl_dynamic_watts = 0.0;
+    double total_watts = 0.0;
+    double energy_mj = 0.0;        ///< energy for the simulated run
+    double runtime_ms = 0.0;
+    double gops_per_watt = 0.0;    ///< effective GOPS / total W
+};
+
+/// Estimate power for a completed simulation run.
+[[nodiscard]] PowerReport estimate_power(const sim::SiaRunResult& result,
+                                         const sim::SiaConfig& sia_config,
+                                         const PowerConfig& power_config = {});
+
+/// The board-level rated power of the prototype (paper: 1.54 W) — the
+/// fixed terms plus nominal dynamic activity; used by Table III/IV.
+[[nodiscard]] double rated_board_watts(const PowerConfig& power_config = {});
+
+}  // namespace sia::hw

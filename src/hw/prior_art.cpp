@@ -1,0 +1,33 @@
+#include "hw/prior_art.hpp"
+
+namespace sia::hw {
+
+std::vector<AcceleratorSpec> prior_art_table() {
+    std::vector<AcceleratorSpec> specs;
+    // [18] Gilan et al., real-time object recognition, ZC706.
+    specs.push_back({"[18]", "ZC706", 576, 200.0, 198.1, std::nullopt, 576});
+    // [19] Qiu et al., embedded-FPGA VGG accelerator, ZC706 (9.63 W).
+    specs.push_back({"[19]", "ZC706", 780, 150.0, 187.8, 187.8 / 14.22, 780});
+    // [20] Chen & Ruan, channel-oriented PE array, VC707.
+    specs.push_back({"[20]", "VC707", 64, 200.0, 12.5, std::nullopt, std::nullopt});
+    // [21] Li et al., reconfigurable CNN accelerator, VC709.
+    specs.push_back({"[21]", "VC709", 664, 200.0, 220.0, 220.0 / 22.9, 664});
+    // [22] Guo et al., Angel-Eye, XC7Z020.
+    specs.push_back({"[22]", "XC7Z020", 12, 200.0, 187.80, 187.80 / 19.50, 400});
+    return specs;
+}
+
+AcceleratorSpec this_work_spec(const sim::SiaConfig& config, double board_watts,
+                               std::int64_t dsp_used) {
+    AcceleratorSpec spec;
+    spec.citation = "This Work";
+    spec.platform = "PYNQ-Z2";
+    spec.pes = config.pe_count();
+    spec.clock_mhz = config.clock_mhz;
+    spec.gops = config.peak_gops();
+    spec.power_w = board_watts;
+    spec.dsp = dsp_used;
+    return spec;
+}
+
+}  // namespace sia::hw

@@ -1,0 +1,49 @@
+// Prior-art comparator specifications for Table IV.
+//
+// The paper's Table IV compares the SIA against five published FPGA CNN
+// accelerators by their *reported* numbers. We encode those
+// specifications verbatim (platform, PE count, clock, throughput, DSP,
+// power where published) and recompute the derived columns (GOPS/PE,
+// GOPS/W, GOPS/DSP) so the table regenerates from first principles.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace sia::hw {
+
+struct AcceleratorSpec {
+    std::string citation;   ///< e.g. "[18]"
+    std::string platform;
+    std::optional<std::int64_t> pes;
+    double clock_mhz = 0.0;
+    double gops = 0.0;
+    std::optional<double> power_w;
+    std::optional<std::int64_t> dsp;
+
+    [[nodiscard]] std::optional<double> gops_per_pe() const {
+        if (!pes || *pes == 0) return std::nullopt;
+        return gops / static_cast<double>(*pes);
+    }
+    [[nodiscard]] std::optional<double> gops_per_watt() const {
+        if (!power_w || *power_w == 0.0) return std::nullopt;
+        return gops / *power_w;
+    }
+    [[nodiscard]] std::optional<double> gops_per_dsp() const {
+        if (!dsp || *dsp == 0) return std::nullopt;
+        return gops / static_cast<double>(*dsp);
+    }
+};
+
+/// The five comparators of Table IV, specs as published.
+[[nodiscard]] std::vector<AcceleratorSpec> prior_art_table();
+
+/// This work's row, derived from the SIA configuration and the rated
+/// board power (peak throughput convention, as in the paper).
+[[nodiscard]] AcceleratorSpec this_work_spec(const sim::SiaConfig& config,
+                                             double board_watts, std::int64_t dsp_used);
+
+}  // namespace sia::hw

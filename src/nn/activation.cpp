@@ -1,0 +1,129 @@
+#include "nn/activation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sia::nn {
+
+namespace {
+/// Reservoir size for calibration samples; large enough for stable MSE
+/// estimates, small enough to keep calibration cheap.
+constexpr std::size_t kReservoirCap = 8192;
+}  // namespace
+
+Activation::Activation(std::string name) : name_(std::move(name)) {
+    step_ = Param(tensor::Shape{1}, name_ + ".step");
+    step_.decay = false;
+    step_.value.flat(0) = 1.0F;
+}
+
+void Activation::enable_quant(int levels) {
+    mode_ = ActMode::kQuantRelu;
+    levels_ = levels;
+    const float s = optimal_step(levels);
+    if (s > 0.0F) step_.value.flat(0) = s;
+    if (step_.value.flat(0) <= 0.0F) step_.value.flat(0) = 1.0F;
+}
+
+void Activation::disable_quant() {
+    mode_ = ActMode::kRelu;
+    levels_ = 0;
+}
+
+void Activation::begin_calibration() noexcept {
+    calibrating_ = true;
+    calib_max_ = 0.0F;
+    calib_samples_.clear();
+    calib_seen_ = 0;
+}
+
+void Activation::end_calibration() noexcept { calibrating_ = false; }
+
+float Activation::optimal_step(int levels) const {
+    if (calib_samples_.empty() || levels <= 0) return calib_max_;
+    // Grid search over clip fractions of the observed max: for each
+    // candidate s, MSE between ReLU(z) and the L-level quantizer output.
+    const auto lf = static_cast<float>(levels);
+    float best_s = calib_max_;
+    double best_mse = -1.0;
+    for (int pct = 5; pct <= 100; pct += 5) {
+        const float s = calib_max_ * static_cast<float>(pct) / 100.0F;
+        if (s <= 0.0F) continue;
+        double mse = 0.0;
+        for (const float z : calib_samples_) {
+            const float u = std::floor(z * lf / s + 0.5F);
+            const float q = (s / lf) * std::clamp(u, 0.0F, lf);
+            const double e = static_cast<double>(q) - static_cast<double>(z);
+            mse += e * e;
+        }
+        if (best_mse < 0.0 || mse < best_mse) {
+            best_mse = mse;
+            best_s = s;
+        }
+    }
+    return best_s;
+}
+
+tensor::Tensor Activation::forward(const tensor::Tensor& z, bool training) {
+    if (calibrating_) {
+        const auto n = z.numel();
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float v = z.flat(i);
+            if (v <= 0.0F) continue;
+            calib_max_ = std::max(calib_max_, v);
+            ++calib_seen_;
+            if (calib_samples_.size() < kReservoirCap) {
+                calib_samples_.push_back(v);
+            } else {
+                // Deterministic reservoir: replace with decreasing density.
+                const auto slot = static_cast<std::size_t>(
+                    (static_cast<std::uint64_t>(calib_seen_) * 2654435761ULL) %
+                    kReservoirCap);
+                if (calib_seen_ % 7 == 0) calib_samples_[slot] = v;
+            }
+        }
+    }
+    if (training) cached_z_ = z;
+
+    tensor::Tensor out(z.shape());
+    const auto n = z.numel();
+    if (mode_ == ActMode::kRelu) {
+        for (std::int64_t i = 0; i < n; ++i) out.flat(i) = std::max(0.0F, z.flat(i));
+        return out;
+    }
+    const float s = std::max(step_.value.flat(0), 1e-6F);
+    const auto lf = static_cast<float>(levels_);
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float u = std::floor(z.flat(i) * lf / s + 0.5F);
+        out.flat(i) = (s / lf) * std::clamp(u, 0.0F, lf);
+    }
+    return out;
+}
+
+tensor::Tensor Activation::backward(const tensor::Tensor& grad_out) {
+    tensor::Tensor grad_in(grad_out.shape());
+    const auto n = grad_out.numel();
+    if (mode_ == ActMode::kRelu) {
+        for (std::int64_t i = 0; i < n; ++i) {
+            grad_in.flat(i) = cached_z_.flat(i) > 0.0F ? grad_out.flat(i) : 0.0F;
+        }
+        return grad_in;
+    }
+    const float s = std::max(step_.value.flat(0), 1e-6F);
+    double ds = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float z = cached_z_.flat(i);
+        if (z <= 0.0F) {
+            grad_in.flat(i) = 0.0F;
+        } else if (z >= s) {
+            grad_in.flat(i) = 0.0F;
+            ds += grad_out.flat(i);  // dh/ds = 1 in the saturated region
+        } else {
+            grad_in.flat(i) = grad_out.flat(i);
+        }
+    }
+    step_.grad.flat(0) += static_cast<float>(ds);
+    return grad_in;
+}
+
+}  // namespace sia::nn

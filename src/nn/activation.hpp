@@ -1,0 +1,77 @@
+// Activation unit used at every spiking site of the models.
+//
+// Three modes, mirroring the paper's Fig. 1 pipeline:
+//   kRelu      — plain ReLU (stage 1, FP32 ANN training);
+//   kQuantRelu — L-level quantized ReLU with a learnable step size s
+//                (stage 2): h(z) = (s/L) * clip(floor(z*L/s + 0.5), 0, L).
+//                Gradients use the straight-through estimator:
+//                dh/dz = 1{0 < z < s},  dh/ds = 1{z >= s}  (PACT-style).
+// The learnt step s becomes the IF threshold of the converted SNN layer
+// (stage 3), handled by core::AnnToSnnConverter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/param.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sia::nn {
+
+enum class ActMode { kRelu, kQuantRelu };
+
+class Activation {
+public:
+    explicit Activation(std::string name = "act");
+
+    /// Switch to quantized mode with L levels. The step is initialised
+    /// from the running max observed during calibration (see below), or
+    /// kept if already set.
+    void enable_quant(int levels);
+    /// Back to plain ReLU (used by ablations).
+    void disable_quant();
+
+    [[nodiscard]] ActMode mode() const noexcept { return mode_; }
+    [[nodiscard]] int levels() const noexcept { return levels_; }
+
+    /// Learnable step size (threshold after conversion).
+    [[nodiscard]] float step() const noexcept { return step_.value.flat(0); }
+    void set_step(float s) noexcept { step_.value.flat(0) = s; }
+    [[nodiscard]] Param& step_param() noexcept { return step_; }
+
+    /// While calibrating, forward() records the maximum pre-activation
+    /// seen plus a subsampled reservoir of positive pre-activations;
+    /// enable_quant() then initialises the step to the value minimising
+    /// the L-level quantization MSE over the reservoir (a max-calibrated
+    /// step makes spike rates so low that converted SNNs need many
+    /// timesteps — see DESIGN.md "step calibration").
+    void begin_calibration() noexcept;
+    void end_calibration() noexcept;
+    [[nodiscard]] float calibrated_max() const noexcept { return calib_max_; }
+
+    /// MSE-optimal step for `levels` given the calibration reservoir;
+    /// falls back to the max when no samples were recorded.
+    [[nodiscard]] float optimal_step(int levels) const;
+
+    /// Forward; caches the pre-activation for backward when `training`.
+    [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& z, bool training);
+
+    /// Backward through the cached pre-activation; accumulates dL/ds.
+    [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_out);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    std::string name_;
+    ActMode mode_ = ActMode::kRelu;
+    int levels_ = 0;
+    Param step_;
+    bool calibrating_ = false;
+    float calib_max_ = 0.0F;
+    std::vector<float> calib_samples_;  ///< reservoir of positive pre-activations
+    std::int64_t calib_seen_ = 0;
+    tensor::Tensor cached_z_;
+};
+
+}  // namespace sia::nn

@@ -1,0 +1,115 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+namespace sia::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, std::string name, float momentum, float eps)
+    : channels_(channels),
+      name_(std::move(name)),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(tensor::Shape{channels}, name_ + ".gamma"),
+      beta_(tensor::Shape{channels}, name_ + ".beta"),
+      running_mean_(static_cast<std::size_t>(channels), 0.0F),
+      running_var_(static_cast<std::size_t>(channels), 1.0F) {
+    gamma_.value.fill(1.0F);
+    gamma_.decay = false;
+    beta_.decay = false;
+}
+
+tensor::Tensor BatchNorm2d::forward(const tensor::Tensor& x, bool training) {
+    const std::int64_t n = x.dim(0);
+    const std::int64_t c = x.dim(1);
+    const std::int64_t hw = x.dim(2) * x.dim(3);
+    const auto count = static_cast<double>(n * hw);
+    tensor::Tensor out(x.shape());
+
+    if (training) {
+        cached_xhat_ = tensor::Tensor(x.shape());
+        cached_inv_std_.assign(static_cast<std::size_t>(c), 0.0F);
+    }
+
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+        double mean = 0.0;
+        double var = 0.0;
+        if (training) {
+            for (std::int64_t s = 0; s < n; ++s) {
+                const float* p = x.raw() + (s * c + ch) * hw;
+                for (std::int64_t i = 0; i < hw; ++i) mean += p[i];
+            }
+            mean /= count;
+            for (std::int64_t s = 0; s < n; ++s) {
+                const float* p = x.raw() + (s * c + ch) * hw;
+                for (std::int64_t i = 0; i < hw; ++i) {
+                    const double d = p[i] - mean;
+                    var += d * d;
+                }
+            }
+            var /= count;
+            auto& rm = running_mean_[static_cast<std::size_t>(ch)];
+            auto& rv = running_var_[static_cast<std::size_t>(ch)];
+            rm = (1.0F - momentum_) * rm + momentum_ * static_cast<float>(mean);
+            rv = (1.0F - momentum_) * rv + momentum_ * static_cast<float>(var);
+        } else {
+            mean = running_mean_[static_cast<std::size_t>(ch)];
+            var = running_var_[static_cast<std::size_t>(ch)];
+        }
+
+        const auto inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+        const float g = gamma_.value.flat(ch);
+        const float b = beta_.value.flat(ch);
+        if (training) cached_inv_std_[static_cast<std::size_t>(ch)] = inv_std;
+
+        for (std::int64_t s = 0; s < n; ++s) {
+            const float* p = x.raw() + (s * c + ch) * hw;
+            float* o = out.raw() + (s * c + ch) * hw;
+            float* xh = training ? cached_xhat_.raw() + (s * c + ch) * hw : nullptr;
+            for (std::int64_t i = 0; i < hw; ++i) {
+                const float xhat = (p[i] - static_cast<float>(mean)) * inv_std;
+                if (xh != nullptr) xh[i] = xhat;
+                o[i] = g * xhat + b;
+            }
+        }
+    }
+    return out;
+}
+
+tensor::Tensor BatchNorm2d::backward(const tensor::Tensor& grad_out) {
+    const std::int64_t n = grad_out.dim(0);
+    const std::int64_t c = grad_out.dim(1);
+    const std::int64_t hw = grad_out.dim(2) * grad_out.dim(3);
+    const auto count = static_cast<double>(n * hw);
+    tensor::Tensor grad_in(grad_out.shape());
+
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+        double sum_dy = 0.0;
+        double sum_dy_xhat = 0.0;
+        for (std::int64_t s = 0; s < n; ++s) {
+            const float* dy = grad_out.raw() + (s * c + ch) * hw;
+            const float* xh = cached_xhat_.raw() + (s * c + ch) * hw;
+            for (std::int64_t i = 0; i < hw; ++i) {
+                sum_dy += dy[i];
+                sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+            }
+        }
+        gamma_.grad.flat(ch) += static_cast<float>(sum_dy_xhat);
+        beta_.grad.flat(ch) += static_cast<float>(sum_dy);
+
+        const float g = gamma_.value.flat(ch);
+        const float inv_std = cached_inv_std_[static_cast<std::size_t>(ch)];
+        const auto mean_dy = static_cast<float>(sum_dy / count);
+        const auto mean_dy_xhat = static_cast<float>(sum_dy_xhat / count);
+        for (std::int64_t s = 0; s < n; ++s) {
+            const float* dy = grad_out.raw() + (s * c + ch) * hw;
+            const float* xh = cached_xhat_.raw() + (s * c + ch) * hw;
+            float* dx = grad_in.raw() + (s * c + ch) * hw;
+            for (std::int64_t i = 0; i < hw; ++i) {
+                dx[i] = g * inv_std * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+            }
+        }
+    }
+    return grad_in;
+}
+
+}  // namespace sia::nn

@@ -1,0 +1,48 @@
+// Batch normalisation over NCHW (per-channel). Training uses batch
+// statistics and maintains running estimates; inference uses the running
+// estimates — the converter folds them into the aggregation core's
+// (G, H) coefficients per Eq. (2) of the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/param.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sia::nn {
+
+class BatchNorm2d {
+public:
+    explicit BatchNorm2d(std::int64_t channels, std::string name = "bn",
+                         float momentum = 0.1F, float eps = 1e-5F);
+
+    [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& x, bool training);
+    [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_out);
+
+    [[nodiscard]] std::int64_t channels() const noexcept { return channels_; }
+    [[nodiscard]] Param& gamma() noexcept { return gamma_; }
+    [[nodiscard]] Param& beta() noexcept { return beta_; }
+    [[nodiscard]] const Param& gamma() const noexcept { return gamma_; }
+    [[nodiscard]] const Param& beta() const noexcept { return beta_; }
+    [[nodiscard]] const std::vector<float>& running_mean() const noexcept { return running_mean_; }
+    [[nodiscard]] const std::vector<float>& running_var() const noexcept { return running_var_; }
+    [[nodiscard]] float eps() const noexcept { return eps_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    std::int64_t channels_;
+    std::string name_;
+    float momentum_;
+    float eps_;
+    Param gamma_;
+    Param beta_;
+    std::vector<float> running_mean_;
+    std::vector<float> running_var_;
+
+    // Cached values for backward.
+    tensor::Tensor cached_xhat_;
+    std::vector<float> cached_inv_std_;
+};
+
+}  // namespace sia::nn

@@ -1,0 +1,38 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+
+namespace sia::nn {
+
+Conv2d::Conv2d(tensor::ConvGeometry geometry, util::Rng& rng, std::string name)
+    : geometry_(geometry),
+      weight_(tensor::Shape{geometry.out_channels, geometry.in_channels, geometry.kernel,
+                            geometry.kernel},
+              name + ".weight"),
+      name_(std::move(name)) {
+    // He initialisation for ReLU-family activations.
+    const auto fan_in =
+        static_cast<float>(geometry.in_channels * geometry.kernel * geometry.kernel);
+    weight_.value.randn_(rng, std::sqrt(2.0F / fan_in));
+}
+
+tensor::Tensor Conv2d::forward(const tensor::Tensor& x, bool training) {
+    if (training) cached_input_ = x;
+    const auto oh = geometry_.out_size(x.dim(2));
+    const auto ow = geometry_.out_size(x.dim(3));
+    tensor::Tensor out(tensor::Shape{x.dim(0), geometry_.out_channels, oh, ow});
+    tensor::conv2d_forward(x, weight_.value, tensor::Tensor{}, geometry_, out);
+    return out;
+}
+
+tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_out) {
+    tensor::Tensor grad_in(cached_input_.shape());
+    tensor::Tensor grad_w(weight_.value.shape());
+    tensor::Tensor no_bias;
+    tensor::conv2d_backward(cached_input_, weight_.value, grad_out, geometry_, grad_in,
+                            grad_w, no_bias);
+    weight_.grad.add_(grad_w);
+    return grad_in;
+}
+
+}  // namespace sia::nn

@@ -1,0 +1,36 @@
+// 2-D convolution module (no bias — all convolutions in the models are
+// followed by batch norm, which subsumes the bias, exactly as in the
+// paper's hardware where bias lives in the aggregation core's H term).
+#pragma once
+
+#include <string>
+
+#include "nn/param.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace sia::nn {
+
+class Conv2d {
+public:
+    Conv2d(tensor::ConvGeometry geometry, util::Rng& rng, std::string name = "conv");
+
+    /// Forward; caches the input for backward when `training`.
+    [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& x, bool training);
+
+    /// Backward; accumulates weight gradients, returns grad wrt input.
+    [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_out);
+
+    [[nodiscard]] const tensor::ConvGeometry& geometry() const noexcept { return geometry_; }
+    [[nodiscard]] Param& weight() noexcept { return weight_; }
+    [[nodiscard]] const Param& weight() const noexcept { return weight_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    tensor::ConvGeometry geometry_;
+    Param weight_;  // [OC, IC, k, k]
+    std::string name_;
+    tensor::Tensor cached_input_;
+};
+
+}  // namespace sia::nn

@@ -1,0 +1,85 @@
+// Network intermediate representation.
+//
+// Trained models emit a NetworkIR describing their topology at the
+// granularity the SIA hardware sees: spiking convolution / FC nodes with
+// their batch-norm, activation (IF threshold source), and residual
+// routing. core::AnnToSnnConverter consumes this IR to produce the
+// integer SnnModel, and core::SiaCompiler consumes the SnnModel to
+// produce a hardware schedule.
+//
+// Pointers reference modules owned by the model; the IR is only valid
+// while the model is alive (enforced by use: conversion happens
+// immediately after training within one scope).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+
+namespace sia::nn {
+
+enum class IrOp {
+    kInput,    ///< the image / spike-encoded input
+    kConv,     ///< conv (+BN) (+optional residual add) (+IF activation)
+    kAvgPool,  ///< average pool (folded into the following FC by the compiler)
+    kLinear,   ///< fully connected (+optional IF activation; none = readout)
+};
+
+struct IrNode {
+    IrOp op = IrOp::kInput;
+    std::string label;
+
+    /// Index of the node providing this node's input; -1 for kInput.
+    int input = -1;
+
+    // kConv fields.
+    const Conv2d* conv = nullptr;
+    const BatchNorm2d* bn = nullptr;
+
+    // kLinear fields.
+    const Linear* fc = nullptr;
+
+    /// Activation at this node's output. nullptr means no spiking
+    /// activation (the readout layer accumulates membrane potential).
+    const Activation* act = nullptr;
+
+    // Residual routing (kConv only): output of node `skip_src` is added
+    // to this node's pre-activation. If skip_conv is null the skip is an
+    // identity connection; otherwise it is a 1x1 conv (+BN) downsample.
+    int skip_src = -1;
+    const Conv2d* skip_conv = nullptr;
+    const BatchNorm2d* skip_bn = nullptr;
+
+    // kAvgPool field.
+    std::int64_t pool_kernel = 0;
+
+    // Spatial geometry of this node's *output* (filled by the model).
+    std::int64_t out_channels = 0;
+    std::int64_t out_h = 0;
+    std::int64_t out_w = 0;
+};
+
+struct NetworkIR {
+    std::vector<IrNode> nodes;
+    std::int64_t input_channels = 0;
+    std::int64_t input_h = 0;
+    std::int64_t input_w = 0;
+    std::string model_name;
+
+    /// Number of spiking (activation-bearing) nodes — the layer count of
+    /// Fig. 6 / Fig. 8.
+    [[nodiscard]] std::size_t spiking_layer_count() const {
+        std::size_t n = 0;
+        for (const auto& node : nodes) {
+            if (node.act != nullptr) ++n;
+        }
+        return n;
+    }
+};
+
+}  // namespace sia::nn

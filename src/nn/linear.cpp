@@ -1,0 +1,35 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+namespace sia::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng,
+               std::string name)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(tensor::Shape{out_features, in_features}, name + ".weight"),
+      bias_(tensor::Shape{out_features}, name + ".bias"),
+      name_(std::move(name)) {
+    weight_.value.randn_(rng, std::sqrt(2.0F / static_cast<float>(in_features)));
+    bias_.decay = false;
+}
+
+tensor::Tensor Linear::forward(const tensor::Tensor& x, bool training) {
+    if (training) cached_input_ = x;
+    tensor::Tensor out(tensor::Shape{x.dim(0), out_features_});
+    tensor::linear_forward(x, weight_.value, bias_.value, out);
+    return out;
+}
+
+tensor::Tensor Linear::backward(const tensor::Tensor& grad_out) {
+    tensor::Tensor grad_in(cached_input_.shape());
+    tensor::Tensor grad_w(weight_.value.shape());
+    tensor::Tensor grad_b(bias_.value.shape());
+    tensor::linear_backward(cached_input_, weight_.value, grad_out, grad_in, grad_w, grad_b);
+    weight_.grad.add_(grad_w);
+    bias_.grad.add_(grad_b);
+    return grad_in;
+}
+
+}  // namespace sia::nn

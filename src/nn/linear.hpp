@@ -1,0 +1,37 @@
+// Fully-connected layer (the classifier head of both models).
+#pragma once
+
+#include <string>
+
+#include "nn/param.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace sia::nn {
+
+class Linear {
+public:
+    Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng,
+           std::string name = "fc");
+
+    [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& x, bool training);
+    [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_out);
+
+    [[nodiscard]] std::int64_t in_features() const noexcept { return in_features_; }
+    [[nodiscard]] std::int64_t out_features() const noexcept { return out_features_; }
+    [[nodiscard]] Param& weight() noexcept { return weight_; }
+    [[nodiscard]] Param& bias() noexcept { return bias_; }
+    [[nodiscard]] const Param& weight() const noexcept { return weight_; }
+    [[nodiscard]] const Param& bias() const noexcept { return bias_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    std::int64_t in_features_;
+    std::int64_t out_features_;
+    Param weight_;  // [F, D]
+    Param bias_;    // [F]
+    std::string name_;
+    tensor::Tensor cached_input_;
+};
+
+}  // namespace sia::nn

@@ -1,0 +1,62 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sia::nn {
+
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+    const std::int64_t n = logits.dim(0);
+    const std::int64_t k = logits.dim(1);
+    if (static_cast<std::int64_t>(labels.size()) != n) {
+        throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+    }
+    LossResult res;
+    res.grad_logits = tensor::Tensor(logits.shape());
+    double total = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float* row = logits.raw() + i * k;
+        float mx = row[0];
+        for (std::int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+        double denom = 0.0;
+        for (std::int64_t j = 0; j < k; ++j) denom += std::exp(static_cast<double>(row[j] - mx));
+        const auto label = labels[static_cast<std::size_t>(i)];
+        const double logp =
+            static_cast<double>(row[label] - mx) - std::log(denom);
+        total -= logp;
+
+        std::int64_t best = 0;
+        for (std::int64_t j = 1; j < k; ++j) {
+            if (row[j] > row[best]) best = j;
+        }
+        if (best == label) ++res.correct;
+
+        float* g = res.grad_logits.raw() + i * k;
+        for (std::int64_t j = 0; j < k; ++j) {
+            const double p = std::exp(static_cast<double>(row[j] - mx)) / denom;
+            g[j] = static_cast<float>((p - (j == label ? 1.0 : 0.0)) /
+                                      static_cast<double>(n));
+        }
+    }
+    res.loss = static_cast<float>(total / static_cast<double>(n));
+    return res;
+}
+
+std::vector<std::int64_t> argmax_rows(const tensor::Tensor& logits) {
+    const std::int64_t n = logits.dim(0);
+    const std::int64_t k = logits.dim(1);
+    std::vector<std::int64_t> out(static_cast<std::size_t>(n), 0);
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float* row = logits.raw() + i * k;
+        std::int64_t best = 0;
+        for (std::int64_t j = 1; j < k; ++j) {
+            if (row[j] > row[best]) best = j;
+        }
+        out[static_cast<std::size_t>(i)] = best;
+    }
+    return out;
+}
+
+}  // namespace sia::nn

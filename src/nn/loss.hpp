@@ -1,0 +1,25 @@
+// Softmax cross-entropy loss with integrated backward.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace sia::nn {
+
+struct LossResult {
+    float loss = 0.0F;            ///< mean cross-entropy over the batch
+    tensor::Tensor grad_logits;   ///< dL/dlogits, already divided by batch size
+    std::int64_t correct = 0;     ///< top-1 correct predictions in the batch
+};
+
+/// Computes mean softmax cross-entropy of `logits` [N, K] against integer
+/// `labels` (size N) and its gradient.
+[[nodiscard]] LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                               const std::vector<std::int64_t>& labels);
+
+/// Top-1 argmax predictions of a logits matrix [N, K].
+[[nodiscard]] std::vector<std::int64_t> argmax_rows(const tensor::Tensor& logits);
+
+}  // namespace sia::nn

@@ -1,0 +1,57 @@
+// Abstract model interface shared by ResNet-18 and VGG-11 so the trainer,
+// quantization pipeline and converter are model-agnostic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/ir.hpp"
+#include "nn/param.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sia::nn {
+
+class Model {
+public:
+    virtual ~Model() = default;
+
+    /// Forward pass; logits [N, classes]. `training` enables caching for
+    /// backward and batch-stat updates in BN.
+    [[nodiscard]] virtual tensor::Tensor forward(const tensor::Tensor& x, bool training) = 0;
+
+    /// Backward from dL/dlogits; accumulates parameter gradients.
+    virtual void backward(const tensor::Tensor& grad_logits) = 0;
+
+    /// All trainable parameters (weights, BN affine, quantizer steps).
+    [[nodiscard]] virtual std::vector<Param*> params() = 0;
+
+    /// All activation units in forward order (spiking sites).
+    [[nodiscard]] virtual std::vector<Activation*> activations() = 0;
+
+    /// Topology description for conversion/compilation.
+    [[nodiscard]] virtual NetworkIR ir() const = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Switch every activation to L-level quantized ReLU (pipeline stage 2).
+    void enable_quantized_activations(int levels) {
+        for (Activation* a : activations()) a->enable_quant(levels);
+    }
+
+    /// Record pre-activation maxima over the next forward passes to
+    /// initialise quantizer steps.
+    void begin_activation_calibration() {
+        for (Activation* a : activations()) a->begin_calibration();
+    }
+    void end_activation_calibration() {
+        for (Activation* a : activations()) a->end_calibration();
+    }
+
+protected:
+    Model() = default;
+    Model(const Model&) = default;
+    Model& operator=(const Model&) = default;
+};
+
+}  // namespace sia::nn

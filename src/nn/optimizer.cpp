@@ -1,0 +1,41 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace sia::nn {
+
+Sgd::Sgd(std::vector<Param*> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+    velocity_.reserve(params_.size());
+    for (const Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Param& p = *params_[i];
+        tensor::Tensor& v = velocity_[i];
+        const float wd = p.decay ? config_.weight_decay : 0.0F;
+        const auto n = p.value.numel();
+        for (std::int64_t j = 0; j < n; ++j) {
+            const float g = p.grad.flat(j) + wd * p.value.flat(j);
+            v.flat(j) = config_.momentum * v.flat(j) + g;
+            const float upd = config_.nesterov ? g + config_.momentum * v.flat(j) : v.flat(j);
+            p.value.flat(j) -= config_.lr * upd;
+        }
+        p.zero_grad();
+    }
+}
+
+void Sgd::zero_grad() {
+    for (Param* p : params_) p->zero_grad();
+}
+
+float cosine_lr(float lr0, float lr_min, std::size_t step, std::size_t total) {
+    if (total == 0) return lr0;
+    const double t = static_cast<double>(step) / static_cast<double>(total);
+    return static_cast<float>(
+        lr_min + 0.5 * (lr0 - lr_min) * (1.0 + std::cos(std::numbers::pi * t)));
+}
+
+}  // namespace sia::nn

@@ -1,0 +1,42 @@
+// SGD with momentum, weight decay and a cosine or step learning-rate
+// schedule — the standard recipe for CIFAR-scale training, and what the
+// paper's referenced conversion frameworks use.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/param.hpp"
+
+namespace sia::nn {
+
+struct SgdConfig {
+    float lr = 0.05F;
+    float momentum = 0.9F;
+    float weight_decay = 5e-4F;
+    bool nesterov = false;
+};
+
+class Sgd {
+public:
+    Sgd(std::vector<Param*> params, SgdConfig config);
+
+    /// Apply one update using the accumulated gradients, then zero them.
+    void step();
+
+    void set_lr(float lr) noexcept { config_.lr = lr; }
+    [[nodiscard]] float lr() const noexcept { return config_.lr; }
+
+    void zero_grad();
+
+private:
+    std::vector<Param*> params_;
+    std::vector<tensor::Tensor> velocity_;
+    SgdConfig config_;
+};
+
+/// Cosine-annealed learning rate: lr(t) = lr_min + (lr0-lr_min)/2 *
+/// (1 + cos(pi * t / t_max)).
+[[nodiscard]] float cosine_lr(float lr0, float lr_min, std::size_t step, std::size_t total);
+
+}  // namespace sia::nn

@@ -1,0 +1,28 @@
+// Trainable parameter: value + gradient pair.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace sia::nn {
+
+/// A learnable tensor and its gradient accumulator. Modules own their
+/// Params and expose raw pointers to the optimizer (which never outlives
+/// the model in this codebase).
+struct Param {
+    Param() = default;
+    explicit Param(tensor::Shape shape, std::string name = {})
+        : value(shape), grad(shape), name(std::move(name)) {}
+
+    void zero_grad() noexcept { grad.fill(0.0F); }
+
+    tensor::Tensor value;
+    tensor::Tensor grad;
+    std::string name;
+    /// Parameters with decay=false (BN affine, quantizer steps) are
+    /// excluded from weight decay by the optimizer.
+    bool decay = true;
+};
+
+}  // namespace sia::nn

@@ -1,0 +1,33 @@
+#include "nn/pool.hpp"
+
+namespace sia::nn {
+
+tensor::Tensor AvgPool2d::forward(const tensor::Tensor& x, bool training) {
+    if (training) cached_in_shape_ = x.shape();
+    tensor::Tensor out(
+        tensor::Shape{x.dim(0), x.dim(1), x.dim(2) / kernel_, x.dim(3) / kernel_});
+    tensor::avgpool2d_forward(x, kernel_, out);
+    return out;
+}
+
+tensor::Tensor AvgPool2d::backward(const tensor::Tensor& grad_out) {
+    tensor::Tensor grad_in(cached_in_shape_);
+    tensor::avgpool2d_backward(grad_out, kernel_, grad_in);
+    return grad_in;
+}
+
+tensor::Tensor MaxPool2d::forward(const tensor::Tensor& x, bool training) {
+    if (training) cached_in_shape_ = x.shape();
+    tensor::Tensor out(
+        tensor::Shape{x.dim(0), x.dim(1), x.dim(2) / kernel_, x.dim(3) / kernel_});
+    tensor::maxpool2d_forward(x, kernel_, out, argmax_);
+    return out;
+}
+
+tensor::Tensor MaxPool2d::backward(const tensor::Tensor& grad_out) {
+    tensor::Tensor grad_in(cached_in_shape_);
+    tensor::maxpool2d_backward(grad_out, argmax_, grad_in);
+    return grad_in;
+}
+
+}  // namespace sia::nn

@@ -1,0 +1,43 @@
+// Pooling modules. The models use average pooling before the classifier;
+// max pooling is provided for completeness and for the ANN-only VGG
+// ablation (SNN-converted models use stride-2 convolutions instead —
+// see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+namespace sia::nn {
+
+class AvgPool2d {
+public:
+    explicit AvgPool2d(std::int64_t kernel) : kernel_(kernel) {}
+
+    [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& x, bool training);
+    [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_out);
+
+    [[nodiscard]] std::int64_t kernel() const noexcept { return kernel_; }
+
+private:
+    std::int64_t kernel_;
+    tensor::Shape cached_in_shape_;
+};
+
+class MaxPool2d {
+public:
+    explicit MaxPool2d(std::int64_t kernel) : kernel_(kernel) {}
+
+    [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& x, bool training);
+    [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_out);
+
+    [[nodiscard]] std::int64_t kernel() const noexcept { return kernel_; }
+
+private:
+    std::int64_t kernel_;
+    tensor::Shape cached_in_shape_;
+    std::vector<std::int64_t> argmax_;
+};
+
+}  // namespace sia::nn

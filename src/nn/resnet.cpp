@@ -1,0 +1,211 @@
+#include "nn/resnet.hpp"
+
+namespace sia::nn {
+
+namespace {
+tensor::ConvGeometry conv3x3(std::int64_t in_ch, std::int64_t out_ch, std::int64_t stride) {
+    return tensor::ConvGeometry{in_ch, out_ch, 3, stride, 1};
+}
+tensor::ConvGeometry conv1x1(std::int64_t in_ch, std::int64_t out_ch, std::int64_t stride) {
+    return tensor::ConvGeometry{in_ch, out_ch, 1, stride, 0};
+}
+}  // namespace
+
+BasicBlock::BasicBlock(std::int64_t in_ch, std::int64_t out_ch, std::int64_t stride,
+                       util::Rng& rng, const std::string& name)
+    : conv1_(conv3x3(in_ch, out_ch, stride), rng, name + ".conv1"),
+      bn1_(out_ch, name + ".bn1"),
+      act1_(name + ".act1"),
+      conv2_(conv3x3(out_ch, out_ch, 1), rng, name + ".conv2"),
+      bn2_(out_ch, name + ".bn2"),
+      act2_(name + ".act2") {
+    if (stride != 1 || in_ch != out_ch) {
+        down_conv_ = std::make_unique<Conv2d>(conv1x1(in_ch, out_ch, stride), rng,
+                                              name + ".down_conv");
+        down_bn_ = std::make_unique<BatchNorm2d>(out_ch, name + ".down_bn");
+    }
+}
+
+tensor::Tensor BasicBlock::forward(const tensor::Tensor& x, bool training) {
+    if (training) cached_x_ = x;
+    tensor::Tensor out = act1_.forward(
+        bn1_.forward(conv1_.forward(x, training), training), training);
+    tensor::Tensor z = bn2_.forward(conv2_.forward(out, training), training);
+    if (down_conv_ != nullptr) {
+        z.add_(down_bn_->forward(down_conv_->forward(x, training), training));
+    } else {
+        z.add_(x);
+    }
+    return act2_.forward(z, training);
+}
+
+tensor::Tensor BasicBlock::backward(const tensor::Tensor& grad_out) {
+    tensor::Tensor g = act2_.backward(grad_out);  // dL/d(z2 + skip)
+    // Main path.
+    tensor::Tensor g_main = conv2_.backward(bn2_.backward(g));
+    g_main = conv1_.backward(bn1_.backward(act1_.backward(g_main)));
+    // Skip path.
+    if (down_conv_ != nullptr) {
+        tensor::Tensor g_skip = down_conv_->backward(down_bn_->backward(g));
+        g_main.add_(g_skip);
+    } else {
+        g_main.add_(g);
+    }
+    return g_main;
+}
+
+void BasicBlock::collect_params(std::vector<Param*>& out) {
+    out.push_back(&conv1_.weight());
+    out.push_back(&bn1_.gamma());
+    out.push_back(&bn1_.beta());
+    out.push_back(&act1_.step_param());
+    out.push_back(&conv2_.weight());
+    out.push_back(&bn2_.gamma());
+    out.push_back(&bn2_.beta());
+    out.push_back(&act2_.step_param());
+    if (down_conv_ != nullptr) {
+        out.push_back(&down_conv_->weight());
+        out.push_back(&down_bn_->gamma());
+        out.push_back(&down_bn_->beta());
+    }
+}
+
+void BasicBlock::collect_activations(std::vector<Activation*>& out) {
+    out.push_back(&act1_);
+    out.push_back(&act2_);
+}
+
+ResNet18::ResNet18(const ResNetConfig& config, util::Rng& rng)
+    : config_(config),
+      stem_conv_(conv3x3(config.input_channels, config.width, 1), rng, "stem.conv"),
+      stem_bn_(config.width, "stem.bn"),
+      stem_act_("stem.act"),
+      pool_(config.input_size / 8),
+      fc_(config.width * 8, config.classes, rng, "fc") {
+    const std::int64_t w = config.width;
+    struct StageSpec {
+        std::int64_t channels;
+        std::int64_t stride;
+    };
+    const StageSpec stages[4] = {{w, 1}, {2 * w, 2}, {4 * w, 2}, {8 * w, 2}};
+    std::int64_t in_ch = w;
+    for (int s = 0; s < 4; ++s) {
+        for (int b = 0; b < 2; ++b) {
+            const std::int64_t stride = (b == 0) ? stages[s].stride : 1;
+            const std::string name =
+                "layer" + std::to_string(s + 1) + "." + std::to_string(b);
+            blocks_.push_back(std::make_unique<BasicBlock>(in_ch, stages[s].channels,
+                                                           stride, rng, name));
+            in_ch = stages[s].channels;
+        }
+    }
+}
+
+tensor::Tensor ResNet18::forward(const tensor::Tensor& x, bool training) {
+    tensor::Tensor h = stem_act_.forward(
+        stem_bn_.forward(stem_conv_.forward(x, training), training), training);
+    for (auto& block : blocks_) h = block->forward(h, training);
+    h = pool_.forward(h, training);
+    cached_pre_flatten_ = h.shape();
+    const tensor::Tensor flat =
+        h.reshaped(tensor::Shape{h.dim(0), h.dim(1) * h.dim(2) * h.dim(3)});
+    return fc_.forward(flat, training);
+}
+
+void ResNet18::backward(const tensor::Tensor& grad_logits) {
+    tensor::Tensor g = fc_.backward(grad_logits);
+    g = g.reshaped(cached_pre_flatten_);
+    g = pool_.backward(g);
+    for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) g = (*it)->backward(g);
+    g = stem_conv_.backward(stem_bn_.backward(stem_act_.backward(g)));
+}
+
+std::vector<Param*> ResNet18::params() {
+    std::vector<Param*> out;
+    out.push_back(&stem_conv_.weight());
+    out.push_back(&stem_bn_.gamma());
+    out.push_back(&stem_bn_.beta());
+    out.push_back(&stem_act_.step_param());
+    for (auto& block : blocks_) block->collect_params(out);
+    out.push_back(&fc_.weight());
+    out.push_back(&fc_.bias());
+    return out;
+}
+
+std::vector<Activation*> ResNet18::activations() {
+    std::vector<Activation*> out;
+    out.push_back(&stem_act_);
+    for (auto& block : blocks_) block->collect_activations(out);
+    return out;
+}
+
+NetworkIR ResNet18::ir() const {
+    NetworkIR net;
+    net.model_name = name();
+    net.input_channels = config_.input_channels;
+    net.input_h = config_.input_size;
+    net.input_w = config_.input_size;
+
+    IrNode input;
+    input.op = IrOp::kInput;
+    input.label = "input";
+    input.out_channels = config_.input_channels;
+    input.out_h = config_.input_size;
+    input.out_w = config_.input_size;
+    net.nodes.push_back(input);
+
+    std::int64_t h = config_.input_size;
+    auto add_conv = [&](const Conv2d& conv, const BatchNorm2d& bn, const Activation& act,
+                        int in_node, int skip_src, const Conv2d* skip_conv,
+                        const BatchNorm2d* skip_bn, const std::string& label) -> int {
+        IrNode node;
+        node.op = IrOp::kConv;
+        node.label = label;
+        node.input = in_node;
+        node.conv = &conv;
+        node.bn = &bn;
+        node.act = &act;
+        node.skip_src = skip_src;
+        node.skip_conv = skip_conv;
+        node.skip_bn = skip_bn;
+        node.out_channels = conv.geometry().out_channels;
+        h = conv.geometry().out_size(h);
+        node.out_h = h;
+        node.out_w = h;
+        net.nodes.push_back(node);
+        return static_cast<int>(net.nodes.size()) - 1;
+    };
+
+    int prev = add_conv(stem_conv_, stem_bn_, stem_act_, 0, -1, nullptr, nullptr, "stem");
+    for (const auto& block : blocks_) {
+        const int block_in = prev;
+        prev = add_conv(block->conv1(), block->bn1(), block->act1(), block_in, -1, nullptr,
+                        nullptr, block->conv1().name());
+        prev = add_conv(block->conv2(), block->bn2(), block->act2(), prev, block_in,
+                        block->down_conv(), block->down_bn(), block->conv2().name());
+    }
+
+    IrNode pool;
+    pool.op = IrOp::kAvgPool;
+    pool.label = "avgpool";
+    pool.input = prev;
+    pool.pool_kernel = pool_.kernel();
+    pool.out_channels = net.nodes.back().out_channels;
+    pool.out_h = net.nodes.back().out_h / pool_.kernel();
+    pool.out_w = net.nodes.back().out_w / pool_.kernel();
+    net.nodes.push_back(pool);
+
+    IrNode fc;
+    fc.op = IrOp::kLinear;
+    fc.label = "fc";
+    fc.input = static_cast<int>(net.nodes.size()) - 1;
+    fc.fc = &fc_;
+    fc.act = nullptr;  // readout layer: accumulate membrane, no spikes
+    fc.out_channels = config_.classes;
+    fc.out_h = 1;
+    fc.out_w = 1;
+    net.nodes.push_back(fc);
+    return net;
+}
+
+}  // namespace sia::nn

@@ -1,0 +1,93 @@
+// CIFAR-style ResNet-18: 3x3 stem + 4 stages x 2 BasicBlocks + avgpool +
+// FC, matching the paper's Table I layer inventory (5 convs @64/32x32,
+// 4 @128/16x16, 4 @256/8x8, 4 @512/4x4, FC 512x10 at width 64).
+//
+// `width` scales every channel count (width=64 is the paper's network;
+// benches default to a smaller width so single-core CPU training stays
+// in minutes — see DESIGN.md substitutions).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/model.hpp"
+#include "nn/pool.hpp"
+
+namespace sia::nn {
+
+/// Two 3x3 convs with BN + activation, plus identity or 1x1-downsample
+/// skip added before the second activation — the residual-add point that
+/// the SIA hardware services from the 128 kB residual partial-sum memory.
+class BasicBlock {
+public:
+    BasicBlock(std::int64_t in_ch, std::int64_t out_ch, std::int64_t stride, util::Rng& rng,
+               const std::string& name);
+
+    [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& x, bool training);
+    [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_out);
+
+    void collect_params(std::vector<Param*>& out);
+    void collect_activations(std::vector<Activation*>& out);
+
+    [[nodiscard]] bool has_downsample() const noexcept { return down_conv_ != nullptr; }
+
+    // IR access.
+    [[nodiscard]] const Conv2d& conv1() const noexcept { return conv1_; }
+    [[nodiscard]] const Conv2d& conv2() const noexcept { return conv2_; }
+    [[nodiscard]] const BatchNorm2d& bn1() const noexcept { return bn1_; }
+    [[nodiscard]] const BatchNorm2d& bn2() const noexcept { return bn2_; }
+    [[nodiscard]] const Activation& act1() const noexcept { return act1_; }
+    [[nodiscard]] const Activation& act2() const noexcept { return act2_; }
+    [[nodiscard]] const Conv2d* down_conv() const noexcept { return down_conv_.get(); }
+    [[nodiscard]] const BatchNorm2d* down_bn() const noexcept { return down_bn_.get(); }
+
+private:
+    Conv2d conv1_;
+    BatchNorm2d bn1_;
+    Activation act1_;
+    Conv2d conv2_;
+    BatchNorm2d bn2_;
+    Activation act2_;
+    std::unique_ptr<Conv2d> down_conv_;
+    std::unique_ptr<BatchNorm2d> down_bn_;
+    tensor::Tensor cached_x_;  // needed when skip is identity
+};
+
+struct ResNetConfig {
+    std::int64_t width = 64;       ///< stem channels; stages use w, 2w, 4w, 8w
+    std::int64_t classes = 10;
+    std::int64_t input_channels = 3;
+    std::int64_t input_size = 32;  ///< square input
+};
+
+class ResNet18 final : public Model {
+public:
+    ResNet18(const ResNetConfig& config, util::Rng& rng);
+
+    [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+    void backward(const tensor::Tensor& grad_logits) override;
+    [[nodiscard]] std::vector<Param*> params() override;
+    [[nodiscard]] std::vector<Activation*> activations() override;
+    [[nodiscard]] NetworkIR ir() const override;
+    [[nodiscard]] std::string name() const override { return "resnet18"; }
+
+    [[nodiscard]] const ResNetConfig& config() const noexcept { return config_; }
+
+private:
+    ResNetConfig config_;
+    Conv2d stem_conv_;
+    BatchNorm2d stem_bn_;
+    Activation stem_act_;
+    std::vector<std::unique_ptr<BasicBlock>> blocks_;  // 8 blocks, 4 stages x 2
+    AvgPool2d pool_;
+    Linear fc_;
+    tensor::Shape cached_pre_flatten_;
+};
+
+}  // namespace sia::nn

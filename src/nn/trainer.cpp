@@ -1,0 +1,99 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace sia::nn {
+
+Batch gather_batch(const tensor::Tensor& images, const std::vector<std::int64_t>& labels,
+                   const std::vector<std::size_t>& order, std::size_t first,
+                   std::size_t count) {
+    const std::int64_t c = images.dim(1);
+    const std::int64_t h = images.dim(2);
+    const std::int64_t w = images.dim(3);
+    const std::int64_t plane = c * h * w;
+    Batch batch{tensor::Tensor(tensor::Shape{static_cast<std::int64_t>(count), c, h, w}), {}};
+    batch.labels.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t src = order[first + i];
+        std::copy(images.raw() + static_cast<std::int64_t>(src) * plane,
+                  images.raw() + static_cast<std::int64_t>(src + 1) * plane,
+                  batch.images.raw() + static_cast<std::int64_t>(i) * plane);
+        batch.labels.push_back(labels[src]);
+    }
+    return batch;
+}
+
+Trainer::Trainer(Model& model, TrainConfig config)
+    : model_(model),
+      config_(config),
+      optimizer_(model.params(), config.sgd),
+      rng_(config.seed) {}
+
+void Trainer::fit(const tensor::Tensor& images, const std::vector<std::int64_t>& labels) {
+    const auto n = static_cast<std::size_t>(images.dim(0));
+    const auto batches_per_epoch =
+        (n + static_cast<std::size_t>(config_.batch_size) - 1) /
+        static_cast<std::size_t>(config_.batch_size);
+    total_steps_ = config_.epochs * batches_per_epoch;
+    for (std::size_t e = 0; e < config_.epochs; ++e) {
+        const double loss = run_epoch(images, labels);
+        if (config_.verbose) {
+            util::log_info("epoch ", e + 1, "/", config_.epochs, " train_loss=", loss,
+                           " lr=", optimizer_.lr());
+        }
+    }
+}
+
+double Trainer::run_epoch(const tensor::Tensor& images,
+                          const std::vector<std::int64_t>& labels) {
+    const auto n = static_cast<std::size_t>(images.dim(0));
+    const auto order = rng_.permutation(n);
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    if (total_steps_ == 0) {
+        // run_epoch called directly (finetuning): schedule over this epoch.
+        total_steps_ = (n + static_cast<std::size_t>(config_.batch_size) - 1) /
+                       static_cast<std::size_t>(config_.batch_size);
+    }
+    for (std::size_t first = 0; first < n; first += static_cast<std::size_t>(config_.batch_size)) {
+        const std::size_t count =
+            std::min(static_cast<std::size_t>(config_.batch_size), n - first);
+        const Batch batch = gather_batch(images, labels, order, first, count);
+        optimizer_.set_lr(cosine_lr(config_.sgd.lr, config_.lr_min, step_, total_steps_));
+        const tensor::Tensor logits = model_.forward(batch.images, /*training=*/true);
+        const LossResult loss = softmax_cross_entropy(logits, batch.labels);
+        model_.backward(loss.grad_logits);
+        optimizer_.step();
+        loss_sum += loss.loss;
+        ++batches;
+        ++step_;
+    }
+    return batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+}
+
+EvalResult evaluate(Model& model, const tensor::Tensor& images,
+                    const std::vector<std::int64_t>& labels, std::int64_t batch_size) {
+    const auto n = static_cast<std::size_t>(images.dim(0));
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    double loss_sum = 0.0;
+    std::int64_t correct = 0;
+    std::size_t batches = 0;
+    for (std::size_t first = 0; first < n; first += static_cast<std::size_t>(batch_size)) {
+        const std::size_t count = std::min(static_cast<std::size_t>(batch_size), n - first);
+        const Batch batch = gather_batch(images, labels, order, first, count);
+        const tensor::Tensor logits = model.forward(batch.images, /*training=*/false);
+        const LossResult loss = softmax_cross_entropy(logits, batch.labels);
+        loss_sum += loss.loss;
+        correct += loss.correct;
+        ++batches;
+    }
+    EvalResult res;
+    res.accuracy = n > 0 ? static_cast<double>(correct) / static_cast<double>(n) : 0.0;
+    res.loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+    return res;
+}
+
+}  // namespace sia::nn

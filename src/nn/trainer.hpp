@@ -1,0 +1,66 @@
+// Minibatch trainer: shuffled SGD with cosine learning-rate annealing,
+// plus evaluation helpers. Operates on an in-memory dataset tensor
+// (the reproduction's datasets are small enough to hold resident).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace sia::nn {
+
+struct TrainConfig {
+    std::size_t epochs = 10;
+    std::int64_t batch_size = 32;
+    SgdConfig sgd;
+    float lr_min = 1e-4F;
+    std::uint64_t seed = util::kDefaultSeed;
+    bool verbose = false;
+};
+
+struct EvalResult {
+    double accuracy = 0.0;  ///< top-1, in [0, 1]
+    double loss = 0.0;
+};
+
+/// Copy rows `indices` of a dataset into a batch tensor + label vector.
+struct Batch {
+    tensor::Tensor images;
+    std::vector<std::int64_t> labels;
+};
+[[nodiscard]] Batch gather_batch(const tensor::Tensor& images,
+                                 const std::vector<std::int64_t>& labels,
+                                 const std::vector<std::size_t>& order, std::size_t first,
+                                 std::size_t count);
+
+class Trainer {
+public:
+    Trainer(Model& model, TrainConfig config);
+
+    /// Run `config.epochs` epochs over the given training set.
+    void fit(const tensor::Tensor& images, const std::vector<std::int64_t>& labels);
+
+    /// One epoch (exposed for finetuning loops); returns mean train loss.
+    double run_epoch(const tensor::Tensor& images, const std::vector<std::int64_t>& labels);
+
+    [[nodiscard]] std::size_t steps_taken() const noexcept { return step_; }
+
+private:
+    Model& model_;
+    TrainConfig config_;
+    Sgd optimizer_;
+    util::Rng rng_;
+    std::size_t step_ = 0;
+    std::size_t total_steps_ = 0;
+};
+
+/// Batched evaluation (inference mode: running BN stats, no caching).
+[[nodiscard]] EvalResult evaluate(Model& model, const tensor::Tensor& images,
+                                  const std::vector<std::int64_t>& labels,
+                                  std::int64_t batch_size = 64);
+
+}  // namespace sia::nn

@@ -1,0 +1,125 @@
+#include "nn/vgg.hpp"
+
+#include <algorithm>
+
+namespace sia::nn {
+
+Vgg11::Vgg11(const VggConfig& config, util::Rng& rng)
+    : config_(config),
+      pool_(std::max<std::int64_t>(1, config.input_size / 16)),
+      fc_(config.width * 8, config.classes, rng, "fc") {
+    const std::int64_t w = config.width;
+    // {out_channels, stride}: stride-2 entries replace VGG-11's max pools.
+    struct Spec {
+        std::int64_t ch;
+        std::int64_t stride;
+    };
+    const Spec specs[8] = {{w, 1},     {2 * w, 2}, {4 * w, 2}, {4 * w, 1},
+                           {8 * w, 2}, {8 * w, 1}, {8 * w, 2}, {8 * w, 1}};
+    std::int64_t in_ch = config.input_channels;
+    for (int i = 0; i < 8; ++i) {
+        const std::string name = "conv" + std::to_string(i + 1);
+        units_.push_back(std::make_unique<ConvUnit>(
+            tensor::ConvGeometry{in_ch, specs[i].ch, 3, specs[i].stride, 1}, rng, name));
+        in_ch = specs[i].ch;
+    }
+}
+
+tensor::Tensor Vgg11::forward(const tensor::Tensor& x, bool training) {
+    tensor::Tensor h = x;
+    for (auto& u : units_) {
+        h = u->act.forward(u->bn.forward(u->conv.forward(h, training), training), training);
+    }
+    h = pool_.forward(h, training);
+    cached_pre_flatten_ = h.shape();
+    const tensor::Tensor flat =
+        h.reshaped(tensor::Shape{h.dim(0), h.dim(1) * h.dim(2) * h.dim(3)});
+    return fc_.forward(flat, training);
+}
+
+void Vgg11::backward(const tensor::Tensor& grad_logits) {
+    tensor::Tensor g = fc_.backward(grad_logits);
+    g = g.reshaped(cached_pre_flatten_);
+    g = pool_.backward(g);
+    for (auto it = units_.rbegin(); it != units_.rend(); ++it) {
+        auto& u = **it;
+        g = u.conv.backward(u.bn.backward(u.act.backward(g)));
+    }
+}
+
+std::vector<Param*> Vgg11::params() {
+    std::vector<Param*> out;
+    for (auto& u : units_) {
+        out.push_back(&u->conv.weight());
+        out.push_back(&u->bn.gamma());
+        out.push_back(&u->bn.beta());
+        out.push_back(&u->act.step_param());
+    }
+    out.push_back(&fc_.weight());
+    out.push_back(&fc_.bias());
+    return out;
+}
+
+std::vector<Activation*> Vgg11::activations() {
+    std::vector<Activation*> out;
+    for (auto& u : units_) out.push_back(&u->act);
+    return out;
+}
+
+NetworkIR Vgg11::ir() const {
+    NetworkIR net;
+    net.model_name = name();
+    net.input_channels = config_.input_channels;
+    net.input_h = config_.input_size;
+    net.input_w = config_.input_size;
+
+    IrNode input;
+    input.op = IrOp::kInput;
+    input.label = "input";
+    input.out_channels = config_.input_channels;
+    input.out_h = config_.input_size;
+    input.out_w = config_.input_size;
+    net.nodes.push_back(input);
+
+    std::int64_t h = config_.input_size;
+    int prev = 0;
+    for (const auto& u : units_) {
+        IrNode node;
+        node.op = IrOp::kConv;
+        node.label = u->conv.name();
+        node.input = prev;
+        node.conv = &u->conv;
+        node.bn = &u->bn;
+        node.act = &u->act;
+        node.out_channels = u->conv.geometry().out_channels;
+        h = u->conv.geometry().out_size(h);
+        node.out_h = h;
+        node.out_w = h;
+        net.nodes.push_back(node);
+        prev = static_cast<int>(net.nodes.size()) - 1;
+    }
+
+    IrNode pool;
+    pool.op = IrOp::kAvgPool;
+    pool.label = "avgpool";
+    pool.input = prev;
+    pool.pool_kernel = pool_.kernel();
+    pool.out_channels = net.nodes.back().out_channels;
+    pool.out_h = net.nodes.back().out_h / pool_.kernel();
+    pool.out_w = net.nodes.back().out_w / pool_.kernel();
+    net.nodes.push_back(pool);
+
+    IrNode fc;
+    fc.op = IrOp::kLinear;
+    fc.label = "fc";
+    fc.input = static_cast<int>(net.nodes.size()) - 1;
+    fc.fc = &fc_;
+    fc.act = nullptr;
+    fc.out_channels = config_.classes;
+    fc.out_h = 1;
+    fc.out_w = 1;
+    net.nodes.push_back(fc);
+    return net;
+}
+
+}  // namespace sia::nn

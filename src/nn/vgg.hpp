@@ -1,0 +1,58 @@
+// VGG-11 (CIFAR variant): 8 conv layers with BN + activation, stride-2
+// convolutions in place of max pooling (the SIA hardware has no pooling
+// unit — conv/FC + BN + spiking activation only; see DESIGN.md), a final
+// 2x2 average pool and an FC 512x10 classifier head matching the paper's
+// Table I.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/model.hpp"
+#include "nn/pool.hpp"
+
+namespace sia::nn {
+
+struct VggConfig {
+    std::int64_t width = 64;  ///< first-stage channels; later stages 2w, 4w, 8w
+    std::int64_t classes = 10;
+    std::int64_t input_channels = 3;
+    std::int64_t input_size = 32;
+};
+
+class Vgg11 final : public Model {
+public:
+    Vgg11(const VggConfig& config, util::Rng& rng);
+
+    [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+    void backward(const tensor::Tensor& grad_logits) override;
+    [[nodiscard]] std::vector<Param*> params() override;
+    [[nodiscard]] std::vector<Activation*> activations() override;
+    [[nodiscard]] NetworkIR ir() const override;
+    [[nodiscard]] std::string name() const override { return "vgg11"; }
+
+    [[nodiscard]] const VggConfig& config() const noexcept { return config_; }
+
+private:
+    struct ConvUnit {
+        ConvUnit(tensor::ConvGeometry g, util::Rng& rng, const std::string& name)
+            : conv(g, rng, name + ".conv"), bn(g.out_channels, name + ".bn"),
+              act(name + ".act") {}
+        Conv2d conv;
+        BatchNorm2d bn;
+        Activation act;
+    };
+
+    VggConfig config_;
+    std::vector<std::unique_ptr<ConvUnit>> units_;  // 8 conv units
+    AvgPool2d pool_;
+    Linear fc_;
+    tensor::Shape cached_pre_flatten_;
+};
+
+}  // namespace sia::nn

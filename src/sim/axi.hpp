@@ -1,0 +1,66 @@
+// PS <-> PL transport models (Fig. 4): DMA-style streaming for bulk
+// conv-layer traffic and PS-mediated AXI4-lite single-word transactions
+// (the FC-layer path whose per-word cost dominates Table I's FC rows).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+
+namespace sia::sim {
+
+/// Cycle-cost model for bulk streaming transfers (spikes, kernels).
+class AxiDma {
+public:
+    explicit AxiDma(const SiaConfig& config) : config_(config) {}
+
+    /// Cycles to move `bytes` PL<->DDR; accumulates volume counters.
+    std::int64_t transfer(std::int64_t bytes) noexcept {
+        bytes_moved_ += bytes;
+        const auto cycles = static_cast<std::int64_t>(
+            static_cast<double>(bytes) / config_.dma_bytes_per_cycle + 0.999999);
+        cycles_ += cycles;
+        return cycles;
+    }
+
+    [[nodiscard]] std::int64_t bytes_moved() const noexcept { return bytes_moved_; }
+    [[nodiscard]] std::int64_t cycles() const noexcept { return cycles_; }
+    void reset() noexcept {
+        bytes_moved_ = 0;
+        cycles_ = 0;
+    }
+
+private:
+    SiaConfig config_;
+    std::int64_t bytes_moved_ = 0;
+    std::int64_t cycles_ = 0;
+};
+
+/// Cycle-cost model for PS-driven AXI4-lite word accesses.
+class AxiLiteMmio {
+public:
+    explicit AxiLiteMmio(const SiaConfig& config) : config_(config) {}
+
+    /// Cycles to move `bytes` one 32-bit word at a time.
+    std::int64_t transfer(std::int64_t bytes) noexcept {
+        const std::int64_t words = (bytes + 3) / 4;
+        words_ += words;
+        const std::int64_t cycles = words * config_.mmio_cycles_per_word;
+        cycles_ += cycles;
+        return cycles;
+    }
+
+    [[nodiscard]] std::int64_t words() const noexcept { return words_; }
+    [[nodiscard]] std::int64_t cycles() const noexcept { return cycles_; }
+    void reset() noexcept {
+        words_ = 0;
+        cycles_ = 0;
+    }
+
+private:
+    SiaConfig config_;
+    std::int64_t words_ = 0;
+    std::int64_t cycles_ = 0;
+};
+
+}  // namespace sia::sim

@@ -1,0 +1,59 @@
+#include "sim/controller.hpp"
+
+#include <algorithm>
+
+namespace sia::sim {
+
+const char* to_string(CtrlState s) noexcept {
+    switch (s) {
+        case CtrlState::kIdle: return "Idle";
+        case CtrlState::kInit: return "Init";
+        case CtrlState::kLoadConfig: return "LoadConfig";
+        case CtrlState::kReadInput: return "ReadInput";
+        case CtrlState::kPeCompute: return "PeCompute";
+        case CtrlState::kAggregate: return "Aggregate";
+        case CtrlState::kWriteOutput: return "WriteOutput";
+        case CtrlState::kDone: return "Done";
+    }
+    return "?";
+}
+
+bool Controller::legal(CtrlState from, CtrlState to) noexcept {
+    switch (from) {
+        case CtrlState::kIdle:
+            return to == CtrlState::kInit;
+        case CtrlState::kInit:
+            return to == CtrlState::kLoadConfig;
+        case CtrlState::kLoadConfig:
+            return to == CtrlState::kReadInput;
+        case CtrlState::kReadInput:
+            return to == CtrlState::kPeCompute;
+        case CtrlState::kPeCompute:
+            // Multi-tile layers iterate compute; otherwise aggregate.
+            return to == CtrlState::kPeCompute || to == CtrlState::kAggregate;
+        case CtrlState::kAggregate:
+            return to == CtrlState::kWriteOutput;
+        case CtrlState::kWriteOutput:
+            // Next layer (load config), next timestep (read input), or done.
+            return to == CtrlState::kLoadConfig || to == CtrlState::kReadInput ||
+                   to == CtrlState::kDone;
+        case CtrlState::kDone:
+            return to == CtrlState::kIdle;
+    }
+    return false;
+}
+
+void Controller::transition(CtrlState next) {
+    if (!legal(state_, next)) {
+        throw std::logic_error(std::string("Controller: illegal transition ") +
+                               to_string(state_) + " -> " + to_string(next));
+    }
+    state_ = next;
+    history_.push_back(next);
+}
+
+std::int64_t Controller::entries(CtrlState s) const noexcept {
+    return std::count(history_.begin(), history_.end(), s);
+}
+
+}  // namespace sia::sim

@@ -1,0 +1,55 @@
+// Control & configuration FSM (§III-C, Fig. 5).
+//
+// The controller sequences: initialise NPU -> load architectural details
+// (per-layer configuration) -> read input block RAM -> PE computation ->
+// batch-norm + activation -> write output, looping over layers and
+// timesteps. Illegal transitions throw — the integration tests assert
+// the Sia top level only drives legal sequences.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sia::sim {
+
+enum class CtrlState : std::uint8_t {
+    kIdle,
+    kInit,           ///< "Initialize NPU"
+    kLoadConfig,     ///< "Load Architectural Details"
+    kReadInput,      ///< "Read Input Data Block RAM"
+    kPeCompute,      ///< "PE Computation and Storage"
+    kAggregate,      ///< "Enable Activation and Batch Normalization"
+    kWriteOutput,    ///< "Layer Wise Output"
+    kDone,           ///< "All Layer Done / End"
+};
+
+[[nodiscard]] const char* to_string(CtrlState s) noexcept;
+
+class Controller {
+public:
+    [[nodiscard]] CtrlState state() const noexcept { return state_; }
+
+    /// Attempt a transition; throws std::logic_error if illegal.
+    void transition(CtrlState next);
+
+    /// Full state history since construction (for traces and tests).
+    [[nodiscard]] const std::vector<CtrlState>& history() const noexcept { return history_; }
+
+    /// Number of times each state was entered.
+    [[nodiscard]] std::int64_t entries(CtrlState s) const noexcept;
+
+    void reset() noexcept {
+        state_ = CtrlState::kIdle;
+        history_.clear();
+    }
+
+private:
+    [[nodiscard]] static bool legal(CtrlState from, CtrlState to) noexcept;
+
+    CtrlState state_ = CtrlState::kIdle;
+    std::vector<CtrlState> history_;
+};
+
+}  // namespace sia::sim

@@ -1,0 +1,95 @@
+// Memory unit model (§III-D): BRAM banks with byte-accurate capacity
+// accounting and the ping-pong membrane-potential organisation of Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sia::sim {
+
+/// A single BRAM bank: capacity-checked byte store with access counters.
+/// One read or write port access per cycle (the cycle cost is accounted
+/// by the caller; the bank tracks volume for bandwidth/energy reports).
+class BramBank {
+public:
+    BramBank(std::string name, std::int64_t capacity_bytes)
+        : name_(std::move(name)), data_(static_cast<std::size_t>(capacity_bytes), 0) {}
+
+    [[nodiscard]] std::int64_t capacity() const noexcept {
+        return static_cast<std::int64_t>(data_.size());
+    }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    void write8(std::int64_t addr, std::uint8_t v);
+    [[nodiscard]] std::uint8_t read8(std::int64_t addr);
+    void write16(std::int64_t addr, std::int16_t v);
+    [[nodiscard]] std::int16_t read16(std::int64_t addr);
+
+    [[nodiscard]] std::int64_t bytes_read() const noexcept { return bytes_read_; }
+    [[nodiscard]] std::int64_t bytes_written() const noexcept { return bytes_written_; }
+    void reset_counters() noexcept {
+        bytes_read_ = 0;
+        bytes_written_ = 0;
+    }
+
+private:
+    void check(std::int64_t addr, std::int64_t len) const;
+
+    std::string name_;
+    std::vector<std::uint8_t> data_;
+    std::int64_t bytes_read_ = 0;
+    std::int64_t bytes_written_ = 0;
+};
+
+/// Ping-pong membrane store (Fig. 3): two half-size banks; at any
+/// timestep one is read (previous potentials) and the other written
+/// (updated potentials); roles swap every timestep. Reading from the
+/// write bank or vice versa throws — the hazard the organisation exists
+/// to prevent.
+class PingPongMembrane {
+public:
+    explicit PingPongMembrane(std::int64_t total_bytes)
+        : banks_{BramBank("U1-State", total_bytes / 2),
+                 BramBank("U2-State", total_bytes / 2)} {}
+
+    /// Capacity of one bank (must hold one layer tile's potentials).
+    [[nodiscard]] std::int64_t bank_capacity() const noexcept {
+        return banks_[0].capacity();
+    }
+
+    /// Swap read/write roles (called at every timestep boundary).
+    void toggle() noexcept { write_is_u1_ = !write_is_u1_; }
+
+    [[nodiscard]] bool write_bank_is_u1() const noexcept { return write_is_u1_; }
+
+    void write16(std::int64_t addr, std::int16_t v) { write_bank().write16(addr, v); }
+    [[nodiscard]] std::int16_t read16(std::int64_t addr) { return read_bank().read16(addr); }
+
+    [[nodiscard]] BramBank& write_bank() noexcept { return banks_[write_is_u1_ ? 0 : 1]; }
+    [[nodiscard]] BramBank& read_bank() noexcept { return banks_[write_is_u1_ ? 1 : 0]; }
+    [[nodiscard]] const BramBank& write_bank() const noexcept {
+        return banks_[write_is_u1_ ? 0 : 1];
+    }
+    [[nodiscard]] const BramBank& read_bank() const noexcept {
+        return banks_[write_is_u1_ ? 1 : 0];
+    }
+
+private:
+    BramBank banks_[2];
+    bool write_is_u1_ = true;
+};
+
+/// The full §III-D memory unit.
+struct MemoryUnit {
+    explicit MemoryUnit(const struct SiaConfig& config);
+
+    BramBank incoming_spikes;
+    BramBank residual;
+    BramBank weights;
+    BramBank output_spikes;
+    PingPongMembrane membrane;
+};
+
+}  // namespace sia::sim

@@ -1,0 +1,37 @@
+#include "sim/pe.hpp"
+
+#include <algorithm>
+
+namespace sia::sim {
+
+std::int64_t Pe::accumulate_segment(std::span<const std::uint8_t> spikes,
+                                    std::span<const std::int8_t> weights) noexcept {
+    const std::size_t n = std::min(spikes.size(), weights.size());
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (spikes[i] != 0) {
+            any = true;
+            break;
+        }
+    }
+    if (!any) return 0;  // event-driven skip: no clock spent on silent rows
+
+    // Fixed schedule: the three mux outputs pass through the single 8-bit
+    // adder one per cycle; a muxed-out (no-spike) tap contributes zero.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (spikes[i] != 0) {
+            partial_ += weights[i];
+            ++additions_;
+        }
+    }
+    busy_cycles_ += 3;
+    return 3;
+}
+
+void PeArray::scatter_tap(std::span<const std::int8_t> weights_per_lane,
+                          std::span<std::int32_t> partials) const noexcept {
+    const std::size_t n = std::min(weights_per_lane.size(), partials.size());
+    for (std::size_t i = 0; i < n; ++i) partials[i] += weights_per_lane[i];
+}
+
+}  // namespace sia::sim

@@ -1,0 +1,86 @@
+// Processing element and PE-array models (§III-A).
+//
+// Each PE contains three 8-bit multiplexers (spike selects weight or
+// zero) and one 8-bit adder that folds the three mux outputs into the
+// running partial sum — one addition per cycle, so an active row segment
+// of up to 3 weights costs 3 cycles, and a 3x3 kernel window costs
+// 3 rows x 3 cycles + 1 emit cycle = 10 cycles.
+//
+// The Pe class is the single-element datapath model (used by unit tests
+// and the micro benches); PeArray models the 8x8 lockstep array the Sia
+// top level drives, where all 64 lanes share the input spike stream and
+// compute 64 output channels in parallel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "util/fixed_point.hpp"
+
+namespace sia::sim {
+
+/// Single processing element: event-driven weight accumulator.
+class Pe {
+public:
+    /// Begin a new kernel window (clears the partial sum). Free.
+    void begin_window() noexcept {
+        partial_ = 0;
+        emitted_ = false;
+    }
+
+    /// Process one row segment of up to 3 (spike, weight) pairs.
+    /// Returns the cycles consumed: 3 when any spike is present in the
+    /// segment (the fixed mux/adder schedule), 0 when the segment is
+    /// skipped by the event-driven control.
+    std::int64_t accumulate_segment(std::span<const std::uint8_t> spikes,
+                                    std::span<const std::int8_t> weights) noexcept;
+
+    /// Emit the accumulated partial sum (16-bit saturating handoff to the
+    /// aggregation core). Costs 1 cycle.
+    [[nodiscard]] std::int16_t emit() noexcept {
+        emitted_ = true;
+        return util::saturate16(partial_);
+    }
+
+    [[nodiscard]] std::int32_t raw_partial() const noexcept { return partial_; }
+    [[nodiscard]] bool emitted() const noexcept { return emitted_; }
+
+    /// Lifetime counters (for utilization reporting).
+    [[nodiscard]] std::int64_t busy_cycles() const noexcept { return busy_cycles_; }
+    [[nodiscard]] std::int64_t additions() const noexcept { return additions_; }
+
+private:
+    std::int32_t partial_ = 0;
+    bool emitted_ = false;
+    std::int64_t busy_cycles_ = 0;
+    std::int64_t additions_ = 0;
+};
+
+/// The 8x8 spiking core. All lanes (output channels) observe the same
+/// input spikes; cycle cost per window is therefore lane-independent.
+class PeArray {
+public:
+    explicit PeArray(const SiaConfig& config) : config_(config) {}
+
+    /// Scatter one input spike's kernel contribution into the lanes'
+    /// partial sums. `weights_per_lane[lane]` is that lane's kernel
+    /// weight for the current (ky, kx) tap. Numeric effect is exact
+    /// int32 accumulation; saturation happens at emit.
+    void scatter_tap(std::span<const std::int8_t> weights_per_lane,
+                     std::span<std::int32_t> partials) const noexcept;
+
+    /// Cycles to process one event (input spike) against a k x k kernel:
+    /// the full window schedule runs once per spike (§III-A).
+    [[nodiscard]] std::int64_t event_cycles(std::int64_t kernel) const noexcept {
+        return SiaConfig::window_cycles(kernel);
+    }
+
+    [[nodiscard]] std::int64_t lanes() const noexcept { return config_.pe_count(); }
+
+private:
+    SiaConfig config_;
+};
+
+}  // namespace sia::sim

@@ -1,0 +1,394 @@
+#include "sim/sia.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/aggregation.hpp"
+#include "snn/compute.hpp"
+
+namespace sia::sim {
+
+namespace {
+
+/// Per-timestep, per-channel spike counts of a train (drives the
+/// event-driven cycle accounting).
+std::vector<std::vector<std::int64_t>> channel_spike_counts(const snn::SpikeTrain& train) {
+    std::vector<std::vector<std::int64_t>> counts(train.size());
+    for (std::size_t t = 0; t < train.size(); ++t) {
+        const snn::SpikeMap& m = train[t];
+        counts[t].assign(static_cast<std::size_t>(m.channels()), 0);
+        const std::int64_t plane = m.height() * m.width();
+        for (std::int64_t c = 0; c < m.channels(); ++c) {
+            std::int64_t n = 0;
+            for (std::int64_t i = 0; i < plane; ++i) {
+                if (m.get_flat(c * plane + i)) ++n;
+            }
+            counts[t][static_cast<std::size_t>(c)] = n;
+        }
+    }
+    return counts;
+}
+
+std::int64_t bits_to_bytes(std::int64_t bits) noexcept { return (bits + 7) / 8; }
+
+}  // namespace
+
+std::int64_t SiaRunResult::total_cycles() const noexcept {
+    std::int64_t c = 0;
+    for (const auto& s : layer_stats) c += s.total();
+    return c;
+}
+
+std::int64_t SiaRunResult::predicted_class(std::int64_t t) const {
+    const auto& logits = logits_per_step.at(static_cast<std::size_t>(t));
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < logits.size(); ++j) {
+        if (logits[j] > logits[best]) best = j;
+    }
+    return static_cast<std::int64_t>(best);
+}
+
+double SiaRunResult::effective_gops(const SiaConfig& config) const noexcept {
+    std::uint64_t dense = 0;
+    std::int64_t pl_cycles = 0;
+    for (const auto& s : layer_stats) {
+        dense += s.dense_ops;
+        pl_cycles += s.compute + s.aggregate + s.dma;
+    }
+    if (pl_cycles == 0) return 0.0;
+    const double seconds = static_cast<double>(pl_cycles) / (config.clock_mhz * 1e6);
+    return static_cast<double>(dense) / seconds / 1e9;
+}
+
+double SiaRunResult::pe_utilization(const SiaConfig& config) const noexcept {
+    std::int64_t adds = 0;
+    std::int64_t compute_cycles = 0;
+    for (const auto& s : layer_stats) {
+        adds += s.event_additions;
+        compute_cycles += s.compute;
+    }
+    const double slots = static_cast<double>(compute_cycles) *
+                         static_cast<double>(config.pe_count()) * 3.0;
+    return slots > 0 ? static_cast<double>(adds) / slots : 0.0;
+}
+
+Sia::Sia(const SiaConfig& config, const snn::SnnModel& model,
+         const CompiledProgram& program)
+    : config_(config), model_(model), program_(program), memory_(config), dma_(config),
+      mmio_(config) {
+    model_.validate();
+    if (program_.layers.size() != model_.layers.size()) {
+        throw std::invalid_argument("Sia: program/model layer count mismatch");
+    }
+}
+
+SiaRunResult Sia::run(const snn::SpikeTrain& input) {
+    if (input.empty()) throw std::invalid_argument("Sia::run: empty input train");
+    const auto timesteps = static_cast<std::int64_t>(input.size());
+
+    SiaRunResult res;
+    res.timesteps = timesteps;
+    res.logits_per_step.assign(static_cast<std::size_t>(timesteps),
+                               std::vector<std::int64_t>(
+                                   static_cast<std::size_t>(model_.classes), 0));
+    res.layer_stats.resize(model_.layers.size());
+    res.spike_counts.assign(model_.layers.size(), 0);
+    res.neuron_counts.clear();
+
+    std::vector<snn::SpikeTrain> outs(model_.layers.size());
+
+    controller_.reset();
+    controller_.transition(CtrlState::kInit);
+
+    for (std::size_t li = 0; li < model_.layers.size(); ++li) {
+        const snn::SnnLayer& layer = model_.layers[li];
+        LayerCycleStats& stats = res.layer_stats[li];
+        stats.label = layer.label;
+        stats.overhead += config_.ps_layer_overhead_cycles;
+        controller_.transition(CtrlState::kLoadConfig);
+
+        const snn::SpikeTrain& in_train =
+            layer.input == -1 ? input : outs[static_cast<std::size_t>(layer.input)];
+        const snn::SpikeTrain* skip_train = nullptr;
+        if (layer.has_skip()) {
+            skip_train = layer.skip_src == -1
+                             ? &input
+                             : &outs[static_cast<std::size_t>(layer.skip_src)];
+        }
+
+        snn::SpikeTrain& out_train = outs[li];
+        out_train.assign(static_cast<std::size_t>(timesteps),
+                         snn::SpikeMap(layer.out_channels, layer.out_h, layer.out_w));
+
+        if (layer.op == snn::LayerOp::kConv) {
+            run_conv_layer(li, in_train, skip_train, out_train, stats,
+                           res.logits_per_step);
+        } else {
+            run_linear_layer(li, in_train, out_train, stats, res.logits_per_step);
+        }
+
+        res.neuron_counts.push_back(layer.neurons());
+        std::int64_t spikes = 0;
+        for (const auto& m : out_train) spikes += m.count();
+        res.spike_counts[li] = spikes;
+    }
+    controller_.transition(CtrlState::kDone);
+    return res;
+}
+
+void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
+                         const snn::SpikeTrain* skip_train, snn::SpikeTrain& out_train,
+                         LayerCycleStats& stats,
+                         std::vector<std::vector<std::int64_t>>& readout) {
+    const snn::SnnLayer& layer = model_.layers[index];
+    const LayerPlan& plan = program_.layers[static_cast<std::size_t>(index)];
+    const snn::Branch& b = layer.main;
+    const auto timesteps = static_cast<std::int64_t>(in_train.size());
+    const std::int64_t neurons = layer.neurons();
+    const std::int64_t oc = layer.out_channels;
+    const std::int64_t oh = layer.out_h;
+    const std::int64_t ow = layer.out_w;
+    const std::int64_t lanes = config_.pe_count();
+
+    const auto wt = snn::compute::transpose_conv(b);
+    std::vector<std::int8_t> skip_wt;
+    const bool has_down_skip = layer.has_skip() && !layer.skip_is_identity;
+    if (has_down_skip) skip_wt = snn::compute::transpose_conv(layer.skip);
+
+    const auto counts = channel_spike_counts(in_train);
+    const auto skip_counts =
+        has_down_skip ? channel_spike_counts(*skip_train)
+                      : std::vector<std::vector<std::int64_t>>{};
+
+    // Membrane storage: the first spatial slice lives in the ping-pong
+    // bank model; further slices (spatial tiling) are host-mirrored --
+    // numerically identical, with the re-streaming traffic accounted in
+    // the DMA term above.
+    const std::int64_t fit_neurons =
+        std::min<std::int64_t>(neurons, memory_.membrane.bank_capacity() / 2);
+    const std::int64_t spill_neurons = neurons - fit_neurons;
+    std::vector<std::int16_t> spill_mem(static_cast<std::size_t>(spill_neurons),
+                                        layer.initial_potential);
+    for (std::int64_t i = 0; i < fit_neurons; ++i) {
+        memory_.membrane.write16(2 * i, layer.initial_potential);
+    }
+    memory_.membrane.toggle();  // make the initial potentials readable
+
+    std::vector<std::int32_t> psum(static_cast<std::size_t>(neurons), 0);
+    std::vector<std::int32_t> skip_psum;
+    if (has_down_skip) skip_psum.assign(static_cast<std::size_t>(neurons), 0);
+
+    const std::int64_t wc = SiaConfig::window_cycles(b.kernel);
+    const std::int64_t wc_skip = SiaConfig::window_cycles(1);
+    // Layer-major schedule: every (tile, chunk) kernel set is streamed
+    // exactly once per inference; partial sums across chunks stage in
+    // the 128 kB residual memory while the timestep loop runs.
+    stats.dma += dma_.transfer(plan.weight_stream_bytes);
+
+    const std::uint64_t dense_per_step =
+        static_cast<std::uint64_t>(oc * oh * ow * b.in_channels * b.kernel * b.kernel) *
+        2ULL;
+    const std::uint64_t skip_dense_per_step =
+        has_down_skip ? static_cast<std::uint64_t>(oc * oh * ow *
+                                                   layer.skip.in_channels) *
+                            2ULL
+                      : 0ULL;
+
+    for (std::int64_t t = 0; t < timesteps; ++t) {
+        controller_.transition(CtrlState::kReadInput);
+        stats.dma += dma_.transfer(plan.spike_in_bytes * plan.oc_tiles *
+                                   plan.spatial_tiles);
+        const snn::SpikeMap& in = in_train[static_cast<std::size_t>(t)];
+        std::fill(psum.begin(), psum.end(), 0);
+
+        for (std::int64_t pass = 0; pass < plan.ic_passes; ++pass) {
+            const std::int64_t ic0 = pass * plan.ic_chunk;
+            const std::int64_t ic1 = std::min(b.in_channels, ic0 + plan.ic_chunk);
+            std::int64_t chunk_spikes = 0;
+            for (std::int64_t ic = ic0; ic < ic1; ++ic) {
+                chunk_spikes += counts[static_cast<std::size_t>(t)]
+                                      [static_cast<std::size_t>(ic)];
+            }
+            for (std::int64_t tile = 0; tile < plan.oc_tiles; ++tile) {
+                controller_.transition(CtrlState::kPeCompute);
+                const std::int64_t tile_lanes = std::min(lanes, oc - tile * lanes);
+                stats.compute += chunk_spikes * wc;
+                stats.input_spike_events += chunk_spikes;
+                stats.event_additions +=
+                    chunk_spikes * b.kernel * b.kernel * tile_lanes;
+            }
+            snn::compute::conv_psum_chunk(b, wt, in, oh, ow, ic0, ic1, psum);
+        }
+        stats.dense_ops += dense_per_step;
+
+        // Residual path.
+        if (layer.has_skip()) {
+            const snn::SpikeMap& skip_in = (*skip_train)[static_cast<std::size_t>(t)];
+            stats.dma += dma_.transfer(plan.residual_in_bytes);
+            if (has_down_skip) {
+                std::fill(skip_psum.begin(), skip_psum.end(), 0);
+                std::int64_t skip_spikes = 0;
+                for (const auto n : skip_counts[static_cast<std::size_t>(t)]) {
+                    skip_spikes += n;
+                }
+                for (std::int64_t tile = 0; tile < plan.oc_tiles; ++tile) {
+                    controller_.transition(CtrlState::kPeCompute);
+                    stats.compute += skip_spikes * wc_skip;
+                    stats.input_spike_events += skip_spikes;
+                    stats.event_additions +=
+                        skip_spikes * std::min(lanes, oc - tile * lanes);
+                }
+                snn::compute::conv_psum_chunk(layer.skip, skip_wt, skip_in, oh, ow, 0,
+                                              layer.skip.in_channels, skip_psum);
+                stats.dense_ops += skip_dense_per_step;
+            }
+        }
+
+        controller_.transition(CtrlState::kAggregate);
+        stats.aggregate += AggregationCore::retire_cycles(
+            neurons, config_.aggregation_lanes,
+            plan.oc_tiles * config_.aggregation_pipeline_depth);
+
+        snn::SpikeMap& out = out_train[static_cast<std::size_t>(t)];
+        const snn::SpikeMap* skip_spike_map =
+            layer.has_skip() ? &(*skip_train)[static_cast<std::size_t>(t)] : nullptr;
+        for (std::int64_t y = 0; y < oh; ++y) {
+            for (std::int64_t x = 0; x < ow; ++x) {
+                for (std::int64_t o = 0; o < oc; ++o) {
+                    const auto hwc = static_cast<std::size_t>((y * ow + x) * oc + o);
+                    const std::int64_t chw = (o * oh + y) * ow + x;
+                    std::int16_t m = snn::compute::aggregate(
+                        psum[hwc], b.gain[static_cast<std::size_t>(o)],
+                        b.bias[static_cast<std::size_t>(o)], b.gain_shift);
+                    if (layer.has_skip()) {
+                        if (layer.skip_is_identity) {
+                            if (skip_spike_map->get(o, y, x)) {
+                                m = util::sat_add16(m, layer.identity_skip.charge);
+                            }
+                        } else {
+                            const std::int16_t ms = snn::compute::aggregate(
+                                skip_psum[hwc],
+                                layer.skip.gain[static_cast<std::size_t>(o)],
+                                layer.skip.bias[static_cast<std::size_t>(o)],
+                                layer.skip.gain_shift);
+                            m = util::sat_add16(m, ms);
+                        }
+                    }
+                    const bool in_bank = chw < fit_neurons;
+                    const std::int16_t u_prev =
+                        in_bank ? memory_.membrane.read16(2 * chw)
+                                : spill_mem[static_cast<std::size_t>(chw - fit_neurons)];
+                    bool spike = false;
+                    const std::int16_t u_new =
+                        snn::compute::update_neuron(u_prev, m, layer, spike);
+                    if (in_bank) {
+                        memory_.membrane.write16(2 * chw, u_new);
+                    } else {
+                        spill_mem[static_cast<std::size_t>(chw - fit_neurons)] = u_new;
+                    }
+                    if (spike) out.set(o, y, x, true);
+                }
+            }
+        }
+        (void)readout;  // conv layers are always spiking (validated upstream)
+
+        controller_.transition(CtrlState::kWriteOutput);
+        // Bit-pack output spikes through the output BRAM (capacity checked).
+        const std::int64_t out_bytes = bits_to_bytes(neurons);
+        for (std::int64_t byte = 0; byte < out_bytes; ++byte) {
+            std::uint8_t packed = 0;
+            for (std::int64_t bit = 0; bit < 8; ++bit) {
+                const std::int64_t idx = byte * 8 + bit;
+                if (idx < neurons && out.get_flat(idx)) {
+                    packed = static_cast<std::uint8_t>(packed | (1U << bit));
+                }
+            }
+            memory_.output_spikes.write8(byte, packed);
+        }
+        stats.dma += dma_.transfer(plan.spike_out_bytes);
+        if (plan.membrane_spill) {
+            // Legacy DDR-spill schedule (scheduling ablation only).
+            stats.dma += dma_.transfer(plan.membrane_spill_bytes);
+        }
+        memory_.membrane.toggle();
+    }
+}
+
+void Sia::run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
+                           snn::SpikeTrain& out_train, LayerCycleStats& stats,
+                           std::vector<std::vector<std::int64_t>>& readout) {
+    const snn::SnnLayer& layer = model_.layers[index];
+    const LayerPlan& plan = program_.layers[static_cast<std::size_t>(index)];
+    const snn::Branch& b = layer.main;
+    const auto timesteps = static_cast<std::int64_t>(in_train.size());
+    const std::int64_t lanes = config_.pe_count();
+    const std::int64_t features = b.out_features;
+
+    const auto wt = snn::compute::transpose_linear(b);
+    std::vector<std::int32_t> psum(static_cast<std::size_t>(features), 0);
+    std::vector<std::int16_t> mem(static_cast<std::size_t>(features),
+                                  layer.initial_potential);
+    std::vector<std::int64_t> acc(static_cast<std::size_t>(features), 0);
+
+    const std::int64_t oc_tiles = (features + lanes - 1) / lanes;
+    const std::int64_t wc = SiaConfig::window_cycles(1);
+    const std::uint64_t dense_per_step =
+        static_cast<std::uint64_t>(b.in_features * features) * 2ULL;
+
+    for (std::int64_t t = 0; t < timesteps; ++t) {
+        controller_.transition(CtrlState::kReadInput);
+        const snn::SpikeMap& in = in_train[static_cast<std::size_t>(t)];
+        const std::int64_t in_spikes = in.count();
+
+        if (plan.mmio) {
+            // PS-mediated word path: weights re-streamed per timestep plus
+            // spike vector in and result readback (Table I FC calibration).
+            stats.mmio += mmio_.transfer(plan.weight_stream_bytes);
+            stats.mmio += mmio_.transfer(bits_to_bytes(b.in_features));
+            stats.mmio += mmio_.transfer(features * 4);
+        } else {
+            stats.dma += dma_.transfer(plan.weight_stream_bytes +
+                                       bits_to_bytes(b.in_features));
+        }
+
+        for (std::int64_t tile = 0; tile < oc_tiles; ++tile) {
+            controller_.transition(CtrlState::kPeCompute);
+            const std::int64_t tile_lanes = std::min(lanes, features - tile * lanes);
+            stats.compute += in_spikes * wc;
+            stats.input_spike_events += in_spikes;
+            stats.event_additions += in_spikes * tile_lanes;
+        }
+        snn::compute::linear_psum(b, wt, in, psum);
+        stats.dense_ops += dense_per_step;
+
+        controller_.transition(CtrlState::kAggregate);
+        stats.aggregate += AggregationCore::retire_cycles(
+            features, config_.aggregation_lanes,
+            oc_tiles * config_.aggregation_pipeline_depth);
+
+        snn::SpikeMap& out = out_train[static_cast<std::size_t>(t)];
+        for (std::int64_t f = 0; f < features; ++f) {
+            const std::int16_t m = snn::compute::aggregate(
+                psum[static_cast<std::size_t>(f)], b.gain[static_cast<std::size_t>(f)],
+                b.bias[static_cast<std::size_t>(f)], b.gain_shift);
+            if (layer.spiking) {
+                bool spike = false;
+                mem[static_cast<std::size_t>(f)] = snn::compute::update_neuron(
+                    mem[static_cast<std::size_t>(f)], m, layer, spike);
+                if (spike) out.set_flat(f, true);
+            } else {
+                acc[static_cast<std::size_t>(f)] += m;
+            }
+        }
+        if (!layer.spiking) {
+            auto& row = readout[static_cast<std::size_t>(t)];
+            for (std::int64_t f = 0; f < features && f < static_cast<std::int64_t>(row.size());
+                 ++f) {
+                row[static_cast<std::size_t>(f)] = acc[static_cast<std::size_t>(f)];
+            }
+        }
+        controller_.transition(CtrlState::kWriteOutput);
+    }
+}
+
+}  // namespace sia::sim

@@ -1,0 +1,101 @@
+// Top-level cycle-accurate SIA simulator (Fig. 2 / Fig. 4 / Fig. 5).
+//
+// Executes a compiled SnnModel layer-major, exactly as the paper's
+// implementation flow describes: a layer's spikes and kernels are
+// streamed into the block RAMs, the PE array performs event-driven
+// spiking convolution for every timestep (membrane potentials ping-pong
+// between the U1/U2 banks), results pass through the aggregation core,
+// and output spikes are written back — then the next layer runs.
+//
+// Numerics go through snn::compute (shared with the functional engine),
+// so the simulated spikes/logits are bit-identical to the reference by
+// construction; what this class adds is the cycle, transfer and
+// occupancy accounting of the hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/axi.hpp"
+#include "sim/config.hpp"
+#include "sim/controller.hpp"
+#include "sim/memory.hpp"
+#include "sim/program.hpp"
+#include "snn/model.hpp"
+#include "snn/spike.hpp"
+
+namespace sia::sim {
+
+/// Cycle breakdown for one layer, totalled over a whole inference.
+struct LayerCycleStats {
+    std::string label;
+    std::int64_t compute = 0;    ///< PE-array event-driven accumulation
+    std::int64_t aggregate = 0;  ///< BN + activation pipeline retirement
+    std::int64_t dma = 0;        ///< bulk spike/weight/residual streaming
+    std::int64_t mmio = 0;       ///< PS-mediated AXI4-lite word transfers
+    std::int64_t overhead = 0;   ///< per-layer PS invocation overhead
+
+    std::int64_t input_spike_events = 0;  ///< spikes processed (x tiles x passes)
+    std::int64_t output_spikes = 0;
+    std::int64_t event_additions = 0;     ///< actual weight accumulations
+    std::uint64_t dense_ops = 0;          ///< dense CNN-equivalent ops (2/MAC)
+
+    [[nodiscard]] std::int64_t total() const noexcept {
+        return compute + aggregate + dma + mmio + overhead;
+    }
+};
+
+struct SiaRunResult {
+    std::vector<std::vector<std::int64_t>> logits_per_step;  ///< [T][classes]
+    std::vector<std::int64_t> spike_counts;                  ///< per layer
+    std::vector<std::int64_t> neuron_counts;
+    std::vector<LayerCycleStats> layer_stats;
+    std::int64_t timesteps = 0;
+
+    [[nodiscard]] std::int64_t total_cycles() const noexcept;
+    [[nodiscard]] std::int64_t predicted_class(std::int64_t t) const;
+    [[nodiscard]] double total_ms(const SiaConfig& config) const noexcept {
+        return config.cycles_to_ms(total_cycles());
+    }
+    /// Dense CNN-equivalent throughput over PL busy time — the GOPS
+    /// convention of the paper's Table IV.
+    [[nodiscard]] double effective_gops(const SiaConfig& config) const noexcept;
+    /// Fraction of PE-array add slots actually used while computing.
+    [[nodiscard]] double pe_utilization(const SiaConfig& config) const noexcept;
+};
+
+class Sia {
+public:
+    /// `model` and `program` must outlive the Sia instance.
+    Sia(const SiaConfig& config, const snn::SnnModel& model,
+        const CompiledProgram& program);
+
+    /// Run one inference over the input spike train.
+    [[nodiscard]] SiaRunResult run(const snn::SpikeTrain& input);
+
+    [[nodiscard]] const Controller& controller() const noexcept { return controller_; }
+    [[nodiscard]] const MemoryUnit& memory() const noexcept { return memory_; }
+    [[nodiscard]] const SiaConfig& config() const noexcept { return config_; }
+
+private:
+    struct LayerContext;
+
+    void run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
+                        const snn::SpikeTrain* skip_train, snn::SpikeTrain& out_train,
+                        LayerCycleStats& stats,
+                        std::vector<std::vector<std::int64_t>>& readout);
+    void run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
+                          snn::SpikeTrain& out_train, LayerCycleStats& stats,
+                          std::vector<std::vector<std::int64_t>>& readout);
+
+    SiaConfig config_;
+    const snn::SnnModel& model_;
+    const CompiledProgram& program_;
+    Controller controller_;
+    MemoryUnit memory_;
+    AxiDma dma_;
+    AxiLiteMmio mmio_;
+};
+
+}  // namespace sia::sim

@@ -1,0 +1,78 @@
+#include "snn/compute.hpp"
+
+#include <algorithm>
+
+namespace sia::snn::compute {
+
+std::vector<std::int8_t> transpose_conv(const Branch& b) {
+    const std::int64_t oc = b.out_channels;
+    const std::int64_t patch = b.in_channels * b.kernel * b.kernel;
+    std::vector<std::int8_t> wt(static_cast<std::size_t>(patch * oc), 0);
+    for (std::int64_t o = 0; o < oc; ++o) {
+        for (std::int64_t p = 0; p < patch; ++p) {
+            wt[static_cast<std::size_t>(p * oc + o)] =
+                b.weights[static_cast<std::size_t>(o * patch + p)];
+        }
+    }
+    return wt;
+}
+
+std::vector<std::int8_t> transpose_linear(const Branch& b) {
+    std::vector<std::int8_t> wt(static_cast<std::size_t>(b.in_features * b.out_features),
+                                0);
+    for (std::int64_t f = 0; f < b.out_features; ++f) {
+        for (std::int64_t d = 0; d < b.in_features; ++d) {
+            wt[static_cast<std::size_t>(d * b.out_features + f)] =
+                b.weights[static_cast<std::size_t>(f * b.in_features + d)];
+        }
+    }
+    return wt;
+}
+
+void conv_psum_chunk(const Branch& b, const std::vector<std::int8_t>& wt,
+                     const SpikeMap& in, std::int64_t out_h, std::int64_t out_w,
+                     std::int64_t ic_begin, std::int64_t ic_end,
+                     std::vector<std::int32_t>& psum) {
+    const std::int64_t oc = b.out_channels;
+    const std::int64_t in_h = in.height();
+    const std::int64_t in_w = in.width();
+    for (std::int64_t y = 0; y < out_h; ++y) {
+        for (std::int64_t x = 0; x < out_w; ++x) {
+            std::int32_t* prow = psum.data() + (y * out_w + x) * oc;
+            for (std::int64_t ic = ic_begin; ic < ic_end; ++ic) {
+                for (std::int64_t ky = 0; ky < b.kernel; ++ky) {
+                    const std::int64_t iy = y * b.stride + ky - b.padding;
+                    if (iy < 0 || iy >= in_h) continue;
+                    for (std::int64_t kx = 0; kx < b.kernel; ++kx) {
+                        const std::int64_t ix = x * b.stride + kx - b.padding;
+                        if (ix < 0 || ix >= in_w) continue;
+                        if (!in.get(ic, iy, ix)) continue;
+                        const std::int8_t* wrow =
+                            wt.data() + ((ic * b.kernel + ky) * b.kernel + kx) * oc;
+                        for (std::int64_t o = 0; o < oc; ++o) prow[o] += wrow[o];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void conv_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeMap& in,
+               std::int64_t out_h, std::int64_t out_w, std::vector<std::int32_t>& psum) {
+    std::fill(psum.begin(), psum.end(), 0);
+    conv_psum_chunk(b, wt, in, out_h, out_w, 0, b.in_channels, psum);
+}
+
+void linear_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeMap& in,
+                 std::vector<std::int32_t>& psum) {
+    std::fill(psum.begin(), psum.end(), 0);
+    for (std::int64_t d = 0; d < b.in_features; ++d) {
+        if (!in.get_flat(d)) continue;
+        const std::int8_t* wrow = wt.data() + d * b.out_features;
+        for (std::int64_t f = 0; f < b.out_features; ++f) {
+            psum[static_cast<std::size_t>(f)] += wrow[f];
+        }
+    }
+}
+
+}  // namespace sia::snn::compute

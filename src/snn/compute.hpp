@@ -1,0 +1,71 @@
+// Shared integer compute primitives for SnnModel execution.
+//
+// Both the functional engine (snn::FunctionalEngine) and the
+// cycle-accurate hardware simulator (sim::Sia) perform their numerics
+// through these functions — one implementation, two schedulers — which
+// is what makes the bit-exact software/hardware co-verification a
+// structural property rather than a testing aspiration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/model.hpp"
+#include "snn/spike.hpp"
+#include "util/fixed_point.hpp"
+
+namespace sia::snn::compute {
+
+/// Transpose conv weights [OC][IC][k][k] -> [IC*k*k][OC] (gather layout).
+[[nodiscard]] std::vector<std::int8_t> transpose_conv(const Branch& b);
+
+/// Transpose linear weights [F][D] -> [D][F].
+[[nodiscard]] std::vector<std::int8_t> transpose_linear(const Branch& b);
+
+/// Event-driven convolution partial sums. `psum` is HWC
+/// ([out_h][out_w][OC], int32) and is cleared first. Accumulation is
+/// exact int32 (order-independent); 16-bit saturation is applied at
+/// aggregation handoff, matching the PE-to-aggregation-core interface.
+void conv_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeMap& in,
+               std::int64_t out_h, std::int64_t out_w, std::vector<std::int32_t>& psum);
+
+/// As conv_psum but restricted to input channels [ic_begin, ic_end) and
+/// accumulating into `psum` without clearing — the weight-memory-chunked
+/// schedule of the hardware.
+void conv_psum_chunk(const Branch& b, const std::vector<std::int8_t>& wt,
+                     const SpikeMap& in, std::int64_t out_h, std::int64_t out_w,
+                     std::int64_t ic_begin, std::int64_t ic_end,
+                     std::vector<std::int32_t>& psum);
+
+/// Event-driven fully-connected partial sums ([F], cleared first).
+void linear_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeMap& in,
+                 std::vector<std::int32_t>& psum);
+
+/// Aggregation-core arithmetic (batch-norm unit of Eq. 2): 16-bit
+/// saturating psum, fixed-point gain multiply, bias add.
+[[nodiscard]] inline std::int16_t aggregate(std::int32_t psum, std::int16_t gain,
+                                            std::int16_t bias, int shift) noexcept {
+    const std::int16_t p16 = util::saturate16(psum);
+    const std::int16_t scaled = util::fxp_mul_shift(p16, gain, shift);
+    return util::sat_add16(scaled, bias);
+}
+
+/// Activation-unit update: leak (LIF mode), integrate, threshold
+/// compare, reset. Returns the new potential; sets `spike`.
+[[nodiscard]] inline std::int16_t update_neuron(std::int16_t membrane, std::int16_t current,
+                                                const SnnLayer& layer,
+                                                bool& spike) noexcept {
+    std::int16_t u = membrane;
+    if (layer.neuron == NeuronKind::kLif) {
+        u = util::sat_sub16(u, static_cast<std::int16_t>(u >> layer.leak_shift));
+    }
+    u = util::sat_add16(u, current);
+    spike = u >= layer.threshold;
+    if (spike) {
+        u = layer.reset == ResetMode::kSubtract ? util::sat_sub16(u, layer.threshold)
+                                                : std::int16_t{0};
+    }
+    return u;
+}
+
+}  // namespace sia::snn::compute

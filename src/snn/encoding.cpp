@@ -1,0 +1,64 @@
+#include "snn/encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sia::snn {
+
+SpikeTrain encode_thermometer(const tensor::Tensor& image, std::int64_t timesteps) {
+    if (image.rank() != 4 || image.dim(0) != 1) {
+        throw std::invalid_argument("encode_thermometer: expected [1, C, H, W] image");
+    }
+    if (timesteps <= 0) throw std::invalid_argument("encode_thermometer: timesteps <= 0");
+    const std::int64_t c = image.dim(1);
+    const std::int64_t h = image.dim(2);
+    const std::int64_t w = image.dim(3);
+
+    SpikeTrain train(static_cast<std::size_t>(timesteps), SpikeMap(c, h, w));
+    const std::int64_t pixels = c * h * w;
+    for (std::int64_t i = 0; i < pixels; ++i) {
+        const float v = std::clamp(image.flat(i), 0.0F, 1.0F);
+        const auto n = static_cast<std::int64_t>(
+            std::lround(static_cast<double>(v) * static_cast<double>(timesteps)));
+        // Bresenham-even spread: spike at step t iff the cumulative count
+        // floor((t+1)*n/T) advances past floor(t*n/T).
+        std::int64_t prev = 0;
+        for (std::int64_t t = 0; t < timesteps; ++t) {
+            const std::int64_t cur = (t + 1) * n / timesteps;
+            if (cur > prev) train[static_cast<std::size_t>(t)].set_flat(i, true);
+            prev = cur;
+        }
+    }
+    return train;
+}
+
+SpikeTrain frames_to_train(const tensor::Tensor& frames) {
+    if (frames.rank() != 4) {
+        throw std::invalid_argument("frames_to_train: expected [T, C, H, W]");
+    }
+    const std::int64_t t_steps = frames.dim(0);
+    const std::int64_t c = frames.dim(1);
+    const std::int64_t h = frames.dim(2);
+    const std::int64_t w = frames.dim(3);
+    SpikeTrain train(static_cast<std::size_t>(t_steps), SpikeMap(c, h, w));
+    const std::int64_t plane = c * h * w;
+    for (std::int64_t t = 0; t < t_steps; ++t) {
+        for (std::int64_t i = 0; i < plane; ++i) {
+            if (frames.flat(t * plane + i) != 0.0F) {
+                train[static_cast<std::size_t>(t)].set_flat(i, true);
+            }
+        }
+    }
+    return train;
+}
+
+double decode_mean_rate(const SpikeTrain& train) {
+    if (train.empty()) return 0.0;
+    std::int64_t total = 0;
+    for (const SpikeMap& m : train) total += m.count();
+    return static_cast<double>(total) /
+           (static_cast<double>(train.size()) * static_cast<double>(train.front().size()));
+}
+
+}  // namespace sia::snn

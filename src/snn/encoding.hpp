@@ -1,0 +1,31 @@
+// Input spike encoding — the "frame data conversion" the paper runs on
+// the ZYNQ processor (§IV) before streaming spikes into the PL.
+//
+// Thermometer (a.k.a. evenly-spread rate) coding: a pixel v in [0, 1]
+// emits round(v * T) spikes, spread evenly across the T timesteps
+// (Bresenham spacing) so that truncated prefixes are maximally
+// informative — the property that lets one T=30 simulation evaluate
+// every accuracy-vs-timestep point of Figs. 7 and 9.
+#pragma once
+
+#include <cstdint>
+
+#include "snn/spike.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sia::snn {
+
+/// Encode one image [1, C, H, W] (or [C, H, W]-shaped rank-4 with N=1),
+/// values clamped to [0, 1], into T spike maps.
+[[nodiscard]] SpikeTrain encode_thermometer(const tensor::Tensor& image,
+                                            std::int64_t timesteps);
+
+/// Adapt pre-rasterised spike frames [T, C, H, W] (e.g. DVS events from
+/// data::events_to_frames) into a SpikeTrain; nonzero = spike.
+[[nodiscard]] SpikeTrain frames_to_train(const tensor::Tensor& frames);
+
+/// Mean value represented by a train (diagnostic: decode error of the
+/// encoder is bounded by 1/(2T)).
+[[nodiscard]] double decode_mean_rate(const SpikeTrain& train);
+
+}  // namespace sia::snn

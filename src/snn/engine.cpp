@@ -1,0 +1,189 @@
+#include "snn/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "snn/compute.hpp"
+
+namespace sia::snn {
+
+
+std::int64_t RunResult::predicted_class(std::int64_t t) const {
+    const auto& logits = logits_per_step.at(static_cast<std::size_t>(t));
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < logits.size(); ++j) {
+        if (logits[j] > logits[best]) best = j;
+    }
+    return static_cast<std::int64_t>(best);
+}
+
+FunctionalEngine::FunctionalEngine(const SnnModel& model) : model_(model) {
+    model_.validate();
+    const std::size_t n = model_.layers.size();
+    main_wt_.resize(n);
+    skip_wt_.resize(n);
+    membranes_.resize(n);
+    psum_.resize(n);
+    spikes_.resize(n);
+    spike_counts_.assign(n, 0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const SnnLayer& layer = model_.layers[i];
+        if (layer.op == LayerOp::kConv) {
+            main_wt_[i] = compute::transpose_conv(layer.main);
+            if (layer.has_skip() && !layer.skip_is_identity) {
+                skip_wt_[i] = compute::transpose_conv(layer.skip);
+            }
+        } else {
+            main_wt_[i] = compute::transpose_linear(layer.main);
+        }
+        membranes_[i].assign(static_cast<std::size_t>(layer.neurons()), 0);
+        psum_[i].assign(static_cast<std::size_t>(layer.neurons()), 0);
+        spikes_[i] = SpikeMap(layer.out_channels, layer.out_h, layer.out_w);
+    }
+    readout_.assign(static_cast<std::size_t>(model_.classes), 0);
+    reset();
+}
+
+void FunctionalEngine::reset() {
+    for (std::size_t i = 0; i < model_.layers.size(); ++i) {
+        const SnnLayer& layer = model_.layers[i];
+        std::fill(membranes_[i].begin(), membranes_[i].end(),
+                  layer.spiking ? layer.initial_potential : std::int16_t{0});
+        spikes_[i].clear();
+        spike_counts_[i] = 0;
+    }
+    std::fill(readout_.begin(), readout_.end(), std::int64_t{0});
+}
+
+const SpikeMap& FunctionalEngine::source_spikes(int src, const SpikeMap& input) const {
+    return src == -1 ? input : spikes_.at(static_cast<std::size_t>(src));
+}
+
+void FunctionalEngine::step(const SpikeMap& input) {
+    if (input.channels() != model_.input_channels || input.height() != model_.input_h ||
+        input.width() != model_.input_w) {
+        throw std::invalid_argument("FunctionalEngine::step: input geometry mismatch");
+    }
+    current_input_ = &input;
+    for (std::size_t i = 0; i < model_.layers.size(); ++i) {
+        const SnnLayer& layer = model_.layers[i];
+        const SpikeMap& in = source_spikes(layer.input, input);
+        if (layer.op == LayerOp::kConv) {
+            run_conv_layer(i, in);
+        } else {
+            run_linear_layer(i, in);
+        }
+        integrate_and_fire(i);
+        // integrate_and_fire needs the skip source; it reads it lazily via
+        // the spikes_ array, which is valid because skip_src < i.
+    }
+}
+
+void FunctionalEngine::run_conv_layer(std::size_t index, const SpikeMap& input) {
+    const SnnLayer& layer = model_.layers[index];
+    compute::conv_psum(layer.main, main_wt_[index], input, layer.out_h, layer.out_w,
+                       psum_[index]);
+}
+
+void FunctionalEngine::run_linear_layer(std::size_t index, const SpikeMap& input) {
+    const SnnLayer& layer = model_.layers[index];
+    compute::linear_psum(layer.main, main_wt_[index], input, psum_[index]);
+}
+
+void FunctionalEngine::integrate_and_fire(std::size_t index) {
+    const SnnLayer& layer = model_.layers[index];
+    auto& psum = psum_[index];
+
+    if (!layer.spiking) {
+        // Readout layer: accumulate aggregated current into wide logits.
+        for (std::int64_t f = 0; f < layer.out_channels; ++f) {
+            const std::int16_t m =
+                compute::aggregate(psum[static_cast<std::size_t>(f)],
+                          layer.main.gain[static_cast<std::size_t>(f)],
+                          layer.main.bias[static_cast<std::size_t>(f)],
+                          layer.main.gain_shift);
+            readout_[static_cast<std::size_t>(f)] += m;
+        }
+        return;
+    }
+
+    auto& mem = membranes_[index];
+    SpikeMap& out = spikes_[index];
+    out.clear();
+
+    // Skip-path precomputation (psum for downsample branch).
+    const bool has_skip = layer.has_skip();
+    const SpikeMap* skip_spikes = nullptr;
+    std::vector<std::int32_t> skip_psum;
+    if (has_skip) {
+        // skip_src may be -1 (network input) when the stem runs on the
+        // processor-side front end and the first block skips from it.
+        skip_spikes = layer.skip_src == -1
+                          ? current_input_
+                          : &spikes_.at(static_cast<std::size_t>(layer.skip_src));
+        if (!layer.skip_is_identity) {
+            skip_psum.assign(static_cast<std::size_t>(layer.neurons()), 0);
+            compute::conv_psum(layer.skip, skip_wt_[index], *skip_spikes, layer.out_h,
+                               layer.out_w, skip_psum);
+        }
+    }
+
+    const std::int64_t oc = layer.out_channels;
+    const std::int64_t oh = layer.out_h;
+    const std::int64_t ow = layer.out_w;
+    std::int64_t fired = 0;
+    for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+            for (std::int64_t o = 0; o < oc; ++o) {
+                const std::size_t hwc = static_cast<std::size_t>((y * ow + x) * oc + o);
+                const std::size_t chw = static_cast<std::size_t>((o * oh + y) * ow + x);
+                std::int16_t m = compute::aggregate(psum[hwc], layer.main.gain[static_cast<std::size_t>(o)],
+                                           layer.main.bias[static_cast<std::size_t>(o)],
+                                           layer.main.gain_shift);
+                if (has_skip) {
+                    if (layer.skip_is_identity) {
+                        if (skip_spikes->get(o, y, x)) {
+                            m = util::sat_add16(m, layer.identity_skip.charge);
+                        }
+                    } else {
+                        const std::int16_t ms = compute::aggregate(
+                            skip_psum[hwc], layer.skip.gain[static_cast<std::size_t>(o)],
+                            layer.skip.bias[static_cast<std::size_t>(o)],
+                            layer.skip.gain_shift);
+                        m = util::sat_add16(m, ms);
+                    }
+                }
+                bool spike = false;
+                mem[chw] = compute::update_neuron(mem[chw], m, layer, spike);
+                if (spike) {
+                    out.set(o, y, x, true);
+                    ++fired;
+                }
+            }
+        }
+    }
+    spike_counts_[index] += fired;
+}
+
+RunResult FunctionalEngine::run(const SpikeTrain& input) {
+    reset();
+    RunResult res;
+    res.timesteps = static_cast<std::int64_t>(input.size());
+    res.logits_per_step.reserve(input.size());
+    for (const SpikeMap& frame : input) {
+        step(frame);
+        res.logits_per_step.push_back(readout_);
+    }
+    res.spike_counts = spike_counts_;
+    res.neuron_counts.reserve(model_.layers.size());
+    for (const SnnLayer& layer : model_.layers) res.neuron_counts.push_back(layer.neurons());
+    return res;
+}
+
+RunResult run_snn(const SnnModel& model, const SpikeTrain& input) {
+    FunctionalEngine engine(model);
+    return engine.run(input);
+}
+
+}  // namespace sia::snn

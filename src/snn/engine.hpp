@@ -1,0 +1,99 @@
+// Functional (bit-accurate, cycle-agnostic) execution engine for
+// SnnModel. This is the semantic reference implementation: the
+// cycle-accurate hardware simulator (sim::Sia) must reproduce its spikes
+// and readout bit-exactly (asserted by core::Deployer and the
+// integration tests).
+//
+// Per timestep, layers execute in index order (synchronous feed-forward
+// ripple, the standard schedule for ANN-converted SNNs and exactly the
+// layer-sequential flow of the paper's Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "snn/model.hpp"
+#include "snn/spike.hpp"
+
+namespace sia::snn {
+
+/// Aggregate results of a run.
+struct RunResult {
+    /// Accumulated readout (logits) after each timestep: [T][classes].
+    std::vector<std::vector<std::int64_t>> logits_per_step;
+    /// Total output spikes per layer over the whole run.
+    std::vector<std::int64_t> spike_counts;
+    /// Neurons per layer (denominator for spike rates).
+    std::vector<std::int64_t> neuron_counts;
+    std::int64_t timesteps = 0;
+
+    /// Average spikes per neuron per timestep for layer `i` (Fig. 6/8).
+    [[nodiscard]] double spike_rate(std::size_t i) const {
+        const auto denom = static_cast<double>(neuron_counts.at(i)) *
+                           static_cast<double>(timesteps);
+        return denom > 0 ? static_cast<double>(spike_counts.at(i)) / denom : 0.0;
+    }
+
+    /// Prediction after timestep `t` (argmax of accumulated logits).
+    [[nodiscard]] std::int64_t predicted_class(std::int64_t t) const;
+};
+
+class FunctionalEngine {
+public:
+    /// Keeps a reference to `model` (must outlive the engine); validates
+    /// it and precomputes gather-friendly weight layouts.
+    explicit FunctionalEngine(const SnnModel& model);
+
+    /// Reset membranes to their initial potential and clear the readout.
+    void reset();
+
+    /// Advance one timestep with the given input spikes.
+    void step(const SpikeMap& input);
+
+    /// reset() + step() over the train; collects statistics.
+    [[nodiscard]] RunResult run(const SpikeTrain& input);
+
+    /// Output spikes of layer `i` at the most recent timestep.
+    [[nodiscard]] const SpikeMap& layer_spikes(std::size_t i) const {
+        return spikes_.at(i);
+    }
+    /// Membrane potentials of layer `i` (CHW order).
+    [[nodiscard]] std::span<const std::int16_t> membrane(std::size_t i) const {
+        return membranes_.at(i);
+    }
+    /// Accumulated readout logits.
+    [[nodiscard]] const std::vector<std::int64_t>& readout() const noexcept {
+        return readout_;
+    }
+    /// Output spike count of layer `i` accumulated since reset().
+    [[nodiscard]] std::int64_t spike_count(std::size_t i) const {
+        return spike_counts_.at(i);
+    }
+
+    [[nodiscard]] const SnnModel& model() const noexcept { return model_; }
+
+private:
+    void run_conv_layer(std::size_t index, const SpikeMap& input);
+    void run_linear_layer(std::size_t index, const SpikeMap& input);
+    void integrate_and_fire(std::size_t index);
+    [[nodiscard]] const SpikeMap& source_spikes(int src, const SpikeMap& input) const;
+
+    const SnnModel& model_;
+    /// Transposed weights per layer branch: [IC*k*k][OC] contiguous in OC
+    /// for cache-friendly gather accumulation.
+    std::vector<std::vector<std::int8_t>> main_wt_;
+    std::vector<std::vector<std::int8_t>> skip_wt_;
+
+    std::vector<std::vector<std::int16_t>> membranes_;   // per layer, CHW
+    std::vector<std::vector<std::int32_t>> psum_;        // scratch, CHW
+    std::vector<SpikeMap> spikes_;                       // per layer, this step
+    std::vector<std::int64_t> readout_;                  // accumulated logits
+    std::vector<std::int64_t> spike_counts_;             // per layer since reset
+    const SpikeMap* current_input_ = nullptr;            // valid during step()
+};
+
+/// Convenience: run a model over an encoded input and return results.
+[[nodiscard]] RunResult run_snn(const SnnModel& model, const SpikeTrain& input);
+
+}  // namespace sia::snn

@@ -1,0 +1,114 @@
+#include "snn/model.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sia::snn {
+
+namespace {
+
+void require(bool cond, const std::string& what) {
+    if (!cond) throw std::invalid_argument("SnnModel::validate: " + what);
+}
+
+void validate_conv_branch(const Branch& b, const std::string& label) {
+    require(b.in_channels > 0 && b.out_channels > 0, label + ": bad channels");
+    require(b.kernel > 0 && b.stride > 0 && b.padding >= 0, label + ": bad geometry");
+    require(static_cast<std::int64_t>(b.weights.size()) ==
+                b.out_channels * b.in_channels * b.kernel * b.kernel,
+            label + ": weight size mismatch");
+    require(static_cast<std::int64_t>(b.gain.size()) == b.out_channels,
+            label + ": gain size mismatch");
+    require(static_cast<std::int64_t>(b.bias.size()) == b.out_channels,
+            label + ": bias size mismatch");
+    require(b.gain_shift >= 0 && b.gain_shift <= 15, label + ": bad gain shift");
+}
+
+void validate_linear_branch(const Branch& b, const std::string& label) {
+    require(b.in_features > 0 && b.out_features > 0, label + ": bad features");
+    require(static_cast<std::int64_t>(b.weights.size()) == b.out_features * b.in_features,
+            label + ": weight size mismatch");
+    require(static_cast<std::int64_t>(b.gain.size()) == b.out_features,
+            label + ": gain size mismatch");
+    require(static_cast<std::int64_t>(b.bias.size()) == b.out_features,
+            label + ": bias size mismatch");
+}
+
+}  // namespace
+
+void SnnModel::validate() const {
+    require(input_channels > 0 && input_h > 0 && input_w > 0, "bad input geometry");
+    require(!layers.empty(), "no layers");
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const SnnLayer& layer = layers[i];
+        const std::string label = layer.label.empty() ? ("layer" + std::to_string(i))
+                                                      : layer.label;
+        require(layer.input >= -1 && layer.input < static_cast<int>(i),
+                label + ": input must reference an earlier layer");
+        require(layer.spiking || layer.op == LayerOp::kLinear,
+                label + ": readout (non-spiking) layers must be linear");
+        if (layer.op == LayerOp::kConv) {
+            validate_conv_branch(layer.main, label + ".main");
+            const std::int64_t in_c =
+                layer.input == -1 ? input_channels
+                                  : layers[static_cast<std::size_t>(layer.input)].out_channels;
+            require(layer.main.in_channels == in_c, label + ": input channel mismatch");
+            require(layer.out_channels == layer.main.out_channels,
+                    label + ": out_channels mismatch");
+        } else {
+            validate_linear_branch(layer.main, label + ".main");
+            require(layer.out_channels == layer.main.out_features,
+                    label + ": out_features mismatch");
+            const std::int64_t src_neurons =
+                layer.input == -1
+                    ? input_channels * input_h * input_w
+                    : layers[static_cast<std::size_t>(layer.input)].neurons();
+            require(layer.main.in_features == src_neurons,
+                    label + ": in_features does not match source layer size");
+        }
+        if (layer.has_skip()) {
+            require(layer.op == LayerOp::kConv, label + ": skip only on conv layers");
+            require(layer.skip_src >= -1 && layer.skip_src < static_cast<int>(i),
+                    label + ": skip must reference an earlier layer");
+            if (!layer.skip_is_identity) {
+                validate_conv_branch(layer.skip, label + ".skip");
+                require(layer.skip.out_channels == layer.out_channels,
+                        label + ": skip out_channels mismatch");
+            } else {
+                const std::int64_t src_c =
+                    layer.skip_src == -1
+                        ? input_channels
+                        : layers[static_cast<std::size_t>(layer.skip_src)].out_channels;
+                require(src_c == layer.out_channels,
+                        label + ": identity skip channel mismatch");
+            }
+        }
+        require(layer.threshold > 0, label + ": non-positive threshold");
+        require(layer.out_h > 0 && layer.out_w > 0, label + ": bad output geometry");
+    }
+}
+
+std::uint64_t SnnModel::ops_per_timestep() const noexcept {
+    std::uint64_t ops = 0;
+    for (const SnnLayer& layer : layers) {
+        if (layer.op == LayerOp::kConv) {
+            const auto& b = layer.main;
+            ops += static_cast<std::uint64_t>(layer.out_h * layer.out_w * b.out_channels *
+                                              b.in_channels * b.kernel * b.kernel) *
+                   2ULL;
+            if (layer.has_skip() && !layer.skip_is_identity) {
+                const auto& s = layer.skip;
+                ops += static_cast<std::uint64_t>(layer.out_h * layer.out_w *
+                                                  s.out_channels * s.in_channels) *
+                       2ULL;
+            }
+        } else {
+            ops += static_cast<std::uint64_t>(layer.main.in_features *
+                                              layer.main.out_features) *
+                   2ULL;
+        }
+    }
+    return ops;
+}
+
+}  // namespace sia::snn

@@ -1,0 +1,59 @@
+// Binary spike maps: the signals exchanged between SNN layers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sia::snn {
+
+/// Dense binary spike map over a CHW volume for one timestep.
+/// Stored as bytes for fast iteration; values are strictly 0/1.
+class SpikeMap {
+public:
+    SpikeMap() = default;
+    SpikeMap(std::int64_t channels, std::int64_t height, std::int64_t width)
+        : c_(channels), h_(height), w_(width),
+          bits_(static_cast<std::size_t>(channels * height * width), 0) {}
+
+    [[nodiscard]] std::int64_t channels() const noexcept { return c_; }
+    [[nodiscard]] std::int64_t height() const noexcept { return h_; }
+    [[nodiscard]] std::int64_t width() const noexcept { return w_; }
+    [[nodiscard]] std::int64_t size() const noexcept { return c_ * h_ * w_; }
+
+    [[nodiscard]] bool get(std::int64_t c, std::int64_t y, std::int64_t x) const noexcept {
+        return bits_[static_cast<std::size_t>((c * h_ + y) * w_ + x)] != 0;
+    }
+    void set(std::int64_t c, std::int64_t y, std::int64_t x, bool v) noexcept {
+        bits_[static_cast<std::size_t>((c * h_ + y) * w_ + x)] = v ? 1 : 0;
+    }
+
+    [[nodiscard]] bool get_flat(std::int64_t i) const noexcept {
+        return bits_[static_cast<std::size_t>(i)] != 0;
+    }
+    void set_flat(std::int64_t i, bool v) noexcept {
+        bits_[static_cast<std::size_t>(i)] = v ? 1 : 0;
+    }
+
+    void clear() noexcept { std::fill(bits_.begin(), bits_.end(), 0); }
+
+    /// Number of set bits (spike count this timestep).
+    [[nodiscard]] std::int64_t count() const noexcept {
+        std::int64_t n = 0;
+        for (const auto b : bits_) n += b;
+        return n;
+    }
+
+    [[nodiscard]] const std::vector<std::uint8_t>& raw() const noexcept { return bits_; }
+    [[nodiscard]] std::vector<std::uint8_t>& raw() noexcept { return bits_; }
+
+private:
+    std::int64_t c_ = 0;
+    std::int64_t h_ = 0;
+    std::int64_t w_ = 0;
+    std::vector<std::uint8_t> bits_;
+};
+
+/// A spike train: one SpikeMap per timestep (all same geometry).
+using SpikeTrain = std::vector<SpikeMap>;
+
+}  // namespace sia::snn

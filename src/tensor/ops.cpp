@@ -1,0 +1,340 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sia::tensor {
+
+namespace {
+
+void check(bool cond, const char* msg) {
+    if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+    const std::int64_t m = a.dim(0);
+    const std::int64_t k = a.dim(1);
+    const std::int64_t n = b.dim(1);
+    check(b.dim(0) == k, "matmul: inner dims mismatch");
+    check(out.dim(0) == m && out.dim(1) == n, "matmul: out shape mismatch");
+    out.fill(0.0F);
+    const float* pa = a.raw();
+    const float* pb = b.raw();
+    float* pc = out.raw();
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float av = pa[i * k + kk];
+            if (av == 0.0F) continue;
+            const float* brow = pb + kk * n;
+            float* crow = pc + i * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+}
+
+void matmul_tn(const Tensor& a_t, const Tensor& b, Tensor& out) {
+    // a_t is [k, m]; computes out[m, n] = a_t^T * b.
+    const std::int64_t k = a_t.dim(0);
+    const std::int64_t m = a_t.dim(1);
+    const std::int64_t n = b.dim(1);
+    check(b.dim(0) == k, "matmul_tn: inner dims mismatch");
+    check(out.dim(0) == m && out.dim(1) == n, "matmul_tn: out shape mismatch");
+    out.fill(0.0F);
+    const float* pa = a_t.raw();
+    const float* pb = b.raw();
+    float* pc = out.raw();
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* arow = pa + kk * m;
+        const float* brow = pb + kk * n;
+        for (std::int64_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0F) continue;
+            float* crow = pc + i * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+}
+
+void matmul_nt(const Tensor& a, const Tensor& b_t, Tensor& out) {
+    // b_t is [n, k]; computes out[m, n] = a * b_t^T.
+    const std::int64_t m = a.dim(0);
+    const std::int64_t k = a.dim(1);
+    const std::int64_t n = b_t.dim(0);
+    check(b_t.dim(1) == k, "matmul_nt: inner dims mismatch");
+    check(out.dim(0) == m && out.dim(1) == n, "matmul_nt: out shape mismatch");
+    const float* pa = a.raw();
+    const float* pb = b_t.raw();
+    float* pc = out.raw();
+    for (std::int64_t i = 0; i < m; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            double acc = 0.0;
+            for (std::int64_t kk = 0; kk < k; ++kk) acc += double(arow[kk]) * double(brow[kk]);
+            crow[j] = static_cast<float>(acc);
+        }
+    }
+}
+
+void im2col(const Tensor& input, std::int64_t sample, const ConvGeometry& g,
+            std::int64_t in_h, std::int64_t in_w, Tensor& cols) {
+    const std::int64_t oh = g.out_size(in_h);
+    const std::int64_t ow = g.out_size(in_w);
+    const std::int64_t ic = g.in_channels;
+    check(cols.dim(0) == ic * g.kernel * g.kernel && cols.dim(1) == oh * ow,
+          "im2col: cols shape mismatch");
+    const float* in = input.raw() + sample * ic * in_h * in_w;
+    float* pc = cols.raw();
+    for (std::int64_t c = 0; c < ic; ++c) {
+        const float* chan = in + c * in_h * in_w;
+        for (std::int64_t kr = 0; kr < g.kernel; ++kr) {
+            for (std::int64_t kc = 0; kc < g.kernel; ++kc) {
+                float* dst = pc + ((c * g.kernel + kr) * g.kernel + kc) * oh * ow;
+                for (std::int64_t y = 0; y < oh; ++y) {
+                    const std::int64_t iy = y * g.stride + kr - g.padding;
+                    if (iy < 0 || iy >= in_h) {
+                        std::fill(dst + y * ow, dst + (y + 1) * ow, 0.0F);
+                        continue;
+                    }
+                    for (std::int64_t x = 0; x < ow; ++x) {
+                        const std::int64_t ix = x * g.stride + kc - g.padding;
+                        dst[y * ow + x] =
+                            (ix >= 0 && ix < in_w) ? chan[iy * in_w + ix] : 0.0F;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void col2im(const Tensor& cols, std::int64_t sample, const ConvGeometry& g,
+            std::int64_t in_h, std::int64_t in_w, Tensor& grad_input) {
+    const std::int64_t oh = g.out_size(in_h);
+    const std::int64_t ow = g.out_size(in_w);
+    const std::int64_t ic = g.in_channels;
+    float* out = grad_input.raw() + sample * ic * in_h * in_w;
+    const float* pc = cols.raw();
+    for (std::int64_t c = 0; c < ic; ++c) {
+        float* chan = out + c * in_h * in_w;
+        for (std::int64_t kr = 0; kr < g.kernel; ++kr) {
+            for (std::int64_t kc = 0; kc < g.kernel; ++kc) {
+                const float* src = pc + ((c * g.kernel + kr) * g.kernel + kc) * oh * ow;
+                for (std::int64_t y = 0; y < oh; ++y) {
+                    const std::int64_t iy = y * g.stride + kr - g.padding;
+                    if (iy < 0 || iy >= in_h) continue;
+                    for (std::int64_t x = 0; x < ow; ++x) {
+                        const std::int64_t ix = x * g.stride + kc - g.padding;
+                        if (ix >= 0 && ix < in_w) chan[iy * in_w + ix] += src[y * ow + x];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                    const ConvGeometry& g, Tensor& out) {
+    const std::int64_t n = input.dim(0);
+    const std::int64_t in_h = input.dim(2);
+    const std::int64_t in_w = input.dim(3);
+    const std::int64_t oh = g.out_size(in_h);
+    const std::int64_t ow = g.out_size(in_w);
+    check(input.dim(1) == g.in_channels, "conv2d: input channels mismatch");
+    check(weight.dim(0) == g.out_channels, "conv2d: weight OC mismatch");
+    check(out.dim(0) == n && out.dim(1) == g.out_channels && out.dim(2) == oh &&
+              out.dim(3) == ow,
+          "conv2d: out shape mismatch");
+
+    const std::int64_t patch = g.in_channels * g.kernel * g.kernel;
+    Tensor cols(Shape{patch, oh * ow});
+    const Tensor wmat = weight.reshaped(Shape{g.out_channels, patch});
+    Tensor result(Shape{g.out_channels, oh * ow});
+    const bool has_bias = bias.rank() == 1;
+
+    for (std::int64_t s = 0; s < n; ++s) {
+        im2col(input, s, g, in_h, in_w, cols);
+        matmul(wmat, cols, result);
+        float* dst = out.raw() + s * g.out_channels * oh * ow;
+        const float* src = result.raw();
+        if (has_bias) {
+            for (std::int64_t c = 0; c < g.out_channels; ++c) {
+                const float b = bias.flat(c);
+                for (std::int64_t i = 0; i < oh * ow; ++i) {
+                    dst[c * oh * ow + i] = src[c * oh * ow + i] + b;
+                }
+            }
+        } else {
+            std::copy(src, src + g.out_channels * oh * ow, dst);
+        }
+    }
+}
+
+void conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& grad_out,
+                     const ConvGeometry& g, Tensor& grad_input, Tensor& grad_weight,
+                     Tensor& grad_bias) {
+    const std::int64_t n = input.dim(0);
+    const std::int64_t in_h = input.dim(2);
+    const std::int64_t in_w = input.dim(3);
+    const std::int64_t oh = g.out_size(in_h);
+    const std::int64_t ow = g.out_size(in_w);
+    const std::int64_t patch = g.in_channels * g.kernel * g.kernel;
+
+    grad_input.fill(0.0F);
+    grad_weight.fill(0.0F);
+    const bool has_bias = grad_bias.rank() == 1;
+    if (has_bias) grad_bias.fill(0.0F);
+
+    Tensor cols(Shape{patch, oh * ow});
+    Tensor gcols(Shape{patch, oh * ow});
+    const Tensor wmat = weight.reshaped(Shape{g.out_channels, patch});
+    Tensor gw_acc(Shape{g.out_channels, patch});
+
+    for (std::int64_t s = 0; s < n; ++s) {
+        // grad wrt weights: gW += gOut_s[OC, OHW] * cols^T  -> use matmul_nt.
+        im2col(input, s, g, in_h, in_w, cols);
+        const Tensor gout_s(Shape{g.out_channels, oh * ow},
+                            std::vector<float>(grad_out.raw() + s * g.out_channels * oh * ow,
+                                               grad_out.raw() + (s + 1) * g.out_channels * oh * ow));
+        matmul_nt(gout_s, cols, gw_acc);
+        for (std::int64_t i = 0; i < g.out_channels * patch; ++i) {
+            grad_weight.flat(i) += gw_acc.flat(i);
+        }
+        // grad wrt input: gCols = W^T[patch, OC] * gOut_s -> matmul_tn, then col2im.
+        matmul_tn(wmat, gout_s, gcols);
+        col2im(gcols, s, g, in_h, in_w, grad_input);
+        if (has_bias) {
+            for (std::int64_t c = 0; c < g.out_channels; ++c) {
+                double acc = 0.0;
+                const float* row = gout_s.raw() + c * oh * ow;
+                for (std::int64_t i = 0; i < oh * ow; ++i) acc += row[i];
+                grad_bias.flat(c) += static_cast<float>(acc);
+            }
+        }
+    }
+}
+
+void avgpool2d_forward(const Tensor& input, std::int64_t kernel, Tensor& out) {
+    const std::int64_t n = input.dim(0);
+    const std::int64_t c = input.dim(1);
+    const std::int64_t h = input.dim(2);
+    const std::int64_t w = input.dim(3);
+    const std::int64_t oh = h / kernel;
+    const std::int64_t ow = w / kernel;
+    check(out.dim(2) == oh && out.dim(3) == ow, "avgpool: out shape mismatch");
+    const float inv = 1.0F / static_cast<float>(kernel * kernel);
+    for (std::int64_t s = 0; s < n; ++s) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+            for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t x = 0; x < ow; ++x) {
+                    float acc = 0.0F;
+                    for (std::int64_t ky = 0; ky < kernel; ++ky) {
+                        for (std::int64_t kx = 0; kx < kernel; ++kx) {
+                            acc += input.at(s, ch, y * kernel + ky, x * kernel + kx);
+                        }
+                    }
+                    out.at(s, ch, y, x) = acc * inv;
+                }
+            }
+        }
+    }
+}
+
+void avgpool2d_backward(const Tensor& grad_out, std::int64_t kernel, Tensor& grad_input) {
+    grad_input.fill(0.0F);
+    const std::int64_t n = grad_out.dim(0);
+    const std::int64_t c = grad_out.dim(1);
+    const std::int64_t oh = grad_out.dim(2);
+    const std::int64_t ow = grad_out.dim(3);
+    const float inv = 1.0F / static_cast<float>(kernel * kernel);
+    for (std::int64_t s = 0; s < n; ++s) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+            for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t x = 0; x < ow; ++x) {
+                    const float gv = grad_out.at(s, ch, y, x) * inv;
+                    for (std::int64_t ky = 0; ky < kernel; ++ky) {
+                        for (std::int64_t kx = 0; kx < kernel; ++kx) {
+                            grad_input.at(s, ch, y * kernel + ky, x * kernel + kx) += gv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void maxpool2d_forward(const Tensor& input, std::int64_t kernel, Tensor& out,
+                       std::vector<std::int64_t>& argmax) {
+    const std::int64_t n = input.dim(0);
+    const std::int64_t c = input.dim(1);
+    const std::int64_t h = input.dim(2);
+    const std::int64_t w = input.dim(3);
+    const std::int64_t oh = h / kernel;
+    const std::int64_t ow = w / kernel;
+    argmax.assign(static_cast<std::size_t>(n * c * oh * ow), 0);
+    std::int64_t oidx = 0;
+    for (std::int64_t s = 0; s < n; ++s) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+            for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t x = 0; x < ow; ++x, ++oidx) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::int64_t best_idx = 0;
+                    for (std::int64_t ky = 0; ky < kernel; ++ky) {
+                        for (std::int64_t kx = 0; kx < kernel; ++kx) {
+                            const std::int64_t iy = y * kernel + ky;
+                            const std::int64_t ix = x * kernel + kx;
+                            const float v = input.at(s, ch, iy, ix);
+                            if (v > best) {
+                                best = v;
+                                best_idx = ((s * c + ch) * h + iy) * w + ix;
+                            }
+                        }
+                    }
+                    out.at(s, ch, y, x) = best;
+                    argmax[static_cast<std::size_t>(oidx)] = best_idx;
+                }
+            }
+        }
+    }
+}
+
+void maxpool2d_backward(const Tensor& grad_out, const std::vector<std::int64_t>& argmax,
+                        Tensor& grad_input) {
+    grad_input.fill(0.0F);
+    for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+        grad_input.flat(argmax[static_cast<std::size_t>(i)]) += grad_out.flat(i);
+    }
+}
+
+void linear_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                    Tensor& out) {
+    matmul_nt(input, weight, out);
+    if (bias.rank() == 1) {
+        const std::int64_t n = out.dim(0);
+        const std::int64_t f = out.dim(1);
+        for (std::int64_t i = 0; i < n; ++i) {
+            for (std::int64_t j = 0; j < f; ++j) out.at(i, j) += bias.flat(j);
+        }
+    }
+}
+
+void linear_backward(const Tensor& input, const Tensor& weight, const Tensor& grad_out,
+                     Tensor& grad_input, Tensor& grad_weight, Tensor& grad_bias) {
+    // grad_input[N,D] = grad_out[N,F] * weight[F,D]
+    matmul(grad_out, weight, grad_input);
+    // grad_weight[F,D] = grad_out^T[F,N] * input[N,D]
+    matmul_tn(grad_out, input, grad_weight);
+    if (grad_bias.rank() == 1) {
+        grad_bias.fill(0.0F);
+        const std::int64_t n = grad_out.dim(0);
+        const std::int64_t f = grad_out.dim(1);
+        for (std::int64_t i = 0; i < n; ++i) {
+            for (std::int64_t j = 0; j < f; ++j) grad_bias.flat(j) += grad_out.at(i, j);
+        }
+    }
+}
+
+}  // namespace sia::tensor

@@ -1,0 +1,72 @@
+// Dense tensor kernels: matmul, im2col convolution (forward + backward),
+// pooling, and the small elementwise pieces the trainer needs. All
+// kernels are single-threaded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace sia::tensor {
+
+/// Convolution geometry shared by forward/backward and by the SIA
+/// compiler (the hardware executes the same geometry event-driven).
+struct ConvGeometry {
+    std::int64_t in_channels = 0;
+    std::int64_t out_channels = 0;
+    std::int64_t kernel = 3;   ///< square kernel (paper PE is sized for 3x3; others supported)
+    std::int64_t stride = 1;
+    std::int64_t padding = 1;
+
+    [[nodiscard]] std::int64_t out_size(std::int64_t in_size) const noexcept {
+        return (in_size + 2 * padding - kernel) / stride + 1;
+    }
+};
+
+/// C[m,n] = A[m,k] * B[k,n].
+void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+/// C[m,n] = A^T[k,m]^T * B ... i.e. C = A_t' * B where a_t is [k,m].
+void matmul_tn(const Tensor& a_t, const Tensor& b, Tensor& out);
+/// C[m,n] = A[m,k] * B_t[n,k]^T.
+void matmul_nt(const Tensor& a, const Tensor& b_t, Tensor& out);
+
+/// Unfold one sample (C,H,W view inside a batch tensor) into columns
+/// [C*k*k, OH*OW] with zero padding.
+void im2col(const Tensor& input, std::int64_t sample, const ConvGeometry& g,
+            std::int64_t in_h, std::int64_t in_w, Tensor& cols);
+
+/// Fold columns back into an input-shaped gradient (accumulates).
+void col2im(const Tensor& cols, std::int64_t sample, const ConvGeometry& g,
+            std::int64_t in_h, std::int64_t in_w, Tensor& grad_input);
+
+/// out[N,OC,OH,OW] = conv(input[N,IC,H,W], weight[OC,IC,k,k]) + bias[OC].
+/// `bias` may be empty (rank 0) to skip bias addition.
+void conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                    const ConvGeometry& g, Tensor& out);
+
+/// Backward pass: fills grad_input (same shape as input), grad_weight,
+/// grad_bias (pass empty tensors sized appropriately; they are overwritten).
+void conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& grad_out,
+                     const ConvGeometry& g, Tensor& grad_input, Tensor& grad_weight,
+                     Tensor& grad_bias);
+
+/// Average pooling with square kernel and stride == kernel (the only form
+/// the models use). out[N,C,H/k,W/k].
+void avgpool2d_forward(const Tensor& input, std::int64_t kernel, Tensor& out);
+void avgpool2d_backward(const Tensor& grad_out, std::int64_t kernel, Tensor& grad_input);
+
+/// Max pooling with square kernel and stride == kernel; `argmax` records
+/// the flat input index chosen per output element for the backward pass.
+void maxpool2d_forward(const Tensor& input, std::int64_t kernel, Tensor& out,
+                       std::vector<std::int64_t>& argmax);
+void maxpool2d_backward(const Tensor& grad_out, const std::vector<std::int64_t>& argmax,
+                        Tensor& grad_input);
+
+/// out[N,F] = input[N,D] * weight[F,D]^T + bias[F].
+void linear_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                    Tensor& out);
+void linear_backward(const Tensor& input, const Tensor& weight, const Tensor& grad_out,
+                     Tensor& grad_input, Tensor& grad_weight, Tensor& grad_bias);
+
+}  // namespace sia::tensor

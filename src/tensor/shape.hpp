@@ -1,0 +1,69 @@
+// Tensor shape: a small fixed-capacity dimension list with row-major
+// stride computation. NCHW layout throughout the project.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+namespace sia::tensor {
+
+/// Shape of a dense row-major tensor; at most 4 dimensions (N, C, H, W).
+/// Rank-0 means "empty/unshaped".
+class Shape {
+public:
+    static constexpr std::size_t kMaxRank = 4;
+
+    Shape() = default;
+
+    Shape(std::initializer_list<std::int64_t> dims) {
+        if (dims.size() > kMaxRank) throw std::invalid_argument("Shape: rank > 4");
+        for (const auto d : dims) {
+            if (d <= 0) throw std::invalid_argument("Shape: dims must be positive");
+            dims_[rank_++] = d;
+        }
+    }
+
+    [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+
+    [[nodiscard]] std::int64_t dim(std::size_t i) const {
+        if (i >= rank_) throw std::out_of_range("Shape::dim");
+        return dims_[i];
+    }
+
+    [[nodiscard]] std::int64_t operator[](std::size_t i) const { return dim(i); }
+
+    /// Total element count (1 for rank-0).
+    [[nodiscard]] std::int64_t numel() const noexcept {
+        std::int64_t n = 1;
+        for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+        return n;
+    }
+
+    [[nodiscard]] bool operator==(const Shape& other) const noexcept {
+        if (rank_ != other.rank_) return false;
+        for (std::size_t i = 0; i < rank_; ++i) {
+            if (dims_[i] != other.dims_[i]) return false;
+        }
+        return true;
+    }
+    [[nodiscard]] bool operator!=(const Shape& other) const noexcept { return !(*this == other); }
+
+    [[nodiscard]] std::string to_string() const {
+        std::string s = "[";
+        for (std::size_t i = 0; i < rank_; ++i) {
+            if (i > 0) s += ", ";
+            s += std::to_string(dims_[i]);
+        }
+        return s + "]";
+    }
+
+private:
+    std::array<std::int64_t, kMaxRank> dims_{};
+    std::size_t rank_ = 0;
+};
+
+}  // namespace sia::tensor

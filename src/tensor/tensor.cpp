@@ -1,0 +1,81 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sia::tensor {
+
+Tensor::Tensor(Shape shape)
+    : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), 0.0F) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(shape), data_(std::move(data)) {
+    if (static_cast<std::int64_t>(data_.size()) != shape_.numel()) {
+        throw std::invalid_argument("Tensor: data size does not match shape " +
+                                    shape_.to_string());
+    }
+}
+
+float& Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return data_[static_cast<std::size_t>(((n * dim(1) + c) * dim(2) + h) * dim(3) + w)];
+}
+
+float Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+    return data_[static_cast<std::size_t>(((n * dim(1) + c) * dim(2) + h) * dim(3) + w)];
+}
+
+float& Tensor::at(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * dim(1) + c)];
+}
+
+float Tensor::at(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * dim(1) + c)];
+}
+
+void Tensor::fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::add_(const Tensor& other) {
+    if (!same_shape(other)) throw std::invalid_argument("Tensor::add_: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::scale_(float s) noexcept {
+    for (float& v : data_) v *= s;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+    if (new_shape.numel() != numel()) {
+        throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+    }
+    return Tensor(new_shape, data_);
+}
+
+void Tensor::randn_(util::Rng& rng, float stddev) {
+    for (float& v : data_) v = rng.normal(0.0F, stddev);
+}
+
+void Tensor::rand_uniform_(util::Rng& rng, float bound) {
+    for (float& v : data_) v = rng.uniform(-bound, bound);
+}
+
+float Tensor::sum() const noexcept {
+    double s = 0.0;
+    for (const float v : data_) s += v;
+    return static_cast<float>(s);
+}
+
+float Tensor::abs_max() const noexcept {
+    float m = 0.0F;
+    for (const float v : data_) m = std::max(m, std::abs(v));
+    return m;
+}
+
+Tensor zeros(Shape shape) { return Tensor(shape); }
+
+Tensor ones(Shape shape) {
+    Tensor t(shape);
+    t.fill(1.0F);
+    return t;
+}
+
+}  // namespace sia::tensor

@@ -1,0 +1,85 @@
+// Dense row-major float tensor (NCHW). This is the numeric substrate for
+// ANN training; the SNN/simulator paths use integer buffers of their own
+// (see snn/ and sim/) quantized through util/fixed_point.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "util/rng.hpp"
+
+namespace sia::tensor {
+
+/// Owning dense float tensor. Value semantics; copies are deep.
+class Tensor {
+public:
+    Tensor() = default;
+
+    /// Zero-initialised tensor of the given shape.
+    explicit Tensor(Shape shape);
+
+    /// Construct from shape + existing data (must match numel).
+    Tensor(Shape shape, std::vector<float> data);
+
+    [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+    [[nodiscard]] std::int64_t numel() const noexcept { return shape_.numel(); }
+    [[nodiscard]] std::size_t rank() const noexcept { return shape_.rank(); }
+    [[nodiscard]] std::int64_t dim(std::size_t i) const { return shape_.dim(i); }
+
+    [[nodiscard]] std::span<float> data() noexcept { return data_; }
+    [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+    [[nodiscard]] float* raw() noexcept { return data_.data(); }
+    [[nodiscard]] const float* raw() const noexcept { return data_.data(); }
+
+    /// Flat element access with bounds checking in debug builds only.
+    [[nodiscard]] float& flat(std::int64_t i) noexcept { return data_[static_cast<std::size_t>(i)]; }
+    [[nodiscard]] float flat(std::int64_t i) const noexcept {
+        return data_[static_cast<std::size_t>(i)];
+    }
+
+    /// 4-D accessor (N, C, H, W); requires rank 4.
+    [[nodiscard]] float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+    [[nodiscard]] float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+    /// 2-D accessor (rows, cols); requires rank 2.
+    [[nodiscard]] float& at(std::int64_t r, std::int64_t c);
+    [[nodiscard]] float at(std::int64_t r, std::int64_t c) const;
+
+    /// Fill every element with `v`.
+    void fill(float v) noexcept;
+
+    /// In-place elementwise helpers.
+    void add_(const Tensor& other);
+    void scale_(float s) noexcept;
+
+    /// Reinterpret as a new shape with the same element count.
+    [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+    /// Gaussian init with the given stddev (He/Kaiming handled by caller).
+    void randn_(util::Rng& rng, float stddev);
+    /// Uniform init in [-bound, bound].
+    void rand_uniform_(util::Rng& rng, float bound);
+
+    /// Reductions.
+    [[nodiscard]] float sum() const noexcept;
+    [[nodiscard]] float abs_max() const noexcept;
+
+    [[nodiscard]] bool same_shape(const Tensor& other) const noexcept {
+        return shape_ == other.shape_;
+    }
+
+private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+/// Returns a tensor of the given shape filled with zeros.
+[[nodiscard]] Tensor zeros(Shape shape);
+/// Returns a tensor filled with ones.
+[[nodiscard]] Tensor ones(Shape shape);
+
+}  // namespace sia::tensor

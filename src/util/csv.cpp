@@ -1,0 +1,37 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace sia::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path, std::ios::trunc) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::close() {
+    if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+std::string CsvWriter::escape(const std::string& s) {
+    const bool needs_quote = s.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote) return s;
+    std::string q = "\"";
+    for (const char c : s) {
+        if (c == '"') q += "\"\"";
+        else q += c;
+    }
+    q += '"';
+    return q;
+}
+
+}  // namespace sia::util

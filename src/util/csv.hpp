@@ -1,0 +1,35 @@
+// Minimal CSV emitter. Benches write each figure's series to a CSV next
+// to the human-readable printout so results can be re-plotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sia::util {
+
+/// Writes rows of cells to a CSV file. Cells containing commas, quotes
+/// or newlines are quoted per RFC 4180.
+class CsvWriter {
+public:
+    /// Opens (truncates) the file; throws std::runtime_error on failure.
+    explicit CsvWriter(const std::string& path);
+
+    /// Write one row.
+    void row(const std::vector<std::string>& cells);
+
+    /// Flush and close; called by the destructor as well.
+    void close();
+
+    ~CsvWriter();
+    CsvWriter(const CsvWriter&) = delete;
+    CsvWriter& operator=(const CsvWriter&) = delete;
+    CsvWriter(CsvWriter&&) = default;
+    CsvWriter& operator=(CsvWriter&&) = default;
+
+private:
+    static std::string escape(const std::string& s);
+    std::ofstream out_;
+};
+
+}  // namespace sia::util

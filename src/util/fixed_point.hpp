@@ -1,0 +1,107 @@
+// Fixed-point arithmetic used across the SIA reproduction.
+//
+// The paper's datapath (SOCC 2024, §III) uses:
+//   - INT8 synaptic weights (scale q_w, learnable, per layer),
+//   - 16-bit saturating partial sums produced by the PE row accumulation,
+//   - 16-bit membrane potentials, thresholds and batch-norm coefficients.
+//
+// Every module (software training, functional SNN, cycle-accurate
+// simulator) quantizes through the helpers here so that the three agree
+// bit-exactly.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace sia::util {
+
+/// Number of fractional bits used for membrane-domain quantities
+/// (thresholds, membrane potentials). A layer threshold s_l maps to the
+/// integer value 1 << kThetaFracBits, i.e. the membrane LSB is
+/// s_l / 2^kThetaFracBits.
+inline constexpr int kThetaFracBits = 8;
+
+/// Fixed-point shift applied to the batch-norm gain G. The aggregation
+/// core computes (psum * G_q) >> kBnGainShift in the membrane domain.
+inline constexpr int kBnGainShift = 8;
+
+/// Saturate a wide integer into the signed 8-bit range.
+[[nodiscard]] constexpr std::int8_t saturate8(std::int32_t v) noexcept {
+    return static_cast<std::int8_t>(std::clamp<std::int32_t>(v, -128, 127));
+}
+
+/// Saturate a wide integer into the signed 16-bit range.
+[[nodiscard]] constexpr std::int16_t saturate16(std::int64_t v) noexcept {
+    return static_cast<std::int16_t>(std::clamp<std::int64_t>(v, -32768, 32767));
+}
+
+/// Saturating 16-bit addition — the semantics of the PE accumulator and
+/// the aggregation-core adders.
+[[nodiscard]] constexpr std::int16_t sat_add16(std::int16_t a, std::int16_t b) noexcept {
+    return saturate16(static_cast<std::int64_t>(a) + static_cast<std::int64_t>(b));
+}
+
+/// Saturating 16-bit subtraction (used by reset-by-subtraction).
+[[nodiscard]] constexpr std::int16_t sat_sub16(std::int16_t a, std::int16_t b) noexcept {
+    return saturate16(static_cast<std::int64_t>(a) - static_cast<std::int64_t>(b));
+}
+
+/// Round a real value to the nearest integer, ties away from zero —
+/// matches std::lround and the quantizers used during training.
+[[nodiscard]] inline std::int32_t round_nearest(double v) noexcept {
+    return static_cast<std::int32_t>(std::lround(v));
+}
+
+/// Quantize a real weight to INT8 with the given scale: w_q = round(w / scale),
+/// saturating at ±127 (symmetric, no -128, as is conventional for weights).
+[[nodiscard]] inline std::int8_t quantize_weight(float w, float scale) noexcept {
+    if (scale <= 0.0F) return 0;
+    const std::int32_t q = round_nearest(static_cast<double>(w) / scale);
+    return static_cast<std::int8_t>(std::clamp(q, -127, 127));
+}
+
+/// Dequantize an INT8 weight back to a real value.
+[[nodiscard]] constexpr float dequantize_weight(std::int8_t q, float scale) noexcept {
+    return static_cast<float>(q) * scale;
+}
+
+/// Quantize a real value into a signed 16-bit fixed-point number with
+/// `frac_bits` fractional bits, saturating.
+[[nodiscard]] inline std::int16_t to_q16(double v, int frac_bits) noexcept {
+    const double scaled = v * static_cast<double>(std::int64_t{1} << frac_bits);
+    const auto r = static_cast<std::int64_t>(std::llround(scaled));
+    return saturate16(r);
+}
+
+/// Convert a signed 16-bit fixed-point number back to a real value.
+[[nodiscard]] constexpr double from_q16(std::int16_t v, int frac_bits) noexcept {
+    return static_cast<double>(v) / static_cast<double>(std::int64_t{1} << frac_bits);
+}
+
+/// Fixed-point multiply used by the aggregation core's batch-norm unit:
+/// (a * b) >> shift with rounding-to-nearest and 16-bit saturation.
+/// `a` is the 16-bit partial sum, `b` the 16-bit gain in Q(16-shift).shift.
+[[nodiscard]] constexpr std::int16_t fxp_mul_shift(std::int16_t a, std::int16_t b,
+                                                   int shift) noexcept {
+    const std::int64_t prod = static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b);
+    if (shift <= 0) return saturate16(prod);
+    const std::int64_t rounding = std::int64_t{1} << (shift - 1);
+    return saturate16((prod + rounding) >> shift);
+}
+
+/// Symmetric per-tensor weight-quantization scale covering [-max|w|, max|w|]
+/// in 127 steps. Returns a strictly positive scale even for all-zero input.
+[[nodiscard]] inline float weight_scale_for_absmax(float abs_max) noexcept {
+    if (abs_max <= 0.0F) return 1.0F / 127.0F;
+    return abs_max / 127.0F;
+}
+
+/// Maximum absolute quantization error, in real units, committed by an
+/// INT8 quantizer with the given scale (half an LSB).
+[[nodiscard]] constexpr float quant_error_bound(float scale) noexcept {
+    return 0.5F * scale;
+}
+
+}  // namespace sia::util

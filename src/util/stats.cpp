@@ -1,0 +1,88 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sia::util {
+
+void RunningStat::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStat::sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+    if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+    if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+    const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+    auto idx = static_cast<std::int64_t>(std::floor(t));
+    idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept { return bin_lo(i + 1); }
+
+double Histogram::cdf(double x) const noexcept {
+    if (total_ == 0) return 0.0;
+    std::size_t acc = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (bin_hi(i) <= x) {
+            acc += counts_[i];
+        }
+    }
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double mean_of(const std::vector<double>& xs) noexcept {
+    if (xs.empty()) return 0.0;
+    double s = 0.0;
+    for (const double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+}  // namespace sia::util

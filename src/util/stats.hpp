@@ -1,0 +1,65 @@
+// Streaming statistics helpers (Welford mean/variance, histograms,
+// min/max tracking). Used for spike-rate instrumentation (Fig. 6 / Fig. 8),
+// batch-norm running estimates, and bench reporting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sia::util {
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+class RunningStat {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+    /// Population variance (divides by n). Matches batch-norm semantics.
+    [[nodiscard]] double variance() const noexcept;
+    /// Sample variance (divides by n-1).
+    [[nodiscard]] double sample_variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+    [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+
+    /// Merge another accumulator into this one (parallel-friendly).
+    void merge(const RunningStat& other) noexcept;
+
+    void reset() noexcept { *this = RunningStat{}; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Used for membrane-potential and spike-count profiles.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x) noexcept;
+    [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+    [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+    [[nodiscard]] std::size_t total() const noexcept { return total_; }
+    [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+    [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+    /// Fraction of mass at or below x (empirical CDF evaluated on bins).
+    [[nodiscard]] double cdf(double x) const noexcept;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/// Mean of a vector; 0 for empty input.
+[[nodiscard]] double mean_of(const std::vector<double>& xs) noexcept;
+
+}  // namespace sia::util

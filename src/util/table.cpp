@@ -1,0 +1,90 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace sia::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::header(std::vector<std::string> names) {
+    header_ = std::move(names);
+    return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+    cells.resize(header_.empty() ? cells.size() : header_.size());
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+Table& Table::separator() {
+    rows_.emplace_back();  // sentinel
+    return *this;
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string Table::to_string() const {
+    const std::size_t ncol = header_.size();
+    std::vector<std::size_t> width(ncol, 0);
+    for (std::size_t c = 0; c < ncol; ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_) {
+        for (std::size_t c = 0; c < std::min(ncol, r.size()); ++c) {
+            width[c] = std::max(width[c], r[c].size());
+        }
+    }
+
+    std::ostringstream out;
+    const auto hline = [&] {
+        out << '+';
+        for (std::size_t c = 0; c < ncol; ++c) {
+            out << std::string(width[c] + 2, '-') << '+';
+        }
+        out << '\n';
+    };
+    const auto emit_row = [&](const std::vector<std::string>& r) {
+        out << '|';
+        for (std::size_t c = 0; c < ncol; ++c) {
+            const std::string& s = c < r.size() ? r[c] : std::string{};
+            out << ' ' << s << std::string(width[c] - s.size(), ' ') << " |";
+        }
+        out << '\n';
+    };
+
+    if (!title_.empty()) out << title_ << '\n';
+    hline();
+    emit_row(header_);
+    hline();
+    for (const auto& r : rows_) {
+        if (r.empty()) {
+            hline();
+        } else {
+            emit_row(r);
+        }
+    }
+    hline();
+    return out.str();
+}
+
+std::string cell(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string cell(long long v) { return std::to_string(v); }
+
+std::string cell(long v) { return std::to_string(v); }
+
+std::string cell(int v) { return std::to_string(v); }
+
+std::string cell(unsigned long v) { return std::to_string(v); }
+
+std::string cell(unsigned int v) { return std::to_string(v); }
+
+std::string cell_pct(double v, int precision) { return cell(v, precision) + "%"; }
+
+}  // namespace sia::util

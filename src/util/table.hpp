@@ -1,0 +1,55 @@
+// ASCII table printer used by the bench harness to print paper tables
+// (Table I-IV) in the same row/column layout as published, with a
+// "paper" column next to the "measured" column where applicable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sia::util {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+/// All cells are strings; use the `cell` helpers to format numbers with
+/// a fixed precision so tables are deterministic.
+class Table {
+public:
+    explicit Table(std::string title = {});
+
+    /// Set the column headers. Must be called before adding rows.
+    Table& header(std::vector<std::string> names);
+
+    /// Append one row; pads/truncates to the header width.
+    Table& row(std::vector<std::string> cells);
+
+    /// Insert a horizontal separator before the next row.
+    Table& separator();
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+    /// Render to the stream with column alignment and a box border.
+    void print(std::ostream& os) const;
+
+    /// Render to a string (used by tests).
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+/// Format a double with fixed precision.
+[[nodiscard]] std::string cell(double v, int precision = 2);
+/// Format an integer (overload set covers the common integer widths so
+/// std::int64_t and literals resolve without casts).
+[[nodiscard]] std::string cell(long long v);
+[[nodiscard]] std::string cell(long v);
+[[nodiscard]] std::string cell(int v);
+[[nodiscard]] std::string cell(unsigned long v);
+[[nodiscard]] std::string cell(unsigned int v);
+/// Format a percentage such as "22.43%".
+[[nodiscard]] std::string cell_pct(double v, int precision = 2);
+
+}  // namespace sia::util

@@ -1,0 +1,26 @@
+// Wall-clock timer for reporting host-side runtimes in benches.
+#pragma once
+
+#include <chrono>
+
+namespace sia::util {
+
+/// Starts on construction; `seconds()`/`millis()` report elapsed time.
+class WallTimer {
+public:
+    WallTimer() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace sia::util

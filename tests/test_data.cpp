@@ -1,0 +1,140 @@
+// Dataset tests: synthetic generator, normalisation, augmentation,
+// event streams, CIFAR loader behaviour without data files.
+#include <gtest/gtest.h>
+
+#include "data/augment.hpp"
+#include "data/cifar.hpp"
+#include "data/events.hpp"
+#include "data/synthetic.hpp"
+
+namespace sia::data {
+namespace {
+
+TEST(Synthetic, ShapesAndLabels) {
+    SyntheticConfig cfg;
+    cfg.classes = 5;
+    cfg.train_per_class = 4;
+    cfg.test_per_class = 2;
+    const auto tt = make_synthetic(cfg);
+    EXPECT_EQ(tt.train.size(), 20);
+    EXPECT_EQ(tt.test.size(), 10);
+    EXPECT_EQ(tt.train.images.shape(), (tensor::Shape{20, 3, 32, 32}));
+    for (const auto l : tt.train.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, 5);
+    }
+}
+
+TEST(Synthetic, DeterministicAcrossCalls) {
+    SyntheticConfig cfg;
+    cfg.train_per_class = 2;
+    cfg.test_per_class = 1;
+    const auto a = make_synthetic(cfg);
+    const auto b = make_synthetic(cfg);
+    for (std::int64_t i = 0; i < a.train.images.numel(); ++i) {
+        ASSERT_EQ(a.train.images.flat(i), b.train.images.flat(i));
+    }
+}
+
+TEST(Synthetic, SeedChangesData) {
+    SyntheticConfig a;
+    a.train_per_class = 2;
+    SyntheticConfig b = a;
+    b.seed = a.seed + 1;
+    const auto da = make_synthetic(a);
+    const auto db = make_synthetic(b);
+    bool any_diff = false;
+    for (std::int64_t i = 0; i < da.train.images.numel() && !any_diff; ++i) {
+        any_diff = da.train.images.flat(i) != db.train.images.flat(i);
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, NormalisedToUnitRange) {
+    SyntheticConfig cfg;
+    cfg.train_per_class = 4;
+    const auto tt = make_synthetic(cfg);
+    for (std::int64_t i = 0; i < tt.train.images.numel(); ++i) {
+        ASSERT_GE(tt.train.images.flat(i), 0.0F);
+        ASSERT_LE(tt.train.images.flat(i), 1.0F);
+    }
+    for (std::int64_t i = 0; i < tt.test.images.numel(); ++i) {
+        ASSERT_GE(tt.test.images.flat(i), 0.0F);
+        ASSERT_LE(tt.test.images.flat(i), 1.0F);
+    }
+}
+
+TEST(Synthetic, InterleavedPrefixIsBalanced) {
+    SyntheticConfig cfg;
+    cfg.classes = 10;
+    cfg.train_per_class = 5;
+    const auto tt = make_synthetic(cfg);
+    const auto prefix = tt.train.take(10);
+    std::vector<int> count(10, 0);
+    for (const auto l : prefix.labels) ++count[static_cast<std::size_t>(l)];
+    for (const int c : count) EXPECT_EQ(c, 1);
+}
+
+TEST(Dataset, SampleExtraction) {
+    SyntheticConfig cfg;
+    cfg.train_per_class = 2;
+    const auto tt = make_synthetic(cfg);
+    const auto s = tt.train.sample(3);
+    EXPECT_EQ(s.shape(), (tensor::Shape{1, 3, 32, 32}));
+    for (std::int64_t i = 0; i < s.numel(); ++i) {
+        ASSERT_EQ(s.flat(i), tt.train.images.flat(3 * s.numel() + i));
+    }
+}
+
+TEST(Augment, AppendsCopiesAndKeepsLabels) {
+    SyntheticConfig cfg;
+    cfg.classes = 3;
+    cfg.train_per_class = 2;
+    const auto tt = make_synthetic(cfg);
+    AugmentConfig acfg;
+    acfg.copies = 2;
+    const Dataset aug = augment(tt.train, acfg);
+    EXPECT_EQ(aug.size(), tt.train.size() * 3);
+    for (std::int64_t i = 0; i < tt.train.size(); ++i) {
+        EXPECT_EQ(aug.labels[static_cast<std::size_t>(i)],
+                  tt.train.labels[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(aug.labels[static_cast<std::size_t>(tt.train.size() + i)],
+                  tt.train.labels[static_cast<std::size_t>(i)]);
+    }
+    // Originals preserved verbatim.
+    for (std::int64_t i = 0; i < tt.train.images.numel(); ++i) {
+        ASSERT_EQ(aug.images.flat(i), tt.train.images.flat(i));
+    }
+}
+
+TEST(Events, SceneGeneratesSortedEvents) {
+    EventSceneConfig cfg;
+    cfg.timesteps = 6;
+    const auto events = make_event_scene(cfg);
+    EXPECT_FALSE(events.empty());
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        EXPECT_LE(events[i - 1].t, events[i].t);
+    }
+    for (const auto& e : events) {
+        EXPECT_GE(e.x, 0);
+        EXPECT_LT(e.x, cfg.size);
+        EXPECT_GE(e.t, 0);
+        EXPECT_LT(e.t, cfg.timesteps);
+    }
+}
+
+TEST(Events, FramesRasterisation) {
+    std::vector<Event> events = {{1, 2, 0, true}, {3, 4, 1, false}, {0, 0, 5, true}};
+    const auto frames = events_to_frames(events, 8, 4);  // t=5 dropped
+    EXPECT_EQ(frames.shape(), (tensor::Shape{4, 2, 8, 8}));
+    EXPECT_EQ(frames.at(0, 0, 2, 1), 1.0F);  // ON channel, y=2, x=1
+    EXPECT_EQ(frames.at(1, 1, 4, 3), 1.0F);  // OFF channel
+    EXPECT_EQ(frames.sum(), 2.0F);
+}
+
+TEST(Cifar, MissingDirectoryReturnsNullopt) {
+    EXPECT_FALSE(load_cifar10("/nonexistent/cifar-dir").has_value());
+}
+
+}  // namespace
+}  // namespace sia::data

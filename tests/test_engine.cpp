@@ -1,0 +1,240 @@
+// Functional SNN engine tests: layer execution, spike propagation,
+// residual routing (identity + downsample + from-input), readout
+// accumulation, reset/run semantics and rate-coding properties.
+#include <gtest/gtest.h>
+
+#include "snn/encoding.hpp"
+#include "snn/engine.hpp"
+
+namespace sia::snn {
+namespace {
+
+/// One conv layer (identity-ish) + readout FC, hand-built.
+SnnModel two_layer_model() {
+    SnnModel model;
+    model.input_channels = 1;
+    model.input_h = 3;
+    model.input_w = 3;
+    model.classes = 2;
+
+    SnnLayer conv;
+    conv.op = LayerOp::kConv;
+    conv.label = "conv";
+    conv.input = -1;
+    conv.main.in_channels = 1;
+    conv.main.out_channels = 1;
+    conv.main.kernel = 1;
+    conv.main.stride = 1;
+    conv.main.padding = 0;
+    conv.main.weights = {100};          // strong positive weight
+    conv.main.gain = {512};             // gain 2.0 at shift 8
+    conv.main.bias = {0};
+    conv.out_channels = 1;
+    conv.out_h = 3;
+    conv.out_w = 3;
+    conv.in_h = 3;
+    conv.in_w = 3;
+    model.layers.push_back(conv);
+
+    SnnLayer fc;
+    fc.op = LayerOp::kLinear;
+    fc.label = "fc";
+    fc.input = 0;
+    fc.spiking = false;
+    fc.main.in_features = 9;
+    fc.main.out_features = 2;
+    fc.main.weights.assign(18, 0);
+    for (int d = 0; d < 9; ++d) fc.main.weights[static_cast<std::size_t>(d)] = 1;  // class 0 counts spikes
+    fc.main.gain = {256, 256};
+    fc.main.bias = {0, 0};
+    fc.out_channels = 2;
+    model.layers.push_back(fc);
+    return model;
+}
+
+TEST(Engine, SpikePropagatesThroughConv) {
+    const auto model = two_layer_model();
+    FunctionalEngine engine(model);
+    SpikeMap input(1, 3, 3);
+    input.set(0, 1, 1, true);
+    engine.step(input);
+    // psum = 100, current = (100*512)>>8 = 200; U = 128 + 200 = 328 >= 256
+    // -> spike, U = 72.
+    EXPECT_TRUE(engine.layer_spikes(0).get(0, 1, 1));
+    EXPECT_EQ(engine.membrane(0)[4], 72);
+    EXPECT_EQ(engine.spike_count(0), 1);
+}
+
+TEST(Engine, SilentInputOnlyLeavesInitialPotential) {
+    const auto model = two_layer_model();
+    FunctionalEngine engine(model);
+    const SpikeMap input(1, 3, 3);
+    engine.step(input);
+    EXPECT_EQ(engine.layer_spikes(0).count(), 0);
+    for (const auto u : engine.membrane(0)) EXPECT_EQ(u, 128);
+}
+
+TEST(Engine, ReadoutAccumulatesSpikeCounts) {
+    const auto model = two_layer_model();
+    FunctionalEngine engine(model);
+    SpikeMap input(1, 3, 3);
+    for (std::int64_t i = 0; i < 9; ++i) input.set_flat(i, true);
+    engine.step(input);
+    // Every conv neuron spikes; readout class 0 counts 9 spikes through
+    // unit gain: psum 9 -> m = 9.
+    EXPECT_EQ(engine.readout()[0], 9);
+    EXPECT_EQ(engine.readout()[1], 0);
+    engine.step(input);
+    EXPECT_EQ(engine.readout()[0], 18);  // accumulates across steps
+}
+
+TEST(Engine, ResetClearsState) {
+    const auto model = two_layer_model();
+    FunctionalEngine engine(model);
+    SpikeMap input(1, 3, 3);
+    input.set(0, 0, 0, true);
+    engine.step(input);
+    engine.reset();
+    EXPECT_EQ(engine.spike_count(0), 0);
+    EXPECT_EQ(engine.readout()[0], 0);
+    for (const auto u : engine.membrane(0)) EXPECT_EQ(u, 128);
+}
+
+TEST(Engine, RunReturnsPerStepLogits) {
+    const auto model = two_layer_model();
+    tensor::Tensor img(tensor::Shape{1, 1, 3, 3});
+    img.fill(1.0F);
+    const auto train = encode_thermometer(img, 4);
+    const RunResult res = run_snn(model, train);
+    ASSERT_EQ(res.logits_per_step.size(), 4U);
+    // Monotone accumulation for all-positive drive.
+    for (std::size_t t = 1; t < 4; ++t) {
+        EXPECT_GE(res.logits_per_step[t][0], res.logits_per_step[t - 1][0]);
+    }
+    EXPECT_EQ(res.predicted_class(3), 0);
+    EXPECT_EQ(res.neuron_counts[0], 9);
+}
+
+TEST(Engine, InputGeometryMismatchThrows) {
+    const auto model = two_layer_model();
+    FunctionalEngine engine(model);
+    const SpikeMap wrong(2, 3, 3);
+    EXPECT_THROW(engine.step(wrong), std::invalid_argument);
+}
+
+/// Model with an identity residual: layer1 -> layer2 (+skip from layer1's
+/// input, i.e. the network input).
+SnnModel residual_model(bool identity) {
+    SnnModel model;
+    model.input_channels = 1;
+    model.input_h = 2;
+    model.input_w = 2;
+    model.classes = 1;
+
+    auto conv = [](const char* label) {
+        SnnLayer l;
+        l.op = LayerOp::kConv;
+        l.label = label;
+        l.main.in_channels = 1;
+        l.main.out_channels = 1;
+        l.main.kernel = 1;
+        l.main.stride = 1;
+        l.main.padding = 0;
+        l.main.gain = {256};
+        l.main.bias = {0};
+        l.out_channels = 1;
+        l.out_h = 2;
+        l.out_w = 2;
+        l.in_h = 2;
+        l.in_w = 2;
+        return l;
+    };
+
+    SnnLayer l0 = conv("l0");
+    l0.input = -1;
+    l0.main.weights = {127};
+    model.layers.push_back(l0);
+
+    SnnLayer l1 = conv("l1");
+    l1.input = 0;
+    l1.main.weights = {10};  // weak main path
+    l1.skip_src = -1;        // residual from the network input
+    if (identity) {
+        l1.skip_is_identity = true;
+        l1.identity_skip.charge = 300;  // one skip spike fires the neuron
+    } else {
+        l1.skip_is_identity = false;
+        l1.skip.in_channels = 1;
+        l1.skip.out_channels = 1;
+        l1.skip.kernel = 1;
+        l1.skip.stride = 1;
+        l1.skip.padding = 0;
+        l1.skip.weights = {127};
+        l1.skip.gain = {600};
+        l1.skip.bias = {0};
+    }
+    model.layers.push_back(l1);
+    return model;
+}
+
+TEST(Engine, IdentitySkipInjectsCharge) {
+    const auto model = residual_model(true);
+    FunctionalEngine engine(model);
+    SpikeMap input(1, 2, 2);
+    input.set(0, 0, 0, true);
+    engine.step(input);
+    // l1 neuron (0,0): main current from l0 spike (10*1) = 10, plus
+    // identity charge 300 from the input spike -> fires.
+    EXPECT_TRUE(engine.layer_spikes(1).get(0, 0, 0));
+    EXPECT_FALSE(engine.layer_spikes(1).get(0, 1, 1));
+}
+
+TEST(Engine, DownsampleSkipComputesConv) {
+    const auto model = residual_model(false);
+    FunctionalEngine engine(model);
+    SpikeMap input(1, 2, 2);
+    input.set(0, 1, 0, true);
+    engine.step(input);
+    // skip: psum 127 * gain 600 >> 8 = 297 -> fires at (1,0).
+    EXPECT_TRUE(engine.layer_spikes(1).get(0, 1, 0));
+    EXPECT_FALSE(engine.layer_spikes(1).get(0, 0, 1));
+}
+
+TEST(Engine, RateTracksInputValueProperty) {
+    // Property: for a 1x1 identity-ish conv with gain such that current =
+    // theta exactly when input spikes, output rate == input rate.
+    SnnModel model;
+    model.input_channels = 1;
+    model.input_h = 1;
+    model.input_w = 1;
+    model.classes = 1;
+    SnnLayer l;
+    l.op = LayerOp::kConv;
+    l.label = "id";
+    l.input = -1;
+    l.main.in_channels = 1;
+    l.main.out_channels = 1;
+    l.main.kernel = 1;
+    l.main.stride = 1;
+    l.main.padding = 0;
+    l.main.weights = {64};
+    l.main.gain = {1024};  // 64 * 1024 >> 8 = 256 = theta
+    l.main.bias = {0};
+    l.out_channels = 1;
+    l.out_h = 1;
+    l.out_w = 1;
+    l.in_h = 1;
+    l.in_w = 1;
+    model.layers.push_back(l);
+
+    for (const float v : {0.125F, 0.25F, 0.5F, 0.75F, 1.0F}) {
+        tensor::Tensor img(tensor::Shape{1, 1, 1, 1});
+        img.flat(0) = v;
+        const auto train = encode_thermometer(img, 16);
+        const RunResult res = run_snn(model, train);
+        EXPECT_NEAR(res.spike_rate(0), v, 1.0 / 16.0) << "v=" << v;
+    }
+}
+
+}  // namespace
+}  // namespace sia::snn

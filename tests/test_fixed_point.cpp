@@ -1,0 +1,94 @@
+// Unit tests for the fixed-point primitives every engine shares.
+#include <gtest/gtest.h>
+
+#include "util/fixed_point.hpp"
+
+namespace sia::util {
+namespace {
+
+TEST(Saturate, Saturate8Bounds) {
+    EXPECT_EQ(saturate8(127), 127);
+    EXPECT_EQ(saturate8(128), 127);
+    EXPECT_EQ(saturate8(-128), -128);
+    EXPECT_EQ(saturate8(-129), -128);
+    EXPECT_EQ(saturate8(0), 0);
+}
+
+TEST(Saturate, Saturate16Bounds) {
+    EXPECT_EQ(saturate16(32767), 32767);
+    EXPECT_EQ(saturate16(32768), 32767);
+    EXPECT_EQ(saturate16(-32768), -32768);
+    EXPECT_EQ(saturate16(-32769), -32768);
+    EXPECT_EQ(saturate16(1234), 1234);
+}
+
+TEST(SatArith, AddSaturates) {
+    EXPECT_EQ(sat_add16(32000, 1000), 32767);
+    EXPECT_EQ(sat_add16(-32000, -1000), -32768);
+    EXPECT_EQ(sat_add16(100, 200), 300);
+}
+
+TEST(SatArith, SubSaturates) {
+    EXPECT_EQ(sat_sub16(-32000, 1000), -32768);
+    EXPECT_EQ(sat_sub16(32000, -1000), 32767);
+    EXPECT_EQ(sat_sub16(500, 200), 300);
+}
+
+TEST(WeightQuant, RoundTripWithinHalfLsb) {
+    const float scale = 0.02F;
+    for (float w = -2.0F; w <= 2.0F; w += 0.013F) {
+        const auto q = quantize_weight(w, scale);
+        const float back = dequantize_weight(q, scale);
+        if (std::abs(w) <= 127 * scale) {
+            EXPECT_LE(std::abs(back - w), quant_error_bound(scale) + 1e-6F)
+                << "w=" << w;
+        }
+    }
+}
+
+TEST(WeightQuant, SymmetricNo128) {
+    EXPECT_EQ(quantize_weight(-100.0F, 0.01F), -127);
+    EXPECT_EQ(quantize_weight(100.0F, 0.01F), 127);
+}
+
+TEST(WeightQuant, ZeroScaleSafe) { EXPECT_EQ(quantize_weight(1.0F, 0.0F), 0); }
+
+TEST(Q16, RoundTrip) {
+    const double v = 1.2345;
+    const auto q = to_q16(v, 8);
+    EXPECT_NEAR(from_q16(q, 8), v, 1.0 / 256.0);
+}
+
+TEST(Q16, SaturatesLargeValues) {
+    EXPECT_EQ(to_q16(1e9, 8), 32767);
+    EXPECT_EQ(to_q16(-1e9, 8), -32768);
+}
+
+TEST(FxpMulShift, MatchesReference) {
+    // (a * b) >> s with round-to-nearest.
+    EXPECT_EQ(fxp_mul_shift(100, 256, 8), 100);
+    EXPECT_EQ(fxp_mul_shift(100, 384, 8), 150);
+    EXPECT_EQ(fxp_mul_shift(-100, 256, 8), -100);
+    // Rounding: 3*3>>2 = 9/4 = 2.25 -> 2; 3*5>>2 = 15/4 = 3.75 -> 4.
+    EXPECT_EQ(fxp_mul_shift(3, 3, 2), 2);
+    EXPECT_EQ(fxp_mul_shift(3, 5, 2), 4);
+}
+
+TEST(FxpMulShift, ShiftZeroIsPlainSaturatingProduct) {
+    EXPECT_EQ(fxp_mul_shift(200, 200, 0), 32767);  // 40000 saturates
+    EXPECT_EQ(fxp_mul_shift(10, 20, 0), 200);
+}
+
+TEST(FxpMulShift, SaturatesProduct) {
+    EXPECT_EQ(fxp_mul_shift(32767, 32767, 8), 32767);
+    EXPECT_EQ(fxp_mul_shift(-32768, 32767, 8), -32768);
+}
+
+TEST(WeightScale, AbsMaxMapsTo127) {
+    const float s = weight_scale_for_absmax(1.27F);
+    EXPECT_FLOAT_EQ(s, 0.01F);
+    EXPECT_GT(weight_scale_for_absmax(0.0F), 0.0F);
+}
+
+}  // namespace
+}  // namespace sia::util

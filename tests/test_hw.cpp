@@ -1,0 +1,177 @@
+// Hardware-model tests: FPGA resource roll-up vs Table III, power budget
+// vs the 1.54 W board figure, ASIC projection vs the paper's 40 nm
+// numbers, prior-art derived columns, MAC-array baseline.
+#include <gtest/gtest.h>
+
+#include "hw/asic.hpp"
+#include "hw/mac_baseline.hpp"
+#include "hw/power.hpp"
+#include "hw/prior_art.hpp"
+#include "hw/resources.hpp"
+
+namespace sia::hw {
+namespace {
+
+TEST(Resources, TotalsMatchTableIII) {
+    const sim::SiaConfig cfg;
+    const ResourceReport rep = estimate_resources(cfg);
+    EXPECT_EQ(rep.total.lut, 11932);
+    EXPECT_EQ(rep.total.ff, 8157);
+    EXPECT_EQ(rep.total.dsp, 17);
+    EXPECT_EQ(rep.total.bram36, 95);
+    EXPECT_EQ(rep.total.lutram, 158);
+    EXPECT_EQ(rep.total.bufg, 1);
+}
+
+TEST(Resources, UtilisationPercentagesMatchTableIII) {
+    const ResourceReport rep = estimate_resources(sim::SiaConfig{});
+    EXPECT_NEAR(rep.lut_pct(), 22.43, 0.01);
+    EXPECT_NEAR(rep.ff_pct(), 7.74, 0.05);   // paper prints 7.67 for both FF and DSP
+    EXPECT_NEAR(rep.dsp_pct(), 7.73, 0.05);
+    EXPECT_NEAR(rep.bram_pct(), 67.86, 0.01);
+    EXPECT_NEAR(rep.lutram_pct(), 0.90, 0.01);
+    EXPECT_NEAR(rep.bufg_pct(), 3.13, 0.01);
+}
+
+TEST(Resources, ScalesWithPeCount) {
+    sim::SiaConfig big;
+    big.pe_rows = 16;  // 128 PEs
+    const auto rep_big = estimate_resources(big);
+    const auto rep_small = estimate_resources(sim::SiaConfig{});
+    EXPECT_GT(rep_big.total.lut, rep_small.total.lut);
+}
+
+TEST(Resources, Bram36Rounding) {
+    EXPECT_EQ(bram36_for_bytes(0), 0);
+    EXPECT_EQ(bram36_for_bytes(1), 1);
+    EXPECT_EQ(bram36_for_bytes(4608), 1);
+    EXPECT_EQ(bram36_for_bytes(4609), 2);
+    EXPECT_EQ(bram36_for_bytes(128 * 1024), 29);
+}
+
+TEST(Power, RatedBoardPowerMatchesPaper) {
+    EXPECT_NEAR(rated_board_watts(), 1.54, 0.005);
+}
+
+TEST(Power, PeakEfficiencyMatchesTableIV) {
+    const sim::SiaConfig cfg;
+    // 38.4 GOPS / 1.54 W = 24.93 GOPS/W.
+    EXPECT_NEAR(cfg.peak_gops() / rated_board_watts(), 24.93, 0.05);
+}
+
+TEST(Asic, ProjectionMatchesSectionV) {
+    const AsicProjection proj = project_asic(sim::SiaConfig{});
+    EXPECT_NEAR(proj.throughput_gops, 192.0, 0.5);  // 38.4 x 5
+    EXPECT_NEAR(proj.area_mm2, 11.0, 0.5);
+    EXPECT_NEAR(proj.power_w, 2.17, 0.05);
+    EXPECT_DOUBLE_EQ(proj.clock_mhz, 500.0);
+}
+
+TEST(PriorArt, TableRowsAndDerivedColumns) {
+    const auto specs = prior_art_table();
+    ASSERT_EQ(specs.size(), 5U);
+
+    // [18]: 198.1 GOPS / 576 PEs = 0.343 GOPS/PE (paper column).
+    EXPECT_NEAR(*specs[0].gops_per_pe(), 0.343, 0.001);
+    EXPECT_NEAR(*specs[0].gops_per_dsp(), 0.34, 0.01);
+    EXPECT_FALSE(specs[0].gops_per_watt().has_value());
+
+    // [19]: 14.22 GOPS/W reconstructed.
+    EXPECT_NEAR(*specs[1].gops_per_watt(), 14.22, 0.01);
+    EXPECT_NEAR(*specs[1].gops_per_pe(), 0.241, 0.001);
+
+    // [20]: no DSP/power published.
+    EXPECT_FALSE(specs[2].dsp.has_value());
+    EXPECT_NEAR(*specs[2].gops_per_pe(), 0.195, 0.001);
+
+    // [21]: 220/664 PEs.
+    EXPECT_NEAR(*specs[3].gops_per_pe(), 0.331, 0.001);
+    EXPECT_NEAR(*specs[3].gops_per_dsp(), 0.33, 0.01);
+
+    // [22]: 0.46 GOPS/DSP, 19.5 GOPS/W.
+    EXPECT_NEAR(*specs[4].gops_per_dsp(), 0.46, 0.015);
+    EXPECT_NEAR(*specs[4].gops_per_watt(), 19.50, 0.01);
+}
+
+TEST(PriorArt, ThisWorkRowMatchesPaper) {
+    const auto spec = this_work_spec(sim::SiaConfig{}, rated_board_watts(), 17);
+    EXPECT_NEAR(spec.gops, 38.4, 1e-9);
+    EXPECT_NEAR(*spec.gops_per_pe(), 0.6, 1e-9);
+    EXPECT_NEAR(*spec.gops_per_dsp(), 2.25, 0.02);
+    EXPECT_NEAR(*spec.gops_per_watt(), 24.93, 0.05);
+}
+
+TEST(PriorArt, SiaBeatsAllOnPerPeAndPerDspEfficiency) {
+    // The paper's headline: 2x PE efficiency, 4.5x DSP efficiency.
+    const auto spec = this_work_spec(sim::SiaConfig{}, rated_board_watts(), 17);
+    for (const auto& other : prior_art_table()) {
+        // [22]'s "12 PEs" are coarse-grained engines, not MAC lanes; the
+        // paper prints N/A for its PE efficiency and so do we.
+        if (other.gops_per_pe() && other.citation != "[22]") {
+            // Paper rounds "2x"; the exact best-competitor ratio is
+            // 0.6 / 0.343 = 1.75.
+            EXPECT_GE(*spec.gops_per_pe() / *other.gops_per_pe(), 1.74)
+                << other.citation;
+        }
+        if (other.gops_per_dsp()) {
+            EXPECT_GE(*spec.gops_per_dsp() / *other.gops_per_dsp(), 4.5)
+                << other.citation;
+        }
+        if (other.gops_per_watt()) {
+            EXPECT_GT(*spec.gops_per_watt(), *other.gops_per_watt()) << other.citation;
+        }
+    }
+}
+
+TEST(MacBaseline, DenseCyclesAndEfficiency) {
+    // A model with known op count: use a small hand-built SnnModel.
+    snn::SnnModel model;
+    model.input_channels = 1;
+    model.input_h = 8;
+    model.input_w = 8;
+    model.classes = 4;
+    snn::SnnLayer conv;
+    conv.op = snn::LayerOp::kConv;
+    conv.input = -1;
+    conv.main.in_channels = 1;
+    conv.main.out_channels = 4;
+    conv.main.kernel = 3;
+    conv.main.stride = 1;
+    conv.main.padding = 1;
+    conv.main.weights.assign(36, 1);
+    conv.main.gain.assign(4, 256);
+    conv.main.bias.assign(4, 0);
+    conv.out_channels = 4;
+    conv.out_h = 8;
+    conv.out_w = 8;
+    conv.in_h = 8;
+    conv.in_w = 8;
+    model.layers.push_back(conv);
+
+    MacArrayConfig cfg;
+    cfg.macs = 64;
+    cfg.utilization = 1.0;
+    const auto est = estimate_mac_array(model, cfg);
+    // MACs = 8*8*4*1*9 = 2304; 64 MACs/cycle -> 36 cycles.
+    EXPECT_EQ(est.cycles, 36);
+    EXPECT_EQ(est.dsp, 64);
+    EXPECT_NEAR(est.peak_gops, 12.8, 1e-9);  // 2*64*100MHz
+    EXPECT_NEAR(est.gops_per_dsp, 0.2, 1e-9);
+}
+
+TEST(MacBaseline, SiaGopsPerDspAdvantage) {
+    // The SIA's 2.25 GOPS/DSP vs a dense MAC array's ~0.2: >10x, because
+    // the SIA's PEs use no DSPs at all (only the aggregation core does).
+    const sim::SiaConfig sia_cfg;
+    const double sia_gops_per_dsp = sia_cfg.peak_gops() / 17.0;
+    MacArrayConfig mac_cfg;
+    const auto est = estimate_mac_array(snn::SnnModel{.input_channels = 1,
+                                                      .input_h = 1,
+                                                      .input_w = 1,
+                                                      .classes = 1},
+                                        mac_cfg);
+    EXPECT_GT(sia_gops_per_dsp / est.gops_per_dsp, 10.0);
+}
+
+}  // namespace
+}  // namespace sia::hw

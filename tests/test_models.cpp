@@ -1,0 +1,178 @@
+// Model-level tests: topology of ResNet-18 / VGG-11, IR emission,
+// trainability on a separable toy problem, quantized-activation switch.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/resnet.hpp"
+#include "nn/trainer.hpp"
+#include "nn/vgg.hpp"
+
+namespace sia::nn {
+namespace {
+
+TEST(ResNet18, TopologyMatchesPaperTable1) {
+    util::Rng rng(1);
+    ResNetConfig cfg;
+    cfg.width = 64;  // the paper's width
+    ResNet18 model(cfg, rng);
+    const NetworkIR ir = model.ir();
+
+    // 17 spiking conv layers (Fig. 6 x-axis) + FC readout.
+    EXPECT_EQ(ir.spiking_layer_count(), 17U);
+
+    // Count conv nodes by (channels, spatial size) as in Table I.
+    int conv64_32 = 0;
+    int conv128_16 = 0;
+    int conv256_8 = 0;
+    int conv512_4 = 0;
+    for (const auto& node : ir.nodes) {
+        if (node.op != IrOp::kConv) continue;
+        if (node.out_channels == 64 && node.out_h == 32) ++conv64_32;
+        if (node.out_channels == 128 && node.out_h == 16) ++conv128_16;
+        if (node.out_channels == 256 && node.out_h == 8) ++conv256_8;
+        if (node.out_channels == 512 && node.out_h == 4) ++conv512_4;
+    }
+    EXPECT_EQ(conv64_32, 5);   // "Conv 5 (3x3,64) 32x32"
+    EXPECT_EQ(conv128_16, 4);  // "Conv 4 (3x3,128) 16x16"
+    EXPECT_EQ(conv256_8, 4);   // "Conv 4 (3x3,256) 8x8"
+    EXPECT_EQ(conv512_4, 4);   // "Conv 4 (3x3,512) 4x4"
+
+    // FC 512x10.
+    const auto& fc = ir.nodes.back();
+    ASSERT_EQ(fc.op, IrOp::kLinear);
+    EXPECT_EQ(fc.fc->in_features(), 512);
+    EXPECT_EQ(fc.fc->out_features(), 10);
+    EXPECT_EQ(fc.act, nullptr);  // readout
+}
+
+TEST(ResNet18, ParameterCountScalesWithWidth) {
+    util::Rng rng(1);
+    ResNetConfig small;
+    small.width = 4;
+    ResNet18 model(small, rng);
+    std::int64_t params = 0;
+    for (const Param* p : model.params()) params += p->value.numel();
+    EXPECT_GT(params, 1000);
+
+    // The paper's full-width network has ~11M parameters.
+    ResNetConfig full;
+    full.width = 64;
+    ResNet18 big(full, rng);
+    std::int64_t big_params = 0;
+    for (const Param* p : big.params()) big_params += p->value.numel();
+    EXPECT_GT(big_params, 10'000'000);
+    EXPECT_LT(big_params, 12'500'000);
+}
+
+TEST(ResNet18, ResidualIrRouting) {
+    util::Rng rng(1);
+    ResNetConfig cfg;
+    cfg.width = 8;
+    ResNet18 model(cfg, rng);
+    const NetworkIR ir = model.ir();
+    // Every second block conv must carry a skip; downsample blocks
+    // (first of stages 2-4) have a 1x1 skip conv, others identity.
+    int identity_skips = 0;
+    int downsample_skips = 0;
+    for (const auto& node : ir.nodes) {
+        if (node.op != IrOp::kConv || node.skip_src < 0) continue;
+        if (node.skip_conv == nullptr) {
+            ++identity_skips;
+        } else {
+            ++downsample_skips;
+            EXPECT_EQ(node.skip_conv->geometry().kernel, 1);
+        }
+    }
+    EXPECT_EQ(identity_skips + downsample_skips, 8);  // 8 BasicBlocks
+    EXPECT_EQ(downsample_skips, 3);                   // stages 2, 3, 4
+}
+
+TEST(Vgg11, TopologyAndIr) {
+    util::Rng rng(1);
+    VggConfig cfg;
+    cfg.width = 64;
+    Vgg11 model(cfg, rng);
+    const NetworkIR ir = model.ir();
+    EXPECT_EQ(ir.spiking_layer_count(), 8U);  // 8 conv activations
+
+    // Spatial schedule: 32,16,8,8,4,4,2,2 (stride-2 replaces pools).
+    std::vector<std::int64_t> sizes;
+    for (const auto& node : ir.nodes) {
+        if (node.op == IrOp::kConv) sizes.push_back(node.out_h);
+    }
+    const std::vector<std::int64_t> expect = {32, 16, 8, 8, 4, 4, 2, 2};
+    EXPECT_EQ(sizes, expect);
+
+    const auto& fc = ir.nodes.back();
+    EXPECT_EQ(fc.fc->in_features(), 512);  // 512 channels pooled to 1x1
+    EXPECT_EQ(fc.fc->out_features(), 10);
+}
+
+TEST(Models, ForwardShapes) {
+    util::Rng rng(2);
+    ResNetConfig rcfg;
+    rcfg.width = 4;
+    ResNet18 resnet(rcfg, rng);
+    VggConfig vcfg;
+    vcfg.width = 4;
+    Vgg11 vgg(vcfg, rng);
+    tensor::Tensor x(tensor::Shape{2, 3, 32, 32});
+    EXPECT_EQ(resnet.forward(x, false).shape(), (tensor::Shape{2, 10}));
+    EXPECT_EQ(vgg.forward(x, false).shape(), (tensor::Shape{2, 10}));
+}
+
+TEST(Models, QuantSwitchTogglesAllActivations) {
+    util::Rng rng(3);
+    VggConfig cfg;
+    cfg.width = 4;
+    Vgg11 model(cfg, rng);
+    model.enable_quantized_activations(4);
+    for (Activation* a : model.activations()) {
+        EXPECT_EQ(a->mode(), ActMode::kQuantRelu);
+        EXPECT_EQ(a->levels(), 4);
+    }
+}
+
+class ModelTraining : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ModelTraining, LearnsSeparableToyTask) {
+    // Tiny dataset, tiny model: training should beat chance comfortably.
+    data::SyntheticConfig dcfg;
+    dcfg.classes = 4;
+    dcfg.train_per_class = 20;
+    dcfg.test_per_class = 10;
+    dcfg.size = 16;
+    dcfg.noise_stddev = 0.15F;
+    const auto tt = data::make_synthetic(dcfg);
+
+    util::Rng rng(4);
+    std::unique_ptr<Model> model;
+    if (GetParam()) {
+        ResNetConfig cfg;
+        cfg.width = 4;
+        cfg.classes = 4;
+        cfg.input_size = 16;
+        model = std::make_unique<ResNet18>(cfg, rng);
+    } else {
+        VggConfig cfg;
+        cfg.width = 4;
+        cfg.classes = 4;
+        cfg.input_size = 16;
+        model = std::make_unique<Vgg11>(cfg, rng);
+    }
+    TrainConfig tcfg;
+    tcfg.epochs = 6;
+    tcfg.batch_size = 16;
+    Trainer trainer(*model, tcfg);
+    trainer.fit(tt.train.images, tt.train.labels);
+    const EvalResult res = evaluate(*model, tt.test.images, tt.test.labels);
+    EXPECT_GT(res.accuracy, 0.5) << "chance is 0.25";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, ModelTraining, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                             return info.param ? "ResNet18" : "Vgg11";
+                         });
+
+}  // namespace
+}  // namespace sia::nn

@@ -1,0 +1,256 @@
+// Module-level tests: activation (ReLU / quantized ReLU + STE grads),
+// batch norm (stats, normalisation, numerical gradient), conv/linear
+// modules, optimizer behaviour, loss function.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace sia::nn {
+namespace {
+
+TEST(Activation, ReluForwardBackward) {
+    Activation act;
+    tensor::Tensor z(tensor::Shape{4}, {-1.0F, 0.0F, 0.5F, 2.0F});
+    const auto out = act.forward(z, true);
+    EXPECT_FLOAT_EQ(out.flat(0), 0.0F);
+    EXPECT_FLOAT_EQ(out.flat(2), 0.5F);
+    tensor::Tensor g(tensor::Shape{4});
+    g.fill(1.0F);
+    const auto gin = act.backward(g);
+    EXPECT_FLOAT_EQ(gin.flat(0), 0.0F);
+    EXPECT_FLOAT_EQ(gin.flat(1), 0.0F);
+    EXPECT_FLOAT_EQ(gin.flat(2), 1.0F);
+    EXPECT_FLOAT_EQ(gin.flat(3), 1.0F);
+}
+
+TEST(Activation, QuantReluLevels) {
+    Activation act;
+    act.set_step(1.0F);
+    act.enable_quant(4);
+    act.set_step(1.0F);  // enable_quant may override from calibration
+    tensor::Tensor z(tensor::Shape{6}, {-0.5F, 0.1F, 0.3F, 0.55F, 0.9F, 2.0F});
+    const auto out = act.forward(z, false);
+    // h(z) = 0.25 * clip(floor(4z + 0.5), 0, 4)
+    EXPECT_FLOAT_EQ(out.flat(0), 0.0F);
+    EXPECT_FLOAT_EQ(out.flat(1), 0.0F);   // floor(0.4+0.5)=0
+    EXPECT_FLOAT_EQ(out.flat(2), 0.25F);  // floor(1.2+0.5)=1
+    EXPECT_FLOAT_EQ(out.flat(3), 0.5F);   // floor(2.2+0.5)=2
+    EXPECT_FLOAT_EQ(out.flat(4), 1.0F);   // floor(3.6+0.5)=4 -> 4
+    EXPECT_FLOAT_EQ(out.flat(5), 1.0F);   // saturates at s
+}
+
+TEST(Activation, QuantReluSteGradients) {
+    Activation act;
+    act.set_step(1.0F);
+    act.enable_quant(2);
+    act.set_step(1.0F);
+    tensor::Tensor z(tensor::Shape{3}, {-0.5F, 0.5F, 1.5F});
+    (void)act.forward(z, true);
+    tensor::Tensor g(tensor::Shape{3});
+    g.fill(2.0F);
+    act.step_param().zero_grad();
+    const auto gin = act.backward(g);
+    EXPECT_FLOAT_EQ(gin.flat(0), 0.0F);  // below zero: blocked
+    EXPECT_FLOAT_EQ(gin.flat(1), 2.0F);  // linear region: pass-through
+    EXPECT_FLOAT_EQ(gin.flat(2), 0.0F);  // saturated: blocked
+    EXPECT_FLOAT_EQ(act.step_param().grad.flat(0), 2.0F);  // dL/ds from saturated
+}
+
+TEST(Activation, CalibrationPicksMseOptimalStep) {
+    Activation act;
+    act.begin_calibration();
+    // A dense body of small values with a thin tail of moderate
+    // outliers: the MSE-optimal step should clip below the max so the
+    // body keeps resolution.
+    tensor::Tensor z(tensor::Shape{1000});
+    util::Rng rng(5);
+    for (std::int64_t i = 0; i < 990; ++i) z.flat(i) = rng.uniform(0.15F, 0.25F);
+    for (std::int64_t i = 990; i < 1000; ++i) z.flat(i) = 2.0F;
+    (void)act.forward(z, false);
+    act.end_calibration();
+    act.enable_quant(4);
+    EXPECT_LT(act.step(), 1.5F);  // clipped below the outlier tail
+    EXPECT_GT(act.step(), 0.1F);
+}
+
+TEST(Activation, CalibrationTracksMax) {
+    Activation act;
+    act.begin_calibration();
+    tensor::Tensor z(tensor::Shape{2}, {0.5F, 3.5F});
+    (void)act.forward(z, false);
+    act.end_calibration();
+    EXPECT_FLOAT_EQ(act.calibrated_max(), 3.5F);
+}
+
+TEST(BatchNorm, NormalisesBatchStatistics) {
+    util::Rng rng(1);
+    BatchNorm2d bn(2);
+    tensor::Tensor x(tensor::Shape{4, 2, 3, 3});
+    x.randn_(rng, 3.0F);
+    const auto out = bn.forward(x, true);
+    // Per-channel mean ~0 and var ~1 after normalisation (affine is identity).
+    for (std::int64_t c = 0; c < 2; ++c) {
+        double mean = 0.0;
+        double var = 0.0;
+        const std::int64_t count = 4 * 9;
+        for (std::int64_t s = 0; s < 4; ++s) {
+            for (std::int64_t i = 0; i < 9; ++i) {
+                mean += out.flat((s * 2 + c) * 9 + i);
+            }
+        }
+        mean /= count;
+        for (std::int64_t s = 0; s < 4; ++s) {
+            for (std::int64_t i = 0; i < 9; ++i) {
+                const double d = out.flat((s * 2 + c) * 9 + i) - mean;
+                var += d * d;
+            }
+        }
+        var /= count;
+        EXPECT_NEAR(mean, 0.0, 1e-5);
+        EXPECT_NEAR(var, 1.0, 1e-3);
+    }
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+    util::Rng rng(2);
+    BatchNorm2d bn(1, "bn", /*momentum=*/1.0F);  // running <- batch exactly
+    tensor::Tensor x(tensor::Shape{8, 1, 2, 2});
+    x.randn_(rng, 2.0F);
+    (void)bn.forward(x, true);
+    const auto out = bn.forward(x, false);
+    // With momentum 1 the running stats equal the batch stats, so
+    // inference output matches training output closely (biased var).
+    const auto ref = bn.forward(x, true);
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+        EXPECT_NEAR(out.flat(i), ref.flat(i), 2e-2F);
+    }
+}
+
+TEST(BatchNorm, NumericalGradient) {
+    util::Rng rng(3);
+    BatchNorm2d bn(2);
+    tensor::Tensor x(tensor::Shape{2, 2, 2, 2});
+    x.randn_(rng, 1.0F);
+
+    // Loss: weighted sum so the gradient is non-uniform.
+    tensor::Tensor w(x.shape());
+    w.randn_(rng, 1.0F);
+    const auto loss_of = [&](const tensor::Tensor& y) {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < y.numel(); ++i) acc += double(y.flat(i)) * w.flat(i);
+        return acc;
+    };
+
+    auto out = bn.forward(x, true);
+    tensor::Tensor grad_out(out.shape());
+    for (std::int64_t i = 0; i < w.numel(); ++i) grad_out.flat(i) = w.flat(i);
+    const auto grad_in = bn.backward(grad_out);
+
+    const float eps = 1e-3F;
+    for (const std::int64_t idx : {0L, 5L, 11L, 15L}) {
+        const float orig = x.flat(idx);
+        x.flat(idx) = orig + eps;
+        const double lp = loss_of(bn.forward(x, true));
+        x.flat(idx) = orig - eps;
+        const double lm = loss_of(bn.forward(x, true));
+        x.flat(idx) = orig;
+        EXPECT_NEAR(grad_in.flat(idx), (lp - lm) / (2 * eps), 2e-2) << idx;
+    }
+}
+
+TEST(Conv2dModule, AccumulatesGradients) {
+    util::Rng rng(4);
+    Conv2d conv({2, 3, 3, 1, 1}, rng);
+    tensor::Tensor x(tensor::Shape{1, 2, 4, 4});
+    x.randn_(rng, 1.0F);
+    (void)conv.forward(x, true);
+    tensor::Tensor g(tensor::Shape{1, 3, 4, 4});
+    g.fill(1.0F);
+    (void)conv.backward(g);
+    const float after_one = conv.weight().grad.flat(0);
+    (void)conv.forward(x, true);
+    (void)conv.backward(g);
+    EXPECT_NEAR(conv.weight().grad.flat(0), 2.0F * after_one, 1e-4F);
+}
+
+TEST(Sgd, MomentumAndDecayStep) {
+    Param p(tensor::Shape{1});
+    p.value.flat(0) = 1.0F;
+    p.grad.flat(0) = 1.0F;
+    SgdConfig cfg;
+    cfg.lr = 0.1F;
+    cfg.momentum = 0.0F;
+    cfg.weight_decay = 0.0F;
+    Sgd opt({&p}, cfg);
+    opt.step();
+    EXPECT_NEAR(p.value.flat(0), 0.9F, 1e-6F);
+    EXPECT_FLOAT_EQ(p.grad.flat(0), 0.0F);  // zeroed after step
+
+    // Weight decay pulls the value further.
+    Param q(tensor::Shape{1});
+    q.value.flat(0) = 1.0F;
+    q.grad.flat(0) = 0.0F;
+    SgdConfig cfg2;
+    cfg2.lr = 0.1F;
+    cfg2.momentum = 0.0F;
+    cfg2.weight_decay = 0.5F;
+    Sgd opt2({&q}, cfg2);
+    opt2.step();
+    EXPECT_NEAR(q.value.flat(0), 1.0F - 0.1F * 0.5F, 1e-6F);
+
+    // decay=false parameters are exempt.
+    Param r(tensor::Shape{1});
+    r.decay = false;
+    r.value.flat(0) = 1.0F;
+    Sgd opt3({&r}, cfg2);
+    opt3.step();
+    EXPECT_FLOAT_EQ(r.value.flat(0), 1.0F);
+}
+
+TEST(CosineLr, EndpointsAndMidpoint) {
+    EXPECT_FLOAT_EQ(cosine_lr(1.0F, 0.0F, 0, 100), 1.0F);
+    EXPECT_NEAR(cosine_lr(1.0F, 0.0F, 50, 100), 0.5F, 1e-6F);
+    EXPECT_NEAR(cosine_lr(1.0F, 0.0F, 100, 100), 0.0F, 1e-6F);
+}
+
+TEST(Loss, SoftmaxCrossEntropyKnownValues) {
+    // Uniform logits -> loss = log(K); gradient rows sum to 0.
+    tensor::Tensor logits(tensor::Shape{2, 4});
+    const LossResult res = softmax_cross_entropy(logits, {0, 3});
+    EXPECT_NEAR(res.loss, std::log(4.0F), 1e-5F);
+    for (std::int64_t i = 0; i < 2; ++i) {
+        double row = 0.0;
+        for (std::int64_t j = 0; j < 4; ++j) row += res.grad_logits.at(i, j);
+        EXPECT_NEAR(row, 0.0, 1e-6);
+    }
+}
+
+TEST(Loss, CorrectCount) {
+    tensor::Tensor logits(tensor::Shape{2, 3}, {5.0F, 0.0F, 0.0F, 0.0F, 0.0F, 5.0F});
+    const LossResult res = softmax_cross_entropy(logits, {0, 2});
+    EXPECT_EQ(res.correct, 2);
+    const LossResult res2 = softmax_cross_entropy(logits, {1, 2});
+    EXPECT_EQ(res2.correct, 1);
+}
+
+TEST(Loss, GradientPointsTowardLabel) {
+    tensor::Tensor logits(tensor::Shape{1, 3}, {1.0F, 2.0F, 3.0F});
+    const LossResult res = softmax_cross_entropy(logits, {0});
+    EXPECT_LT(res.grad_logits.at(0, 0), 0.0F);  // push label logit up
+    EXPECT_GT(res.grad_logits.at(0, 2), 0.0F);  // push others down
+}
+
+TEST(Loss, LabelCountMismatchThrows) {
+    tensor::Tensor logits(tensor::Shape{2, 3});
+    EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sia::nn

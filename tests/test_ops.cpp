@@ -1,0 +1,264 @@
+// Tensor kernel tests: matmul variants, im2col convolution (against a
+// naive reference), pooling, and numerical gradient checks on the
+// backward passes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace sia::tensor {
+namespace {
+
+Tensor random_tensor(Shape shape, util::Rng& rng) {
+    Tensor t(shape);
+    t.randn_(rng, 1.0F);
+    return t;
+}
+
+/// Naive direct convolution used as the reference implementation.
+Tensor conv_reference(const Tensor& input, const Tensor& weight, const ConvGeometry& g) {
+    const std::int64_t n = input.dim(0);
+    const std::int64_t ih = input.dim(2);
+    const std::int64_t iw = input.dim(3);
+    const std::int64_t oh = g.out_size(ih);
+    const std::int64_t ow = g.out_size(iw);
+    Tensor out(Shape{n, g.out_channels, oh, ow});
+    for (std::int64_t s = 0; s < n; ++s) {
+        for (std::int64_t oc = 0; oc < g.out_channels; ++oc) {
+            for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t x = 0; x < ow; ++x) {
+                    double acc = 0.0;
+                    for (std::int64_t ic = 0; ic < g.in_channels; ++ic) {
+                        for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+                            for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+                                const std::int64_t iy = y * g.stride + ky - g.padding;
+                                const std::int64_t ix = x * g.stride + kx - g.padding;
+                                if (iy < 0 || iy >= ih || ix < 0 || ix >= iw) continue;
+                                acc += static_cast<double>(input.at(s, ic, iy, ix)) *
+                                       weight.at(oc, ic, ky, kx);
+                            }
+                        }
+                    }
+                    out.at(s, oc, y, x) = static_cast<float>(acc);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+TEST(Matmul, SmallKnown) {
+    const Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+    const Tensor b(Shape{2, 2}, {5, 6, 7, 8});
+    Tensor c(Shape{2, 2});
+    matmul(a, b, c);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19.0F);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22.0F);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43.0F);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50.0F);
+}
+
+TEST(Matmul, VariantsAgree) {
+    util::Rng rng(1);
+    const Tensor a = random_tensor(Shape{5, 7}, rng);
+    const Tensor b = random_tensor(Shape{7, 4}, rng);
+    Tensor ref(Shape{5, 4});
+    matmul(a, b, ref);
+
+    // a^T stored: [7,5]
+    Tensor a_t(Shape{7, 5});
+    for (std::int64_t i = 0; i < 5; ++i) {
+        for (std::int64_t j = 0; j < 7; ++j) a_t.at(j, i) = a.at(i, j);
+    }
+    Tensor out_tn(Shape{5, 4});
+    matmul_tn(a_t, b, out_tn);
+    // b^T stored: [4,7]
+    Tensor b_t(Shape{4, 7});
+    for (std::int64_t i = 0; i < 7; ++i) {
+        for (std::int64_t j = 0; j < 4; ++j) b_t.at(j, i) = b.at(i, j);
+    }
+    Tensor out_nt(Shape{5, 4});
+    matmul_nt(a, b_t, out_nt);
+
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+        EXPECT_NEAR(out_tn.flat(i), ref.flat(i), 1e-4F);
+        EXPECT_NEAR(out_nt.flat(i), ref.flat(i), 1e-4F);
+    }
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+    const Tensor a(Shape{2, 3});
+    const Tensor b(Shape{4, 2});
+    Tensor c(Shape{2, 2});
+    EXPECT_THROW(matmul(a, b, c), std::invalid_argument);
+}
+
+struct ConvCase {
+    std::int64_t ic, oc, k, stride, pad, size;
+};
+
+class ConvForward : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvForward, MatchesNaiveReference) {
+    const ConvCase c = GetParam();
+    util::Rng rng(11);
+    const ConvGeometry g{c.ic, c.oc, c.k, c.stride, c.pad};
+    const Tensor input = random_tensor(Shape{2, c.ic, c.size, c.size}, rng);
+    const Tensor weight = random_tensor(Shape{c.oc, c.ic, c.k, c.k}, rng);
+    const std::int64_t oh = g.out_size(c.size);
+    Tensor out(Shape{2, c.oc, oh, oh});
+    conv2d_forward(input, weight, Tensor{}, g, out);
+    const Tensor ref = conv_reference(input, weight, g);
+    ASSERT_EQ(out.numel(), ref.numel());
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+        EXPECT_NEAR(out.flat(i), ref.flat(i), 1e-3F) << "i=" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvForward,
+    ::testing::Values(ConvCase{1, 1, 3, 1, 1, 6},   // minimal
+                      ConvCase{3, 8, 3, 1, 1, 8},   // typical 3x3
+                      ConvCase{4, 6, 3, 2, 1, 8},   // stride 2 (VGG downsample)
+                      ConvCase{4, 6, 1, 1, 0, 5},   // 1x1 (ResNet downsample skip)
+                      ConvCase{2, 4, 5, 1, 2, 9},   // 5x5 (Table II)
+                      ConvCase{2, 4, 7, 1, 3, 9},   // 7x7 (Table II)
+                      ConvCase{1, 2, 11, 1, 5, 12}  // 11x11 (Table II)
+                      ));
+
+TEST(ConvBackward, NumericalGradientInput) {
+    util::Rng rng(2);
+    const ConvGeometry g{2, 3, 3, 1, 1};
+    Tensor input = random_tensor(Shape{1, 2, 5, 5}, rng);
+    const Tensor weight = random_tensor(Shape{3, 2, 3, 3}, rng);
+    const std::int64_t oh = g.out_size(5);
+    Tensor out(Shape{1, 3, oh, oh});
+
+    // Loss = sum(out). dL/dout = 1.
+    Tensor grad_out(out.shape());
+    grad_out.fill(1.0F);
+    Tensor grad_in(input.shape());
+    Tensor grad_w(weight.shape());
+    Tensor no_bias;
+    conv2d_backward(input, weight, grad_out, g, grad_in, grad_w, no_bias);
+
+    const float eps = 1e-2F;
+    for (const std::int64_t idx : {0L, 7L, 24L, 49L}) {
+        const float orig = input.flat(idx);
+        input.flat(idx) = orig + eps;
+        conv2d_forward(input, weight, Tensor{}, g, out);
+        const float lp = out.sum();
+        input.flat(idx) = orig - eps;
+        conv2d_forward(input, weight, Tensor{}, g, out);
+        const float lm = out.sum();
+        input.flat(idx) = orig;
+        const float numeric = (lp - lm) / (2 * eps);
+        EXPECT_NEAR(grad_in.flat(idx), numeric, 5e-2F) << "idx=" << idx;
+    }
+}
+
+TEST(ConvBackward, NumericalGradientWeight) {
+    util::Rng rng(3);
+    const ConvGeometry g{2, 2, 3, 1, 1};
+    const Tensor input = random_tensor(Shape{2, 2, 4, 4}, rng);
+    Tensor weight = random_tensor(Shape{2, 2, 3, 3}, rng);
+    Tensor out(Shape{2, 2, 4, 4});
+    Tensor grad_out(out.shape());
+    grad_out.fill(1.0F);
+    Tensor grad_in(input.shape());
+    Tensor grad_w(weight.shape());
+    Tensor no_bias;
+    conv2d_backward(input, weight, grad_out, g, grad_in, grad_w, no_bias);
+
+    const float eps = 1e-2F;
+    for (const std::int64_t idx : {0L, 5L, 17L, 35L}) {
+        const float orig = weight.flat(idx);
+        weight.flat(idx) = orig + eps;
+        conv2d_forward(input, weight, Tensor{}, g, out);
+        const float lp = out.sum();
+        weight.flat(idx) = orig - eps;
+        conv2d_forward(input, weight, Tensor{}, g, out);
+        const float lm = out.sum();
+        weight.flat(idx) = orig;
+        EXPECT_NEAR(grad_w.flat(idx), (lp - lm) / (2 * eps), 5e-2F) << "idx=" << idx;
+    }
+}
+
+TEST(AvgPool, ForwardBackward) {
+    Tensor in(Shape{1, 1, 4, 4});
+    for (std::int64_t i = 0; i < 16; ++i) in.flat(i) = static_cast<float>(i);
+    Tensor out(Shape{1, 1, 2, 2});
+    avgpool2d_forward(in, 2, out);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), (0 + 1 + 4 + 5) / 4.0F);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), (10 + 11 + 14 + 15) / 4.0F);
+
+    Tensor gout(out.shape());
+    gout.fill(4.0F);
+    Tensor gin(in.shape());
+    avgpool2d_backward(gout, 2, gin);
+    for (std::int64_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(gin.flat(i), 1.0F);
+}
+
+TEST(MaxPool, ForwardBackwardRouting) {
+    Tensor in(Shape{1, 1, 4, 4});
+    for (std::int64_t i = 0; i < 16; ++i) in.flat(i) = static_cast<float>(i);
+    Tensor out(Shape{1, 1, 2, 2});
+    std::vector<std::int64_t> argmax;
+    maxpool2d_forward(in, 2, out, argmax);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 5.0F);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 15.0F);
+
+    Tensor gout(out.shape());
+    gout.fill(1.0F);
+    Tensor gin(in.shape());
+    maxpool2d_backward(gout, argmax, gin);
+    EXPECT_FLOAT_EQ(gin.flat(5), 1.0F);
+    EXPECT_FLOAT_EQ(gin.flat(15), 1.0F);
+    EXPECT_FLOAT_EQ(gin.flat(0), 0.0F);
+}
+
+TEST(Linear, ForwardAndNumericalGradient) {
+    util::Rng rng(4);
+    const Tensor input = random_tensor(Shape{3, 5}, rng);
+    Tensor weight = random_tensor(Shape{2, 5}, rng);
+    const Tensor bias = random_tensor(Shape{2}, rng);
+    Tensor out(Shape{3, 2});
+    linear_forward(input, weight, bias, out);
+    // Check one output element by hand.
+    double acc = bias.flat(1);
+    for (std::int64_t d = 0; d < 5; ++d) acc += double(input.at(2, d)) * weight.at(1, d);
+    EXPECT_NEAR(out.at(2, 1), acc, 1e-4);
+
+    Tensor grad_out(out.shape());
+    grad_out.fill(1.0F);
+    Tensor grad_in(input.shape());
+    Tensor grad_w(weight.shape());
+    Tensor grad_b(bias.shape());
+    linear_backward(input, weight, grad_out, grad_in, grad_w, grad_b);
+    const float eps = 1e-2F;
+    const float orig = weight.flat(3);
+    weight.flat(3) = orig + eps;
+    linear_forward(input, weight, bias, out);
+    const float lp = out.sum();
+    weight.flat(3) = orig - eps;
+    linear_forward(input, weight, bias, out);
+    const float lm = out.sum();
+    weight.flat(3) = orig;
+    EXPECT_NEAR(grad_w.flat(3), (lp - lm) / (2 * eps), 5e-2F);
+    // Bias gradient: dL/db_f = batch size with unit grad_out.
+    EXPECT_FLOAT_EQ(grad_b.flat(0), 3.0F);
+}
+
+TEST(ConvGeometry, OutputSizes) {
+    const ConvGeometry s1{1, 1, 3, 1, 1};
+    EXPECT_EQ(s1.out_size(32), 32);
+    const ConvGeometry s2{1, 1, 3, 2, 1};
+    EXPECT_EQ(s2.out_size(32), 16);
+    const ConvGeometry k1{1, 1, 1, 2, 0};
+    EXPECT_EQ(k1.out_size(32), 16);
+}
+
+}  // namespace
+}  // namespace sia::tensor

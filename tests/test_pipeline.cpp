@@ -1,0 +1,133 @@
+// End-to-end pipeline tests (Fig. 1 flow) on a small VGG + synthetic
+// data. These are the slowest tests in the suite; geometry is kept small
+// so the whole file runs in tens of seconds on one core.
+#include <gtest/gtest.h>
+
+#include "core/hybrid.hpp"
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "nn/vgg.hpp"
+
+namespace sia::core {
+namespace {
+
+class PipelineFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        data::SyntheticConfig dcfg;
+        dcfg.classes = 4;
+        dcfg.train_per_class = 40;
+        dcfg.test_per_class = 10;
+        dcfg.size = 16;
+        dcfg.noise_stddev = 0.25F;
+        data_ = new data::TrainTest(data::make_synthetic(dcfg));
+
+        util::Rng rng(7);
+        nn::VggConfig mcfg;
+        mcfg.width = 4;
+        mcfg.classes = 4;
+        mcfg.input_size = 16;
+        model_ = new nn::Vgg11(mcfg, rng);
+
+        PipelineConfig pcfg;
+        pcfg.train.epochs = 3;
+        pcfg.train.batch_size = 16;
+        pcfg.levels = 2;
+        pcfg.finetune_epochs = 2;
+        pcfg.convert.host_front_layers = 1;
+        const Pipeline pipeline(pcfg);
+        result_ = new PipelineResult(pipeline.run(*model_, data_->train, data_->test));
+    }
+
+    static void TearDownTestSuite() {
+        delete result_;
+        delete model_;
+        delete data_;
+        result_ = nullptr;
+        model_ = nullptr;
+        data_ = nullptr;
+    }
+
+    static data::TrainTest* data_;
+    static nn::Vgg11* model_;
+    static PipelineResult* result_;
+};
+
+data::TrainTest* PipelineFixture::data_ = nullptr;
+nn::Vgg11* PipelineFixture::model_ = nullptr;
+PipelineResult* PipelineFixture::result_ = nullptr;
+
+TEST_F(PipelineFixture, AnnLearnsTask) {
+    EXPECT_GT(result_->ann_accuracy, 0.7);  // chance = 0.25
+}
+
+TEST_F(PipelineFixture, QuantizedAnnWithinReasonOfAnn) {
+    // L=2 activations are harsh on a 160-sample toy task; the paper-
+    // scale benches hold a much tighter gap.
+    EXPECT_GT(result_->qann_accuracy, result_->ann_accuracy - 0.25);
+}
+
+TEST_F(PipelineFixture, StepSizesRecordedAndPositive) {
+    ASSERT_EQ(result_->step_sizes.size(), 8U);  // VGG-11: 8 conv activations
+    for (const float s : result_->step_sizes) EXPECT_GT(s, 0.0F);
+}
+
+TEST_F(PipelineFixture, SnnModelStructure) {
+    // host_front_layers=1: 7 on-accelerator convs + FC readout.
+    EXPECT_EQ(result_->snn.layers.size(), 8U);
+    EXPECT_FALSE(result_->snn.layers.back().spiking);
+    EXPECT_NO_THROW(result_->snn.validate());
+}
+
+TEST_F(PipelineFixture, SnnAccuracyConvergesTowardAnn) {
+    const HybridFrontEnd fe(model_->ir(), 1);
+    const InputEncoder enc = [&](const tensor::Tensor& img, std::int64_t timesteps) {
+        return fe.encode(img, timesteps);
+    };
+    const auto acc = evaluate_snn_over_time(result_->snn, data_->test, 16, enc);
+    // Monotone-ish improvement: late accuracy beats early accuracy.
+    EXPECT_GT(acc[15], acc[0]);
+    // Within 10 points of the quantized ANN by T=16 on this toy task.
+    EXPECT_GT(acc[15], result_->qann_accuracy - 0.10);
+}
+
+TEST_F(PipelineFixture, SpikeRatesInPlausibleBand) {
+    const HybridFrontEnd fe(model_->ir(), 1);
+    const InputEncoder enc = [&](const tensor::Tensor& img, std::int64_t timesteps) {
+        return fe.encode(img, timesteps);
+    };
+    const auto profile =
+        measure_spike_rates(result_->snn, data_->test.take(8), 8, enc);
+    ASSERT_EQ(profile.rates.size(), 7U);  // spiking layers only
+    for (const double r : profile.rates) {
+        EXPECT_GE(r, 0.0);
+        EXPECT_LE(r, 1.0);
+    }
+    // Paper reports ~0.12-0.16 average; anything in (0, 0.6) is sane here.
+    EXPECT_GT(profile.overall, 0.0);
+    EXPECT_LT(profile.overall, 0.6);
+}
+
+TEST_F(PipelineFixture, HybridEncoderBeatsPixelEncoderAtLowT) {
+    const HybridFrontEnd fe(model_->ir(), 1);
+    const InputEncoder enc = [&](const tensor::Tensor& img, std::int64_t timesteps) {
+        return fe.encode(img, timesteps);
+    };
+    const auto hybrid_acc = evaluate_snn_over_time(result_->snn, data_->test, 8, enc);
+
+    // Re-convert without the host front end for the pixel-coded variant.
+    ConvertOptions opts;
+    const auto full_model = AnnToSnnConverter(opts).convert(model_->ir());
+    const auto pixel_acc = evaluate_snn_over_time(full_model, data_->test, 8);
+    EXPECT_GE(hybrid_acc[7], pixel_acc[7] - 0.05);
+}
+
+TEST_F(PipelineFixture, HybridFrontEndValidation) {
+    const auto ir = model_->ir();
+    EXPECT_THROW(HybridFrontEnd(ir, 0), std::invalid_argument);
+    EXPECT_THROW(HybridFrontEnd(ir, 100), std::invalid_argument);
+    EXPECT_NO_THROW(HybridFrontEnd(ir, 2));
+}
+
+}  // namespace
+}  // namespace sia::core

@@ -1,0 +1,222 @@
+// Parameterized property sweeps across the co-verification surface:
+// for a grid of geometries, neuron configs and seeds, the cycle-accurate
+// simulator must match the functional engine bit-exactly, and core
+// integer invariants must hold under random stimulus.
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "core/deploy.hpp"
+#include "snn/compute.hpp"
+#include "snn/encoding.hpp"
+#include "snn/engine.hpp"
+#include "util/fixed_point.hpp"
+
+namespace sia {
+namespace {
+
+// ---- random SnnModel generator ----
+
+struct ModelSpec {
+    std::int64_t channels;     // input channels
+    std::int64_t size;         // input spatial size
+    std::int64_t depth;        // conv layers
+    std::int64_t width;        // conv output channels
+    std::int64_t kernel;
+    bool residual;             // add an identity skip on even layers
+    snn::NeuronKind neuron;
+    std::uint64_t seed;
+};
+
+snn::Branch random_conv_branch(std::int64_t ic, std::int64_t oc, std::int64_t k,
+                               util::Rng& rng) {
+    snn::Branch b;
+    b.in_channels = ic;
+    b.out_channels = oc;
+    b.kernel = k;
+    b.stride = 1;
+    b.padding = k / 2;
+    b.weights.resize(static_cast<std::size_t>(ic * oc * k * k));
+    for (auto& w : b.weights) w = static_cast<std::int8_t>(rng.integer(-127, 127));
+    b.gain.resize(static_cast<std::size_t>(oc));
+    b.bias.resize(static_cast<std::size_t>(oc));
+    for (auto& g : b.gain) g = static_cast<std::int16_t>(rng.integer(50, 2000));
+    for (auto& h : b.bias) h = static_cast<std::int16_t>(rng.integer(-100, 100));
+    return b;
+}
+
+snn::SnnModel random_model(const ModelSpec& spec) {
+    util::Rng rng(spec.seed);
+    snn::SnnModel model;
+    model.input_channels = spec.channels;
+    model.input_h = spec.size;
+    model.input_w = spec.size;
+
+    std::int64_t in_c = spec.channels;
+    for (std::int64_t d = 0; d < spec.depth; ++d) {
+        snn::SnnLayer layer;
+        layer.op = snn::LayerOp::kConv;
+        layer.label = "conv" + std::to_string(d);
+        layer.input = static_cast<int>(d) - 1;
+        layer.main = random_conv_branch(in_c, spec.width, spec.kernel, rng);
+        layer.neuron = spec.neuron;
+        layer.out_channels = spec.width;
+        layer.out_h = spec.size;
+        layer.out_w = spec.size;
+        layer.in_h = spec.size;
+        layer.in_w = spec.size;
+        if (spec.residual && d >= 2 && d % 2 == 0) {
+            layer.skip_src = static_cast<int>(d) - 2;  // same width: identity OK
+            layer.skip_is_identity = true;
+            layer.identity_skip.charge =
+                static_cast<std::int16_t>(rng.integer(100, 400));
+        }
+        model.layers.push_back(std::move(layer));
+        in_c = spec.width;
+    }
+
+    snn::SnnLayer fc;
+    fc.op = snn::LayerOp::kLinear;
+    fc.label = "fc";
+    fc.input = static_cast<int>(spec.depth) - 1;
+    fc.spiking = false;
+    fc.main.in_features = spec.width * spec.size * spec.size;
+    fc.main.out_features = 4;
+    fc.main.weights.resize(static_cast<std::size_t>(fc.main.in_features * 4));
+    for (auto& w : fc.main.weights) w = static_cast<std::int8_t>(rng.integer(-64, 64));
+    fc.main.gain.assign(4, 256);
+    fc.main.bias.assign(4, 0);
+    fc.out_channels = 4;
+    model.layers.push_back(std::move(fc));
+    model.classes = 4;
+    model.validate();
+    return model;
+}
+
+snn::SpikeTrain random_train(const snn::SnnModel& model, std::int64_t timesteps,
+                             std::uint64_t seed, double rate) {
+    util::Rng rng(seed);
+    snn::SpikeTrain train(static_cast<std::size_t>(timesteps),
+                          snn::SpikeMap(model.input_channels, model.input_h,
+                                        model.input_w));
+    for (auto& frame : train) {
+        for (std::int64_t i = 0; i < frame.size(); ++i) {
+            frame.set_flat(i, rng.bernoulli(rate));
+        }
+    }
+    return train;
+}
+
+class BitExactSweep : public ::testing::TestWithParam<ModelSpec> {};
+
+TEST_P(BitExactSweep, SimulatorMatchesFunctionalEngine) {
+    const ModelSpec spec = GetParam();
+    const auto model = random_model(spec);
+    const auto train = random_train(model, 5, spec.seed + 1, 0.2);
+    const core::DeployReport report = core::Deployer().deploy(model, train);
+    EXPECT_TRUE(report.bit_exact) << report.mismatch;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BitExactSweep,
+    ::testing::Values(
+        ModelSpec{1, 6, 1, 4, 3, false, snn::NeuronKind::kIf, 1},
+        ModelSpec{3, 8, 2, 8, 3, false, snn::NeuronKind::kIf, 2},
+        ModelSpec{2, 8, 3, 6, 1, false, snn::NeuronKind::kIf, 3},     // 1x1 kernels
+        ModelSpec{2, 9, 2, 5, 5, false, snn::NeuronKind::kIf, 4},     // 5x5 kernels
+        ModelSpec{3, 8, 4, 8, 3, true, snn::NeuronKind::kIf, 5},      // residual
+        ModelSpec{3, 8, 2, 8, 3, false, snn::NeuronKind::kLif, 6},    // LIF
+        ModelSpec{1, 12, 3, 10, 3, true, snn::NeuronKind::kLif, 7},   // LIF + residual
+        ModelSpec{4, 6, 2, 70, 3, false, snn::NeuronKind::kIf, 8}));  // >64 OC (tiling)
+
+// ---- integer invariants under random stimulus ----
+
+TEST(Invariants, SatArithmeticNeverWraps) {
+    util::Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const auto a = static_cast<std::int16_t>(rng.integer(-32768, 32767));
+        const auto b = static_cast<std::int16_t>(rng.integer(-32768, 32767));
+        const std::int64_t wide = static_cast<std::int64_t>(a) + b;
+        const std::int16_t s = util::sat_add16(a, b);
+        if (wide > 32767) {
+            EXPECT_EQ(s, 32767);
+        } else if (wide < -32768) {
+            EXPECT_EQ(s, -32768);
+        } else {
+            EXPECT_EQ(s, static_cast<std::int16_t>(wide));
+        }
+    }
+}
+
+TEST(Invariants, FxpMulShiftWithinHalfUlp) {
+    util::Rng rng(10);
+    for (int i = 0; i < 10000; ++i) {
+        const auto a = static_cast<std::int16_t>(rng.integer(-2000, 2000));
+        const auto b = static_cast<std::int16_t>(rng.integer(-2000, 2000));
+        const int shift = static_cast<int>(rng.integer(1, 14));
+        const double exact =
+            static_cast<double>(a) * b / static_cast<double>(std::int64_t{1} << shift);
+        const std::int16_t got = util::fxp_mul_shift(a, b, shift);
+        if (exact < 32767.0 && exact > -32768.0) {
+            EXPECT_LE(std::abs(static_cast<double>(got) - exact), 0.5 + 1e-9)
+                << a << "*" << b << ">>" << shift;
+        }
+    }
+}
+
+TEST(Invariants, NeuronPotentialBoundedAfterFire) {
+    // With reset-by-subtraction and current <= theta, the post-fire
+    // potential stays below theta (no runaway accumulation).
+    snn::SnnLayer layer;
+    layer.threshold = 256;
+    util::Rng rng(11);
+    std::int16_t u = 128;
+    for (int i = 0; i < 5000; ++i) {
+        const auto current = static_cast<std::int16_t>(rng.integer(-256, 256));
+        bool spike = false;
+        u = snn::compute::update_neuron(u, current, layer, spike);
+        if (spike) EXPECT_LT(u, layer.threshold);
+        EXPECT_GE(u, -32768);
+    }
+}
+
+TEST(Invariants, SpikeCountsConservedAcrossEngines) {
+    // Total spikes per layer reported by RunResult equal the sum of
+    // per-step SpikeMap counts (no double counting).
+    const auto model = random_model({3, 8, 2, 8, 3, false, snn::NeuronKind::kIf, 12});
+    const auto train = random_train(model, 4, 13, 0.25);
+    snn::FunctionalEngine engine(model);
+    engine.reset();
+    std::vector<std::int64_t> manual(model.layers.size(), 0);
+    for (const auto& frame : train) {
+        engine.step(frame);
+        for (std::size_t l = 0; l < model.layers.size(); ++l) {
+            manual[l] += engine.layer_spikes(l).count();
+        }
+    }
+    for (std::size_t l = 0; l < model.layers.size(); ++l) {
+        EXPECT_EQ(engine.spike_count(l), manual[l]) << "layer " << l;
+    }
+}
+
+TEST(Invariants, EncoderPrefixConsistency) {
+    // Thermometer property: the first t steps of a T-step encoding carry
+    // floor-consistent prefixes — count over prefix differs from the
+    // exact proportional share by at most 1.
+    util::Rng rng(14);
+    tensor::Tensor img(tensor::Shape{1, 1, 4, 4});
+    for (std::int64_t i = 0; i < img.numel(); ++i) img.flat(i) = rng.uniform(0.0F, 1.0F);
+    const auto train = snn::encode_thermometer(img, 16);
+    for (std::int64_t i = 0; i < img.numel(); ++i) {
+        std::int64_t total = 0;
+        for (const auto& f : train) total += f.get_flat(i) ? 1 : 0;
+        std::int64_t prefix = 0;
+        for (std::int64_t t = 0; t < 16; ++t) {
+            prefix += train[static_cast<std::size_t>(t)].get_flat(i) ? 1 : 0;
+            const double share = static_cast<double>(total) * (t + 1) / 16.0;
+            EXPECT_LE(std::abs(static_cast<double>(prefix) - share), 1.0 + 1e-9);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,123 @@
+// SnnModel serialization round-trip and corruption-handling tests, plus
+// the deployment property: a loaded model is bit-identical in execution
+// to the original (functional engine outputs match exactly).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/convert.hpp"
+#include "nn/vgg.hpp"
+#include "snn/encoding.hpp"
+#include "snn/engine.hpp"
+#include "snn/serialize.hpp"
+
+namespace sia::snn {
+namespace {
+
+SnnModel make_model() {
+    util::Rng rng(77);
+    nn::VggConfig cfg;
+    cfg.width = 4;
+    cfg.input_size = 16;
+    nn::Vgg11 ann(cfg, rng);
+    tensor::Tensor x(tensor::Shape{2, 3, 16, 16});
+    for (std::int64_t i = 0; i < x.numel(); ++i) x.flat(i) = rng.uniform(0.0F, 1.0F);
+    (void)ann.forward(x, true);
+    ann.begin_activation_calibration();
+    (void)ann.forward(x, false);
+    ann.end_activation_calibration();
+    ann.enable_quantized_activations(2);
+    return core::AnnToSnnConverter().convert(ann.ir());
+}
+
+TEST(Serialize, RoundTripPreservesEveryField) {
+    const SnnModel model = make_model();
+    std::stringstream buf;
+    save_model(model, buf);
+    const SnnModel back = load_model(buf);
+
+    EXPECT_EQ(back.name, model.name);
+    EXPECT_EQ(back.input_channels, model.input_channels);
+    EXPECT_EQ(back.classes, model.classes);
+    ASSERT_EQ(back.layers.size(), model.layers.size());
+    for (std::size_t i = 0; i < model.layers.size(); ++i) {
+        const auto& a = model.layers[i];
+        const auto& b = back.layers[i];
+        EXPECT_EQ(b.label, a.label);
+        EXPECT_EQ(b.input, a.input);
+        EXPECT_EQ(b.main.weights, a.main.weights);
+        EXPECT_EQ(b.main.gain, a.main.gain);
+        EXPECT_EQ(b.main.bias, a.main.bias);
+        EXPECT_EQ(b.main.gain_shift, a.main.gain_shift);
+        EXPECT_FLOAT_EQ(b.main.weight_scale, a.main.weight_scale);
+        EXPECT_EQ(b.main.stream_weight_bytes, a.main.stream_weight_bytes);
+        EXPECT_EQ(b.threshold, a.threshold);
+        EXPECT_EQ(b.initial_potential, a.initial_potential);
+        EXPECT_EQ(b.spiking, a.spiking);
+        EXPECT_EQ(static_cast<int>(b.neuron), static_cast<int>(a.neuron));
+        EXPECT_EQ(static_cast<int>(b.reset), static_cast<int>(a.reset));
+        EXPECT_FLOAT_EQ(b.step_size, a.step_size);
+        EXPECT_EQ(b.out_channels, a.out_channels);
+    }
+}
+
+TEST(Serialize, LoadedModelExecutesBitIdentically) {
+    const SnnModel model = make_model();
+    std::stringstream buf;
+    save_model(model, buf);
+    const SnnModel back = load_model(buf);
+
+    util::Rng rng(78);
+    tensor::Tensor img(tensor::Shape{1, 3, 16, 16});
+    for (std::int64_t i = 0; i < img.numel(); ++i) img.flat(i) = rng.uniform(0.0F, 1.0F);
+    const auto train = encode_thermometer(img, 6);
+
+    const RunResult a = run_snn(model, train);
+    const RunResult b = run_snn(back, train);
+    EXPECT_EQ(a.logits_per_step, b.logits_per_step);
+    EXPECT_EQ(a.spike_counts, b.spike_counts);
+}
+
+TEST(Serialize, FileRoundTrip) {
+    const SnnModel model = make_model();
+    const std::string path = "/tmp/sia_test_model.snn";
+    save_model_file(model, path);
+    const SnnModel back = load_model_file(path);
+    EXPECT_EQ(back.layers.size(), model.layers.size());
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+    std::stringstream buf;
+    buf << "NOTASNNFILE-------------------------";
+    EXPECT_THROW(load_model(buf), std::runtime_error);
+}
+
+TEST(Serialize, RejectsNewerVersion) {
+    const SnnModel model = make_model();
+    std::stringstream buf;
+    save_model(model, buf);
+    std::string bytes = buf.str();
+    bytes[8] = char(99);  // bump the version field (first byte after magic)
+    std::stringstream tampered(bytes);
+    EXPECT_THROW(load_model(tampered), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncation) {
+    const SnnModel model = make_model();
+    std::stringstream buf;
+    save_model(model, buf);
+    const std::string bytes = buf.str();
+    for (const std::size_t cut : {bytes.size() / 4, bytes.size() / 2, bytes.size() - 3}) {
+        std::stringstream truncated(bytes.substr(0, cut));
+        EXPECT_THROW(load_model(truncated), std::runtime_error) << "cut=" << cut;
+    }
+}
+
+TEST(Serialize, MissingFileThrows) {
+    EXPECT_THROW(load_model_file("/nonexistent/model.snn"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sia::snn

@@ -1,0 +1,196 @@
+// Hardware-block unit tests: PE datapath & cycle semantics, aggregation
+// core, BRAM banks, ping-pong membrane organisation, AXI cost models,
+// controller FSM legality.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sim/aggregation.hpp"
+#include "sim/axi.hpp"
+#include "sim/config.hpp"
+#include "sim/controller.hpp"
+#include "sim/memory.hpp"
+#include "sim/pe.hpp"
+
+namespace sia::sim {
+namespace {
+
+TEST(PeDatapath, WindowCycleCounts) {
+    // 3x3 -> 3 rows x 3 cycles + 1 = 10, exactly the paper's schedule.
+    EXPECT_EQ(SiaConfig::window_cycles(3), 10);
+    EXPECT_EQ(SiaConfig::window_cycles(1), 4);
+    EXPECT_EQ(SiaConfig::window_cycles(5), 31);   // 5 rows x 2 segs x 3 + 1
+    EXPECT_EQ(SiaConfig::window_cycles(7), 64);   // 7 x 3 x 3 + 1
+    EXPECT_EQ(SiaConfig::window_cycles(11), 133); // 11 x 4 x 3 + 1
+}
+
+TEST(PeDatapath, EventDrivenSegmentSkip) {
+    Pe pe;
+    pe.begin_window();
+    const std::array<std::uint8_t, 3> none = {0, 0, 0};
+    const std::array<std::int8_t, 3> w = {10, -5, 3};
+    EXPECT_EQ(pe.accumulate_segment(none, w), 0);  // silent row: free
+    const std::array<std::uint8_t, 3> some = {1, 0, 1};
+    EXPECT_EQ(pe.accumulate_segment(some, w), 3);  // active row: 3 cycles
+    EXPECT_EQ(pe.raw_partial(), 13);               // 10 + 3, mux zeroes -5
+    EXPECT_EQ(pe.emit(), 13);
+    EXPECT_TRUE(pe.emitted());
+    EXPECT_EQ(pe.busy_cycles(), 3);
+    EXPECT_EQ(pe.additions(), 2);
+}
+
+TEST(PeDatapath, EmitSaturates16) {
+    Pe pe;
+    pe.begin_window();
+    const std::array<std::uint8_t, 3> all = {1, 1, 1};
+    const std::array<std::int8_t, 3> w = {127, 127, 127};
+    for (int i = 0; i < 200; ++i) (void)pe.accumulate_segment(all, w);
+    EXPECT_EQ(pe.emit(), 32767);
+}
+
+TEST(PeArray, ScatterTapAccumulatesLanes) {
+    const SiaConfig cfg;
+    PeArray array(cfg);
+    EXPECT_EQ(array.lanes(), 64);
+    std::vector<std::int8_t> w(64, 2);
+    std::vector<std::int32_t> partials(64, 5);
+    array.scatter_tap(w, partials);
+    for (const auto p : partials) EXPECT_EQ(p, 7);
+}
+
+TEST(Aggregation, BatchNormAffine) {
+    // (psum * G) >> 8 + H with saturation.
+    EXPECT_EQ(AggregationCore::batch_norm(100, 256, 10, 8), 110);
+    EXPECT_EQ(AggregationCore::batch_norm(100, -256, 0, 8), -100);
+    EXPECT_EQ(AggregationCore::batch_norm(40000, 256, 0, 8), 32767);  // psum sat first
+}
+
+TEST(Aggregation, ActivationModesMatchPaper) {
+    // IF mode (mode bit 0): no leak.
+    auto r = AggregationCore::activate(200, 100, 256, false, 4, snn::ResetMode::kSubtract);
+    EXPECT_TRUE(r.spike);
+    EXPECT_EQ(r.new_potential, 44);
+    // LIF mode (mode bit 1): leak 1/16 applied before integration.
+    r = AggregationCore::activate(160, 0, 256, true, 4, snn::ResetMode::kSubtract);
+    EXPECT_FALSE(r.spike);
+    EXPECT_EQ(r.new_potential, 150);
+    // Reset to zero.
+    r = AggregationCore::activate(200, 200, 256, false, 4, snn::ResetMode::kZero);
+    EXPECT_TRUE(r.spike);
+    EXPECT_EQ(r.new_potential, 0);
+}
+
+TEST(Aggregation, RetireCyclesPipelined) {
+    EXPECT_EQ(AggregationCore::retire_cycles(160, 16, 4), 14);  // 10 + fill
+    EXPECT_EQ(AggregationCore::retire_cycles(100, 16, 4), 11);  // ceil + fill
+    EXPECT_EQ(AggregationCore::retire_cycles(0, 16, 4), 0);
+}
+
+TEST(Bram, ReadWriteAndCounters) {
+    BramBank bank("test", 64);
+    bank.write16(10, -1234);
+    EXPECT_EQ(bank.read16(10), -1234);
+    bank.write8(0, 0xAB);
+    EXPECT_EQ(bank.read8(0), 0xAB);
+    EXPECT_EQ(bank.bytes_written(), 3);
+    EXPECT_EQ(bank.bytes_read(), 3);
+}
+
+TEST(Bram, CapacityEnforced) {
+    BramBank bank("small", 8);
+    EXPECT_THROW(bank.write16(7, 1), std::out_of_range);
+    EXPECT_THROW(bank.read8(8), std::out_of_range);
+    EXPECT_THROW(bank.read8(-1), std::out_of_range);
+    EXPECT_NO_THROW(bank.write16(6, 1));
+}
+
+TEST(PingPong, RolesSwapPerTimestep) {
+    PingPongMembrane mem(128);
+    EXPECT_EQ(mem.bank_capacity(), 64);
+    EXPECT_TRUE(mem.write_bank_is_u1());
+    mem.write16(0, 42);               // written to U1
+    mem.toggle();                     // now U1 is the read bank
+    EXPECT_FALSE(mem.write_bank_is_u1());
+    EXPECT_EQ(mem.read16(0), 42);
+    mem.write16(0, 77);               // goes to U2
+    mem.toggle();
+    EXPECT_EQ(mem.read16(0), 77);     // now reads U2
+}
+
+TEST(PingPong, BanksAreIndependent) {
+    PingPongMembrane mem(64);
+    mem.write16(4, 11);   // U1
+    mem.toggle();
+    mem.write16(4, 22);   // U2
+    EXPECT_EQ(mem.read16(4), 11);  // read bank is U1
+    mem.toggle();
+    EXPECT_EQ(mem.read16(4), 22);  // read bank is U2
+}
+
+TEST(MemoryUnit, PaperProvisioning) {
+    const SiaConfig cfg;
+    const MemoryUnit mem(cfg);
+    EXPECT_EQ(mem.incoming_spikes.capacity(), 128);
+    EXPECT_EQ(mem.residual.capacity(), 128 * 1024);
+    EXPECT_EQ(mem.weights.capacity(), 8 * 1024);
+    EXPECT_EQ(mem.output_spikes.capacity(), 56 * 1024);
+    EXPECT_EQ(mem.membrane.bank_capacity(), 32 * 1024);  // 64 kB split in two
+}
+
+TEST(Axi, DmaCyclesProportionalToBytes) {
+    const SiaConfig cfg;  // 4 bytes/cycle
+    AxiDma dma(cfg);
+    EXPECT_EQ(dma.transfer(400), 100);
+    EXPECT_EQ(dma.transfer(402), 101);  // rounds up
+    EXPECT_EQ(dma.bytes_moved(), 802);
+}
+
+TEST(Axi, MmioWordCost) {
+    SiaConfig cfg;
+    cfg.mmio_cycles_per_word = 100;
+    AxiLiteMmio mmio(cfg);
+    EXPECT_EQ(mmio.transfer(8), 200);   // 2 words
+    EXPECT_EQ(mmio.transfer(9), 300);   // 3 words (partial rounds up)
+    EXPECT_EQ(mmio.words(), 5);
+}
+
+TEST(Controller, LegalLayerLoop) {
+    Controller ctrl;
+    ctrl.transition(CtrlState::kInit);
+    ctrl.transition(CtrlState::kLoadConfig);
+    for (int t = 0; t < 2; ++t) {
+        ctrl.transition(CtrlState::kReadInput);
+        ctrl.transition(CtrlState::kPeCompute);
+        ctrl.transition(CtrlState::kPeCompute);  // multi-tile
+        ctrl.transition(CtrlState::kAggregate);
+        ctrl.transition(CtrlState::kWriteOutput);
+    }
+    ctrl.transition(CtrlState::kLoadConfig);  // next layer
+    ctrl.transition(CtrlState::kReadInput);
+    ctrl.transition(CtrlState::kPeCompute);
+    ctrl.transition(CtrlState::kAggregate);
+    ctrl.transition(CtrlState::kWriteOutput);
+    ctrl.transition(CtrlState::kDone);
+    EXPECT_EQ(ctrl.entries(CtrlState::kPeCompute), 5);
+    EXPECT_EQ(ctrl.entries(CtrlState::kLoadConfig), 2);
+}
+
+TEST(Controller, IllegalTransitionsThrow) {
+    Controller ctrl;
+    EXPECT_THROW(ctrl.transition(CtrlState::kPeCompute), std::logic_error);
+    ctrl.transition(CtrlState::kInit);
+    EXPECT_THROW(ctrl.transition(CtrlState::kDone), std::logic_error);
+    ctrl.transition(CtrlState::kLoadConfig);
+    EXPECT_THROW(ctrl.transition(CtrlState::kAggregate), std::logic_error);
+}
+
+TEST(Config, PeakGopsMatchesPaper) {
+    const SiaConfig cfg;
+    // 64 PEs x 6 ops x 100 MHz = 38.4 GOPS (paper's headline).
+    EXPECT_DOUBLE_EQ(cfg.peak_gops(), 38.4);
+    EXPECT_EQ(cfg.pe_count(), 64);
+    EXPECT_DOUBLE_EQ(cfg.cycles_to_ms(100000), 1.0);
+}
+
+}  // namespace
+}  // namespace sia::sim

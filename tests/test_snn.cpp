@@ -1,0 +1,249 @@
+// SNN layer tests: spike maps, thermometer encoding, model validation,
+// and IF/LIF neuron dynamics via the shared compute primitives.
+#include <gtest/gtest.h>
+
+#include "snn/compute.hpp"
+#include "snn/encoding.hpp"
+#include "snn/model.hpp"
+#include "snn/spike.hpp"
+
+namespace sia::snn {
+namespace {
+
+TEST(SpikeMap, SetGetCount) {
+    SpikeMap m(2, 3, 4);
+    EXPECT_EQ(m.size(), 24);
+    EXPECT_EQ(m.count(), 0);
+    m.set(1, 2, 3, true);
+    EXPECT_TRUE(m.get(1, 2, 3));
+    EXPECT_TRUE(m.get_flat(23));
+    EXPECT_EQ(m.count(), 1);
+    m.clear();
+    EXPECT_EQ(m.count(), 0);
+}
+
+TEST(Encoding, SpikeCountMatchesValue) {
+    const std::int64_t timesteps = 8;
+    tensor::Tensor img(tensor::Shape{1, 1, 2, 2}, {0.0F, 0.25F, 0.5F, 1.0F});
+    const SpikeTrain train = encode_thermometer(img, timesteps);
+    ASSERT_EQ(train.size(), 8U);
+    std::vector<int> counts(4, 0);
+    for (const auto& f : train) {
+        for (std::int64_t i = 0; i < 4; ++i) counts[i] += f.get_flat(i) ? 1 : 0;
+    }
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_EQ(counts[1], 2);  // 0.25 * 8
+    EXPECT_EQ(counts[2], 4);
+    EXPECT_EQ(counts[3], 8);
+}
+
+TEST(Encoding, EvenSpread) {
+    // v = 0.5, T = 8 -> spikes every other step, not a front burst.
+    tensor::Tensor img(tensor::Shape{1, 1, 1, 1}, {0.5F});
+    const SpikeTrain train = encode_thermometer(img, 8);
+    int longest_run = 0;
+    int run = 0;
+    for (const auto& f : train) {
+        run = f.get_flat(0) ? run + 1 : 0;
+        longest_run = std::max(longest_run, run);
+    }
+    EXPECT_EQ(longest_run, 1);
+}
+
+TEST(Encoding, ClampsOutOfRange) {
+    tensor::Tensor img(tensor::Shape{1, 1, 1, 2}, {-3.0F, 5.0F});
+    const SpikeTrain train = encode_thermometer(img, 4);
+    int c0 = 0;
+    int c1 = 0;
+    for (const auto& f : train) {
+        c0 += f.get_flat(0) ? 1 : 0;
+        c1 += f.get_flat(1) ? 1 : 0;
+    }
+    EXPECT_EQ(c0, 0);
+    EXPECT_EQ(c1, 4);
+}
+
+TEST(Encoding, DecodeErrorBounded) {
+    util::Rng rng(9);
+    tensor::Tensor img(tensor::Shape{1, 2, 4, 4});
+    for (std::int64_t i = 0; i < img.numel(); ++i) img.flat(i) = rng.uniform(0.0F, 1.0F);
+    for (const std::int64_t timesteps : {4L, 8L, 16L}) {
+        const SpikeTrain train = encode_thermometer(img, timesteps);
+        double mean_v = 0.0;
+        for (std::int64_t i = 0; i < img.numel(); ++i) mean_v += img.flat(i);
+        mean_v /= static_cast<double>(img.numel());
+        EXPECT_NEAR(decode_mean_rate(train), mean_v,
+                    0.5 / static_cast<double>(timesteps));
+    }
+}
+
+TEST(Encoding, RejectsBadInputs) {
+    tensor::Tensor img(tensor::Shape{2, 1, 1, 1});
+    EXPECT_THROW(encode_thermometer(img, 4), std::invalid_argument);
+    tensor::Tensor ok(tensor::Shape{1, 1, 1, 1});
+    EXPECT_THROW(encode_thermometer(ok, 0), std::invalid_argument);
+}
+
+TEST(FramesToTrain, Adapter) {
+    tensor::Tensor frames(tensor::Shape{2, 1, 2, 2});
+    frames.at(0, 0, 0, 1) = 1.0F;
+    frames.at(1, 0, 1, 0) = 0.5F;  // nonzero counts as spike
+    const SpikeTrain train = frames_to_train(frames);
+    ASSERT_EQ(train.size(), 2U);
+    EXPECT_TRUE(train[0].get(0, 0, 1));
+    EXPECT_TRUE(train[1].get(0, 1, 0));
+    EXPECT_EQ(train[0].count() + train[1].count(), 2);
+}
+
+// ---- Neuron dynamics through the shared compute primitives ----
+
+SnnLayer if_layer() {
+    SnnLayer layer;
+    layer.threshold = 256;
+    layer.reset = ResetMode::kSubtract;
+    layer.neuron = NeuronKind::kIf;
+    return layer;
+}
+
+TEST(Neuron, FiresAtThresholdAndSubtracts) {
+    const SnnLayer layer = if_layer();
+    bool spike = false;
+    const auto u = compute::update_neuron(200, 100, layer, spike);
+    EXPECT_TRUE(spike);
+    EXPECT_EQ(u, 44);  // 300 - 256
+}
+
+TEST(Neuron, NoFireBelowThreshold) {
+    const SnnLayer layer = if_layer();
+    bool spike = true;
+    const auto u = compute::update_neuron(100, 100, layer, spike);
+    EXPECT_FALSE(spike);
+    EXPECT_EQ(u, 200);
+}
+
+TEST(Neuron, ResetToZeroMode) {
+    SnnLayer layer = if_layer();
+    layer.reset = ResetMode::kZero;
+    bool spike = false;
+    const auto u = compute::update_neuron(200, 200, layer, spike);
+    EXPECT_TRUE(spike);
+    EXPECT_EQ(u, 0);
+}
+
+TEST(Neuron, LifLeaksTowardZero) {
+    SnnLayer layer = if_layer();
+    layer.neuron = NeuronKind::kLif;
+    layer.leak_shift = 2;  // leak 1/4 per step
+    bool spike = false;
+    const auto u = compute::update_neuron(100, 0, layer, spike);
+    EXPECT_FALSE(spike);
+    EXPECT_EQ(u, 75);
+}
+
+TEST(Neuron, RateCodesClippedValue) {
+    // Constant drive I per step, threshold theta: firing rate -> I/theta.
+    const SnnLayer layer = if_layer();
+    std::int16_t u = 128;
+    int spikes = 0;
+    const int steps = 1000;
+    const std::int16_t drive = 64;  // I/theta = 0.25
+    for (int t = 0; t < steps; ++t) {
+        bool s = false;
+        u = compute::update_neuron(u, drive, layer, s);
+        spikes += s ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(spikes) / steps, 0.25, 0.01);
+}
+
+TEST(Neuron, NegativeDriveNeverFires) {
+    const SnnLayer layer = if_layer();
+    std::int16_t u = 128;
+    for (int t = 0; t < 100; ++t) {
+        bool s = false;
+        u = compute::update_neuron(u, -50, layer, s);
+        EXPECT_FALSE(s);
+    }
+    EXPECT_EQ(u, 128 - 100 * 50);  // integrates linearly downward
+    for (int t = 0; t < 1000; ++t) {
+        bool s = false;
+        u = compute::update_neuron(u, -50, layer, s);
+    }
+    EXPECT_EQ(u, -32768);  // saturates, never wraps
+}
+
+// ---- Model validation ----
+
+SnnModel tiny_conv_model() {
+    SnnModel model;
+    model.input_channels = 1;
+    model.input_h = 4;
+    model.input_w = 4;
+    model.classes = 2;
+    SnnLayer conv;
+    conv.op = LayerOp::kConv;
+    conv.label = "c";
+    conv.input = -1;
+    conv.main.in_channels = 1;
+    conv.main.out_channels = 2;
+    conv.main.kernel = 3;
+    conv.main.stride = 1;
+    conv.main.padding = 1;
+    conv.main.weights.assign(2 * 1 * 3 * 3, 1);
+    conv.main.gain.assign(2, 256);
+    conv.main.bias.assign(2, 0);
+    conv.out_channels = 2;
+    conv.out_h = 4;
+    conv.out_w = 4;
+    conv.in_h = 4;
+    conv.in_w = 4;
+    model.layers.push_back(conv);
+    SnnLayer fc;
+    fc.op = LayerOp::kLinear;
+    fc.label = "fc";
+    fc.input = 0;
+    fc.spiking = false;
+    fc.main.in_features = 32;
+    fc.main.out_features = 2;
+    fc.main.weights.assign(64, 1);
+    fc.main.gain.assign(2, 256);
+    fc.main.bias.assign(2, 0);
+    fc.out_channels = 2;
+    model.layers.push_back(fc);
+    return model;
+}
+
+TEST(ModelValidate, AcceptsWellFormed) { EXPECT_NO_THROW(tiny_conv_model().validate()); }
+
+TEST(ModelValidate, RejectsWeightSizeMismatch) {
+    auto model = tiny_conv_model();
+    model.layers[0].main.weights.pop_back();
+    EXPECT_THROW(model.validate(), std::invalid_argument);
+}
+
+TEST(ModelValidate, RejectsForwardReference) {
+    auto model = tiny_conv_model();
+    model.layers[0].input = 5;
+    EXPECT_THROW(model.validate(), std::invalid_argument);
+}
+
+TEST(ModelValidate, RejectsNonLinearReadout) {
+    auto model = tiny_conv_model();
+    model.layers[0].spiking = false;
+    EXPECT_THROW(model.validate(), std::invalid_argument);
+}
+
+TEST(ModelValidate, RejectsFcFeatureMismatch) {
+    auto model = tiny_conv_model();
+    model.layers[1].main.in_features = 16;
+    model.layers[1].main.weights.assign(32, 1);
+    EXPECT_THROW(model.validate(), std::invalid_argument);
+}
+
+TEST(ModelOps, CountsSynapticOps) {
+    const auto model = tiny_conv_model();
+    // conv: 4*4 * 2 * 1 * 9 * 2 = 576; fc: 32*2*2 = 128.
+    EXPECT_EQ(model.ops_per_timestep(), 576U + 128U);
+}
+
+}  // namespace
+}  // namespace sia::snn

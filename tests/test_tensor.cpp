@@ -1,0 +1,90 @@
+// Tensor and shape tests.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace sia::tensor {
+namespace {
+
+TEST(Shape, BasicProperties) {
+    const Shape s{2, 3, 4, 5};
+    EXPECT_EQ(s.rank(), 4U);
+    EXPECT_EQ(s.numel(), 120);
+    EXPECT_EQ(s[2], 4);
+    EXPECT_EQ(s.to_string(), "[2, 3, 4, 5]");
+}
+
+TEST(Shape, Equality) {
+    EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+    EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+    EXPECT_NE((Shape{2, 3}), (Shape{2, 3, 1}));
+}
+
+TEST(Shape, RejectsBadDims) {
+    EXPECT_THROW((Shape{0, 1}), std::invalid_argument);
+    EXPECT_THROW((Shape{-1}), std::invalid_argument);
+    EXPECT_THROW((Shape{1, 1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Tensor, ZeroInitialised) {
+    const Tensor t(Shape{2, 3});
+    for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.flat(i), 0.0F);
+}
+
+TEST(Tensor, At4dIndexing) {
+    Tensor t(Shape{2, 3, 4, 5});
+    t.at(1, 2, 3, 4) = 42.0F;
+    EXPECT_EQ(t.flat(t.numel() - 1), 42.0F);
+    t.at(0, 0, 0, 0) = 7.0F;
+    EXPECT_EQ(t.flat(0), 7.0F);
+}
+
+TEST(Tensor, At2dIndexing) {
+    Tensor t(Shape{3, 4});
+    t.at(2, 3) = 1.5F;
+    EXPECT_EQ(t.flat(11), 1.5F);
+}
+
+TEST(Tensor, DataSizeMustMatch) {
+    EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1.0F}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+    Tensor t(Shape{2, 6});
+    t.flat(7) = 3.0F;
+    const Tensor r = t.reshaped(Shape{3, 4});
+    EXPECT_EQ(r.flat(7), 3.0F);
+    EXPECT_THROW(t.reshaped(Shape{5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, AddAndScale) {
+    Tensor a = ones(Shape{4});
+    const Tensor b = ones(Shape{4});
+    a.add_(b);
+    a.scale_(3.0F);
+    for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(a.flat(i), 6.0F);
+    Tensor c(Shape{3});
+    EXPECT_THROW(a.add_(c), std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+    Tensor t(Shape{3});
+    t.flat(0) = -5.0F;
+    t.flat(1) = 2.0F;
+    t.flat(2) = 1.0F;
+    EXPECT_FLOAT_EQ(t.sum(), -2.0F);
+    EXPECT_FLOAT_EQ(t.abs_max(), 5.0F);
+}
+
+TEST(Tensor, RandnDeterministic) {
+    util::Rng r1(5);
+    util::Rng r2(5);
+    Tensor a(Shape{32});
+    Tensor b(Shape{32});
+    a.randn_(r1, 1.0F);
+    b.randn_(r2, 1.0F);
+    for (std::int64_t i = 0; i < 32; ++i) EXPECT_EQ(a.flat(i), b.flat(i));
+}
+
+}  // namespace
+}  // namespace sia::tensor

@@ -1,0 +1,139 @@
+// Tests for stats, table, CSV and RNG utilities.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace sia::util {
+namespace {
+
+TEST(RunningStat, MeanVarianceMinMax) {
+    RunningStat s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8U);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+    RunningStat a;
+    RunningStat b;
+    RunningStat all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.37 * i - 3.0;
+        (i % 2 == 0 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+    const RunningStat s;
+    EXPECT_EQ(s.count(), 0U);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(-100.0);  // clamps to first bin
+    h.add(100.0);   // clamps to last bin
+    EXPECT_EQ(h.bin_count(0), 2U);
+    EXPECT_EQ(h.bin_count(9), 2U);
+    EXPECT_EQ(h.total(), 4U);
+}
+
+TEST(Histogram, CdfMonotone) {
+    Histogram h(0.0, 1.0, 4);
+    for (int i = 0; i < 100; ++i) h.add(i / 100.0);
+    EXPECT_LE(h.cdf(0.25), h.cdf(0.5));
+    EXPECT_LE(h.cdf(0.5), h.cdf(1.0));
+    EXPECT_NEAR(h.cdf(1.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, RejectsBadRange) {
+    EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Rng, Deterministic) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.integer(0, 1000), b.integer(0, 1000));
+}
+
+TEST(Rng, PermutationIsPermutation) {
+    Rng rng(7);
+    const auto p = rng.permutation(100);
+    std::vector<bool> seen(100, false);
+    for (const auto i : p) {
+        ASSERT_LT(i, 100U);
+        EXPECT_FALSE(seen[i]);
+        seen[i] = true;
+    }
+}
+
+TEST(Rng, UniformInRange) {
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = rng.uniform(-2.0F, 3.0F);
+        EXPECT_GE(v, -2.0F);
+        EXPECT_LT(v, 3.0F);
+    }
+}
+
+TEST(Table, RendersAlignedRows) {
+    Table t("Demo");
+    t.header({"a", "long-column"});
+    t.row({"1", "2"});
+    t.separator();
+    t.row({"333", "4"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("Demo"), std::string::npos);
+    EXPECT_NE(s.find("long-column"), std::string::npos);
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_EQ(t.rows(), 3U);  // incl. separator sentinel
+}
+
+TEST(Table, CellFormatting) {
+    EXPECT_EQ(cell(3.14159, 2), "3.14");
+    EXPECT_EQ(cell(static_cast<long long>(42)), "42");
+    EXPECT_EQ(cell_pct(22.434, 2), "22.43%");
+}
+
+TEST(Csv, WritesAndEscapes) {
+    const std::string path = "/tmp/sia_test_csv.csv";
+    {
+        CsvWriter csv(path);
+        csv.row({"a", "b,c", "d\"e"});
+        csv.row({"1", "2", "3"});
+    }
+    std::ifstream in(path);
+    std::string line1;
+    std::string line2;
+    std::getline(in, line1);
+    std::getline(in, line2);
+    EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+    EXPECT_EQ(line2, "1,2,3");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+    EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sia::util
