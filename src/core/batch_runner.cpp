@@ -1,0 +1,101 @@
+#include "core/batch_runner.hpp"
+
+#include "sim/sia.hpp"
+#include "snn/encoding.hpp"
+#include "util/timer.hpp"
+
+namespace sia::core {
+
+namespace {
+
+/// SplitMix64 finalizer: decorrelates consecutive item indices into
+/// far-apart mt19937_64 seeds.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t index) {
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(const snn::SnnModel& model, BatchOptions options)
+    : model_(model), options_(options), pool_(options.threads),
+      engines_(pool_.size()) {
+    model_.validate();
+}
+
+snn::FunctionalEngine& BatchRunner::engine(std::size_t worker) {
+    auto& slot = engines_[worker];
+    if (!slot) slot = std::make_unique<snn::FunctionalEngine>(model_);
+    return *slot;
+}
+
+BatchRunner::~BatchRunner() = default;
+
+util::Rng BatchRunner::item_rng(std::size_t index) const {
+    return util::Rng(mix_seed(options_.seed, index));
+}
+
+namespace {
+
+/// Shared batch protocol: allocate result slots, publish the batch shape
+/// to stats up front (so a throwing batch is never misattributed to an
+/// earlier one), time the fan-out, record wall_ms on success.
+template <typename Result, typename PerItem>
+std::vector<Result> run_batch(util::ThreadPool& pool, BatchStats& stats,
+                              std::size_t n, const PerItem& per_item) {
+    std::vector<Result> results(n);
+    stats = BatchStats{n, pool.size(), 0.0};
+    const util::WallTimer timer;
+    pool.parallel_for(n, [&](std::size_t item, std::size_t worker) {
+        results[item] = per_item(item, worker);
+    });
+    stats.wall_ms = timer.millis();
+    return results;
+}
+
+}  // namespace
+
+std::vector<snn::RunResult> BatchRunner::run(
+    const std::vector<snn::SpikeTrain>& inputs) {
+    return run_batch<snn::RunResult>(
+        pool_, stats_, inputs.size(), [&](std::size_t item, std::size_t worker) {
+            return engine(worker).run(inputs[item]);
+        });
+}
+
+std::vector<snn::RunResult> BatchRunner::run_images(
+    const std::vector<tensor::Tensor>& images, std::int64_t timesteps) {
+    return run_batch<snn::RunResult>(
+        pool_, stats_, images.size(), [&](std::size_t item, std::size_t worker) {
+            return engine(worker).run(snn::encode_thermometer(images[item], timesteps));
+        });
+}
+
+std::vector<snn::RunResult> BatchRunner::run_images_poisson(
+    const std::vector<tensor::Tensor>& images, std::int64_t timesteps) {
+    return run_batch<snn::RunResult>(
+        pool_, stats_, images.size(), [&](std::size_t item, std::size_t worker) {
+            util::Rng rng = item_rng(item);
+            return engine(worker).run(
+                snn::encode_poisson(images[item], timesteps, rng));
+        });
+}
+
+std::vector<sim::SiaRunResult> BatchRunner::run_sim(
+    const sim::SiaConfig& config, const std::vector<snn::SpikeTrain>& inputs) {
+    if (!program_ || !(*program_config_ == config)) {
+        program_ = SiaCompiler(config).compile(model_);
+        program_config_ = config;
+    }
+    return run_batch<sim::SiaRunResult>(
+        pool_, stats_, inputs.size(), [&](std::size_t item, std::size_t /*worker*/) {
+            // Sia carries per-inference memory/DMA state, so each item gets
+            // a fresh instance; the compiled program is shared read-only.
+            sim::Sia sia(config, model_, *program_);
+            return sia.run(inputs[item]);
+        });
+}
+
+}  // namespace sia::core

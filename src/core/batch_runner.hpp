@@ -1,0 +1,124 @@
+// BatchRunner: parallel batch inference over one compiled SnnModel.
+//
+// Serving-oriented counterpart to the single-input engines: the expensive
+// per-model work (FunctionalEngine weight-layout transposition, SiaCompiler
+// program generation) is done once per runner and amortized across every
+// input in the batch, while a fixed util::ThreadPool fans the per-input
+// runs out over worker threads.
+//
+// Determinism contract: batched results are bit-identical to running the
+// same inputs sequentially through a fresh engine, for every thread count.
+// This holds because
+//   * each input is an independent work item writing only its own result
+//     slot, so the (nondeterministic) item->worker assignment is invisible;
+//   * each worker owns a private FunctionalEngine whose run() fully resets
+//     membranes, readout and spike counters between items;
+//   * any stochastic path draws from per-item RNG streams (item_rng)
+//     derived from the batch seed and the item index — never from a
+//     shared or worker-keyed stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "sim/config.hpp"
+#include "sim/program.hpp"
+#include "sim/sia.hpp"
+#include "snn/engine.hpp"
+#include "snn/model.hpp"
+#include "snn/spike.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sia::core {
+
+struct BatchOptions {
+    /// Worker threads; 0 = hardware concurrency.
+    std::size_t threads = 0;
+    /// Base seed for the per-item RNG streams handed to stochastic
+    /// encoding paths. Results depend on this seed but never on the
+    /// thread count.
+    std::uint64_t seed = util::kDefaultSeed;
+};
+
+/// Timing/throughput aggregates of one batch call.
+struct BatchStats {
+    std::size_t inputs = 0;
+    std::size_t threads = 1;
+    double wall_ms = 0.0;
+    [[nodiscard]] double inputs_per_sec() const noexcept {
+        return wall_ms > 0.0 ? 1e3 * static_cast<double>(inputs) / wall_ms : 0.0;
+    }
+};
+
+class BatchRunner {
+public:
+    /// Keeps a reference to `model` (must outlive the runner) and spawns
+    /// the pool. Validates the model; engines are built on first use.
+    explicit BatchRunner(const snn::SnnModel& model, BatchOptions options = {});
+    ~BatchRunner();
+
+    BatchRunner(const BatchRunner&) = delete;
+    BatchRunner& operator=(const BatchRunner&) = delete;
+
+    /// Run the functional engine over every encoded input. Result order
+    /// matches input order.
+    [[nodiscard]] std::vector<snn::RunResult> run(
+        const std::vector<snn::SpikeTrain>& inputs);
+
+    /// Thermometer-encode each image on the worker, then run. Equivalent
+    /// to encode_thermometer + run but keeps the encoded trains off the
+    /// caller's heap.
+    [[nodiscard]] std::vector<snn::RunResult> run_images(
+        const std::vector<tensor::Tensor>& images, std::int64_t timesteps);
+
+    /// Poisson-rate-encode each image from its item_rng stream, then run.
+    /// Stochastic, but reproducible: results depend on the batch seed and
+    /// item order only, never on the thread count.
+    [[nodiscard]] std::vector<snn::RunResult> run_images_poisson(
+        const std::vector<tensor::Tensor>& images, std::int64_t timesteps);
+
+    /// Cycle-accurate batched run: each input gets its own sim::Sia
+    /// instance, but all of them share one CompiledProgram (compiled
+    /// lazily on first use and cached). Spikes/logits are bit-identical
+    /// to run() by the engines' shared-numerics construction.
+    [[nodiscard]] std::vector<sim::SiaRunResult> run_sim(
+        const sim::SiaConfig& config, const std::vector<snn::SpikeTrain>& inputs);
+
+    /// Stats of the most recent run*/run_sim call. If that call threw,
+    /// inputs/threads describe the failed batch and wall_ms is 0.
+    [[nodiscard]] const BatchStats& last_stats() const noexcept { return stats_; }
+
+    [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
+    [[nodiscard]] const snn::SnnModel& model() const noexcept { return model_; }
+
+    /// The RNG stream item `index` draws from, regardless of which worker
+    /// executes it (exposed so tests can assert stream independence).
+    [[nodiscard]] util::Rng item_rng(std::size_t index) const;
+
+private:
+    /// The calling worker's private engine, constructed on its first item
+    /// (so engine count scales with workers that actually execute work,
+    /// not with pool size). Race-free: slot `worker` is only ever touched
+    /// by pool worker `worker`.
+    [[nodiscard]] snn::FunctionalEngine& engine(std::size_t worker);
+
+    const snn::SnnModel& model_;
+    BatchOptions options_;
+    util::ThreadPool pool_;
+    /// One private engine slot per worker, filled lazily, reused across
+    /// batches.
+    std::vector<std::unique_ptr<snn::FunctionalEngine>> engines_;
+    /// Cached compiled program for run_sim (keyed by the config's
+    /// identity; recompiled when a different config is passed).
+    std::optional<sim::CompiledProgram> program_;
+    std::optional<sim::SiaConfig> program_config_;
+    BatchStats stats_;
+};
+
+}  // namespace sia::core

@@ -7,6 +7,7 @@
 // Plus the evaluation drivers used by the accuracy/spike-rate figures.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>

@@ -2,7 +2,9 @@
 // conversion calibration and the SNN/simulator evaluation paths.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "tensor/tensor.hpp"

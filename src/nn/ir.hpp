@@ -12,6 +12,7 @@
 // immediately after training within one scope).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

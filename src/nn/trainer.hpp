@@ -3,6 +3,7 @@
 // (the reproduction's datasets are small enough to hold resident).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -47,6 +47,8 @@ struct SiaConfig {
     std::int64_t aggregation_lanes = 16;
     std::int64_t aggregation_pipeline_depth = 4;
 
+    [[nodiscard]] bool operator==(const SiaConfig&) const = default;
+
     [[nodiscard]] std::int64_t pe_count() const noexcept { return pe_rows * pe_cols; }
 
     [[nodiscard]] double peak_gops() const noexcept {

@@ -2,9 +2,11 @@
 // accounting and the ping-pong membrane-potential organisation of Fig. 3.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sia::sim {

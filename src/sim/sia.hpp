@@ -13,6 +13,7 @@
 // occupancy accounting of the hardware.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

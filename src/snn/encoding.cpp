@@ -3,34 +3,65 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace sia::snn {
 
-SpikeTrain encode_thermometer(const tensor::Tensor& image, std::int64_t timesteps) {
-    if (image.rank() != 4 || image.dim(0) != 1) {
-        throw std::invalid_argument("encode_thermometer: expected [1, C, H, W] image");
-    }
-    if (timesteps <= 0) throw std::invalid_argument("encode_thermometer: timesteps <= 0");
-    const std::int64_t c = image.dim(1);
-    const std::int64_t h = image.dim(2);
-    const std::int64_t w = image.dim(3);
+namespace {
 
-    SpikeTrain train(static_cast<std::size_t>(timesteps), SpikeMap(c, h, w));
-    const std::int64_t pixels = c * h * w;
+/// Shared image-encoder skeleton: validate [1, C, H, W] / timesteps,
+/// allocate the train, and call emit(train, pixel, clamped_value) for
+/// every pixel. Keeps the shape and clamp policy in one place.
+template <typename EmitPixel>
+SpikeTrain encode_image(const tensor::Tensor& image, std::int64_t timesteps,
+                        const char* name, const EmitPixel& emit) {
+    if (image.rank() != 4 || image.dim(0) != 1) {
+        throw std::invalid_argument(std::string(name) + ": expected [1, C, H, W] image");
+    }
+    if (timesteps <= 0) {
+        throw std::invalid_argument(std::string(name) + ": timesteps <= 0");
+    }
+    SpikeTrain train(static_cast<std::size_t>(timesteps),
+                     SpikeMap(image.dim(1), image.dim(2), image.dim(3)));
+    const std::int64_t pixels = image.dim(1) * image.dim(2) * image.dim(3);
     for (std::int64_t i = 0; i < pixels; ++i) {
-        const float v = std::clamp(image.flat(i), 0.0F, 1.0F);
-        const auto n = static_cast<std::int64_t>(
-            std::lround(static_cast<double>(v) * static_cast<double>(timesteps)));
-        // Bresenham-even spread: spike at step t iff the cumulative count
-        // floor((t+1)*n/T) advances past floor(t*n/T).
-        std::int64_t prev = 0;
-        for (std::int64_t t = 0; t < timesteps; ++t) {
-            const std::int64_t cur = (t + 1) * n / timesteps;
-            if (cur > prev) train[static_cast<std::size_t>(t)].set_flat(i, true);
-            prev = cur;
-        }
+        emit(train, i, std::clamp(image.flat(i), 0.0F, 1.0F));
     }
     return train;
+}
+
+}  // namespace
+
+SpikeTrain encode_thermometer(const tensor::Tensor& image, std::int64_t timesteps) {
+    return encode_image(
+        image, timesteps, "encode_thermometer",
+        [timesteps](SpikeTrain& train, std::int64_t i, float v) {
+            const auto n = static_cast<std::int64_t>(
+                std::lround(static_cast<double>(v) * static_cast<double>(timesteps)));
+            // Bresenham-even spread: spike at step t iff the cumulative count
+            // floor((t+1)*n/T) advances past floor(t*n/T).
+            std::int64_t prev = 0;
+            for (std::int64_t t = 0; t < timesteps; ++t) {
+                const std::int64_t cur = (t + 1) * n / timesteps;
+                if (cur > prev) train[static_cast<std::size_t>(t)].set_flat(i, true);
+                prev = cur;
+            }
+        });
+}
+
+SpikeTrain encode_poisson(const tensor::Tensor& image, std::int64_t timesteps,
+                          util::Rng& rng) {
+    // Pixel-major draw order so the spike pattern depends only on the Rng
+    // state, not on how the train is later consumed.
+    return encode_image(
+        image, timesteps, "encode_poisson",
+        [timesteps, &rng](SpikeTrain& train, std::int64_t i, float v) {
+            for (std::int64_t t = 0; t < timesteps; ++t) {
+                if (rng.bernoulli(static_cast<double>(v))) {
+                    train[static_cast<std::size_t>(t)].set_flat(i, true);
+                }
+            }
+        });
 }
 
 SpikeTrain frames_to_train(const tensor::Tensor& frames) {

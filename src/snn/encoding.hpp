@@ -12,6 +12,7 @@
 
 #include "snn/spike.hpp"
 #include "tensor/tensor.hpp"
+#include "util/rng.hpp"
 
 namespace sia::snn {
 
@@ -19,6 +20,14 @@ namespace sia::snn {
 /// values clamped to [0, 1], into T spike maps.
 [[nodiscard]] SpikeTrain encode_thermometer(const tensor::Tensor& image,
                                             std::int64_t timesteps);
+
+/// Poisson (Bernoulli rate) coding: pixel v in [0, 1] fires
+/// independently with probability v at each timestep. The stochastic
+/// baseline thermometer coding improves on; reproducible via the caller's
+/// seeded Rng (core::BatchRunner feeds a per-item stream so batched
+/// encoding is thread-count invariant).
+[[nodiscard]] SpikeTrain encode_poisson(const tensor::Tensor& image,
+                                        std::int64_t timesteps, util::Rng& rng);
 
 /// Adapt pre-rasterised spike frames [T, C, H, W] (e.g. DVS events from
 /// data::events_to_frames) into a SpikeTrain; nonzero = spike.

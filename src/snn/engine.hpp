@@ -9,6 +9,7 @@
 // layer-sequential flow of the paper's Fig. 5).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -9,6 +9,7 @@
 // thresholds and batch-norm coefficients (G, H of Eq. 2).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

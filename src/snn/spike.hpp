@@ -1,6 +1,8 @@
 // Binary spike maps: the signals exchanged between SNN layers.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -5,6 +5,7 @@
 // benches regenerate identical tables across runs.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <random>
 #include <vector>

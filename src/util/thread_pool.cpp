@@ -1,0 +1,104 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+namespace sia::util {
+
+struct ThreadPool::Batch {
+    std::size_t n = 0;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> cursor{0};
+    std::size_t in_flight = 0;      // workers still inside this batch
+    std::exception_ptr first_error;  // guarded by the pool mutex
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0) threads = 1;
+    }
+    workers_.reserve(threads);
+    try {
+        for (std::size_t i = 0; i < threads; ++i) {
+            workers_.emplace_back([this, i] { worker_loop(i); });
+        }
+    } catch (...) {
+        // Thread spawn failed (e.g. OS thread limit): shut down the
+        // workers that did start so their joinable threads don't hit
+        // std::terminate when workers_ is destroyed, then surface the
+        // error to the caller.
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (auto& w : workers_) w.join();
+        throw;
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (n == 0) return;
+
+    Batch batch;
+    batch.n = n;
+    batch.fn = &fn;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch.in_flight = workers_.size();
+    batch_ = &batch;
+    ++epoch_;
+    wake_.notify_all();
+    done_.wait(lock, [&] { return batch.in_flight == 0; });
+    batch_ = nullptr;
+
+    if (batch.first_error) std::rethrow_exception(batch.first_error);
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+    std::uint64_t seen_epoch = 0;
+    while (true) {
+        Batch* batch = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+            if (stop_) return;
+            seen_epoch = epoch_;
+            batch = batch_;
+        }
+
+        std::exception_ptr error;
+        while (true) {
+            const std::size_t item = batch->cursor.fetch_add(1, std::memory_order_relaxed);
+            if (item >= batch->n) break;
+            try {
+                (*batch->fn)(item, worker_index);
+            } catch (...) {
+                if (!error) error = std::current_exception();
+                // Cancel unstarted items — their results would be thrown
+                // away by the rethrow anyway. In-flight items still finish
+                // so the batch quiesces before parallel_for returns.
+                batch->cursor.store(batch->n, std::memory_order_relaxed);
+            }
+        }
+
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (error && !batch->first_error) batch->first_error = error;
+            if (--batch->in_flight == 0) done_.notify_all();
+        }
+    }
+}
+
+}  // namespace sia::util

@@ -1,0 +1,60 @@
+// Fixed-size thread pool (no work stealing) for deterministic batch
+// execution. Workers are spawned once and reused; work is handed out one
+// item index at a time from an atomic cursor, so callers can key every
+// side effect off the *item* index, never the worker index — the property
+// BatchRunner relies on for its bit-exactness-vs-sequential guarantee.
+// (Per-item handout means one atomic increment per item; fine for
+// inference-sized items, wrong tool for micro-tasks.)
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sia::util {
+
+class ThreadPool {
+public:
+    /// Spawns `threads` workers. 0 = std::thread::hardware_concurrency()
+    /// (at least 1).
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /// Joins all workers. Outstanding parallel_for calls must have
+    /// returned (the pool is not usable concurrently from multiple
+    /// callers).
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Runs fn(item, worker) for every item in [0, n), distributing items
+    /// across workers via an atomic cursor, and blocks until all items
+    /// complete. `worker` is in [0, size()) and identifies the executing
+    /// worker — use it to index per-worker scratch state, but never let
+    /// it influence results. If any invocation throws, the first captured
+    /// exception is rethrown here after the batch drains.
+    void parallel_for(std::size_t n,
+                      const std::function<void(std::size_t item, std::size_t worker)>& fn);
+
+private:
+    struct Batch;
+
+    void worker_loop(std::size_t worker_index);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    Batch* batch_ = nullptr;  // guarded by mutex_
+    std::uint64_t epoch_ = 0;  // bumped per batch so workers see new work
+    bool stop_ = false;
+};
+
+}  // namespace sia::util

@@ -1,0 +1,289 @@
+// BatchRunner / ThreadPool tests: batched execution must be bit-identical
+// to sequential single-engine runs for every thread count, edge-case
+// batches must behave, and the pool must propagate worker exceptions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/batch_runner.hpp"
+#include "sim/sia.hpp"
+#include "snn/encoding.hpp"
+#include "snn/engine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sia {
+namespace {
+
+// ---- compact random model/stimulus helpers (mirrors test_properties) ----
+
+snn::SnnModel small_model(std::uint64_t seed) {
+    util::Rng rng(seed);
+    snn::SnnModel model;
+    model.input_channels = 2;
+    model.input_h = 6;
+    model.input_w = 6;
+
+    std::int64_t in_c = model.input_channels;
+    for (std::int64_t d = 0; d < 3; ++d) {
+        snn::SnnLayer layer;
+        layer.op = snn::LayerOp::kConv;
+        layer.label = "conv" + std::to_string(d);
+        layer.input = static_cast<int>(d) - 1;
+        auto& b = layer.main;
+        b.in_channels = in_c;
+        b.out_channels = 4;
+        b.kernel = 3;
+        b.stride = 1;
+        b.padding = 1;
+        b.weights.resize(static_cast<std::size_t>(in_c * 4 * 9));
+        for (auto& w : b.weights) w = static_cast<std::int8_t>(rng.integer(-127, 127));
+        b.gain.resize(4);
+        b.bias.resize(4);
+        for (auto& g : b.gain) g = static_cast<std::int16_t>(rng.integer(50, 2000));
+        for (auto& h : b.bias) h = static_cast<std::int16_t>(rng.integer(-100, 100));
+        layer.out_channels = 4;
+        layer.out_h = 6;
+        layer.out_w = 6;
+        layer.in_h = 6;
+        layer.in_w = 6;
+        model.layers.push_back(std::move(layer));
+        in_c = 4;
+    }
+
+    snn::SnnLayer fc;
+    fc.op = snn::LayerOp::kLinear;
+    fc.label = "fc";
+    fc.input = 2;
+    fc.spiking = false;
+    fc.main.in_features = 4 * 6 * 6;
+    fc.main.out_features = 4;
+    fc.main.weights.resize(static_cast<std::size_t>(fc.main.in_features * 4));
+    for (auto& w : fc.main.weights) w = static_cast<std::int8_t>(rng.integer(-64, 64));
+    fc.main.gain.assign(4, 256);
+    fc.main.bias.assign(4, 0);
+    fc.out_channels = 4;
+    model.layers.push_back(std::move(fc));
+    model.classes = 4;
+    model.validate();
+    return model;
+}
+
+std::vector<snn::SpikeTrain> random_batch(const snn::SnnModel& model, std::size_t count,
+                                          std::int64_t timesteps, std::uint64_t seed) {
+    std::vector<snn::SpikeTrain> batch;
+    batch.reserve(count);
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+        snn::SpikeTrain train(static_cast<std::size_t>(timesteps),
+                              snn::SpikeMap(model.input_channels, model.input_h,
+                                            model.input_w));
+        for (auto& frame : train) {
+            for (std::int64_t j = 0; j < frame.size(); ++j) {
+                frame.set_flat(j, rng.bernoulli(0.3));
+            }
+        }
+        batch.push_back(std::move(train));
+    }
+    return batch;
+}
+
+void expect_same_result(const snn::RunResult& a, const snn::RunResult& b) {
+    EXPECT_EQ(a.logits_per_step, b.logits_per_step);
+    EXPECT_EQ(a.spike_counts, b.spike_counts);
+    EXPECT_EQ(a.neuron_counts, b.neuron_counts);
+    EXPECT_EQ(a.timesteps, b.timesteps);
+}
+
+// ---- ThreadPool ----
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce) {
+    util::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4U);
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallel_for(100, [&](std::size_t item, std::size_t worker) {
+        ASSERT_LT(worker, 4U);
+        hits[item].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+    util::ThreadPool pool(2);
+    std::atomic<int> total{0};
+    for (int round = 0; round < 5; ++round) {
+        pool.parallel_for(10, [&](std::size_t, std::size_t) { total.fetch_add(1); });
+    }
+    EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPool, EmptyBatchReturnsImmediately) {
+    util::ThreadPool pool(2);
+    bool ran = false;
+    pool.parallel_for(0, [&](std::size_t, std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+    util::ThreadPool pool(3);
+    EXPECT_THROW(
+        pool.parallel_for(20,
+                          [&](std::size_t item, std::size_t) {
+                              if (item == 7) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // Pool survives the failed batch.
+    std::atomic<int> total{0};
+    pool.parallel_for(4, [&](std::size_t, std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 4);
+}
+
+// ---- BatchRunner ----
+
+TEST(BatchRunner, BitExactAcrossThreadCounts) {
+    const auto model = small_model(7);
+    const auto batch = random_batch(model, 6, 5, 17);
+
+    // Sequential reference: one engine, inputs one after another.
+    snn::FunctionalEngine engine(model);
+    std::vector<snn::RunResult> reference;
+    reference.reserve(batch.size());
+    for (const auto& train : batch) reference.push_back(engine.run(train));
+
+    for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+        core::BatchRunner runner(model, {.threads = threads});
+        EXPECT_EQ(runner.threads(), threads);
+        const auto results = runner.run(batch);
+        ASSERT_EQ(results.size(), reference.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            SCOPED_TRACE("threads=" + std::to_string(threads) + " item=" +
+                         std::to_string(i));
+            expect_same_result(results[i], reference[i]);
+        }
+        EXPECT_EQ(runner.last_stats().inputs, batch.size());
+        EXPECT_EQ(runner.last_stats().threads, threads);
+    }
+}
+
+TEST(BatchRunner, EmptyBatch) {
+    const auto model = small_model(7);
+    core::BatchRunner runner(model, {.threads = 2});
+    EXPECT_TRUE(runner.run({}).empty());
+    EXPECT_TRUE(runner.run_images({}, 4).empty());
+    EXPECT_EQ(runner.last_stats().inputs, 0U);
+}
+
+TEST(BatchRunner, OversizedBatchManyMoreItemsThanThreads) {
+    const auto model = small_model(3);
+    const auto batch = random_batch(model, 33, 3, 23);
+
+    snn::FunctionalEngine engine(model);
+    core::BatchRunner runner(model, {.threads = 4});
+    const auto results = runner.run(batch);
+    ASSERT_EQ(results.size(), 33U);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        SCOPED_TRACE("item=" + std::to_string(i));
+        expect_same_result(results[i], engine.run(batch[i]));
+    }
+}
+
+TEST(BatchRunner, RunImagesMatchesManualEncode) {
+    const auto model = small_model(5);
+    const std::int64_t timesteps = 6;
+
+    std::vector<tensor::Tensor> images;
+    util::Rng rng(29);
+    for (int i = 0; i < 5; ++i) {
+        tensor::Tensor img(tensor::Shape{1, model.input_channels, model.input_h,
+                                         model.input_w});
+        for (std::int64_t j = 0; j < img.numel(); ++j) img.flat(j) = rng.uniform();
+        images.push_back(std::move(img));
+    }
+
+    core::BatchRunner runner(model, {.threads = 3});
+    const auto results = runner.run_images(images, timesteps);
+
+    snn::FunctionalEngine engine(model);
+    ASSERT_EQ(results.size(), images.size());
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        SCOPED_TRACE("item=" + std::to_string(i));
+        const auto train = snn::encode_thermometer(images[i], timesteps);
+        expect_same_result(results[i], engine.run(train));
+    }
+}
+
+TEST(BatchRunner, SimBatchMatchesFunctionalLogits) {
+    const auto model = small_model(11);
+    const auto batch = random_batch(model, 3, 4, 31);
+
+    core::BatchRunner runner(model, {.threads = 2});
+    const auto functional = runner.run(batch);
+    const auto simulated = runner.run_sim(sim::SiaConfig{}, batch);
+
+    ASSERT_EQ(simulated.size(), functional.size());
+    for (std::size_t i = 0; i < simulated.size(); ++i) {
+        SCOPED_TRACE("item=" + std::to_string(i));
+        EXPECT_EQ(simulated[i].logits_per_step, functional[i].logits_per_step);
+        EXPECT_EQ(simulated[i].spike_counts, functional[i].spike_counts);
+    }
+    // Cached program: a second run with the same config must also agree.
+    const auto again = runner.run_sim(sim::SiaConfig{}, batch);
+    ASSERT_EQ(again.size(), simulated.size());
+    for (std::size_t i = 0; i < again.size(); ++i) {
+        EXPECT_EQ(again[i].logits_per_step, simulated[i].logits_per_step);
+    }
+}
+
+TEST(BatchRunner, PoissonEncodingIsThreadCountInvariant) {
+    const auto model = small_model(5);
+    const std::int64_t timesteps = 6;
+
+    std::vector<tensor::Tensor> images;
+    util::Rng rng(43);
+    for (int i = 0; i < 7; ++i) {
+        tensor::Tensor img(tensor::Shape{1, model.input_channels, model.input_h,
+                                         model.input_w});
+        for (std::int64_t j = 0; j < img.numel(); ++j) img.flat(j) = rng.uniform();
+        images.push_back(std::move(img));
+    }
+
+    core::BatchRunner one(model, {.threads = 1, .seed = 77});
+    core::BatchRunner eight(model, {.threads = 8, .seed = 77});
+    const auto a = one.run_images_poisson(images, timesteps);
+    const auto b = eight.run_images_poisson(images, timesteps);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("item=" + std::to_string(i));
+        expect_same_result(a[i], b[i]);
+    }
+
+    // A different batch seed changes the stochastic encoding.
+    core::BatchRunner other(model, {.threads = 2, .seed = 78});
+    const auto c = other.run_images_poisson(images, timesteps);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        any_diff = any_diff || c[i].spike_counts != a[i].spike_counts;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(BatchRunner, ItemRngStreamsAreThreadCountInvariant) {
+    const auto model = small_model(7);
+    core::BatchRunner one(model, {.threads = 1, .seed = 99});
+    core::BatchRunner eight(model, {.threads = 8, .seed = 99});
+    for (std::size_t item = 0; item < 16; ++item) {
+        auto a = one.item_rng(item);
+        auto b = eight.item_rng(item);
+        for (int draw = 0; draw < 8; ++draw) {
+            EXPECT_EQ(a.engine()(), b.engine()());
+        }
+    }
+    // Different items get decorrelated streams.
+    auto r0 = one.item_rng(0);
+    auto r1 = one.item_rng(1);
+    EXPECT_NE(r0.engine()(), r1.engine()());
+}
+
+}  // namespace
+}  // namespace sia

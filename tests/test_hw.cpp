@@ -165,11 +165,12 @@ TEST(MacBaseline, SiaGopsPerDspAdvantage) {
     const sim::SiaConfig sia_cfg;
     const double sia_gops_per_dsp = sia_cfg.peak_gops() / 17.0;
     MacArrayConfig mac_cfg;
-    const auto est = estimate_mac_array(snn::SnnModel{.input_channels = 1,
-                                                      .input_h = 1,
-                                                      .input_w = 1,
-                                                      .classes = 1},
-                                        mac_cfg);
+    snn::SnnModel empty;
+    empty.input_channels = 1;
+    empty.input_h = 1;
+    empty.input_w = 1;
+    empty.classes = 1;
+    const auto est = estimate_mac_array(empty, mac_cfg);
     EXPECT_GT(sia_gops_per_dsp / est.gops_per_dsp, 10.0);
 }
 

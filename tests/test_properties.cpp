@@ -174,7 +174,9 @@ TEST(Invariants, NeuronPotentialBoundedAfterFire) {
         const auto current = static_cast<std::int16_t>(rng.integer(-256, 256));
         bool spike = false;
         u = snn::compute::update_neuron(u, current, layer, spike);
-        if (spike) EXPECT_LT(u, layer.threshold);
+        if (spike) {
+            EXPECT_LT(u, layer.threshold);
+        }
         EXPECT_GE(u, -32768);
     }
 }

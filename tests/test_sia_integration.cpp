@@ -69,8 +69,6 @@ TEST(SiaIntegration, BitExactVsFunctionalResNet) {
 }
 
 TEST(SiaIntegration, BitExactAcrossNeuronAndResetModes) {
-    std::vector<std::unique_ptr<nn::Vgg11>> keep;
-    nn::Vgg11* raw = nullptr;
     nn::VggConfig cfg;
     cfg.width = 4;
     cfg.input_size = 16;
