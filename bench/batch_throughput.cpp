@@ -1,15 +1,19 @@
 // Batched-inference throughput: sequential FunctionalEngine vs
 // core::BatchRunner at several thread counts, over a calibrated
-// reduced-width VGG-11. Demonstrates the serving-path speedup of the
-// fixed thread pool and cross-checks the determinism contract (batched
-// logits must equal the sequential reference at every thread count).
+// reduced-width VGG-11, plus the cycle-accurate path's resident-batched
+// vs per-item-instance schedules (the BRAM-residency amortization).
+// Demonstrates the serving-path speedup of the fixed thread pool and
+// cross-checks the determinism contract (batched results must equal the
+// sequential reference at every thread count and schedule).
 #include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "core/batch_runner.hpp"
+#include "core/compiler.hpp"
 #include "core/convert.hpp"
+#include "sim/sia.hpp"
 #include "snn/encoding.hpp"
 #include "snn/engine.hpp"
 #include "util/table.hpp"
@@ -106,6 +110,73 @@ int main() {
                    exact ? "yes" : "NO"});
     }
     table.print(std::cout);
+
+    // ---- cycle-accurate path: per-item Sia instances vs resident batched ----
+
+    const std::size_t sim_batch_size = 16;
+    const std::vector<snn::SpikeTrain> sim_batch(
+        batch.begin(), batch.begin() + static_cast<std::ptrdiff_t>(sim_batch_size));
+    const sim::SiaConfig sia_config;
+
+    // Sequential reference: one resident instance, inputs one at a time
+    // (also the bit-exactness referee for both schedules).
+    const auto program = core::SiaCompiler(sia_config).compile(model);
+    sim::Sia ref_sia(sia_config, model, program);
+    std::vector<sim::SiaRunResult> sim_ref;
+    sim_ref.reserve(sim_batch.size());
+    const util::WallTimer sim_seq_timer;
+    for (const auto& train : sim_batch) sim_ref.push_back(ref_sia.run(train));
+    const double sim_seq_ms = sim_seq_timer.millis();
+
+    const auto sim_exact = [&](const std::vector<sim::SiaRunResult>& results) {
+        if (results.size() != sim_ref.size()) return false;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (results[i].logits_per_step != sim_ref[i].logits_per_step ||
+                results[i].spike_counts != sim_ref[i].spike_counts ||
+                results[i].total_cycles() != sim_ref[i].total_cycles()) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    util::Table sim_table("run_sim schedules, VGG-11 w=8, batch=16, T=8");
+    sim_table.header({"schedule", "threads", "wall_ms", "inputs/s", "setup_ms",
+                      "run_ms", "bit_exact"});
+    sim_table.row({"seq run()", "-", util::cell(sim_seq_ms, 1),
+                   util::cell(1e3 * static_cast<double>(sim_batch_size) / sim_seq_ms, 1),
+                   "-", "-", "ref"});
+    sim_table.separator();
+
+    sim::SiaBatchStats residency{};
+    for (const std::size_t threads : {1UL, 4UL}) {
+        core::BatchRunner runner(model, {.threads = threads});
+        for (const auto schedule :
+             {core::SimSchedule::kPerItem, core::SimSchedule::kResident}) {
+            const bool resident = schedule == core::SimSchedule::kResident;
+            const auto results = runner.run_sim(sia_config, sim_batch, schedule);
+            const auto& stats = runner.last_stats();
+            const bool exact = sim_exact(results);
+            all_exact = all_exact && exact;
+            if (resident) residency = runner.last_sim_batch_stats();
+            sim_table.row({resident ? "resident" : "per-item",
+                           std::to_string(threads), util::cell(stats.wall_ms, 1),
+                           util::cell(stats.inputs_per_sec(), 1),
+                           util::cell(stats.setup_ms, 2), util::cell(stats.run_ms, 1),
+                           exact ? "yes" : "NO"});
+        }
+    }
+    sim_table.print(std::cout);
+
+    std::cout << "simulated residency (resident, threads=4): " << residency.waves
+              << " waves x " << residency.banks << " membrane banks ("
+              << residency.membrane_slice_bytes / 1024 << " kB/context, membranes "
+              << (residency.membrane_resident ? "fit" : "DO NOT fit — host-mirrored")
+              << "), kernels " << residency.weight_bytes_streamed / 1024
+              << " kB streamed vs " << residency.weight_bytes_sequential / 1024
+              << " kB sequential, " << residency.resident_cycles / 1000
+              << " kcycles vs " << residency.sequential_cycles / 1000 << " kcycles ("
+              << util::cell(residency.amortization(), 2) << "x amortization)\n";
 
     if (!all_exact) {
         std::cerr << "FATAL: batched results diverged from sequential reference\n";

@@ -1,82 +1,121 @@
 #include "core/batch_runner.hpp"
 
+#include <algorithm>
+
 #include "sim/sia.hpp"
 #include "snn/encoding.hpp"
 #include "util/timer.hpp"
 
 namespace sia::core {
 
-namespace {
-
-/// SplitMix64 finalizer: decorrelates consecutive item indices into
-/// far-apart mt19937_64 seeds.
-std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t index) {
-    std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-    return z ^ (z >> 31);
-}
-
-}  // namespace
-
 BatchRunner::BatchRunner(const snn::SnnModel& model, BatchOptions options)
     : model_(model), options_(options), pool_(options.threads),
-      engines_(pool_.size()) {
+      engines_(pool_.size()), resident_sias_(pool_.size()) {
     model_.validate();
 }
 
 snn::FunctionalEngine& BatchRunner::engine(std::size_t worker) {
     auto& slot = engines_[worker];
-    if (!slot) slot = std::make_unique<snn::FunctionalEngine>(model_);
+    if (!slot) {
+        const util::WallTimer timer;
+        slot = std::make_unique<snn::FunctionalEngine>(model_);
+        setup_nanos_.fetch_add(static_cast<std::int64_t>(timer.millis() * 1e6),
+                               std::memory_order_relaxed);
+    }
     return *slot;
+}
+
+sim::Sia& BatchRunner::resident_sia(std::size_t worker, const sim::SiaConfig& config) {
+    auto& slot = resident_sias_[worker];
+    if (!slot) {
+        const util::WallTimer timer;
+        slot = std::make_unique<sim::Sia>(config, model_, *program_);
+        setup_nanos_.fetch_add(static_cast<std::int64_t>(timer.millis() * 1e6),
+                               std::memory_order_relaxed);
+    }
+    return *slot;
+}
+
+void BatchRunner::ensure_program(const sim::SiaConfig& config) {
+    if (program_ && *program_config_ == config) return;
+    const util::WallTimer timer;
+    // Invalidate the resident simulators first: they hold references to
+    // the program about to be replaced.
+    for (auto& slot : resident_sias_) slot.reset();
+    program_ = SiaCompiler(config).compile(model_);
+    program_config_ = config;
+    setup_nanos_.fetch_add(static_cast<std::int64_t>(timer.millis() * 1e6),
+                           std::memory_order_relaxed);
 }
 
 BatchRunner::~BatchRunner() = default;
 
 util::Rng BatchRunner::item_rng(std::size_t index) const {
-    return util::Rng(mix_seed(options_.seed, index));
+    return util::Rng(util::mix_seed(options_.seed, index));
 }
-
-namespace {
 
 /// Shared batch protocol: allocate result slots, publish the batch shape
 /// to stats up front (so a throwing batch is never misattributed to an
-/// earlier one), time the fan-out, record wall_ms on success.
+/// earlier one), time the fan-out, record wall/setup/run times on
+/// success. `fan_out` is the number of scheduled work items (== `inputs`
+/// except for sub-batched schedules); `per_item(item, worker)` returns
+/// the item's result.
 template <typename Result, typename PerItem>
-std::vector<Result> run_batch(util::ThreadPool& pool, BatchStats& stats,
-                              std::size_t n, const PerItem& per_item) {
-    std::vector<Result> results(n);
-    stats = BatchStats{n, pool.size(), 0.0};
+std::vector<Result> BatchRunner::run_batch(std::size_t fan_out, std::size_t inputs,
+                                           const PerItem& per_item) {
+    std::vector<Result> results(fan_out);
+    stats_ = BatchStats{};
+    stats_.inputs = inputs;
+    stats_.threads = pool_.size();
+    // Setup already accumulated before the fan-out (program compilation)
+    // is not inside any item timer and must not be subtracted from them.
+    const std::int64_t outside_item_setup = setup_nanos_.load();
+    std::atomic<std::int64_t> item_nanos{0};
     const util::WallTimer timer;
-    pool.parallel_for(n, [&](std::size_t item, std::size_t worker) {
+    pool_.parallel_for(fan_out, [&](std::size_t item, std::size_t worker) {
+        const util::WallTimer item_timer;
         results[item] = per_item(item, worker);
+        item_nanos.fetch_add(static_cast<std::int64_t>(item_timer.millis() * 1e6),
+                             std::memory_order_relaxed);
     });
-    stats.wall_ms = timer.millis();
+    stats_.wall_ms = timer.millis();
+    const std::int64_t setup_total = setup_nanos_.exchange(0);
+    stats_.setup_ms = static_cast<double>(setup_total) / 1e6;
+    // Engine/Sia construction happens inside item calls; subtract that
+    // share so run_ms is pure per-item execution.
+    stats_.run_ms =
+        std::max(0.0, static_cast<double>(item_nanos.load() -
+                                          (setup_total - outside_item_setup)) /
+                          1e6);
     return results;
 }
 
-}  // namespace
-
 std::vector<snn::RunResult> BatchRunner::run(
     const std::vector<snn::SpikeTrain>& inputs) {
+    sim_batch_stats_ = {};
+    setup_nanos_.store(0);
     return run_batch<snn::RunResult>(
-        pool_, stats_, inputs.size(), [&](std::size_t item, std::size_t worker) {
+        inputs.size(), inputs.size(), [&](std::size_t item, std::size_t worker) {
             return engine(worker).run(inputs[item]);
         });
 }
 
 std::vector<snn::RunResult> BatchRunner::run_images(
     const std::vector<tensor::Tensor>& images, std::int64_t timesteps) {
+    sim_batch_stats_ = {};
+    setup_nanos_.store(0);
     return run_batch<snn::RunResult>(
-        pool_, stats_, images.size(), [&](std::size_t item, std::size_t worker) {
+        images.size(), images.size(), [&](std::size_t item, std::size_t worker) {
             return engine(worker).run(snn::encode_thermometer(images[item], timesteps));
         });
 }
 
 std::vector<snn::RunResult> BatchRunner::run_images_poisson(
     const std::vector<tensor::Tensor>& images, std::int64_t timesteps) {
+    sim_batch_stats_ = {};
+    setup_nanos_.store(0);
     return run_batch<snn::RunResult>(
-        pool_, stats_, images.size(), [&](std::size_t item, std::size_t worker) {
+        images.size(), images.size(), [&](std::size_t item, std::size_t worker) {
             util::Rng rng = item_rng(item);
             return engine(worker).run(
                 snn::encode_poisson(images[item], timesteps, rng));
@@ -84,18 +123,69 @@ std::vector<snn::RunResult> BatchRunner::run_images_poisson(
 }
 
 std::vector<sim::SiaRunResult> BatchRunner::run_sim(
-    const sim::SiaConfig& config, const std::vector<snn::SpikeTrain>& inputs) {
-    if (!program_ || !(*program_config_ == config)) {
-        program_ = SiaCompiler(config).compile(model_);
-        program_config_ = config;
+    const sim::SiaConfig& config, const std::vector<snn::SpikeTrain>& inputs,
+    SimSchedule schedule) {
+    sim_batch_stats_ = {};
+    setup_nanos_.store(0);
+    ensure_program(config);
+
+    if (schedule == SimSchedule::kPerItem) {
+        return run_batch<sim::SiaRunResult>(
+            inputs.size(), inputs.size(), [&](std::size_t item, std::size_t /*worker*/) {
+                // Sia carries per-inference memory/DMA state, so each item
+                // gets a fresh instance; the compiled program is shared
+                // read-only.
+                const util::WallTimer timer;
+                sim::Sia sia(config, model_, *program_);
+                setup_nanos_.fetch_add(
+                    static_cast<std::int64_t>(timer.millis() * 1e6),
+                    std::memory_order_relaxed);
+                return sia.run(inputs[item]);
+            });
     }
-    return run_batch<sim::SiaRunResult>(
-        pool_, stats_, inputs.size(), [&](std::size_t item, std::size_t /*worker*/) {
-            // Sia carries per-inference memory/DMA state, so each item gets
-            // a fresh instance; the compiled program is shared read-only.
-            sim::Sia sia(config, model_, *program_);
-            return sia.run(inputs[item]);
+
+    // Resident schedule: contiguous sub-batches, one per pool worker, so
+    // weight/program residency amortizes across ceil(n / threads) items
+    // per Sia::run_batch call. Grouping never affects results — run_batch
+    // items are bit-identical to sequential run() calls by construction —
+    // so neither the chunk size nor the thread count is observable.
+    const std::size_t n = inputs.size();
+    const std::size_t chunk_size =
+        n == 0 ? 1 : (n + pool_.size() - 1) / pool_.size();
+    const std::size_t chunks = n == 0 ? 0 : (n + chunk_size - 1) / chunk_size;
+
+    std::vector<sim::SiaBatchStats> chunk_stats(chunks);
+    auto chunk_results = run_batch<std::vector<sim::SiaRunResult>>(
+        chunks, n, [&](std::size_t chunk, std::size_t worker) {
+            const std::size_t begin = chunk * chunk_size;
+            const std::size_t end = std::min(n, begin + chunk_size);
+            std::vector<const snn::SpikeTrain*> slice;
+            slice.reserve(end - begin);
+            for (std::size_t i = begin; i < end; ++i) slice.push_back(&inputs[i]);
+            sim::Sia& sia = resident_sia(worker, config);
+            auto results = sia.run_batch(slice);
+            chunk_stats[chunk] = sia.last_batch_stats();
+            return results;
         });
+
+    std::vector<sim::SiaRunResult> results;
+    results.reserve(n);
+    for (auto& chunk : chunk_results) {
+        for (auto& r : chunk) results.push_back(std::move(r));
+    }
+    for (const auto& s : chunk_stats) {
+        sim_batch_stats_.batch += s.batch;
+        sim_batch_stats_.waves += s.waves;
+        sim_batch_stats_.banks = std::max(sim_batch_stats_.banks, s.banks);
+        sim_batch_stats_.membrane_slice_bytes = s.membrane_slice_bytes;
+        sim_batch_stats_.membrane_resident =
+            sim_batch_stats_.membrane_resident && s.membrane_resident;
+        sim_batch_stats_.weight_bytes_streamed += s.weight_bytes_streamed;
+        sim_batch_stats_.weight_bytes_sequential += s.weight_bytes_sequential;
+        sim_batch_stats_.resident_cycles += s.resident_cycles;
+        sim_batch_stats_.sequential_cycles += s.sequential_cycles;
+    }
+    return results;
 }
 
 }  // namespace sia::core

@@ -2,9 +2,12 @@
 //
 // Serving-oriented counterpart to the single-input engines: the expensive
 // per-model work (FunctionalEngine weight-layout transposition, SiaCompiler
-// program generation) is done once per runner and amortized across every
-// input in the batch, while a fixed util::ThreadPool fans the per-input
-// runs out over worker threads.
+// program generation, resident sim::Sia construction) is done once per
+// runner and amortized across every input in the batch, while a fixed
+// util::ThreadPool fans the per-input runs out over worker threads. The
+// cycle-accurate path (run_sim) additionally schedules whole sub-batches
+// onto per-worker *resident* accelerators (Sia::run_batch), so simulated
+// BRAM weight residency amortizes too.
 //
 // Determinism contract: batched results are bit-identical to running the
 // same inputs sequentially through a fresh engine, for every thread count.
@@ -18,6 +21,7 @@
 //     shared or worker-keyed stream.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -46,11 +50,31 @@ struct BatchOptions {
     std::uint64_t seed = util::kDefaultSeed;
 };
 
+/// How run_sim maps inputs onto simulated accelerator instances.
+enum class SimSchedule {
+    /// One fresh sim::Sia per input (the pre-residency behaviour; kept
+    /// as the amortization baseline the bench compares against).
+    kPerItem,
+    /// One resident sim::Sia per worker; whole sub-batches go through
+    /// Sia::run_batch so BRAM weight residency and the compiled program
+    /// amortize across the sub-batch. Bit-identical to kPerItem.
+    kResident,
+};
+
 /// Timing/throughput aggregates of one batch call.
 struct BatchStats {
     std::size_t inputs = 0;
     std::size_t threads = 1;
     double wall_ms = 0.0;
+    /// Engine/program construction time inside this call: functional
+    /// engine builds, program compilation, and sim::Sia constructions.
+    /// Summed across workers, so with many threads it can exceed its
+    /// share of wall_ms; a warm runner reports ~0 here — the residency
+    /// amortization made visible.
+    double setup_ms = 0.0;
+    /// Per-item execution time (encode + run), summed across workers and
+    /// exclusive of setup_ms.
+    double run_ms = 0.0;
     [[nodiscard]] double inputs_per_sec() const noexcept {
         return wall_ms > 0.0 ? 1e3 * static_cast<double>(inputs) / wall_ms : 0.0;
     }
@@ -83,16 +107,28 @@ public:
     [[nodiscard]] std::vector<snn::RunResult> run_images_poisson(
         const std::vector<tensor::Tensor>& images, std::int64_t timesteps);
 
-    /// Cycle-accurate batched run: each input gets its own sim::Sia
-    /// instance, but all of them share one CompiledProgram (compiled
-    /// lazily on first use and cached). Spikes/logits are bit-identical
-    /// to run() by the engines' shared-numerics construction.
+    /// Cycle-accurate batched run over one CompiledProgram (compiled
+    /// lazily on first use and cached). With kResident (the default),
+    /// contiguous sub-batches are scheduled onto per-worker resident
+    /// sim::Sia instances via Sia::run_batch; with kPerItem every input
+    /// gets a fresh instance. Both schedules produce bit-identical
+    /// results — to each other, to sequential Sia::run calls, and (for
+    /// spikes/logits) to run() by the engines' shared-numerics
+    /// construction — for every thread count.
     [[nodiscard]] std::vector<sim::SiaRunResult> run_sim(
-        const sim::SiaConfig& config, const std::vector<snn::SpikeTrain>& inputs);
+        const sim::SiaConfig& config, const std::vector<snn::SpikeTrain>& inputs,
+        SimSchedule schedule = SimSchedule::kResident);
 
     /// Stats of the most recent run*/run_sim call. If that call threw,
     /// inputs/threads describe the failed batch and wall_ms is 0.
     [[nodiscard]] const BatchStats& last_stats() const noexcept { return stats_; }
+
+    /// Residency accounting aggregated over every Sia::run_batch call of
+    /// the most recent kResident run_sim (zero-valued after kPerItem or
+    /// non-sim runs). `waves` sums across sub-batches.
+    [[nodiscard]] const sim::SiaBatchStats& last_sim_batch_stats() const noexcept {
+        return sim_batch_stats_;
+    }
 
     [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
     [[nodiscard]] const snn::SnnModel& model() const noexcept { return model_; }
@@ -107,6 +143,18 @@ private:
     /// not with pool size). Race-free: slot `worker` is only ever touched
     /// by pool worker `worker`.
     [[nodiscard]] snn::FunctionalEngine& engine(std::size_t worker);
+    /// The calling worker's private resident simulator (same slot
+    /// discipline as engine()). Requires program_ for `config` to be
+    /// compiled already.
+    [[nodiscard]] sim::Sia& resident_sia(std::size_t worker,
+                                         const sim::SiaConfig& config);
+    /// Compile (or reuse) the cached program for `config`; invalidates
+    /// the resident simulators on recompilation.
+    void ensure_program(const sim::SiaConfig& config);
+
+    template <typename Result, typename PerItem>
+    std::vector<Result> run_batch(std::size_t fan_out, std::size_t inputs,
+                                  const PerItem& per_item);
 
     const snn::SnnModel& model_;
     BatchOptions options_;
@@ -114,11 +162,18 @@ private:
     /// One private engine slot per worker, filled lazily, reused across
     /// batches.
     std::vector<std::unique_ptr<snn::FunctionalEngine>> engines_;
+    /// One private resident sim::Sia slot per worker (kResident run_sim),
+    /// filled lazily, reused across batches, rebuilt on config change.
+    std::vector<std::unique_ptr<sim::Sia>> resident_sias_;
     /// Cached compiled program for run_sim (keyed by the config's
     /// identity; recompiled when a different config is passed).
     std::optional<sim::CompiledProgram> program_;
     std::optional<sim::SiaConfig> program_config_;
     BatchStats stats_;
+    sim::SiaBatchStats sim_batch_stats_;
+    /// Construction time accumulated by workers during the current batch
+    /// (engine/Sia builds + program compile), drained into stats_.
+    std::atomic<std::int64_t> setup_nanos_{0};
 };
 
 }  // namespace sia::core

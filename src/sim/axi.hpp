@@ -14,11 +14,20 @@ class AxiDma {
 public:
     explicit AxiDma(const SiaConfig& config) : config_(config) {}
 
+    /// Cycle cost of moving `bytes` without performing the transfer (for
+    /// what-if accounting, e.g. the residency savings Sia::run_batch
+    /// reports). transfer() charges exactly this.
+    [[nodiscard]] static std::int64_t cycles_for(std::int64_t bytes,
+                                                 const SiaConfig& config) noexcept {
+        return static_cast<std::int64_t>(static_cast<double>(bytes) /
+                                             config.dma_bytes_per_cycle +
+                                         0.999999);
+    }
+
     /// Cycles to move `bytes` PL<->DDR; accumulates volume counters.
     std::int64_t transfer(std::int64_t bytes) noexcept {
         bytes_moved_ += bytes;
-        const auto cycles = static_cast<std::int64_t>(
-            static_cast<double>(bytes) / config_.dma_bytes_per_cycle + 0.999999);
+        const std::int64_t cycles = cycles_for(bytes, config_);
         cycles_ += cycles;
         return cycles;
     }

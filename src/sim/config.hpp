@@ -47,6 +47,13 @@ struct SiaConfig {
     std::int64_t aggregation_lanes = 16;
     std::int64_t aggregation_pipeline_depth = 4;
 
+    /// Batched (resident) execution: number of per-inference membrane
+    /// contexts the U1/U2 ping-pong memory is partitioned into when one
+    /// Sia instance interleaves several inferences (Sia::run_batch).
+    /// Each in-flight inference owns membrane_bytes / (2 * membrane_banks)
+    /// bytes per phase; batches larger than this run in multiple waves.
+    std::int64_t membrane_banks = 4;
+
     [[nodiscard]] bool operator==(const SiaConfig&) const = default;
 
     [[nodiscard]] std::int64_t pe_count() const noexcept { return pe_rows * pe_cols; }

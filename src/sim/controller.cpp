@@ -38,7 +38,8 @@ bool Controller::legal(CtrlState from, CtrlState to) noexcept {
             return to == CtrlState::kLoadConfig || to == CtrlState::kReadInput ||
                    to == CtrlState::kDone;
         case CtrlState::kDone:
-            return to == CtrlState::kIdle;
+            // Idle, or re-init for the next wave of a batched resident run.
+            return to == CtrlState::kIdle || to == CtrlState::kInit;
     }
     return false;
 }

@@ -22,7 +22,8 @@ enum class CtrlState : std::uint8_t {
     kPeCompute,      ///< "PE Computation and Storage"
     kAggregate,      ///< "Enable Activation and Batch Normalization"
     kWriteOutput,    ///< "Layer Wise Output"
-    kDone,           ///< "All Layer Done / End"
+    kDone,           ///< "All Layer Done / End" (may re-init for the next
+                     ///< wave of a batched resident run)
 };
 
 [[nodiscard]] const char* to_string(CtrlState s) noexcept;

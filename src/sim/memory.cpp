@@ -40,6 +40,37 @@ std::int16_t BramBank::read16(std::int64_t addr) {
     return static_cast<std::int16_t>(static_cast<std::uint16_t>(lo | (hi << 8)));
 }
 
+void PingPongMembrane::partition(std::int64_t contexts) {
+    if (contexts < 1) {
+        throw std::invalid_argument("PingPongMembrane: contexts must be >= 1");
+    }
+    const std::int64_t slice = banks_[0].capacity() / contexts;
+    if (slice < 2) {
+        throw std::invalid_argument(
+            "PingPongMembrane: " + std::to_string(contexts) +
+            " contexts leave slices under one 16-bit potential");
+    }
+    slice_ = slice;
+    phase_.assign(static_cast<std::size_t>(contexts), 0);
+    active_ = 0;
+}
+
+void PingPongMembrane::set_active(std::int64_t context) {
+    if (context < 0 || context >= contexts()) {
+        throw std::out_of_range("PingPongMembrane: context " + std::to_string(context) +
+                                " of " + std::to_string(contexts()));
+    }
+    active_ = context;
+}
+
+void PingPongMembrane::check_slice(std::int64_t addr, std::int64_t len) const {
+    if (addr < 0 || addr + len > slice_) {
+        throw std::out_of_range("PingPongMembrane: access at " + std::to_string(addr) +
+                                " len " + std::to_string(len) +
+                                " exceeds context slice " + std::to_string(slice_));
+    }
+}
+
 MemoryUnit::MemoryUnit(const SiaConfig& config)
     : incoming_spikes("incoming-spikes", config.incoming_spike_bytes),
       residual("residual", config.residual_bytes),

@@ -47,40 +47,74 @@ private:
 
 /// Ping-pong membrane store (Fig. 3): two half-size banks; at any
 /// timestep one is read (previous potentials) and the other written
-/// (updated potentials); roles swap every timestep. Reading from the
-/// write bank or vice versa throws — the hazard the organisation exists
-/// to prevent.
+/// (updated potentials); roles swap every timestep.
+///
+/// For batched (resident) execution the U1/U2 pair can additionally be
+/// partitioned into equal per-inference *contexts*: each in-flight
+/// inference owns one slice of both phase banks and its own ping-pong
+/// phase, so interleaving inferences never aliases membrane state.
+/// Single-inference callers use the default single-context partitioning
+/// and see the original two-half-bank behaviour unchanged.
 class PingPongMembrane {
 public:
     explicit PingPongMembrane(std::int64_t total_bytes)
         : banks_{BramBank("U1-State", total_bytes / 2),
-                 BramBank("U2-State", total_bytes / 2)} {}
-
-    /// Capacity of one bank (must hold one layer tile's potentials).
-    [[nodiscard]] std::int64_t bank_capacity() const noexcept {
-        return banks_[0].capacity();
+                 BramBank("U2-State", total_bytes / 2)} {
+        partition(1);
     }
 
-    /// Swap read/write roles (called at every timestep boundary).
-    void toggle() noexcept { write_is_u1_ = !write_is_u1_; }
+    /// Re-partition both phase banks into `contexts` equal per-inference
+    /// slices. Resets every context's phase and selects context 0;
+    /// contents are stale until rewritten (each layer run rewrites its
+    /// initial potentials anyway). Throws if a slice cannot hold even
+    /// one 16-bit potential.
+    void partition(std::int64_t contexts);
 
-    [[nodiscard]] bool write_bank_is_u1() const noexcept { return write_is_u1_; }
+    /// Select the context subsequent read/write/toggle calls address.
+    void set_active(std::int64_t context);
 
-    void write16(std::int64_t addr, std::int16_t v) { write_bank().write16(addr, v); }
-    [[nodiscard]] std::int16_t read16(std::int64_t addr) { return read_bank().read16(addr); }
+    [[nodiscard]] std::int64_t contexts() const noexcept {
+        return static_cast<std::int64_t>(phase_.size());
+    }
+    [[nodiscard]] std::int64_t active() const noexcept { return active_; }
 
-    [[nodiscard]] BramBank& write_bank() noexcept { return banks_[write_is_u1_ ? 0 : 1]; }
-    [[nodiscard]] BramBank& read_bank() noexcept { return banks_[write_is_u1_ ? 1 : 0]; }
+    /// Capacity of one phase slice of the active partitioning (must hold
+    /// one layer tile's potentials for the inference owning the slice).
+    [[nodiscard]] std::int64_t bank_capacity() const noexcept { return slice_; }
+
+    /// Swap the active context's read/write roles (every timestep).
+    void toggle() noexcept { phase_[static_cast<std::size_t>(active_)] ^= 1U; }
+
+    [[nodiscard]] bool write_bank_is_u1() const noexcept {
+        return phase_[static_cast<std::size_t>(active_)] == 0;
+    }
+
+    void write16(std::int64_t addr, std::int16_t v) {
+        check_slice(addr, 2);
+        write_bank().write16(base() + addr, v);
+    }
+    [[nodiscard]] std::int16_t read16(std::int64_t addr) {
+        check_slice(addr, 2);
+        return read_bank().read16(base() + addr);
+    }
+
+    [[nodiscard]] BramBank& write_bank() noexcept { return banks_[write_bank_is_u1() ? 0 : 1]; }
+    [[nodiscard]] BramBank& read_bank() noexcept { return banks_[write_bank_is_u1() ? 1 : 0]; }
     [[nodiscard]] const BramBank& write_bank() const noexcept {
-        return banks_[write_is_u1_ ? 0 : 1];
+        return banks_[write_bank_is_u1() ? 0 : 1];
     }
     [[nodiscard]] const BramBank& read_bank() const noexcept {
-        return banks_[write_is_u1_ ? 1 : 0];
+        return banks_[write_bank_is_u1() ? 1 : 0];
     }
 
 private:
+    void check_slice(std::int64_t addr, std::int64_t len) const;
+    [[nodiscard]] std::int64_t base() const noexcept { return active_ * slice_; }
+
     BramBank banks_[2];
-    bool write_is_u1_ = true;
+    std::vector<std::uint8_t> phase_;  ///< per context: 0 = write U1, 1 = write U2
+    std::int64_t slice_ = 0;           ///< bytes per context per phase bank
+    std::int64_t active_ = 0;
 };
 
 /// The full §III-D memory unit.

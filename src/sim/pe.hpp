@@ -60,6 +60,10 @@ private:
 
 /// The 8x8 spiking core. All lanes (output channels) observe the same
 /// input spikes; cycle cost per window is therefore lane-independent.
+/// Holds no cross-inference state (partial sums live for one window,
+/// membranes live in the memory unit), which is what lets a batched
+/// resident run (Sia::run_batch) interleave inferences over the same
+/// array without any per-inference re-initialisation.
 class PeArray {
 public:
     explicit PeArray(const SiaConfig& config) : config_(config) {}

@@ -49,6 +49,20 @@ struct CompiledProgram {
     std::int64_t peak_membrane_bytes = 0;
     /// True when every layer fits its memories without DDR spill.
     bool fits_on_chip = true;
+
+    /// Kernel bytes one full inference streams over the bulk DMA path
+    /// (conv layers; per-inference loads, not per-timestep). This is the
+    /// traffic a batched resident run pays once per wave instead of once
+    /// per inference — the BRAM-residency amortization Sia::run_batch
+    /// reports. MMIO-path (FC) weights re-stream per timestep and are
+    /// excluded: residency does not amortize them.
+    [[nodiscard]] std::int64_t dma_weight_stream_bytes() const noexcept {
+        std::int64_t total = 0;
+        for (const LayerPlan& p : layers) {
+            if (!p.mmio) total += p.weight_stream_bytes;
+        }
+        return total;
+    }
 };
 
 }  // namespace sia::sim

@@ -74,66 +74,193 @@ double SiaRunResult::pe_utilization(const SiaConfig& config) const noexcept {
 
 Sia::Sia(const SiaConfig& config, const snn::SnnModel& model,
          const CompiledProgram& program)
-    : config_(config), model_(model), program_(program), memory_(config), dma_(config),
-      mmio_(config) {
+    : config_(config), model_(model), program_(program),
+      main_wt_cache_(model.layers.size()), skip_wt_cache_(model.layers.size()),
+      memory_(config), dma_(config), mmio_(config) {
     model_.validate();
     if (program_.layers.size() != model_.layers.size()) {
         throw std::invalid_argument("Sia: program/model layer count mismatch");
     }
 }
 
+const std::vector<std::int8_t>& Sia::main_wt(std::size_t index) {
+    auto& slot = main_wt_cache_[index];
+    if (slot.empty()) {
+        const snn::SnnLayer& layer = model_.layers[index];
+        slot = layer.op == snn::LayerOp::kConv
+                   ? snn::compute::transpose_conv(layer.main)
+                   : snn::compute::transpose_linear(layer.main);
+    }
+    return slot;
+}
+
+const std::vector<std::int8_t>& Sia::skip_wt(std::size_t index) {
+    auto& slot = skip_wt_cache_[index];
+    if (slot.empty()) {
+        slot = snn::compute::transpose_conv(model_.layers[index].skip);
+    }
+    return slot;
+}
+
+namespace {
+
+void init_result(SiaRunResult& res, std::int64_t timesteps, std::int64_t classes,
+                 std::size_t layer_count) {
+    res.timesteps = timesteps;
+    res.logits_per_step.assign(
+        static_cast<std::size_t>(timesteps),
+        std::vector<std::int64_t>(static_cast<std::size_t>(classes), 0));
+    res.layer_stats.assign(layer_count, LayerCycleStats{});
+    res.spike_counts.assign(layer_count, 0);
+    res.neuron_counts.clear();
+}
+
+}  // namespace
+
 SiaRunResult Sia::run(const snn::SpikeTrain& input) {
     if (input.empty()) throw std::invalid_argument("Sia::run: empty input train");
-    const auto timesteps = static_cast<std::int64_t>(input.size());
+
+    // Single-inference mode owns the whole U1/U2 pair (also recovers a
+    // clean partitioning if a previous run_batch threw mid-flight).
+    memory_.membrane.partition(1);
 
     SiaRunResult res;
-    res.timesteps = timesteps;
-    res.logits_per_step.assign(static_cast<std::size_t>(timesteps),
-                               std::vector<std::int64_t>(
-                                   static_cast<std::size_t>(model_.classes), 0));
-    res.layer_stats.resize(model_.layers.size());
-    res.spike_counts.assign(model_.layers.size(), 0);
-    res.neuron_counts.clear();
+    init_result(res, static_cast<std::int64_t>(input.size()), model_.classes,
+                model_.layers.size());
 
     std::vector<snn::SpikeTrain> outs(model_.layers.size());
 
     controller_.reset();
     controller_.transition(CtrlState::kInit);
-
     for (std::size_t li = 0; li < model_.layers.size(); ++li) {
-        const snn::SnnLayer& layer = model_.layers[li];
-        LayerCycleStats& stats = res.layer_stats[li];
-        stats.label = layer.label;
-        stats.overhead += config_.ps_layer_overhead_cycles;
-        controller_.transition(CtrlState::kLoadConfig);
-
-        const snn::SpikeTrain& in_train =
-            layer.input == -1 ? input : outs[static_cast<std::size_t>(layer.input)];
-        const snn::SpikeTrain* skip_train = nullptr;
-        if (layer.has_skip()) {
-            skip_train = layer.skip_src == -1
-                             ? &input
-                             : &outs[static_cast<std::size_t>(layer.skip_src)];
-        }
-
-        snn::SpikeTrain& out_train = outs[li];
-        out_train.assign(static_cast<std::size_t>(timesteps),
-                         snn::SpikeMap(layer.out_channels, layer.out_h, layer.out_w));
-
-        if (layer.op == snn::LayerOp::kConv) {
-            run_conv_layer(li, in_train, skip_train, out_train, stats,
-                           res.logits_per_step);
-        } else {
-            run_linear_layer(li, in_train, out_train, stats, res.logits_per_step);
-        }
-
-        res.neuron_counts.push_back(layer.neurons());
-        std::int64_t spikes = 0;
-        for (const auto& m : out_train) spikes += m.count();
-        res.spike_counts[li] = spikes;
+        run_layer(li, input, outs, res);
     }
     controller_.transition(CtrlState::kDone);
     return res;
+}
+
+std::vector<SiaRunResult> Sia::run_batch(const std::vector<snn::SpikeTrain>& inputs) {
+    std::vector<const snn::SpikeTrain*> ptrs;
+    ptrs.reserve(inputs.size());
+    for (const auto& in : inputs) ptrs.push_back(&in);
+    return run_batch(ptrs);
+}
+
+std::vector<SiaRunResult> Sia::run_batch(
+    const std::vector<const snn::SpikeTrain*>& inputs) {
+    const std::size_t n = inputs.size();
+    batch_stats_ = SiaBatchStats{};
+    batch_stats_.batch = n;
+    batch_stats_.banks = std::max<std::int64_t>(1, config_.membrane_banks);
+
+    std::vector<SiaRunResult> results(n);
+    if (n == 0) return results;
+    for (const auto* in : inputs) {
+        if (in == nullptr || in->empty()) {
+            throw std::invalid_argument("Sia::run_batch: empty input train");
+        }
+    }
+
+    memory_.membrane.partition(batch_stats_.banks);
+    batch_stats_.membrane_slice_bytes = memory_.membrane.bank_capacity();
+    batch_stats_.membrane_resident = true;
+    for (const LayerPlan& plan : program_.layers) {
+        if (plan.membrane_bytes > batch_stats_.membrane_slice_bytes) {
+            batch_stats_.membrane_resident = false;
+            break;
+        }
+    }
+    controller_.reset();
+
+    const auto wave_width = static_cast<std::size_t>(batch_stats_.banks);
+    std::int64_t saved_cycles = 0;
+    for (std::size_t start = 0; start < n; start += wave_width) {
+        const std::size_t count = std::min(n - start, wave_width);
+        ++batch_stats_.waves;
+        run_wave(inputs.data() + start, results.data() + start, count);
+        // Residency savings of this wave: conv kernels streamed once for
+        // all `count` members, and the PS invoked each layer once.
+        for (std::size_t li = 0; li < model_.layers.size(); ++li) {
+            const LayerPlan& plan = program_.layers[li];
+            const auto extra = static_cast<std::int64_t>(count - 1);
+            if (!plan.mmio) {
+                batch_stats_.weight_bytes_streamed += plan.weight_stream_bytes;
+                batch_stats_.weight_bytes_sequential +=
+                    static_cast<std::int64_t>(count) * plan.weight_stream_bytes;
+                saved_cycles += extra * AxiDma::cycles_for(plan.weight_stream_bytes,
+                                                           config_);
+            }
+            saved_cycles += extra * config_.ps_layer_overhead_cycles;
+        }
+    }
+
+    // Restore single-inference partitioning for subsequent run() calls.
+    memory_.membrane.partition(1);
+
+    for (const SiaRunResult& r : results) {
+        batch_stats_.sequential_cycles += r.total_cycles();
+    }
+    batch_stats_.resident_cycles = batch_stats_.sequential_cycles - saved_cycles;
+    return results;
+}
+
+void Sia::run_wave(const snn::SpikeTrain* const* inputs, SiaRunResult* results,
+                   std::size_t count) {
+    // Fresh FSM pass per wave; kDone -> kInit covers waves after the first.
+    controller_.transition(CtrlState::kInit);
+
+    std::vector<std::vector<snn::SpikeTrain>> outs(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        init_result(results[s], static_cast<std::int64_t>(inputs[s]->size()),
+                    model_.classes, model_.layers.size());
+        outs[s].resize(model_.layers.size());
+    }
+
+    // Layer-major over the wave: kernels for layer `li` are resident
+    // while every wave member's timestep loop runs over its own membrane
+    // context, then the next layer is configured.
+    for (std::size_t li = 0; li < model_.layers.size(); ++li) {
+        for (std::size_t s = 0; s < count; ++s) {
+            memory_.membrane.set_active(static_cast<std::int64_t>(s));
+            run_layer(li, *inputs[s], outs[s], results[s]);
+        }
+    }
+    controller_.transition(CtrlState::kDone);
+}
+
+void Sia::run_layer(std::size_t index, const snn::SpikeTrain& input,
+                    std::vector<snn::SpikeTrain>& outs, SiaRunResult& res) {
+    const snn::SnnLayer& layer = model_.layers[index];
+    const auto timesteps = static_cast<std::int64_t>(input.size());
+    LayerCycleStats& stats = res.layer_stats[index];
+    stats.label = layer.label;
+    stats.overhead += config_.ps_layer_overhead_cycles;
+    controller_.transition(CtrlState::kLoadConfig);
+
+    const snn::SpikeTrain& in_train =
+        layer.input == -1 ? input : outs[static_cast<std::size_t>(layer.input)];
+    const snn::SpikeTrain* skip_train = nullptr;
+    if (layer.has_skip()) {
+        skip_train = layer.skip_src == -1
+                         ? &input
+                         : &outs[static_cast<std::size_t>(layer.skip_src)];
+    }
+
+    snn::SpikeTrain& out_train = outs[index];
+    out_train.assign(static_cast<std::size_t>(timesteps),
+                     snn::SpikeMap(layer.out_channels, layer.out_h, layer.out_w));
+
+    if (layer.op == snn::LayerOp::kConv) {
+        run_conv_layer(index, in_train, skip_train, out_train, stats,
+                       res.logits_per_step);
+    } else {
+        run_linear_layer(index, in_train, out_train, stats, res.logits_per_step);
+    }
+
+    res.neuron_counts.push_back(layer.neurons());
+    std::int64_t spikes = 0;
+    for (const auto& m : out_train) spikes += m.count();
+    res.spike_counts[index] = spikes;
 }
 
 void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
@@ -150,10 +277,11 @@ void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
     const std::int64_t ow = layer.out_w;
     const std::int64_t lanes = config_.pe_count();
 
-    const auto wt = snn::compute::transpose_conv(b);
-    std::vector<std::int8_t> skip_wt;
+    const std::vector<std::int8_t>& wt = main_wt(index);
     const bool has_down_skip = layer.has_skip() && !layer.skip_is_identity;
-    if (has_down_skip) skip_wt = snn::compute::transpose_conv(layer.skip);
+    static const std::vector<std::int8_t> kNoWeights;
+    const std::vector<std::int8_t>& skip_weights =
+        has_down_skip ? skip_wt(index) : kNoWeights;
 
     const auto counts = channel_spike_counts(in_train);
     const auto skip_counts =
@@ -238,8 +366,8 @@ void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
                     stats.event_additions +=
                         skip_spikes * std::min(lanes, oc - tile * lanes);
                 }
-                snn::compute::conv_psum_chunk(layer.skip, skip_wt, skip_in, oh, ow, 0,
-                                              layer.skip.in_channels, skip_psum);
+                snn::compute::conv_psum_chunk(layer.skip, skip_weights, skip_in, oh, ow,
+                                              0, layer.skip.in_channels, skip_psum);
                 stats.dense_ops += skip_dense_per_step;
             }
         }
@@ -324,7 +452,7 @@ void Sia::run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
     const std::int64_t lanes = config_.pe_count();
     const std::int64_t features = b.out_features;
 
-    const auto wt = snn::compute::transpose_linear(b);
+    const std::vector<std::int8_t>& wt = main_wt(index);
     std::vector<std::int32_t> psum(static_cast<std::size_t>(features), 0);
     std::vector<std::int16_t> mem(static_cast<std::size_t>(features),
                                   layer.initial_potential);

@@ -66,6 +66,45 @@ struct SiaRunResult {
     [[nodiscard]] double pe_utilization(const SiaConfig& config) const noexcept;
 };
 
+/// Aggregate accounting of one Sia::run_batch call: what the resident
+/// schedule shares across each wave versus what N independent sequential
+/// runs would pay. Per-item SiaRunResults keep as-if-sequential stats
+/// (that is what makes them bit-identical to run()); the amortization
+/// lives here.
+struct SiaBatchStats {
+    std::size_t batch = 0;
+    std::int64_t waves = 0;
+    std::int64_t banks = 0;  ///< membrane contexts available per wave
+
+    /// Per-context phase-bank slice of the wave partitioning (bytes).
+    std::int64_t membrane_slice_bytes = 0;
+    /// True when every layer's potentials fit the per-context slice, i.e.
+    /// the wave's inferences are genuinely membrane-resident. When false,
+    /// overflow potentials are host-mirrored (numerically identical and —
+    /// like all membrane traffic — uncharged beyond the plan-based
+    /// accounting), so the reported cycle amortization assumes membrane
+    /// capacity the partitioned banks do not actually have.
+    bool membrane_resident = true;
+
+    /// Conv-kernel DMA traffic of the resident schedule (streamed once
+    /// per wave) vs. N independent runs (streamed once per inference).
+    std::int64_t weight_bytes_streamed = 0;
+    std::int64_t weight_bytes_sequential = 0;
+
+    /// Modeled accelerator cycles: resident = sequential minus the
+    /// per-wave-shared weight streaming and PS layer-invocation overhead.
+    std::int64_t resident_cycles = 0;
+    std::int64_t sequential_cycles = 0;
+
+    /// Sequential-to-resident cycle ratio (>= 1 when batching helps).
+    [[nodiscard]] double amortization() const noexcept {
+        return resident_cycles > 0
+                   ? static_cast<double>(sequential_cycles) /
+                         static_cast<double>(resident_cycles)
+                   : 1.0;
+    }
+};
+
 class Sia {
 public:
     /// `model` and `program` must outlive the Sia instance.
@@ -75,12 +114,37 @@ public:
     /// Run one inference over the input spike train.
     [[nodiscard]] SiaRunResult run(const snn::SpikeTrain& input);
 
+    /// Batched resident execution: weights and the compiled program stay
+    /// resident while up to config().membrane_banks inferences share the
+    /// accelerator per wave, each owning one membrane context; layers are
+    /// time-multiplexed across the wave members. Larger batches run in
+    /// ceil(N / membrane_banks) waves.
+    ///
+    /// Per-item results — spikes, logits, and cycle stats — are
+    /// bit-identical to N independent sequential run() calls; what the
+    /// resident schedule saves (per-wave weight streaming, per-wave PS
+    /// layer invocation) is reported via last_batch_stats() instead of
+    /// being folded into the per-item accounting.
+    [[nodiscard]] std::vector<SiaRunResult> run_batch(
+        const std::vector<snn::SpikeTrain>& inputs);
+    /// Pointer form for schedulers slicing a larger batch without copies.
+    [[nodiscard]] std::vector<SiaRunResult> run_batch(
+        const std::vector<const snn::SpikeTrain*>& inputs);
+
+    /// Accounting of the most recent run_batch call.
+    [[nodiscard]] const SiaBatchStats& last_batch_stats() const noexcept {
+        return batch_stats_;
+    }
+
     [[nodiscard]] const Controller& controller() const noexcept { return controller_; }
     [[nodiscard]] const MemoryUnit& memory() const noexcept { return memory_; }
     [[nodiscard]] const SiaConfig& config() const noexcept { return config_; }
 
 private:
-    struct LayerContext;
+    void run_layer(std::size_t index, const snn::SpikeTrain& input,
+                   std::vector<snn::SpikeTrain>& outs, SiaRunResult& res);
+    void run_wave(const snn::SpikeTrain* const* inputs, SiaRunResult* results,
+                  std::size_t count);
 
     void run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
                         const snn::SpikeTrain* skip_train, snn::SpikeTrain& out_train,
@@ -90,13 +154,22 @@ private:
                           snn::SpikeTrain& out_train, LayerCycleStats& stats,
                           std::vector<std::vector<std::int64_t>>& readout);
 
+    /// Per-layer transposed weight layouts, built lazily on first use and
+    /// then shared by every inference this instance runs — the host-side
+    /// analogue of the weights staying resident in BRAM.
+    [[nodiscard]] const std::vector<std::int8_t>& main_wt(std::size_t index);
+    [[nodiscard]] const std::vector<std::int8_t>& skip_wt(std::size_t index);
+
     SiaConfig config_;
     const snn::SnnModel& model_;
     const CompiledProgram& program_;
+    std::vector<std::vector<std::int8_t>> main_wt_cache_;
+    std::vector<std::vector<std::int8_t>> skip_wt_cache_;
     Controller controller_;
     MemoryUnit memory_;
     AxiDma dma_;
     AxiLiteMmio mmio_;
+    SiaBatchStats batch_stats_;
 };
 
 }  // namespace sia::sim

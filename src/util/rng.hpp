@@ -16,6 +16,20 @@ namespace sia::util {
 /// need independent streams.
 inline constexpr std::uint64_t kDefaultSeed = 0x51A2024ULL;
 
+/// SplitMix64 finalizer: decorrelates consecutive indices under one base
+/// seed into far-apart engine seeds. This is the per-item stream
+/// derivation core::BatchRunner's determinism contract is built on
+/// (results depend on (seed, item index) only, never on thread count or
+/// batch position), so its exact constants are load-bearing: tests pin
+/// them through this single definition.
+[[nodiscard]] inline constexpr std::uint64_t mix_seed(std::uint64_t seed,
+                                                      std::uint64_t index) noexcept {
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
 /// Thin wrapper over a 64-bit Mersenne Twister with convenience
 /// distributions. Copyable; copies continue the sequence independently.
 class Rng {

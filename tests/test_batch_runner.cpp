@@ -139,6 +139,55 @@ TEST(ThreadPool, PropagatesWorkerException) {
     EXPECT_EQ(total.load(), 4);
 }
 
+TEST(ThreadPool, ThrowMidBatchCancelsCleanlyAndRethrowsFirstException) {
+    // Single worker makes the schedule deterministic: the throw at item 3
+    // must cancel every unstarted item (no later lambda runs, so the
+    // second would-be exception never materializes), and the rethrown
+    // exception must be the first one captured.
+    util::ThreadPool pool(1);
+    std::vector<std::size_t> ran;
+    try {
+        pool.parallel_for(10, [&](std::size_t item, std::size_t) {
+            ran.push_back(item);
+            if (item == 3) throw std::runtime_error("first failure");
+            if (item == 5) throw std::logic_error("second failure");
+        });
+        FAIL() << "parallel_for must rethrow";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "first failure");
+    }
+    EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2, 3}));
+
+    // The pool stays reusable: full batches run to completion afterwards,
+    // repeatedly.
+    for (int round = 0; round < 3; ++round) {
+        std::atomic<int> total{0};
+        pool.parallel_for(8, [&](std::size_t, std::size_t) { total.fetch_add(1); });
+        EXPECT_EQ(total.load(), 8) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, ThrowWithManyWorkersStillDrainsAndRecovers) {
+    util::ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        std::atomic<int> started{0};
+        // Every item throws: each worker's first item cancels the rest,
+        // so at most one item per worker ever starts — a deterministic
+        // bound on how far cancellation lets the batch run.
+        EXPECT_THROW(pool.parallel_for(64,
+                                       [&](std::size_t, std::size_t) {
+                                           started.fetch_add(1);
+                                           throw std::runtime_error("boom");
+                                       }),
+                     std::runtime_error);
+        EXPECT_GE(started.load(), 1);
+        EXPECT_LE(started.load(), 4);
+        std::atomic<int> total{0};
+        pool.parallel_for(16, [&](std::size_t, std::size_t) { total.fetch_add(1); });
+        EXPECT_EQ(total.load(), 16) << "round " << round;
+    }
+}
+
 // ---- BatchRunner ----
 
 TEST(BatchRunner, BitExactAcrossThreadCounts) {
@@ -233,6 +282,36 @@ TEST(BatchRunner, SimBatchMatchesFunctionalLogits) {
     for (std::size_t i = 0; i < again.size(); ++i) {
         EXPECT_EQ(again[i].logits_per_step, simulated[i].logits_per_step);
     }
+}
+
+TEST(BatchRunner, StatsSeparateSetupFromRunTime) {
+    const auto model = small_model(7);
+    const auto batch = random_batch(model, 8, 5, 17);
+    // One worker: engine/Sia construction then deterministically happens
+    // in the first batch (with more workers a worker that received no
+    // items builds its engine in a later batch).
+    core::BatchRunner runner(model, {.threads = 1});
+
+    // First batch pays engine construction; it must be attributed to
+    // setup_ms, not folded into the per-item run time.
+    (void)runner.run(batch);
+    const auto cold = runner.last_stats();
+    EXPECT_GT(cold.setup_ms, 0.0);
+    EXPECT_GT(cold.run_ms, 0.0);
+
+    // Warm runner: engines are cached, so a second batch reports zero
+    // construction time — the amortization made visible.
+    (void)runner.run(batch);
+    const auto warm = runner.last_stats();
+    EXPECT_EQ(warm.setup_ms, 0.0);
+    EXPECT_GT(warm.run_ms, 0.0);
+
+    // Same for the resident simulator path: first run_sim compiles the
+    // program and builds per-worker Sia instances, the second reuses both.
+    (void)runner.run_sim(sim::SiaConfig{}, batch);
+    EXPECT_GT(runner.last_stats().setup_ms, 0.0);
+    (void)runner.run_sim(sim::SiaConfig{}, batch);
+    EXPECT_EQ(runner.last_stats().setup_ms, 0.0);
 }
 
 TEST(BatchRunner, PoissonEncodingIsThreadCountInvariant) {

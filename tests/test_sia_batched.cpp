@@ -1,0 +1,392 @@
+// Batched resident sim::Sia equivalence matrix: batched execution must
+// be bit-identical — spikes, logits, and per-layer cycle stats — to
+// independent sequential Sia::run calls and (for spikes/logits) to the
+// snn::FunctionalEngine reference, across batch sizes, thread counts,
+// and model shapes; plus wave/residency accounting and edge cases.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "core/batch_runner.hpp"
+#include "core/compiler.hpp"
+#include "sim/sia.hpp"
+#include "snn/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sia {
+namespace {
+
+// ---- model zoo: a small conv net and a small MLP ----
+
+snn::SnnModel conv_model(std::uint64_t seed) {
+    util::Rng rng(seed);
+    snn::SnnModel model;
+    model.input_channels = 2;
+    model.input_h = 6;
+    model.input_w = 6;
+
+    std::int64_t in_c = model.input_channels;
+    for (std::int64_t d = 0; d < 3; ++d) {
+        snn::SnnLayer layer;
+        layer.op = snn::LayerOp::kConv;
+        layer.label = "conv" + std::to_string(d);
+        layer.input = static_cast<int>(d) - 1;
+        auto& b = layer.main;
+        b.in_channels = in_c;
+        b.out_channels = 4;
+        b.kernel = 3;
+        b.stride = 1;
+        b.padding = 1;
+        b.weights.resize(static_cast<std::size_t>(in_c * 4 * 9));
+        for (auto& w : b.weights) w = static_cast<std::int8_t>(rng.integer(-127, 127));
+        b.gain.resize(4);
+        b.bias.resize(4);
+        for (auto& g : b.gain) g = static_cast<std::int16_t>(rng.integer(50, 2000));
+        for (auto& h : b.bias) h = static_cast<std::int16_t>(rng.integer(-100, 100));
+        layer.out_channels = 4;
+        layer.out_h = 6;
+        layer.out_w = 6;
+        layer.in_h = 6;
+        layer.in_w = 6;
+        model.layers.push_back(std::move(layer));
+        in_c = 4;
+    }
+
+    snn::SnnLayer fc;
+    fc.op = snn::LayerOp::kLinear;
+    fc.label = "fc";
+    fc.input = 2;
+    fc.spiking = false;
+    fc.main.in_features = 4 * 6 * 6;
+    fc.main.out_features = 4;
+    fc.main.weights.resize(static_cast<std::size_t>(fc.main.in_features * 4));
+    for (auto& w : fc.main.weights) w = static_cast<std::int8_t>(rng.integer(-64, 64));
+    fc.main.gain.assign(4, 256);
+    fc.main.bias.assign(4, 0);
+    fc.out_channels = 4;
+    model.layers.push_back(std::move(fc));
+    model.classes = 4;
+    model.validate();
+    return model;
+}
+
+snn::SnnModel mlp_model(std::uint64_t seed) {
+    util::Rng rng(seed);
+    snn::SnnModel model;
+    model.input_channels = 1;
+    model.input_h = 4;
+    model.input_w = 4;
+
+    snn::SnnLayer hidden;
+    hidden.op = snn::LayerOp::kLinear;
+    hidden.label = "hidden";
+    hidden.input = -1;
+    hidden.spiking = true;
+    hidden.main.in_features = 16;
+    hidden.main.out_features = 12;
+    hidden.main.weights.resize(16 * 12);
+    for (auto& w : hidden.main.weights) {
+        w = static_cast<std::int8_t>(rng.integer(-127, 127));
+    }
+    hidden.main.gain.resize(12);
+    hidden.main.bias.resize(12);
+    for (auto& g : hidden.main.gain) g = static_cast<std::int16_t>(rng.integer(100, 500));
+    for (auto& h : hidden.main.bias) h = static_cast<std::int16_t>(rng.integer(-50, 50));
+    hidden.out_channels = 12;
+    model.layers.push_back(std::move(hidden));
+
+    snn::SnnLayer readout;
+    readout.op = snn::LayerOp::kLinear;
+    readout.label = "readout";
+    readout.input = 0;
+    readout.spiking = false;
+    readout.main.in_features = 12;
+    readout.main.out_features = 4;
+    readout.main.weights.resize(12 * 4);
+    for (auto& w : readout.main.weights) {
+        w = static_cast<std::int8_t>(rng.integer(-64, 64));
+    }
+    readout.main.gain.assign(4, 256);
+    readout.main.bias.assign(4, 0);
+    readout.out_channels = 4;
+    model.layers.push_back(std::move(readout));
+    model.classes = 4;
+    model.validate();
+    return model;
+}
+
+std::vector<snn::SpikeTrain> random_batch(const snn::SnnModel& model, std::size_t count,
+                                          std::int64_t timesteps, std::uint64_t seed) {
+    std::vector<snn::SpikeTrain> batch;
+    batch.reserve(count);
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+        snn::SpikeTrain train(static_cast<std::size_t>(timesteps),
+                              snn::SpikeMap(model.input_channels, model.input_h,
+                                            model.input_w));
+        for (auto& frame : train) {
+            for (std::int64_t j = 0; j < frame.size(); ++j) {
+                frame.set_flat(j, rng.bernoulli(0.3));
+            }
+        }
+        batch.push_back(std::move(train));
+    }
+    return batch;
+}
+
+/// Full bit-identity: outputs AND as-if-sequential cycle accounting.
+void expect_same_sia_result(const sim::SiaRunResult& got, const sim::SiaRunResult& want) {
+    EXPECT_EQ(got.logits_per_step, want.logits_per_step);
+    EXPECT_EQ(got.spike_counts, want.spike_counts);
+    EXPECT_EQ(got.neuron_counts, want.neuron_counts);
+    EXPECT_EQ(got.timesteps, want.timesteps);
+    ASSERT_EQ(got.layer_stats.size(), want.layer_stats.size());
+    for (std::size_t l = 0; l < got.layer_stats.size(); ++l) {
+        SCOPED_TRACE("layer " + std::to_string(l));
+        const auto& a = got.layer_stats[l];
+        const auto& b = want.layer_stats[l];
+        EXPECT_EQ(a.label, b.label);
+        EXPECT_EQ(a.compute, b.compute);
+        EXPECT_EQ(a.aggregate, b.aggregate);
+        EXPECT_EQ(a.dma, b.dma);
+        EXPECT_EQ(a.mmio, b.mmio);
+        EXPECT_EQ(a.overhead, b.overhead);
+        EXPECT_EQ(a.input_spike_events, b.input_spike_events);
+        EXPECT_EQ(a.event_additions, b.event_additions);
+        EXPECT_EQ(a.dense_ops, b.dense_ops);
+    }
+    EXPECT_EQ(got.total_cycles(), want.total_cycles());
+}
+
+struct NamedModel {
+    const char* name;
+    snn::SnnModel model;
+};
+
+// ---- the equivalence matrix ----
+
+TEST(SiaBatched, MatrixBatchedEqualsSequentialEqualsFunctional) {
+    const sim::SiaConfig config;
+    const std::int64_t timesteps = 4;
+    const std::array<std::size_t, 4> batch_sizes = {1, 2, 7, 32};
+    const std::array<std::size_t, 3> thread_counts = {1, 2, 8};
+
+    std::vector<NamedModel> models;
+    models.push_back({"conv", conv_model(101)});
+    models.push_back({"mlp", mlp_model(102)});
+
+    for (const auto& [name, model] : models) {
+        SCOPED_TRACE(name);
+        const auto inputs = random_batch(model, 32, timesteps, 777);
+
+        // Sequential references: one resident simulator run item by item,
+        // and the functional engine.
+        const auto program = core::SiaCompiler(config).compile(model);
+        sim::Sia sequential(config, model, program);
+        snn::FunctionalEngine functional(model);
+        std::vector<sim::SiaRunResult> sim_ref;
+        std::vector<snn::RunResult> fun_ref;
+        for (const auto& train : inputs) {
+            sim_ref.push_back(sequential.run(train));
+            fun_ref.push_back(functional.run(train));
+        }
+
+        // Direct batched execution on one instance (single-threaded).
+        for (const std::size_t bs : batch_sizes) {
+            SCOPED_TRACE("direct batch=" + std::to_string(bs));
+            const std::vector<snn::SpikeTrain> sub(inputs.begin(),
+                                                   inputs.begin() +
+                                                       static_cast<std::ptrdiff_t>(bs));
+            sim::Sia resident(config, model, program);
+            const auto batched = resident.run_batch(sub);
+            ASSERT_EQ(batched.size(), bs);
+            for (std::size_t i = 0; i < bs; ++i) {
+                SCOPED_TRACE("item=" + std::to_string(i));
+                expect_same_sia_result(batched[i], sim_ref[i]);
+                EXPECT_EQ(batched[i].logits_per_step, fun_ref[i].logits_per_step);
+                EXPECT_EQ(batched[i].spike_counts, fun_ref[i].spike_counts);
+            }
+            EXPECT_EQ(resident.last_batch_stats().waves,
+                      (static_cast<std::int64_t>(bs) + config.membrane_banks - 1) /
+                          config.membrane_banks);
+        }
+
+        // Threaded resident scheduling through BatchRunner.
+        for (const std::size_t threads : thread_counts) {
+            core::BatchRunner runner(model, {.threads = threads});
+            for (const std::size_t bs : batch_sizes) {
+                SCOPED_TRACE("threads=" + std::to_string(threads) + " batch=" +
+                             std::to_string(bs));
+                const std::vector<snn::SpikeTrain> sub(
+                    inputs.begin(), inputs.begin() + static_cast<std::ptrdiff_t>(bs));
+                const auto results = runner.run_sim(config, sub);
+                ASSERT_EQ(results.size(), bs);
+                for (std::size_t i = 0; i < bs; ++i) {
+                    SCOPED_TRACE("item=" + std::to_string(i));
+                    expect_same_sia_result(results[i], sim_ref[i]);
+                    EXPECT_EQ(results[i].logits_per_step, fun_ref[i].logits_per_step);
+                }
+                EXPECT_EQ(runner.last_stats().inputs, bs);
+            }
+        }
+    }
+}
+
+TEST(SiaBatched, PerItemAndResidentSchedulesAgree) {
+    const auto model = conv_model(5);
+    const auto inputs = random_batch(model, 9, 4, 55);
+    const sim::SiaConfig config;
+
+    core::BatchRunner runner(model, {.threads = 4});
+    const auto resident = runner.run_sim(config, inputs, core::SimSchedule::kResident);
+    EXPECT_EQ(runner.last_sim_batch_stats().batch, inputs.size());
+    const auto per_item = runner.run_sim(config, inputs, core::SimSchedule::kPerItem);
+    EXPECT_EQ(runner.last_sim_batch_stats().batch, 0U);  // per-item: no residency
+
+    ASSERT_EQ(resident.size(), per_item.size());
+    for (std::size_t i = 0; i < resident.size(); ++i) {
+        SCOPED_TRACE("item=" + std::to_string(i));
+        expect_same_sia_result(resident[i], per_item[i]);
+    }
+}
+
+// ---- waves, banking, and residency accounting ----
+
+TEST(SiaBatched, OversizedBatchRunsInWavesAndAmortizes) {
+    const auto model = conv_model(7);
+    const auto inputs = random_batch(model, 7, 4, 71);
+
+    sim::SiaConfig config;
+    config.membrane_banks = 2;  // batch of 7 -> 4 waves
+    const auto program = core::SiaCompiler(config).compile(model);
+
+    sim::Sia sequential(config, model, program);
+    std::vector<sim::SiaRunResult> ref;
+    for (const auto& train : inputs) ref.push_back(sequential.run(train));
+
+    sim::Sia resident(config, model, program);
+    const auto batched = resident.run_batch(inputs);
+    ASSERT_EQ(batched.size(), inputs.size());
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+        SCOPED_TRACE("item=" + std::to_string(i));
+        expect_same_sia_result(batched[i], ref[i]);
+    }
+
+    const sim::SiaBatchStats& stats = resident.last_batch_stats();
+    EXPECT_EQ(stats.batch, 7U);
+    EXPECT_EQ(stats.banks, 2);
+    EXPECT_EQ(stats.waves, 4);
+    EXPECT_EQ(stats.membrane_slice_bytes, config.membrane_bytes / 2 / 2);
+    EXPECT_TRUE(stats.membrane_resident);  // tiny model: 288 B/layer per context
+
+    // Kernels streamed once per wave, not once per inference.
+    EXPECT_EQ(stats.weight_bytes_sequential,
+              7 * program.dma_weight_stream_bytes());
+    EXPECT_EQ(stats.weight_bytes_streamed, 4 * program.dma_weight_stream_bytes());
+
+    // Residency strictly cheaper than independent runs; sequential total
+    // equals the sum of the (as-if-sequential) per-item results.
+    std::int64_t item_total = 0;
+    for (const auto& r : batched) item_total += r.total_cycles();
+    EXPECT_EQ(stats.sequential_cycles, item_total);
+    EXPECT_LT(stats.resident_cycles, stats.sequential_cycles);
+    EXPECT_GT(stats.amortization(), 1.0);
+}
+
+TEST(SiaBatched, ReportsWhenMembranesOverflowTheContextSlice) {
+    // A model that fits one full phase bank but not a 1/banks slice:
+    // results stay bit-exact (overflow host-mirrors), but the stats must
+    // say the wave was not genuinely membrane-resident.
+    const auto model = conv_model(31);  // peak layer potentials: 288 bytes
+    const auto inputs = random_batch(model, 4, 4, 33);
+
+    sim::SiaConfig config;
+    config.membrane_bytes = 1024;  // full bank 512 B >= 288, slice 128 B < 288
+    config.membrane_banks = 4;
+    const auto program = core::SiaCompiler(config).compile(model);
+    ASSERT_EQ(program.layers[0].spatial_tiles, 1);  // sequential mode fits
+
+    sim::Sia sequential(config, model, program);
+    sim::Sia resident(config, model, program);
+    const auto batched = resident.run_batch(inputs);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        SCOPED_TRACE("item=" + std::to_string(i));
+        expect_same_sia_result(batched[i], sequential.run(inputs[i]));
+    }
+    EXPECT_EQ(resident.last_batch_stats().membrane_slice_bytes, 128);
+    EXPECT_FALSE(resident.last_batch_stats().membrane_resident);
+}
+
+TEST(SiaBatched, BatchOfOneHasNothingToAmortize) {
+    const auto model = mlp_model(9);
+    const auto inputs = random_batch(model, 1, 5, 91);
+    const sim::SiaConfig config;
+    const auto program = core::SiaCompiler(config).compile(model);
+
+    sim::Sia sia(config, model, program);
+    const auto ref = sia.run(inputs[0]);
+    const auto batched = sia.run_batch(inputs);
+    ASSERT_EQ(batched.size(), 1U);
+    expect_same_sia_result(batched[0], ref);
+
+    const sim::SiaBatchStats& stats = sia.last_batch_stats();
+    EXPECT_EQ(stats.waves, 1);
+    EXPECT_EQ(stats.weight_bytes_streamed, stats.weight_bytes_sequential);
+    EXPECT_EQ(stats.resident_cycles, stats.sequential_cycles);
+}
+
+TEST(SiaBatched, EmptyBatch) {
+    const auto model = conv_model(3);
+    const sim::SiaConfig config;
+    const auto program = core::SiaCompiler(config).compile(model);
+
+    sim::Sia sia(config, model, program);
+    EXPECT_TRUE(sia.run_batch(std::vector<snn::SpikeTrain>{}).empty());
+    EXPECT_EQ(sia.last_batch_stats().waves, 0);
+
+    core::BatchRunner runner(model, {.threads = 2});
+    EXPECT_TRUE(runner.run_sim(config, {}).empty());
+    EXPECT_EQ(runner.last_stats().inputs, 0U);
+}
+
+TEST(SiaBatched, EmptyTrainInBatchThrows) {
+    const auto model = conv_model(3);
+    const sim::SiaConfig config;
+    const auto program = core::SiaCompiler(config).compile(model);
+    sim::Sia sia(config, model, program);
+
+    auto inputs = random_batch(model, 2, 4, 13);
+    inputs.push_back(snn::SpikeTrain{});
+    EXPECT_THROW((void)sia.run_batch(inputs), std::invalid_argument);
+
+    // The instance recovers: single runs still work after the failed batch.
+    const auto ok = random_batch(model, 1, 4, 14);
+    EXPECT_NO_THROW((void)sia.run(ok[0]));
+}
+
+TEST(SiaBatched, SingleRunsInterleaveWithBatchedRuns) {
+    // A resident instance can alternate run() and run_batch() freely;
+    // neither mode leaks state into the other.
+    const auto model = conv_model(21);
+    const auto inputs = random_batch(model, 5, 4, 23);
+    const sim::SiaConfig config;
+    const auto program = core::SiaCompiler(config).compile(model);
+
+    sim::Sia fresh(config, model, program);
+    const auto ref0 = fresh.run(inputs[0]);
+
+    sim::Sia sia(config, model, program);
+    const auto batched = sia.run_batch(inputs);
+    const auto single = sia.run(inputs[0]);
+    expect_same_sia_result(single, ref0);
+    const auto batched_again = sia.run_batch(inputs);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        SCOPED_TRACE("item=" + std::to_string(i));
+        expect_same_sia_result(batched_again[i], batched[i]);
+    }
+}
+
+}  // namespace
+}  // namespace sia

@@ -127,6 +127,55 @@ TEST(PingPong, BanksAreIndependent) {
     EXPECT_EQ(mem.read16(4), 22);  // read bank is U2
 }
 
+TEST(PingPong, PartitionedContextsAreIndependent) {
+    // Batched-mode banking: each per-inference context owns a slice of
+    // both phase banks and its own ping-pong phase.
+    PingPongMembrane mem(128);
+    mem.partition(4);
+    EXPECT_EQ(mem.contexts(), 4);
+    EXPECT_EQ(mem.bank_capacity(), 16);  // 64-byte phase bank / 4 contexts
+
+    for (std::int64_t c = 0; c < 4; ++c) {
+        mem.set_active(c);
+        mem.write16(0, static_cast<std::int16_t>(100 + c));
+    }
+    // Toggling one context does not move the others' phases.
+    mem.set_active(2);
+    mem.toggle();
+    EXPECT_FALSE(mem.write_bank_is_u1());
+    mem.set_active(1);
+    EXPECT_TRUE(mem.write_bank_is_u1());
+    mem.set_active(2);
+    EXPECT_EQ(mem.read16(0), 102);
+
+    // Slice bounds are enforced per context, and invalid selections throw.
+    EXPECT_THROW(mem.write16(15, 1), std::out_of_range);
+    EXPECT_THROW(mem.set_active(4), std::out_of_range);
+    EXPECT_THROW(mem.partition(0), std::invalid_argument);
+
+    // Re-partitioning to one context restores the classic organisation.
+    mem.partition(1);
+    EXPECT_EQ(mem.bank_capacity(), 64);
+    EXPECT_TRUE(mem.write_bank_is_u1());
+    mem.write16(0, 42);
+    mem.toggle();
+    EXPECT_EQ(mem.read16(0), 42);
+}
+
+TEST(Controller, DoneMayReInitForNextWave) {
+    Controller ctrl;
+    ctrl.transition(CtrlState::kInit);
+    ctrl.transition(CtrlState::kLoadConfig);
+    ctrl.transition(CtrlState::kReadInput);
+    ctrl.transition(CtrlState::kPeCompute);
+    ctrl.transition(CtrlState::kAggregate);
+    ctrl.transition(CtrlState::kWriteOutput);
+    ctrl.transition(CtrlState::kDone);
+    // Batched resident runs start the next wave without going idle.
+    EXPECT_NO_THROW(ctrl.transition(CtrlState::kInit));
+    EXPECT_EQ(ctrl.entries(CtrlState::kInit), 2);
+}
+
 TEST(MemoryUnit, PaperProvisioning) {
     const SiaConfig cfg;
     const MemoryUnit mem(cfg);
