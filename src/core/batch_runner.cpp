@@ -18,7 +18,7 @@ snn::FunctionalEngine& BatchRunner::engine(std::size_t worker) {
     auto& slot = engines_[worker];
     if (!slot) {
         const util::WallTimer timer;
-        slot = std::make_unique<snn::FunctionalEngine>(model_);
+        slot = std::make_unique<snn::FunctionalEngine>(model_, options_.engine);
         setup_nanos_.fetch_add(static_cast<std::int64_t>(timer.millis() * 1e6),
                                std::memory_order_relaxed);
     }

@@ -48,6 +48,11 @@ struct BatchOptions {
     /// encoding paths. Results depend on this seed but never on the
     /// thread count.
     std::uint64_t seed = util::kDefaultSeed;
+    /// Execution knobs forwarded to every worker's FunctionalEngine
+    /// (kernel dispatch mode, scatter density threshold). Dense and
+    /// scatter paths are bit-identical, so this never affects results —
+    /// only throughput.
+    snn::EngineConfig engine = {};
 };
 
 /// How run_sim maps inputs onto simulated accelerator instances.

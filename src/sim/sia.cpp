@@ -11,7 +11,8 @@ namespace sia::sim {
 namespace {
 
 /// Per-timestep, per-channel spike counts of a train (drives the
-/// event-driven cycle accounting).
+/// event-driven cycle accounting). Masked popcount over the packed
+/// words, O(words) per channel instead of a per-site scan.
 std::vector<std::vector<std::int64_t>> channel_spike_counts(const snn::SpikeTrain& train) {
     std::vector<std::vector<std::int64_t>> counts(train.size());
     for (std::size_t t = 0; t < train.size(); ++t) {
@@ -19,11 +20,8 @@ std::vector<std::vector<std::int64_t>> channel_spike_counts(const snn::SpikeTrai
         counts[t].assign(static_cast<std::size_t>(m.channels()), 0);
         const std::int64_t plane = m.height() * m.width();
         for (std::int64_t c = 0; c < m.channels(); ++c) {
-            std::int64_t n = 0;
-            for (std::int64_t i = 0; i < plane; ++i) {
-                if (m.get_flat(c * plane + i)) ++n;
-            }
-            counts[t][static_cast<std::size_t>(c)] = n;
+            counts[t][static_cast<std::size_t>(c)] =
+                m.count_range(c * plane, (c + 1) * plane);
         }
     }
     return counts;

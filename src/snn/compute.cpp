@@ -63,6 +63,42 @@ void conv_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeM
     conv_psum_chunk(b, wt, in, out_h, out_w, 0, b.in_channels, psum);
 }
 
+void conv_psum_scatter(const Branch& b, const std::vector<std::int8_t>& wt,
+                       const SpikeMap& in, std::int64_t out_h, std::int64_t out_w,
+                       std::vector<std::int32_t>& psum) {
+    std::fill(psum.begin(), psum.end(), 0);
+    const std::int64_t oc = b.out_channels;
+    const std::int64_t in_w = in.width();
+    const std::int64_t plane = in.height() * in_w;
+    in.for_each_spike([&](std::int64_t flat) {
+        const std::int64_t ic = flat / plane;
+        const std::int64_t rem = flat - ic * plane;
+        const std::int64_t iy = rem / in_w;
+        const std::int64_t ix = rem - iy * in_w;
+        const std::int8_t* wplane = wt.data() + ic * b.kernel * b.kernel * oc;
+        for (std::int64_t ky = 0; ky < b.kernel; ++ky) {
+            // Output rows hit by this spike: y * stride + ky - padding == iy.
+            const std::int64_t ty = iy + b.padding - ky;
+            if (ty < 0) break;  // ty only decreases with ky
+            if (ty % b.stride != 0) continue;
+            const std::int64_t y = ty / b.stride;
+            if (y >= out_h) continue;
+            const std::int8_t* wrow_y = wplane + ky * b.kernel * oc;
+            std::int32_t* prow_y = psum.data() + y * out_w * oc;
+            for (std::int64_t kx = 0; kx < b.kernel; ++kx) {
+                const std::int64_t tx = ix + b.padding - kx;
+                if (tx < 0) break;
+                if (tx % b.stride != 0) continue;
+                const std::int64_t x = tx / b.stride;
+                if (x >= out_w) continue;
+                const std::int8_t* wrow = wrow_y + kx * oc;
+                std::int32_t* prow = prow_y + x * oc;
+                for (std::int64_t o = 0; o < oc; ++o) prow[o] += wrow[o];
+            }
+        }
+    });
+}
+
 void linear_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeMap& in,
                  std::vector<std::int32_t>& psum) {
     std::fill(psum.begin(), psum.end(), 0);
@@ -73,6 +109,17 @@ void linear_psum(const Branch& b, const std::vector<std::int8_t>& wt, const Spik
             psum[static_cast<std::size_t>(f)] += wrow[f];
         }
     }
+}
+
+void linear_psum_scatter(const Branch& b, const std::vector<std::int8_t>& wt,
+                         const SpikeMap& in, std::vector<std::int32_t>& psum) {
+    std::fill(psum.begin(), psum.end(), 0);
+    const std::int64_t features = b.out_features;
+    std::int32_t* p = psum.data();
+    in.for_each_spike([&](std::int64_t d) {
+        const std::int8_t* wrow = wt.data() + d * features;
+        for (std::int64_t f = 0; f < features; ++f) p[f] += wrow[f];
+    });
 }
 
 }  // namespace sia::snn::compute

@@ -22,10 +22,13 @@ namespace sia::snn::compute {
 /// Transpose linear weights [F][D] -> [D][F].
 [[nodiscard]] std::vector<std::int8_t> transpose_linear(const Branch& b);
 
-/// Event-driven convolution partial sums. `psum` is HWC
-/// ([out_h][out_w][OC], int32) and is cleared first. Accumulation is
-/// exact int32 (order-independent); 16-bit saturation is applied at
-/// aggregation handoff, matching the PE-to-aggregation-core interface.
+/// Gather-form convolution partial sums: scans every output pixel x
+/// input tap and accumulates where the input bit is set, so cost is
+/// O(out_h * out_w * IC * k * k) scan plus O(spikes * k * k * OC) adds
+/// regardless of sparsity. `psum` is HWC ([out_h][out_w][OC], int32)
+/// and is cleared first. Accumulation is exact int32
+/// (order-independent); 16-bit saturation is applied at aggregation
+/// handoff, matching the PE-to-aggregation-core interface.
 void conv_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeMap& in,
                std::int64_t out_h, std::int64_t out_w, std::vector<std::int32_t>& psum);
 
@@ -37,9 +40,27 @@ void conv_psum_chunk(const Branch& b, const std::vector<std::int8_t>& wt,
                      std::int64_t ic_begin, std::int64_t ic_end,
                      std::vector<std::int32_t>& psum);
 
-/// Event-driven fully-connected partial sums ([F], cleared first).
+/// Scatter-form (truly event-driven) convolution partial sums: iterates
+/// the input's spike events via the packed-word iterator and scatters
+/// each spike's [k][k][OC] weight rows into the output windows it
+/// touches — O(spikes * k * k * OC) with no dense scan, so cost scales
+/// with activity. Bit-identical to conv_psum: both perform the same
+/// multiset of exact int32 additions, which are order-independent.
+void conv_psum_scatter(const Branch& b, const std::vector<std::int8_t>& wt,
+                       const SpikeMap& in, std::int64_t out_h, std::int64_t out_w,
+                       std::vector<std::int32_t>& psum);
+
+/// Gather-form fully-connected partial sums ([F], cleared first): scans
+/// every input feature's bit and accumulates the set ones.
 void linear_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeMap& in,
                  std::vector<std::int32_t>& psum);
+
+/// Scatter-form fully-connected partial sums: word-skips the packed
+/// input to visit only spike events, accumulating each spike's [F]
+/// weight row. Bit-identical to linear_psum (same adds, same ascending
+/// feature order).
+void linear_psum_scatter(const Branch& b, const std::vector<std::int8_t>& wt,
+                         const SpikeMap& in, std::vector<std::int32_t>& psum);
 
 /// Aggregation-core arithmetic (batch-norm unit of Eq. 2): 16-bit
 /// saturating psum, fixed-point gain multiply, bias add.

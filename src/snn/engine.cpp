@@ -17,7 +17,8 @@ std::int64_t RunResult::predicted_class(std::int64_t t) const {
     return static_cast<std::int64_t>(best);
 }
 
-FunctionalEngine::FunctionalEngine(const SnnModel& model) : model_(model) {
+FunctionalEngine::FunctionalEngine(const SnnModel& model, EngineConfig config)
+    : model_(model), config_(config) {
     model_.validate();
     const std::size_t n = model_.layers.size();
     main_wt_.resize(n);
@@ -26,6 +27,7 @@ FunctionalEngine::FunctionalEngine(const SnnModel& model) : model_(model) {
     psum_.resize(n);
     spikes_.resize(n);
     spike_counts_.assign(n, 0);
+    dispatch_.assign(n, LayerDispatchStats{});
 
     for (std::size_t i = 0; i < n; ++i) {
         const SnnLayer& layer = model_.layers[i];
@@ -52,8 +54,21 @@ void FunctionalEngine::reset() {
                   layer.spiking ? layer.initial_potential : std::int16_t{0});
         spikes_[i].clear();
         spike_counts_[i] = 0;
+        dispatch_[i] = LayerDispatchStats{};
     }
     std::fill(readout_.begin(), readout_.end(), std::int64_t{0});
+}
+
+bool FunctionalEngine::use_scatter(const SpikeMap& in) const noexcept {
+    switch (config_.dispatch) {
+        case DispatchMode::kDense: return false;
+        case DispatchMode::kScatter: return true;
+        case DispatchMode::kAdaptive: break;
+    }
+    const std::int64_t sites = in.size();
+    return sites > 0 &&
+           static_cast<double>(in.count()) <
+               config_.scatter_density_threshold * static_cast<double>(sites);
 }
 
 const SpikeMap& FunctionalEngine::source_spikes(int src, const SpikeMap& input) const {
@@ -80,15 +95,41 @@ void FunctionalEngine::step(const SpikeMap& input) {
     }
 }
 
+bool FunctionalEngine::dispatch_conv(const Branch& b, const std::vector<std::int8_t>& wt,
+                                     const SpikeMap& in, std::int64_t out_h,
+                                     std::int64_t out_w,
+                                     std::vector<std::int32_t>& psum) {
+    const bool scatter = use_scatter(in);
+    if (scatter) {
+        compute::conv_psum_scatter(b, wt, in, out_h, out_w, psum);
+    } else {
+        compute::conv_psum(b, wt, in, out_h, out_w, psum);
+    }
+    return scatter;
+}
+
 void FunctionalEngine::run_conv_layer(std::size_t index, const SpikeMap& input) {
     const SnnLayer& layer = model_.layers[index];
-    compute::conv_psum(layer.main, main_wt_[index], input, layer.out_h, layer.out_w,
-                       psum_[index]);
+    LayerDispatchStats& d = dispatch_[index];
+    const bool scatter = dispatch_conv(layer.main, main_wt_[index], input, layer.out_h,
+                                       layer.out_w, psum_[index]);
+    ++(scatter ? d.scatter_steps : d.dense_steps);
+    d.input_spikes += input.count();
+    d.input_sites += input.size();
 }
 
 void FunctionalEngine::run_linear_layer(std::size_t index, const SpikeMap& input) {
     const SnnLayer& layer = model_.layers[index];
-    compute::linear_psum(layer.main, main_wt_[index], input, psum_[index]);
+    LayerDispatchStats& d = dispatch_[index];
+    const bool scatter = use_scatter(input);
+    if (scatter) {
+        compute::linear_psum_scatter(layer.main, main_wt_[index], input, psum_[index]);
+    } else {
+        compute::linear_psum(layer.main, main_wt_[index], input, psum_[index]);
+    }
+    ++(scatter ? d.scatter_steps : d.dense_steps);
+    d.input_spikes += input.count();
+    d.input_sites += input.size();
 }
 
 void FunctionalEngine::integrate_and_fire(std::size_t index) {
@@ -124,8 +165,10 @@ void FunctionalEngine::integrate_and_fire(std::size_t index) {
                           : &spikes_.at(static_cast<std::size_t>(layer.skip_src));
         if (!layer.skip_is_identity) {
             skip_psum.assign(static_cast<std::size_t>(layer.neurons()), 0);
-            compute::conv_psum(layer.skip, skip_wt_[index], *skip_spikes, layer.out_h,
-                               layer.out_w, skip_psum);
+            // Same density-adaptive choice as the main branch (counters
+            // track the main branch only; the downsample rides along).
+            (void)dispatch_conv(layer.skip, skip_wt_[index], *skip_spikes, layer.out_h,
+                                layer.out_w, skip_psum);
         }
     }
 
@@ -176,13 +219,14 @@ RunResult FunctionalEngine::run(const SpikeTrain& input) {
         res.logits_per_step.push_back(readout_);
     }
     res.spike_counts = spike_counts_;
+    res.layer_dispatch = dispatch_;
     res.neuron_counts.reserve(model_.layers.size());
     for (const SnnLayer& layer : model_.layers) res.neuron_counts.push_back(layer.neurons());
     return res;
 }
 
-RunResult run_snn(const SnnModel& model, const SpikeTrain& input) {
-    FunctionalEngine engine(model);
+RunResult run_snn(const SnnModel& model, const SpikeTrain& input, EngineConfig config) {
+    FunctionalEngine engine(model, config);
     return engine.run(input);
 }
 

@@ -19,6 +19,44 @@
 
 namespace sia::snn {
 
+/// Which psum kernel form FunctionalEngine uses per layer per timestep.
+enum class DispatchMode : std::uint8_t {
+    /// Per layer per timestep: scatter when the input map's density
+    /// (O(1) spike count / sites) is below the configured threshold,
+    /// dense gather otherwise.
+    kAdaptive,
+    kDense,    ///< always the gather kernels (the pre-dispatch behaviour)
+    kScatter,  ///< always the scatter kernels
+};
+
+/// Execution knobs of FunctionalEngine. Both paths are bit-identical,
+/// so this only trades throughput, never results.
+struct EngineConfig {
+    DispatchMode dispatch = DispatchMode::kAdaptive;
+    /// kAdaptive: input densities strictly below this run the scatter
+    /// kernels. Default calibrated with bench/engine_hotpath: scatter
+    /// wins decisively at paper-realistic 5-15% rates (2-5x on VGG conv
+    /// shapes) and stays ahead through ~25%; the dense scan is only
+    /// competitive once maps approach half-full, so that is where the
+    /// adaptive path falls back to it.
+    double scatter_density_threshold = 0.5;
+};
+
+/// Per-layer dispatch counters accumulated across step() calls.
+struct LayerDispatchStats {
+    std::int64_t dense_steps = 0;    ///< timesteps run through the gather kernel
+    std::int64_t scatter_steps = 0;  ///< timesteps run through the scatter kernel
+    std::int64_t input_spikes = 0;   ///< main-branch input spikes summed over steps
+    std::int64_t input_sites = 0;    ///< main-branch input sites summed over steps
+
+    /// Mean main-branch input density over the counted timesteps.
+    [[nodiscard]] double mean_input_density() const noexcept {
+        return input_sites > 0
+                   ? static_cast<double>(input_spikes) / static_cast<double>(input_sites)
+                   : 0.0;
+    }
+};
+
 /// Aggregate results of a run.
 struct RunResult {
     /// Accumulated readout (logits) after each timestep: [T][classes].
@@ -27,6 +65,8 @@ struct RunResult {
     std::vector<std::int64_t> spike_counts;
     /// Neurons per layer (denominator for spike rates).
     std::vector<std::int64_t> neuron_counts;
+    /// Per-layer kernel-dispatch and input-density counters.
+    std::vector<LayerDispatchStats> layer_dispatch;
     std::int64_t timesteps = 0;
 
     /// Average spikes per neuron per timestep for layer `i` (Fig. 6/8).
@@ -43,8 +83,9 @@ struct RunResult {
 class FunctionalEngine {
 public:
     /// Keeps a reference to `model` (must outlive the engine); validates
-    /// it and precomputes gather-friendly weight layouts.
-    explicit FunctionalEngine(const SnnModel& model);
+    /// it and precomputes the shared transposed weight layouts (used by
+    /// gather and scatter kernels alike).
+    explicit FunctionalEngine(const SnnModel& model, EngineConfig config = {});
 
     /// Reset membranes to their initial potential and clear the readout.
     void reset();
@@ -71,16 +112,29 @@ public:
     [[nodiscard]] std::int64_t spike_count(std::size_t i) const {
         return spike_counts_.at(i);
     }
+    /// Dispatch counters of layer `i` accumulated since reset().
+    [[nodiscard]] const LayerDispatchStats& dispatch_stats(std::size_t i) const {
+        return dispatch_.at(i);
+    }
 
     [[nodiscard]] const SnnModel& model() const noexcept { return model_; }
+    [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
 
 private:
     void run_conv_layer(std::size_t index, const SpikeMap& input);
     void run_linear_layer(std::size_t index, const SpikeMap& input);
     void integrate_and_fire(std::size_t index);
     [[nodiscard]] const SpikeMap& source_spikes(int src, const SpikeMap& input) const;
+    /// Density-adaptive path choice for one kernel invocation.
+    [[nodiscard]] bool use_scatter(const SpikeMap& in) const noexcept;
+    /// Run one conv psum through the dispatched kernel form; returns
+    /// true when the scatter path was taken.
+    bool dispatch_conv(const Branch& b, const std::vector<std::int8_t>& wt,
+                       const SpikeMap& in, std::int64_t out_h, std::int64_t out_w,
+                       std::vector<std::int32_t>& psum);
 
     const SnnModel& model_;
+    EngineConfig config_;
     /// Transposed weights per layer branch: [IC*k*k][OC] contiguous in OC
     /// for cache-friendly gather accumulation.
     std::vector<std::vector<std::int8_t>> main_wt_;
@@ -91,10 +145,12 @@ private:
     std::vector<SpikeMap> spikes_;                       // per layer, this step
     std::vector<std::int64_t> readout_;                  // accumulated logits
     std::vector<std::int64_t> spike_counts_;             // per layer since reset
+    std::vector<LayerDispatchStats> dispatch_;           // per layer since reset
     const SpikeMap* current_input_ = nullptr;            // valid during step()
 };
 
 /// Convenience: run a model over an encoded input and return results.
-[[nodiscard]] RunResult run_snn(const SnnModel& model, const SpikeTrain& input);
+[[nodiscard]] RunResult run_snn(const SnnModel& model, const SpikeTrain& input,
+                                EngineConfig config = {});
 
 }  // namespace sia::snn

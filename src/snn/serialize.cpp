@@ -182,6 +182,61 @@ SnnModel load_model(std::istream& in) {
     return model;
 }
 
+namespace {
+constexpr char kTrainMagic[8] = {'S', 'I', 'A', 'S', 'P', 'K', '0', '\n'};
+}  // namespace
+
+void save_train(const SpikeTrain& train, std::ostream& out) {
+    out.write(kTrainMagic, sizeof(kTrainMagic));
+    write_pod<std::uint32_t>(out, kSpikeTrainFormatVersion);
+    write_pod<std::uint64_t>(out, static_cast<std::uint64_t>(train.size()));
+    const std::int64_t c = train.empty() ? 0 : train.front().channels();
+    const std::int64_t h = train.empty() ? 0 : train.front().height();
+    const std::int64_t w = train.empty() ? 0 : train.front().width();
+    write_pod(out, c);
+    write_pod(out, h);
+    write_pod(out, w);
+    for (const SpikeMap& m : train) {
+        if (m.channels() != c || m.height() != h || m.width() != w) {
+            throw std::runtime_error("save_train: mixed geometries in train");
+        }
+        write_vec(out, m.raw());
+    }
+    out.flush();
+    if (!out) throw std::runtime_error("save_train: flush failed");
+}
+
+SpikeTrain load_train(std::istream& in) {
+    char magic[sizeof(kTrainMagic)] = {};
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kTrainMagic, sizeof(kTrainMagic)) != 0) {
+        throw std::runtime_error("load_train: bad magic (not a SIA spike train)");
+    }
+    const auto version = read_pod<std::uint32_t>(in);
+    if (version > kSpikeTrainFormatVersion) {
+        throw std::runtime_error("load_train: unsupported format version " +
+                                 std::to_string(version));
+    }
+    const auto timesteps = read_pod<std::uint64_t>(in);
+    if (timesteps > (1ULL << 24)) throw std::runtime_error("load_train: absurd timesteps");
+    const auto c = read_pod<std::int64_t>(in);
+    const auto h = read_pod<std::int64_t>(in);
+    const auto w = read_pod<std::int64_t>(in);
+    // Per-dimension bound first so the product below cannot overflow.
+    constexpr std::int64_t kDimMax = 1LL << 20;
+    if (c < 0 || h < 0 || w < 0 || c > kDimMax || h > kDimMax || w > kDimMax ||
+        c * h * w > (1LL << 31)) {
+        throw std::runtime_error("load_train: absurd geometry");
+    }
+    SpikeTrain train(static_cast<std::size_t>(timesteps), SpikeMap(c, h, w));
+    for (SpikeMap& m : train) {
+        // set_words validates the word count against the geometry and
+        // recomputes the maintained spike count.
+        m.set_words(read_vec<std::uint64_t>(in));
+    }
+    return train;
+}
+
 void save_model_file(const SnnModel& model, const std::string& path) {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) throw std::runtime_error("save_model_file: cannot open " + path);

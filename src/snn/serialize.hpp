@@ -12,11 +12,15 @@
 #include <string>
 
 #include "snn/model.hpp"
+#include "snn/spike.hpp"
 
 namespace sia::snn {
 
 /// Current format version. Readers reject newer versions.
 inline constexpr std::uint32_t kSnnFormatVersion = 1;
+
+/// Spike-train container format version (independent of the model's).
+inline constexpr std::uint32_t kSpikeTrainFormatVersion = 1;
 
 /// Serialize to a stream; throws std::runtime_error on I/O failure.
 void save_model(const SnnModel& model, std::ostream& out);
@@ -28,5 +32,14 @@ void save_model(const SnnModel& model, std::ostream& out);
 /// File convenience wrappers.
 void save_model_file(const SnnModel& model, const std::string& path);
 [[nodiscard]] SnnModel load_model_file(const std::string& path);
+
+/// Serialize an encoded spike train: geometry once, then each step's
+/// packed 64-bit words verbatim (the SpikeMap raw() representation).
+/// Round-trips are bit-exact.
+void save_train(const SpikeTrain& train, std::ostream& out);
+
+/// Deserialize a spike train; throws on bad magic, unsupported
+/// version, truncation, or geometry/word-count inconsistency.
+[[nodiscard]] SpikeTrain load_train(std::istream& in);
 
 }  // namespace sia::snn

@@ -1,0 +1,364 @@
+// Dense-gather vs scatter kernel equivalence and the FunctionalEngine's
+// density-adaptive dispatch.
+//
+// The load-bearing property: conv_psum/linear_psum and their *_scatter
+// forms perform the same multiset of exact int32 additions, so psums —
+// and therefore spikes, membranes and logits — are bit-identical no
+// matter which path (or per-step mixture of paths) runs. The matrix
+// here sweeps densities {0, 1 spike, 5%, 50%, 100%} x stride/padding
+// variants x identity/conv skip routing x IF/LIF neurons.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/batch_runner.hpp"
+#include "snn/compute.hpp"
+#include "snn/engine.hpp"
+#include "snn/model.hpp"
+#include "snn/spike.hpp"
+#include "util/rng.hpp"
+
+namespace sia::snn {
+namespace {
+
+SpikeMap random_map(std::int64_t c, std::int64_t h, std::int64_t w, double density,
+                    util::Rng& rng) {
+    SpikeMap m(c, h, w);
+    if (density >= 1.0) {
+        for (std::int64_t i = 0; i < m.size(); ++i) m.set_flat(i, true);
+    } else if (density > 0.0) {
+        for (std::int64_t i = 0; i < m.size(); ++i) m.set_flat(i, rng.bernoulli(density));
+    }
+    return m;
+}
+
+SpikeMap single_spike_map(std::int64_t c, std::int64_t h, std::int64_t w,
+                          std::int64_t flat) {
+    SpikeMap m(c, h, w);
+    m.set_flat(flat, true);
+    return m;
+}
+
+Branch random_conv_branch(std::int64_t ic, std::int64_t oc, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t padding, util::Rng& rng) {
+    Branch b;
+    b.in_channels = ic;
+    b.out_channels = oc;
+    b.kernel = kernel;
+    b.stride = stride;
+    b.padding = padding;
+    b.weights.resize(static_cast<std::size_t>(oc * ic * kernel * kernel));
+    for (auto& w : b.weights) w = static_cast<std::int8_t>(rng.integer(-128, 127));
+    b.gain.assign(static_cast<std::size_t>(oc), 256);
+    b.bias.assign(static_cast<std::size_t>(oc), 0);
+    return b;
+}
+
+// ---- Kernel-level equivalence ----
+
+TEST(ScatterKernels, ConvPsumMatrixMatchesGather) {
+    util::Rng rng(101);
+    const std::int64_t ic = 3;
+    const std::int64_t oc = 4;
+    const std::int64_t in_h = 7;
+    const std::int64_t in_w = 5;
+    for (const std::int64_t kernel : {1L, 3L}) {
+        for (const std::int64_t stride : {1L, 2L}) {
+            for (const std::int64_t padding : {0L, 1L}) {
+                const std::int64_t out_h = (in_h + 2 * padding - kernel) / stride + 1;
+                const std::int64_t out_w = (in_w + 2 * padding - kernel) / stride + 1;
+                if (out_h <= 0 || out_w <= 0) continue;
+                const Branch b = random_conv_branch(ic, oc, kernel, stride, padding, rng);
+                const auto wt = compute::transpose_conv(b);
+                std::vector<SpikeMap> cases;
+                for (const double d : {0.0, 0.05, 0.5, 1.0}) {
+                    cases.push_back(random_map(ic, in_h, in_w, d, rng));
+                }
+                cases.push_back(single_spike_map(ic, in_h, in_w, 0));
+                cases.push_back(single_spike_map(ic, in_h, in_w, ic * in_h * in_w - 1));
+                for (const SpikeMap& in : cases) {
+                    std::vector<std::int32_t> gather(
+                        static_cast<std::size_t>(out_h * out_w * oc), -1);
+                    std::vector<std::int32_t> scatter(
+                        static_cast<std::size_t>(out_h * out_w * oc), 7);
+                    compute::conv_psum(b, wt, in, out_h, out_w, gather);
+                    compute::conv_psum_scatter(b, wt, in, out_h, out_w, scatter);
+                    EXPECT_EQ(gather, scatter)
+                        << "k=" << kernel << " s=" << stride << " p=" << padding
+                        << " spikes=" << in.count();
+                }
+            }
+        }
+    }
+}
+
+TEST(ScatterKernels, LinearPsumMatchesGather) {
+    util::Rng rng(103);
+    Branch b;
+    b.in_features = 130;  // straddles two packed words + a tail
+    b.out_features = 11;
+    b.weights.resize(static_cast<std::size_t>(b.in_features * b.out_features));
+    for (auto& w : b.weights) w = static_cast<std::int8_t>(rng.integer(-128, 127));
+    b.gain.assign(static_cast<std::size_t>(b.out_features), 256);
+    b.bias.assign(static_cast<std::size_t>(b.out_features), 0);
+    const auto wt = compute::transpose_linear(b);
+
+    std::vector<SpikeMap> cases;
+    for (const double d : {0.0, 0.05, 0.5, 1.0}) {
+        cases.push_back(random_map(1, 1, b.in_features, d, rng));
+    }
+    cases.push_back(single_spike_map(1, 1, b.in_features, 64));
+    for (const SpikeMap& in : cases) {
+        std::vector<std::int32_t> gather(static_cast<std::size_t>(b.out_features), -1);
+        std::vector<std::int32_t> scatter(static_cast<std::size_t>(b.out_features), 7);
+        compute::linear_psum(b, wt, in, gather);
+        compute::linear_psum_scatter(b, wt, in, scatter);
+        EXPECT_EQ(gather, scatter) << "spikes=" << in.count();
+    }
+}
+
+// ---- Engine-level equivalence matrix ----
+
+/// conv stem -> residual block (identity skip) -> strided downsample
+/// (conv skip) -> spiking FC -> readout. Exercises every dispatch site:
+/// main conv, skip conv, linear, and the identity-skip fast path.
+SnnModel matrix_model(NeuronKind neuron, ResetMode reset, util::Rng& rng) {
+    SnnModel model;
+    model.input_channels = 3;
+    model.input_h = 8;
+    model.input_w = 8;
+    model.classes = 4;
+
+    const auto tune = [&](SnnLayer& l) {
+        l.neuron = neuron;
+        l.reset = reset;
+        l.leak_shift = 3;
+    };
+
+    SnnLayer stem;
+    stem.op = LayerOp::kConv;
+    stem.label = "stem";
+    stem.input = -1;
+    stem.main = random_conv_branch(3, 8, 3, 1, 1, rng);
+    stem.out_channels = 8;
+    stem.out_h = stem.out_w = 8;
+    stem.in_h = stem.in_w = 8;
+    tune(stem);
+    model.layers.push_back(stem);
+
+    SnnLayer res;
+    res.op = LayerOp::kConv;
+    res.label = "res";
+    res.input = 0;
+    res.main = random_conv_branch(8, 8, 3, 1, 1, rng);
+    res.skip_src = 0;
+    res.skip_is_identity = true;
+    res.identity_skip.charge = 120;
+    res.out_channels = 8;
+    res.out_h = res.out_w = 8;
+    res.in_h = res.in_w = 8;
+    tune(res);
+    model.layers.push_back(res);
+
+    SnnLayer down;
+    down.op = LayerOp::kConv;
+    down.label = "down";
+    down.input = 1;
+    down.main = random_conv_branch(8, 16, 3, 2, 1, rng);
+    down.skip_src = 1;
+    down.skip_is_identity = false;
+    down.skip = random_conv_branch(8, 16, 1, 2, 0, rng);
+    down.out_channels = 16;
+    down.out_h = down.out_w = 4;
+    down.in_h = down.in_w = 8;
+    tune(down);
+    model.layers.push_back(down);
+
+    SnnLayer fc;
+    fc.op = LayerOp::kLinear;
+    fc.label = "fc";
+    fc.input = 2;
+    fc.main.in_features = 16 * 4 * 4;
+    fc.main.out_features = 10;
+    fc.main.weights.resize(static_cast<std::size_t>(fc.main.in_features * 10));
+    for (auto& w : fc.main.weights) w = static_cast<std::int8_t>(rng.integer(-128, 127));
+    fc.main.gain.assign(10, 256);
+    fc.main.bias.assign(10, 0);
+    fc.out_channels = 10;
+    tune(fc);
+    model.layers.push_back(fc);
+
+    SnnLayer readout;
+    readout.op = LayerOp::kLinear;
+    readout.label = "readout";
+    readout.input = 3;
+    readout.spiking = false;
+    readout.main.in_features = 10;
+    readout.main.out_features = 4;
+    readout.main.weights.resize(40);
+    for (auto& w : readout.main.weights) {
+        w = static_cast<std::int8_t>(rng.integer(-128, 127));
+    }
+    readout.main.gain.assign(4, 256);
+    readout.main.bias.assign(4, 0);
+    readout.out_channels = 4;
+    model.layers.push_back(readout);
+    return model;
+}
+
+SpikeTrain matrix_train(const SnnModel& model, double density, bool single_spike,
+                        util::Rng& rng) {
+    SpikeTrain train;
+    for (std::int64_t t = 0; t < 6; ++t) {
+        if (single_spike) {
+            train.push_back(single_spike_map(
+                model.input_channels, model.input_h, model.input_w,
+                rng.integer(0, model.input_channels * model.input_h * model.input_w - 1)));
+        } else {
+            train.push_back(
+                random_map(model.input_channels, model.input_h, model.input_w, density, rng));
+        }
+    }
+    return train;
+}
+
+void expect_same_run(const SnnModel& model, const SpikeTrain& train) {
+    FunctionalEngine dense(model, {.dispatch = DispatchMode::kDense});
+    FunctionalEngine scatter(model, {.dispatch = DispatchMode::kScatter});
+    FunctionalEngine adaptive(model, {});
+
+    // Step-level comparison so a divergence pinpoints its first timestep.
+    for (std::size_t t = 0; t < train.size(); ++t) {
+        dense.step(train[t]);
+        scatter.step(train[t]);
+        adaptive.step(train[t]);
+        for (std::size_t l = 0; l < model.layers.size(); ++l) {
+            ASSERT_TRUE(dense.layer_spikes(l) == scatter.layer_spikes(l))
+                << "t=" << t << " layer=" << l;
+            ASSERT_TRUE(dense.layer_spikes(l) == adaptive.layer_spikes(l))
+                << "t=" << t << " layer=" << l;
+            const auto md = dense.membrane(l);
+            const auto ms = scatter.membrane(l);
+            const auto ma = adaptive.membrane(l);
+            ASSERT_TRUE(std::equal(md.begin(), md.end(), ms.begin(), ms.end()))
+                << "t=" << t << " layer=" << l;
+            ASSERT_TRUE(std::equal(md.begin(), md.end(), ma.begin(), ma.end()))
+                << "t=" << t << " layer=" << l;
+        }
+        ASSERT_EQ(dense.readout(), scatter.readout()) << "t=" << t;
+        ASSERT_EQ(dense.readout(), adaptive.readout()) << "t=" << t;
+    }
+
+    // Whole-run results (fresh engines through run()).
+    const RunResult rd = run_snn(model, train, {.dispatch = DispatchMode::kDense});
+    const RunResult rs = run_snn(model, train, {.dispatch = DispatchMode::kScatter});
+    const RunResult ra = run_snn(model, train, {});
+    EXPECT_EQ(rd.logits_per_step, rs.logits_per_step);
+    EXPECT_EQ(rd.logits_per_step, ra.logits_per_step);
+    EXPECT_EQ(rd.spike_counts, rs.spike_counts);
+    EXPECT_EQ(rd.spike_counts, ra.spike_counts);
+}
+
+TEST(DispatchEquivalence, DensityNeuronSkipMatrix) {
+    util::Rng rng(202);
+    for (const NeuronKind neuron : {NeuronKind::kIf, NeuronKind::kLif}) {
+        for (const ResetMode reset : {ResetMode::kSubtract, ResetMode::kZero}) {
+            const SnnModel model = matrix_model(neuron, reset, rng);
+            expect_same_run(model, matrix_train(model, 0.0, false, rng));
+            expect_same_run(model, matrix_train(model, 0.0, true, rng));  // 1 spike/step
+            expect_same_run(model, matrix_train(model, 0.05, false, rng));
+            expect_same_run(model, matrix_train(model, 0.5, false, rng));
+            expect_same_run(model, matrix_train(model, 1.0, false, rng));
+        }
+    }
+}
+
+// ---- Dispatch accounting ----
+
+TEST(DispatchCounters, AdaptiveSplitsByDensityThreshold) {
+    util::Rng rng(303);
+    const SnnModel model = matrix_model(NeuronKind::kIf, ResetMode::kSubtract, rng);
+    SpikeTrain train = matrix_train(model, 0.02, false, rng);  // sparse steps
+    train.push_back(random_map(model.input_channels, model.input_h, model.input_w, 1.0,
+                               rng));  // one saturated step
+
+    FunctionalEngine engine(model, {.scatter_density_threshold = 0.5});
+    for (const auto& frame : train) engine.step(frame);
+
+    const LayerDispatchStats& stem = engine.dispatch_stats(0);
+    EXPECT_EQ(stem.scatter_steps, 6);  // the sparse steps
+    EXPECT_EQ(stem.dense_steps, 1);    // the saturated step (density 1 >= 0.5)
+    EXPECT_EQ(stem.input_sites,
+              static_cast<std::int64_t>(train.size()) * model.input_channels *
+                  model.input_h * model.input_w);
+    std::int64_t spikes = 0;
+    for (const auto& frame : train) spikes += frame.count();
+    EXPECT_EQ(stem.input_spikes, spikes);
+    EXPECT_NEAR(stem.mean_input_density(),
+                static_cast<double>(spikes) / static_cast<double>(stem.input_sites),
+                1e-12);
+
+    // Forced modes never touch the other path, whatever the density.
+    FunctionalEngine forced_dense(model, {.dispatch = DispatchMode::kDense});
+    FunctionalEngine forced_scatter(model, {.dispatch = DispatchMode::kScatter});
+    for (const auto& frame : train) {
+        forced_dense.step(frame);
+        forced_scatter.step(frame);
+    }
+    for (std::size_t l = 0; l < model.layers.size(); ++l) {
+        EXPECT_EQ(forced_dense.dispatch_stats(l).scatter_steps, 0) << l;
+        EXPECT_EQ(forced_scatter.dispatch_stats(l).dense_steps, 0) << l;
+    }
+
+    // run() surfaces the counters; reset() clears them.
+    const RunResult res = engine.run(train);
+    ASSERT_EQ(res.layer_dispatch.size(), model.layers.size());
+    EXPECT_EQ(res.layer_dispatch[0].scatter_steps, 6);
+    EXPECT_EQ(res.layer_dispatch[0].dense_steps, 1);
+    engine.reset();
+    EXPECT_EQ(engine.dispatch_stats(0).scatter_steps, 0);
+    EXPECT_EQ(engine.dispatch_stats(0).input_sites, 0);
+}
+
+TEST(DispatchCounters, ThresholdZeroMeansAlwaysDense) {
+    util::Rng rng(404);
+    const SnnModel model = matrix_model(NeuronKind::kIf, ResetMode::kSubtract, rng);
+    FunctionalEngine engine(model, {.scatter_density_threshold = 0.0});
+    const SpikeTrain train = matrix_train(model, 0.05, false, rng);
+    for (const auto& frame : train) engine.step(frame);
+    EXPECT_EQ(engine.dispatch_stats(0).scatter_steps, 0);
+    EXPECT_EQ(engine.dispatch_stats(0).dense_steps,
+              static_cast<std::int64_t>(train.size()));
+}
+
+// ---- BatchRunner plumbing ----
+
+TEST(BatchRunnerDispatch, EngineConfigPreservesBitExactness) {
+    util::Rng rng(505);
+    const SnnModel model = matrix_model(NeuronKind::kLif, ResetMode::kSubtract, rng);
+    std::vector<SpikeTrain> batch;
+    for (int i = 0; i < 6; ++i) {
+        batch.push_back(matrix_train(model, 0.02 + 0.2 * i, false, rng));
+    }
+
+    core::BatchRunner dense_runner(
+        model, {.threads = 2, .engine = {.dispatch = DispatchMode::kDense}});
+    core::BatchRunner scatter_runner(
+        model, {.threads = 2, .engine = {.dispatch = DispatchMode::kScatter}});
+    core::BatchRunner adaptive_runner(model, {.threads = 2});
+    const auto rd = dense_runner.run(batch);
+    const auto rs = scatter_runner.run(batch);
+    const auto ra = adaptive_runner.run(batch);
+    ASSERT_EQ(rd.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(rd[i].logits_per_step, rs[i].logits_per_step) << i;
+        EXPECT_EQ(rd[i].logits_per_step, ra[i].logits_per_step) << i;
+        EXPECT_EQ(rd[i].spike_counts, rs[i].spike_counts) << i;
+        EXPECT_EQ(rd[i].spike_counts, ra[i].spike_counts) << i;
+    }
+}
+
+}  // namespace
+}  // namespace sia::snn

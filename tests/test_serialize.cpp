@@ -119,5 +119,51 @@ TEST(Serialize, MissingFileThrows) {
     EXPECT_THROW(load_model_file("/nonexistent/model.snn"), std::runtime_error);
 }
 
+// ---- Spike-train container (packed-word raw round-trip) ----
+
+TEST(SerializeTrain, PackedWordsRoundTripBitExactly) {
+    util::Rng rng(55);
+    SpikeTrain train(7, SpikeMap(3, 5, 9));  // 135 sites: word-boundary tail
+    for (auto& m : train) {
+        for (std::int64_t i = 0; i < m.size(); ++i) m.set_flat(i, rng.bernoulli(0.2));
+    }
+    std::stringstream buf;
+    save_train(train, buf);
+    const SpikeTrain back = load_train(buf);
+    ASSERT_EQ(back.size(), train.size());
+    for (std::size_t t = 0; t < train.size(); ++t) {
+        EXPECT_TRUE(back[t] == train[t]) << "t=" << t;
+        EXPECT_EQ(back[t].raw(), train[t].raw()) << "t=" << t;
+        EXPECT_EQ(back[t].count(), train[t].count()) << "t=" << t;
+    }
+}
+
+TEST(SerializeTrain, EmptyTrainRoundTrips) {
+    std::stringstream buf;
+    save_train(SpikeTrain{}, buf);
+    EXPECT_TRUE(load_train(buf).empty());
+}
+
+TEST(SerializeTrain, RejectsBadMagicAndTruncation) {
+    std::stringstream bad("not a spike train at all");
+    EXPECT_THROW(load_train(bad), std::runtime_error);
+
+    SpikeTrain train(3, SpikeMap(1, 4, 4));
+    train[1].set_flat(5, true);
+    std::stringstream buf;
+    save_train(train, buf);
+    const std::string bytes = buf.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() - 4));
+    EXPECT_THROW(load_train(truncated), std::runtime_error);
+}
+
+TEST(SerializeTrain, RejectsMixedGeometry) {
+    SpikeTrain train;
+    train.emplace_back(1, 2, 2);
+    train.emplace_back(1, 2, 3);
+    std::stringstream buf;
+    EXPECT_THROW(save_train(train, buf), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace sia::snn

@@ -2,10 +2,14 @@
 // and IF/LIF neuron dynamics via the shared compute primitives.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "snn/compute.hpp"
 #include "snn/encoding.hpp"
 #include "snn/model.hpp"
 #include "snn/spike.hpp"
+#include "util/rng.hpp"
 
 namespace sia::snn {
 namespace {
@@ -20,6 +24,91 @@ TEST(SpikeMap, SetGetCount) {
     EXPECT_EQ(m.count(), 1);
     m.clear();
     EXPECT_EQ(m.count(), 0);
+}
+
+TEST(SpikeMap, MaintainedCountIsIdempotent) {
+    SpikeMap m(1, 1, 100);
+    m.set_flat(7, true);
+    m.set_flat(7, true);  // double-set must not double-count
+    EXPECT_EQ(m.count(), 1);
+    m.set_flat(8, false);  // clearing a clear bit must not go negative
+    EXPECT_EQ(m.count(), 1);
+    m.set_flat(7, false);
+    m.set_flat(7, false);
+    EXPECT_EQ(m.count(), 0);
+}
+
+TEST(SpikeMap, IteratorVisitsSetBitsAscendingAcrossWords) {
+    // Bits straddling word boundaries, in the word-skip + ctz path.
+    SpikeMap m(2, 5, 17);  // 170 sites = 2 full words + a 42-bit tail
+    const std::vector<std::int64_t> want = {0, 1, 62, 63, 64, 65, 127, 128, 169};
+    for (const auto i : want) m.set_flat(i, true);
+    std::vector<std::int64_t> got;
+    m.for_each_spike([&](std::int64_t i) { got.push_back(i); });
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(m.count(), static_cast<std::int64_t>(want.size()));
+}
+
+TEST(SpikeMap, IteratorMatchesGetFlatOnRandomMap) {
+    util::Rng rng(41);
+    SpikeMap m(3, 9, 11);
+    std::vector<std::int64_t> want;
+    for (std::int64_t i = 0; i < m.size(); ++i) {
+        if (rng.bernoulli(0.3)) {
+            m.set_flat(i, true);
+            want.push_back(i);
+        }
+    }
+    std::vector<std::int64_t> got;
+    m.for_each_spike([&](std::int64_t i) { got.push_back(i); });
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(m.count(), static_cast<std::int64_t>(want.size()));
+}
+
+TEST(SpikeMap, CountRangeMatchesScan) {
+    util::Rng rng(43);
+    SpikeMap m(4, 6, 7);  // 168 sites
+    for (std::int64_t i = 0; i < m.size(); ++i) m.set_flat(i, rng.bernoulli(0.4));
+    const auto scan = [&](std::int64_t b, std::int64_t e) {
+        std::int64_t n = 0;
+        for (std::int64_t i = b; i < e; ++i) n += m.get_flat(i) ? 1 : 0;
+        return n;
+    };
+    // Within-word, word-crossing, word-aligned, full, and empty ranges.
+    for (const auto& [b, e] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+             {0, 168}, {3, 9}, {60, 70}, {0, 64}, {64, 128}, {127, 129},
+             {167, 168}, {42, 42}, {100, 42}}) {
+        EXPECT_EQ(m.count_range(b, e), scan(b, e)) << "[" << b << ", " << e << ")";
+    }
+    // Per-channel split covers the whole map.
+    const std::int64_t plane = m.height() * m.width();
+    std::int64_t per_channel = 0;
+    for (std::int64_t c = 0; c < m.channels(); ++c) {
+        per_channel += m.count_range(c * plane, (c + 1) * plane);
+    }
+    EXPECT_EQ(per_channel, m.count());
+}
+
+TEST(SpikeMap, RawWordsRoundTripAndTailMasking) {
+    SpikeMap m(1, 1, 70);  // 70 sites: one full word + a 6-bit tail
+    m.set_flat(0, true);
+    m.set_flat(69, true);
+    ASSERT_EQ(m.raw().size(), 2U);
+
+    SpikeMap back(1, 1, 70);
+    back.set_words(m.raw());
+    EXPECT_TRUE(back == m);
+    EXPECT_EQ(back.count(), 2);
+
+    // Stray bits past size() are cleared and never counted.
+    std::vector<std::uint64_t> dirty = m.raw();
+    dirty[1] |= ~std::uint64_t{0} << 6;
+    back.set_words(dirty);
+    EXPECT_TRUE(back == m);
+    EXPECT_EQ(back.count(), 2);
+
+    EXPECT_THROW(back.set_words(std::vector<std::uint64_t>(3, 0)),
+                 std::invalid_argument);
 }
 
 TEST(Encoding, SpikeCountMatchesValue) {
