@@ -1,0 +1,266 @@
+#include "core/backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/compiler.hpp"
+#include "snn/encoding.hpp"
+#include "util/timer.hpp"
+
+namespace sia::core {
+
+// ---------------------------------------------------------------- Request
+
+Request Request::from_train(snn::SpikeTrain t) {
+    Request r;
+    r.encoding = Encoding::kPreEncoded;
+    r.train = std::move(t);
+    return r;
+}
+
+Request Request::view_train(const snn::SpikeTrain& t) {
+    Request r;
+    r.encoding = Encoding::kPreEncoded;
+    r.train_view = &t;
+    return r;
+}
+
+Request Request::thermometer(tensor::Tensor img, std::int64_t timesteps) {
+    Request r;
+    r.encoding = Encoding::kThermometer;
+    r.image = std::move(img);
+    r.timesteps = timesteps;
+    return r;
+}
+
+Request Request::view_thermometer(const tensor::Tensor& img, std::int64_t timesteps) {
+    Request r;
+    r.encoding = Encoding::kThermometer;
+    r.image_view = &img;
+    r.timesteps = timesteps;
+    return r;
+}
+
+Request Request::poisson(tensor::Tensor img, std::int64_t timesteps) {
+    Request r;
+    r.encoding = Encoding::kPoisson;
+    r.image = std::move(img);
+    r.timesteps = timesteps;
+    return r;
+}
+
+Request Request::view_poisson(const tensor::Tensor& img, std::int64_t timesteps) {
+    Request r;
+    r.encoding = Encoding::kPoisson;
+    r.image_view = &img;
+    r.timesteps = timesteps;
+    return r;
+}
+
+// --------------------------------------------------------------- Response
+
+std::int64_t Response::predicted_class(std::int64_t t) const {
+    const auto& logits = logits_per_step.at(static_cast<std::size_t>(t));
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < logits.size(); ++j) {
+        if (logits[j] > logits[best]) best = j;
+    }
+    return static_cast<std::int64_t>(best);
+}
+
+std::int64_t Response::total_cycles() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& s : layer_stats) total += s.total();
+    return total;
+}
+
+Response Response::from(snn::RunResult r) {
+    Response resp;
+    resp.logits_per_step = std::move(r.logits_per_step);
+    resp.spike_counts = std::move(r.spike_counts);
+    resp.neuron_counts = std::move(r.neuron_counts);
+    resp.layer_dispatch = std::move(r.layer_dispatch);
+    resp.timesteps = r.timesteps;
+    return resp;
+}
+
+Response Response::from(sim::SiaRunResult r) {
+    Response resp;
+    resp.logits_per_step = std::move(r.logits_per_step);
+    resp.spike_counts = std::move(r.spike_counts);
+    resp.neuron_counts = std::move(r.neuron_counts);
+    resp.layer_stats = std::move(r.layer_stats);
+    resp.timesteps = r.timesteps;
+    return resp;
+}
+
+snn::RunResult Response::into_run_result() && {
+    snn::RunResult r;
+    r.logits_per_step = std::move(logits_per_step);
+    r.spike_counts = std::move(spike_counts);
+    r.neuron_counts = std::move(neuron_counts);
+    r.layer_dispatch = std::move(layer_dispatch);
+    r.timesteps = timesteps;
+    return r;
+}
+
+sim::SiaRunResult Response::into_sia_result() && {
+    sim::SiaRunResult r;
+    r.logits_per_step = std::move(logits_per_step);
+    r.spike_counts = std::move(spike_counts);
+    r.neuron_counts = std::move(neuron_counts);
+    r.layer_stats = std::move(layer_stats);
+    r.timesteps = timesteps;
+    return r;
+}
+
+// ---------------------------------------------------------------- Backend
+
+Backend::Backend(const snn::SnnModel& model) : model_(model) { model_.validate(); }
+
+const snn::SpikeTrain& Backend::materialize(const Request& request, std::uint64_t seed,
+                                            std::uint64_t stream,
+                                            snn::SpikeTrain& scratch) {
+    switch (request.encoding) {
+        case Encoding::kPreEncoded:
+            return request.pre_encoded();
+        case Encoding::kThermometer:
+            if (request.timesteps <= 0) {
+                throw std::invalid_argument(
+                    "core::Request: image encodings need timesteps > 0");
+            }
+            scratch = snn::encode_thermometer(request.raw_image(), request.timesteps);
+            return scratch;
+        case Encoding::kPoisson: {
+            if (request.timesteps <= 0) {
+                throw std::invalid_argument(
+                    "core::Request: image encodings need timesteps > 0");
+            }
+            util::Rng rng(util::mix_seed(seed, stream));
+            scratch = snn::encode_poisson(request.raw_image(), request.timesteps, rng);
+            return scratch;
+        }
+    }
+    throw std::invalid_argument("core::Request: unknown encoding");
+}
+
+// ------------------------------------------------------ FunctionalBackend
+
+FunctionalBackend::FunctionalBackend(const snn::SnnModel& model,
+                                     snn::EngineConfig config)
+    : Backend(model), config_(config) {}
+
+void FunctionalBackend::prepare(std::size_t workers) {
+    if (engines_.size() < workers) engines_.resize(workers);
+}
+
+snn::FunctionalEngine& FunctionalBackend::engine(std::size_t worker) {
+    auto& slot = engines_[worker];
+    if (!slot) {
+        const util::WallTimer timer;
+        slot = std::make_unique<snn::FunctionalEngine>(model(), config_);
+        add_setup_nanos(static_cast<std::int64_t>(timer.millis() * 1e6));
+    }
+    return *slot;
+}
+
+void FunctionalBackend::run_span(std::size_t worker,
+                                 std::span<const Request> requests,
+                                 std::span<Response> responses, std::size_t base,
+                                 std::uint64_t seed) {
+    snn::SpikeTrain scratch;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const std::uint64_t stream = requests[i].rng_stream.value_or(base + i);
+        const snn::SpikeTrain& train =
+            materialize(requests[i], seed, stream, scratch);
+        responses[i] = Response::from(engine(worker).run(train));
+    }
+}
+
+// ------------------------------------------------------------- SiaBackend
+
+SiaBackend::SiaBackend(const snn::SnnModel& model, sim::SiaConfig config,
+                       SimSchedule schedule)
+    : Backend(model), config_(config), schedule_(schedule) {}
+
+void SiaBackend::prepare(std::size_t workers) {
+    if (sias_.size() < workers) sias_.resize(workers);
+    if (!program_) {
+        const util::WallTimer timer;
+        program_ = SiaCompiler(config_).compile(model());
+        add_setup_nanos(static_cast<std::int64_t>(timer.millis() * 1e6));
+    }
+}
+
+std::size_t SiaBackend::preferred_span(std::size_t n,
+                                       std::size_t workers) const noexcept {
+    if (schedule_ != SimSchedule::kResident || n == 0 || workers == 0) return 1;
+    return (n + workers - 1) / workers;
+}
+
+sim::Sia& SiaBackend::resident(std::size_t worker) {
+    auto& slot = sias_[worker];
+    if (!slot) {
+        const util::WallTimer timer;
+        slot = std::make_unique<sim::Sia>(config_, model(), *program_);
+        add_setup_nanos(static_cast<std::int64_t>(timer.millis() * 1e6));
+    }
+    return *slot;
+}
+
+void SiaBackend::run_span(std::size_t worker, std::span<const Request> requests,
+                          std::span<Response> responses, std::size_t base,
+                          std::uint64_t seed) {
+    if (schedule_ == SimSchedule::kPerItem) {
+        snn::SpikeTrain scratch;
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            const std::uint64_t stream = requests[i].rng_stream.value_or(base + i);
+            const snn::SpikeTrain& train =
+                materialize(requests[i], seed, stream, scratch);
+            // Sia carries per-inference memory/DMA state, so each request
+            // gets a fresh instance; the compiled program is shared
+            // read-only.
+            const util::WallTimer timer;
+            sim::Sia sia(config_, model(), *program_);
+            add_setup_nanos(static_cast<std::int64_t>(timer.millis() * 1e6));
+            responses[i] = Response::from(sia.run(train));
+        }
+        return;
+    }
+
+    // Resident schedule: the whole span goes through one Sia::run_batch
+    // call, so weight/program residency amortizes across it. Encode
+    // first (per-request streams keep this grouping-invariant), then
+    // hand the slice over as pointers.
+    std::vector<snn::SpikeTrain> scratch(requests.size());
+    std::vector<const snn::SpikeTrain*> slice;
+    slice.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const std::uint64_t stream = requests[i].rng_stream.value_or(base + i);
+        slice.push_back(&materialize(requests[i], seed, stream, scratch[i]));
+    }
+    sim::Sia& sia = resident(worker);
+    auto results = sia.run_batch(slice);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        responses[i] = Response::from(std::move(results[i]));
+    }
+    const sim::SiaBatchStats& s = sia.last_batch_stats();
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    batch_stats_.batch += s.batch;
+    batch_stats_.waves += s.waves;
+    batch_stats_.banks = std::max(batch_stats_.banks, s.banks);
+    batch_stats_.membrane_slice_bytes = s.membrane_slice_bytes;
+    batch_stats_.membrane_resident = batch_stats_.membrane_resident && s.membrane_resident;
+    batch_stats_.weight_bytes_streamed += s.weight_bytes_streamed;
+    batch_stats_.weight_bytes_sequential += s.weight_bytes_sequential;
+    batch_stats_.resident_cycles += s.resident_cycles;
+    batch_stats_.sequential_cycles += s.sequential_cycles;
+}
+
+sim::SiaBatchStats SiaBackend::take_sim_batch_stats() noexcept {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    return std::exchange(batch_stats_, {});
+}
+
+}  // namespace sia::core

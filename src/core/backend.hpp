@@ -1,0 +1,280 @@
+// Unified inference API: one request/response surface over both of the
+// paper's engines — the functional SNN engine (snn::FunctionalEngine)
+// and the cycle-accurate simulated accelerator (sim::Sia) — so anything
+// layered above (core::BatchRunner, core::Server) is backend-agnostic.
+//
+// A Backend owns all per-worker execution state (engines, resident
+// simulators, compiled programs) and exposes a span-oriented run
+// protocol the runner fans out over a thread pool:
+//
+//   prepare(workers)        one-time per-batch work, caller's thread
+//   run_span(worker, ...)   encode + run a contiguous request slice
+//
+// Determinism contract (inherited from BatchRunner, extended to
+// backends): for a fixed backend, results are bit-identical to running
+// the same requests sequentially through a fresh engine, for every
+// thread count and span grouping. Stochastic encodings draw from
+// per-request RNG streams derived from (seed, stream index) only —
+// `stream index` defaults to the request's batch position and can be
+// pinned via Request::rng_stream (core::Server pins it to the admission
+// sequence number so batch formation, a timing artifact, can never
+// influence results).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/program.hpp"
+#include "sim/sia.hpp"
+#include "snn/engine.hpp"
+#include "snn/model.hpp"
+#include "snn/spike.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace sia::core {
+
+/// Input spike encoding applied by the backend worker, per request.
+enum class Encoding : std::uint8_t {
+    kPreEncoded,   ///< request carries a ready snn::SpikeTrain
+    kThermometer,  ///< thermometer-encode the raw image (deterministic)
+    kPoisson,      ///< Poisson-rate-encode from the request's RNG stream
+};
+
+/// One inference request. Inputs may be owned (`from_*` factories — the
+/// serving path, where the submitter hands the data off) or borrowed
+/// (`view_*` factories — the zero-copy batch path; the caller keeps the
+/// referenced train/image alive until the batch returns).
+struct Request {
+    Encoding encoding = Encoding::kPreEncoded;
+    /// Timesteps to encode (image encodings only; pre-encoded trains
+    /// carry their own length).
+    std::int64_t timesteps = 0;
+
+    snn::SpikeTrain train;  ///< owned pre-encoded input
+    tensor::Tensor image;   ///< owned raw image
+    const snn::SpikeTrain* train_view = nullptr;  ///< borrowed alternative to `train`
+    const tensor::Tensor* image_view = nullptr;   ///< borrowed alternative to `image`
+
+    /// RNG stream index for stochastic encodings. Defaults to the
+    /// request's position in the submitted batch; pin it (as the server
+    /// does, to the admission sequence) when the same request must
+    /// encode identically regardless of how batches are formed.
+    std::optional<std::uint64_t> rng_stream;
+
+    [[nodiscard]] static Request from_train(snn::SpikeTrain t);
+    [[nodiscard]] static Request view_train(const snn::SpikeTrain& t);
+    [[nodiscard]] static Request thermometer(tensor::Tensor img, std::int64_t timesteps);
+    [[nodiscard]] static Request view_thermometer(const tensor::Tensor& img,
+                                                  std::int64_t timesteps);
+    [[nodiscard]] static Request poisson(tensor::Tensor img, std::int64_t timesteps);
+    [[nodiscard]] static Request view_poisson(const tensor::Tensor& img,
+                                              std::int64_t timesteps);
+
+    /// The pre-encoded train (borrowed or owned). Valid when
+    /// encoding == kPreEncoded.
+    [[nodiscard]] const snn::SpikeTrain& pre_encoded() const noexcept {
+        return train_view != nullptr ? *train_view : train;
+    }
+    /// The raw image (borrowed or owned). Valid for image encodings.
+    [[nodiscard]] const tensor::Tensor& raw_image() const noexcept {
+        return image_view != nullptr ? *image_view : image;
+    }
+};
+
+/// One inference response: the union of what the two engines report.
+/// Core fields (logits, spike/neuron counts, timesteps) are filled by
+/// every backend and are bit-identical across backends by the engines'
+/// shared-numerics construction; the per-layer extras are
+/// backend-specific and empty elsewhere.
+struct Response {
+    std::vector<std::vector<std::int64_t>> logits_per_step;  ///< [T][classes]
+    std::vector<std::int64_t> spike_counts;                  ///< per layer
+    std::vector<std::int64_t> neuron_counts;                 ///< per layer
+    /// Kernel-dispatch/density counters (FunctionalBackend only).
+    std::vector<snn::LayerDispatchStats> layer_dispatch;
+    /// Cycle-accurate per-layer stats (SiaBackend only).
+    std::vector<sim::LayerCycleStats> layer_stats;
+    std::int64_t timesteps = 0;
+
+    /// Prediction after timestep `t` (argmax of accumulated logits).
+    [[nodiscard]] std::int64_t predicted_class(std::int64_t t) const;
+    /// True when the backend attached cycle stats (i.e. it simulates
+    /// the accelerator rather than just the numerics).
+    [[nodiscard]] bool has_cycle_stats() const noexcept { return !layer_stats.empty(); }
+    [[nodiscard]] std::int64_t total_cycles() const noexcept;
+
+    [[nodiscard]] static Response from(snn::RunResult r);
+    [[nodiscard]] static Response from(sim::SiaRunResult r);
+    /// Legacy-view conversions (the deprecated BatchRunner shims).
+    [[nodiscard]] snn::RunResult into_run_result() &&;
+    [[nodiscard]] sim::SiaRunResult into_sia_result() &&;
+};
+
+/// How a sim backend maps requests onto simulated accelerator instances.
+enum class SimSchedule {
+    /// One fresh sim::Sia per request (the pre-residency behaviour; kept
+    /// as the amortization baseline the bench compares against).
+    kPerItem,
+    /// One resident sim::Sia per worker; whole request spans go through
+    /// Sia::run_batch so BRAM weight residency and the compiled program
+    /// amortize across the span. Bit-identical to kPerItem.
+    kResident,
+};
+
+/// Backend-polymorphic execution surface. Implementations own per-worker
+/// state indexed by the `worker` id the runner passes in; slot `w` is
+/// only ever touched from pool worker `w`, which is what makes the
+/// per-worker caches race-free without locks. A Backend must not be
+/// driven by two concurrently-running batches (one BatchRunner/Server
+/// at a time).
+class Backend {
+public:
+    explicit Backend(const snn::SnnModel& model);
+    virtual ~Backend() = default;
+
+    Backend(const Backend&) = delete;
+    Backend& operator=(const Backend&) = delete;
+
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+    /// One-time per-batch work on the caller's thread before the
+    /// fan-out (program compilation, worker-slot sizing). `workers` is
+    /// the number of distinct worker ids subsequent run_span calls may
+    /// use. Heavy work must be self-reported via add_setup_nanos so the
+    /// runner can attribute it to BatchStats::setup_ms.
+    virtual void prepare(std::size_t workers) = 0;
+
+    /// Preferred work-unit size for a batch of `n` requests over
+    /// `workers` workers: 1 = fan out per request (the default);
+    /// chunked backends (resident sim) return ceil(n / workers) so a
+    /// whole contiguous sub-batch lands on one worker.
+    [[nodiscard]] virtual std::size_t preferred_span(
+        std::size_t n, std::size_t workers) const noexcept {
+        (void)n;
+        (void)workers;
+        return 1;
+    }
+
+    /// Encode and run `requests` — a contiguous slice of a batch whose
+    /// first element has batch index `base` — on worker `worker`,
+    /// writing `responses[i]` for request i. Stochastic encodings for
+    /// request i must draw from util::Rng(util::mix_seed(seed, s))
+    /// where s = requests[i].rng_stream.value_or(base + i).
+    virtual void run_span(std::size_t worker, std::span<const Request> requests,
+                          std::span<Response> responses, std::size_t base,
+                          std::uint64_t seed) = 0;
+
+    /// Drain the residency accounting accumulated since the last call
+    /// (sim backends; zero-valued elsewhere).
+    [[nodiscard]] virtual sim::SiaBatchStats take_sim_batch_stats() noexcept {
+        return {};
+    }
+
+    [[nodiscard]] const snn::SnnModel& model() const noexcept { return model_; }
+
+    // --- setup-time protocol (BatchRunner's stats attribution) ---
+    [[nodiscard]] std::int64_t setup_nanos() const noexcept {
+        return setup_nanos_.load(std::memory_order_relaxed);
+    }
+    std::int64_t take_setup_nanos() noexcept { return setup_nanos_.exchange(0); }
+
+protected:
+    void add_setup_nanos(std::int64_t nanos) noexcept {
+        setup_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    }
+    /// Resolve a request to the train to run: pass through pre-encoded
+    /// inputs, or encode the raw image into `scratch` (Poisson draws
+    /// from the stream derived from (seed, stream)). Throws
+    /// std::invalid_argument on malformed requests (image encodings
+    /// with timesteps <= 0).
+    [[nodiscard]] static const snn::SpikeTrain& materialize(const Request& request,
+                                                            std::uint64_t seed,
+                                                            std::uint64_t stream,
+                                                            snn::SpikeTrain& scratch);
+
+private:
+    const snn::SnnModel& model_;
+    std::atomic<std::int64_t> setup_nanos_{0};
+};
+
+/// Functional (bit-accurate, cycle-agnostic) backend: one private
+/// snn::FunctionalEngine per worker, built lazily on the worker's first
+/// request and reused across batches. Honors EngineConfig's
+/// density-adaptive kernel dispatch; responses carry the per-layer
+/// dispatch counters.
+class FunctionalBackend final : public Backend {
+public:
+    explicit FunctionalBackend(const snn::SnnModel& model,
+                               snn::EngineConfig config = {});
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "functional";
+    }
+    void prepare(std::size_t workers) override;
+    void run_span(std::size_t worker, std::span<const Request> requests,
+                  std::span<Response> responses, std::size_t base,
+                  std::uint64_t seed) override;
+
+    [[nodiscard]] const snn::EngineConfig& engine_config() const noexcept {
+        return config_;
+    }
+
+private:
+    [[nodiscard]] snn::FunctionalEngine& engine(std::size_t worker);
+
+    snn::EngineConfig config_;
+    std::vector<std::unique_ptr<snn::FunctionalEngine>> engines_;
+};
+
+/// Cycle-accurate backend: the compiled program is cached inside the
+/// backend (compiled once in prepare()), and with the default kResident
+/// schedule each worker keeps a resident sim::Sia whose BRAM weights and
+/// program survive across spans and batches. Responses carry per-layer
+/// cycle stats; spikes/logits are bit-identical to FunctionalBackend by
+/// the engines' shared-numerics construction.
+class SiaBackend final : public Backend {
+public:
+    explicit SiaBackend(const snn::SnnModel& model, sim::SiaConfig config = {},
+                        SimSchedule schedule = SimSchedule::kResident);
+
+    [[nodiscard]] std::string_view name() const noexcept override { return "sia"; }
+    void prepare(std::size_t workers) override;
+    [[nodiscard]] std::size_t preferred_span(std::size_t n,
+                                             std::size_t workers) const noexcept override;
+    void run_span(std::size_t worker, std::span<const Request> requests,
+                  std::span<Response> responses, std::size_t base,
+                  std::uint64_t seed) override;
+    [[nodiscard]] sim::SiaBatchStats take_sim_batch_stats() noexcept override;
+
+    [[nodiscard]] const sim::SiaConfig& config() const noexcept { return config_; }
+    [[nodiscard]] SimSchedule schedule() const noexcept { return schedule_; }
+    /// Schedules are bit-identical, so this only trades residency
+    /// amortization; it never invalidates the program or the resident
+    /// instances.
+    void set_schedule(SimSchedule schedule) noexcept { schedule_ = schedule; }
+
+private:
+    [[nodiscard]] sim::Sia& resident(std::size_t worker);
+
+    sim::SiaConfig config_;
+    SimSchedule schedule_;
+    std::optional<sim::CompiledProgram> program_;
+    /// One resident simulator slot per worker (kResident), filled
+    /// lazily, reused across batches.
+    std::vector<std::unique_ptr<sim::Sia>> sias_;
+    /// Residency accounting accumulated across concurrent run_span
+    /// calls (hence the lock; spans on different workers race on it).
+    std::mutex stats_mutex_;
+    sim::SiaBatchStats batch_stats_;
+};
+
+}  // namespace sia::core

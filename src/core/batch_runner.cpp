@@ -1,51 +1,20 @@
 #include "core/batch_runner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 
-#include "sim/sia.hpp"
-#include "snn/encoding.hpp"
 #include "util/timer.hpp"
 
 namespace sia::core {
 
+BatchRunner::BatchRunner(std::shared_ptr<Backend> backend, BatchOptions options)
+    : model_(backend->model()), options_(options), pool_(options.threads),
+      backend_(std::move(backend)) {}
+
 BatchRunner::BatchRunner(const snn::SnnModel& model, BatchOptions options)
-    : model_(model), options_(options), pool_(options.threads),
-      engines_(pool_.size()), resident_sias_(pool_.size()) {
+    : model_(model), options_(options), pool_(options.threads) {
     model_.validate();
-}
-
-snn::FunctionalEngine& BatchRunner::engine(std::size_t worker) {
-    auto& slot = engines_[worker];
-    if (!slot) {
-        const util::WallTimer timer;
-        slot = std::make_unique<snn::FunctionalEngine>(model_, options_.engine);
-        setup_nanos_.fetch_add(static_cast<std::int64_t>(timer.millis() * 1e6),
-                               std::memory_order_relaxed);
-    }
-    return *slot;
-}
-
-sim::Sia& BatchRunner::resident_sia(std::size_t worker, const sim::SiaConfig& config) {
-    auto& slot = resident_sias_[worker];
-    if (!slot) {
-        const util::WallTimer timer;
-        slot = std::make_unique<sim::Sia>(config, model_, *program_);
-        setup_nanos_.fetch_add(static_cast<std::int64_t>(timer.millis() * 1e6),
-                               std::memory_order_relaxed);
-    }
-    return *slot;
-}
-
-void BatchRunner::ensure_program(const sim::SiaConfig& config) {
-    if (program_ && *program_config_ == config) return;
-    const util::WallTimer timer;
-    // Invalidate the resident simulators first: they hold references to
-    // the program about to be replaced.
-    for (auto& slot : resident_sias_) slot.reset();
-    program_ = SiaCompiler(config).compile(model_);
-    program_config_ = config;
-    setup_nanos_.fetch_add(static_cast<std::int64_t>(timer.millis() * 1e6),
-                           std::memory_order_relaxed);
 }
 
 BatchRunner::~BatchRunner() = default;
@@ -54,137 +23,145 @@ util::Rng BatchRunner::item_rng(std::size_t index) const {
     return util::Rng(util::mix_seed(options_.seed, index));
 }
 
-/// Shared batch protocol: allocate result slots, publish the batch shape
-/// to stats up front (so a throwing batch is never misattributed to an
-/// earlier one), time the fan-out, record wall/setup/run times on
-/// success. `fan_out` is the number of scheduled work items (== `inputs`
-/// except for sub-batched schedules); `per_item(item, worker)` returns
-/// the item's result.
-template <typename Result, typename PerItem>
-std::vector<Result> BatchRunner::run_batch(std::size_t fan_out, std::size_t inputs,
-                                           const PerItem& per_item) {
-    std::vector<Result> results(fan_out);
-    stats_ = BatchStats{};
-    stats_.inputs = inputs;
-    stats_.threads = pool_.size();
-    // Setup already accumulated before the fan-out (program compilation)
-    // is not inside any item timer and must not be subtracted from them.
-    const std::int64_t outside_item_setup = setup_nanos_.load();
-    std::atomic<std::int64_t> item_nanos{0};
-    const util::WallTimer timer;
-    pool_.parallel_for(fan_out, [&](std::size_t item, std::size_t worker) {
-        const util::WallTimer item_timer;
-        results[item] = per_item(item, worker);
-        item_nanos.fetch_add(static_cast<std::int64_t>(item_timer.millis() * 1e6),
-                             std::memory_order_relaxed);
-    });
-    stats_.wall_ms = timer.millis();
-    const std::int64_t setup_total = setup_nanos_.exchange(0);
-    stats_.setup_ms = static_cast<double>(setup_total) / 1e6;
-    // Engine/Sia construction happens inside item calls; subtract that
-    // share so run_ms is pure per-item execution.
-    stats_.run_ms =
-        std::max(0.0, static_cast<double>(item_nanos.load() -
-                                          (setup_total - outside_item_setup)) /
-                          1e6);
-    return results;
+Backend& BatchRunner::functional_backend() {
+    if (!backend_) {
+        backend_ = std::make_shared<FunctionalBackend>(model_, options_.engine);
+    }
+    return *backend_;
 }
+
+SiaBackend& BatchRunner::sia_backend(const sim::SiaConfig& config) {
+    // Keyed on SiaConfig::operator== (every field participates): any
+    // changed field rebuilds the backend, which drops the compiled
+    // program and the resident simulators together.
+    if (!sia_backend_ || !(sia_backend_->config() == config)) {
+        sia_backend_ = std::make_unique<SiaBackend>(model_, config);
+    }
+    return *sia_backend_;
+}
+
+std::vector<Response> BatchRunner::run(const std::vector<Request>& requests) {
+    return run(functional_backend(), requests);
+}
+
+/// Shared batch protocol: publish the batch shape to stats up front (so
+/// a throwing batch is never misattributed to an earlier one), let the
+/// backend do its one-time work, fan spans out over the pool, and
+/// attribute wall/setup/run time — on success *and* on failure (the
+/// stats of a throwing batch cover the work performed before the pool
+/// drained, with completed = false).
+std::vector<Response> BatchRunner::run(Backend& backend,
+                                       const std::vector<Request>& requests) {
+    sim_batch_stats_ = {};
+    stats_ = BatchStats{};
+    stats_.inputs = requests.size();
+    stats_.threads = pool_.size();
+
+    (void)backend.take_setup_nanos();  // drop residue from a failed batch
+    backend.prepare(pool_.size());
+
+    const std::size_t n = requests.size();
+    const std::size_t span =
+        std::max<std::size_t>(1, backend.preferred_span(n, pool_.size()));
+    const std::size_t units = (n + span - 1) / span;
+    std::vector<Response> responses(n);
+
+    // Setup accumulated before the fan-out (program compilation) is not
+    // inside any unit timer and must not be subtracted from them.
+    const std::int64_t outside_unit_setup = backend.setup_nanos();
+    std::atomic<std::int64_t> unit_nanos{0};
+    const util::WallTimer timer;
+    const auto finalize = [&](bool completed) {
+        stats_.wall_ms = timer.millis();
+        const std::int64_t setup_total = backend.take_setup_nanos();
+        stats_.setup_ms = static_cast<double>(setup_total) / 1e6;
+        // Engine/Sia construction happens inside unit calls; subtract
+        // that share so run_ms is pure per-request execution.
+        stats_.run_ms = std::max(
+            0.0, static_cast<double>(unit_nanos.load() -
+                                     (setup_total - outside_unit_setup)) /
+                     1e6);
+        stats_.completed = completed;
+    };
+    try {
+        pool_.parallel_for(units, [&](std::size_t unit, std::size_t worker) {
+            const std::size_t base = unit * span;
+            const std::size_t count = std::min(span, n - base);
+            const util::WallTimer unit_timer;
+            backend.run_span(worker, {requests.data() + base, count},
+                             {responses.data() + base, count}, base, options_.seed);
+            unit_nanos.fetch_add(static_cast<std::int64_t>(unit_timer.millis() * 1e6),
+                                 std::memory_order_relaxed);
+        });
+    } catch (...) {
+        finalize(/*completed=*/false);
+        sim_batch_stats_ = backend.take_sim_batch_stats();
+        throw;
+    }
+    finalize(/*completed=*/true);
+    sim_batch_stats_ = backend.take_sim_batch_stats();
+    return responses;
+}
+
+// ------------------------------------------------------------------------
+// Deprecated legacy shims: build view Requests, run the unified path,
+// unwrap the Responses. Every shim is bit-identical to its Request-form
+// replacement by construction (asserted by the equivalence matrix in
+// tests/test_backend.cpp).
+// ------------------------------------------------------------------------
 
 std::vector<snn::RunResult> BatchRunner::run(
     const std::vector<snn::SpikeTrain>& inputs) {
-    sim_batch_stats_ = {};
-    setup_nanos_.store(0);
-    return run_batch<snn::RunResult>(
-        inputs.size(), inputs.size(), [&](std::size_t item, std::size_t worker) {
-            return engine(worker).run(inputs[item]);
-        });
+    std::vector<Request> requests;
+    requests.reserve(inputs.size());
+    for (const auto& train : inputs) requests.push_back(Request::view_train(train));
+    auto responses = run(functional_backend(), requests);
+    std::vector<snn::RunResult> results;
+    results.reserve(responses.size());
+    for (auto& r : responses) results.push_back(std::move(r).into_run_result());
+    return results;
 }
 
 std::vector<snn::RunResult> BatchRunner::run_images(
     const std::vector<tensor::Tensor>& images, std::int64_t timesteps) {
-    sim_batch_stats_ = {};
-    setup_nanos_.store(0);
-    return run_batch<snn::RunResult>(
-        images.size(), images.size(), [&](std::size_t item, std::size_t worker) {
-            return engine(worker).run(snn::encode_thermometer(images[item], timesteps));
-        });
+    std::vector<Request> requests;
+    requests.reserve(images.size());
+    for (const auto& img : images) {
+        requests.push_back(Request::view_thermometer(img, timesteps));
+    }
+    auto responses = run(functional_backend(), requests);
+    std::vector<snn::RunResult> results;
+    results.reserve(responses.size());
+    for (auto& r : responses) results.push_back(std::move(r).into_run_result());
+    return results;
 }
 
 std::vector<snn::RunResult> BatchRunner::run_images_poisson(
     const std::vector<tensor::Tensor>& images, std::int64_t timesteps) {
-    sim_batch_stats_ = {};
-    setup_nanos_.store(0);
-    return run_batch<snn::RunResult>(
-        images.size(), images.size(), [&](std::size_t item, std::size_t worker) {
-            util::Rng rng = item_rng(item);
-            return engine(worker).run(
-                snn::encode_poisson(images[item], timesteps, rng));
-        });
+    std::vector<Request> requests;
+    requests.reserve(images.size());
+    for (const auto& img : images) {
+        requests.push_back(Request::view_poisson(img, timesteps));
+    }
+    auto responses = run(functional_backend(), requests);
+    std::vector<snn::RunResult> results;
+    results.reserve(responses.size());
+    for (auto& r : responses) results.push_back(std::move(r).into_run_result());
+    return results;
 }
 
 std::vector<sim::SiaRunResult> BatchRunner::run_sim(
     const sim::SiaConfig& config, const std::vector<snn::SpikeTrain>& inputs,
     SimSchedule schedule) {
-    sim_batch_stats_ = {};
-    setup_nanos_.store(0);
-    ensure_program(config);
-
-    if (schedule == SimSchedule::kPerItem) {
-        return run_batch<sim::SiaRunResult>(
-            inputs.size(), inputs.size(), [&](std::size_t item, std::size_t /*worker*/) {
-                // Sia carries per-inference memory/DMA state, so each item
-                // gets a fresh instance; the compiled program is shared
-                // read-only.
-                const util::WallTimer timer;
-                sim::Sia sia(config, model_, *program_);
-                setup_nanos_.fetch_add(
-                    static_cast<std::int64_t>(timer.millis() * 1e6),
-                    std::memory_order_relaxed);
-                return sia.run(inputs[item]);
-            });
-    }
-
-    // Resident schedule: contiguous sub-batches, one per pool worker, so
-    // weight/program residency amortizes across ceil(n / threads) items
-    // per Sia::run_batch call. Grouping never affects results — run_batch
-    // items are bit-identical to sequential run() calls by construction —
-    // so neither the chunk size nor the thread count is observable.
-    const std::size_t n = inputs.size();
-    const std::size_t chunk_size =
-        n == 0 ? 1 : (n + pool_.size() - 1) / pool_.size();
-    const std::size_t chunks = n == 0 ? 0 : (n + chunk_size - 1) / chunk_size;
-
-    std::vector<sim::SiaBatchStats> chunk_stats(chunks);
-    auto chunk_results = run_batch<std::vector<sim::SiaRunResult>>(
-        chunks, n, [&](std::size_t chunk, std::size_t worker) {
-            const std::size_t begin = chunk * chunk_size;
-            const std::size_t end = std::min(n, begin + chunk_size);
-            std::vector<const snn::SpikeTrain*> slice;
-            slice.reserve(end - begin);
-            for (std::size_t i = begin; i < end; ++i) slice.push_back(&inputs[i]);
-            sim::Sia& sia = resident_sia(worker, config);
-            auto results = sia.run_batch(slice);
-            chunk_stats[chunk] = sia.last_batch_stats();
-            return results;
-        });
-
+    SiaBackend& backend = sia_backend(config);
+    backend.set_schedule(schedule);
+    std::vector<Request> requests;
+    requests.reserve(inputs.size());
+    for (const auto& train : inputs) requests.push_back(Request::view_train(train));
+    auto responses = run(backend, requests);
     std::vector<sim::SiaRunResult> results;
-    results.reserve(n);
-    for (auto& chunk : chunk_results) {
-        for (auto& r : chunk) results.push_back(std::move(r));
-    }
-    for (const auto& s : chunk_stats) {
-        sim_batch_stats_.batch += s.batch;
-        sim_batch_stats_.waves += s.waves;
-        sim_batch_stats_.banks = std::max(sim_batch_stats_.banks, s.banks);
-        sim_batch_stats_.membrane_slice_bytes = s.membrane_slice_bytes;
-        sim_batch_stats_.membrane_resident =
-            sim_batch_stats_.membrane_resident && s.membrane_resident;
-        sim_batch_stats_.weight_bytes_streamed += s.weight_bytes_streamed;
-        sim_batch_stats_.weight_bytes_sequential += s.weight_bytes_sequential;
-        sim_batch_stats_.resident_cycles += s.resident_cycles;
-        sim_batch_stats_.sequential_cycles += s.sequential_cycles;
-    }
+    results.reserve(responses.size());
+    for (auto& r : responses) results.push_back(std::move(r).into_sia_result());
     return results;
 }
 

@@ -1,36 +1,40 @@
-// BatchRunner: parallel batch inference over one compiled SnnModel.
+// BatchRunner: backend-generic parallel batch inference.
 //
-// Serving-oriented counterpart to the single-input engines: the expensive
-// per-model work (FunctionalEngine weight-layout transposition, SiaCompiler
-// program generation, resident sim::Sia construction) is done once per
-// runner and amortized across every input in the batch, while a fixed
-// util::ThreadPool fans the per-input runs out over worker threads. The
-// cycle-accurate path (run_sim) additionally schedules whole sub-batches
-// onto per-worker *resident* accelerators (Sia::run_batch), so simulated
-// BRAM weight residency amortizes too.
+// The runner owns the fan-out protocol — a fixed util::ThreadPool, the
+// work-unit chunking the backend asks for, and the timing/stats
+// attribution — while a core::Backend owns all execution state (per-
+// worker engines, resident simulators, compiled programs). One
+// `run(requests)` entry point serves both of the paper's engines
+// through the unified core::Request/core::Response types; core::Server
+// layers a long-running admission-batched serving loop on top.
 //
 // Determinism contract: batched results are bit-identical to running the
-// same inputs sequentially through a fresh engine, for every thread count.
-// This holds because
-//   * each input is an independent work item writing only its own result
-//     slot, so the (nondeterministic) item->worker assignment is invisible;
-//   * each worker owns a private FunctionalEngine whose run() fully resets
-//     membranes, readout and spike counters between items;
-//   * any stochastic path draws from per-item RNG streams (item_rng)
-//     derived from the batch seed and the item index — never from a
+// same requests sequentially through a fresh backend, for every thread
+// count and span grouping. This holds because
+//   * each request is an independent work item writing only its own
+//     response slot, so the (nondeterministic) unit->worker assignment
+//     is invisible;
+//   * backends key per-worker state off the worker index only for
+//     *placement*, never for results (each worker's engine fully resets
+//     between items);
+//   * any stochastic path draws from per-request RNG streams derived
+//     from the batch seed and the request's stream index — never from a
 //     shared or worker-keyed stream.
+//
+// Legacy surface (deprecated, removed next PR): the four bespoke entry
+// points run / run_images / run_images_poisson / run_sim predate the
+// Request API. They are kept as thin shims over run(requests) — bit-
+// identical to their replacements (asserted by tests/test_backend.cpp's
+// equivalence matrix); see docs/ARCHITECTURE.md §6 for migration notes.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <vector>
 
-#include "core/compiler.hpp"
+#include "core/backend.hpp"
 #include "sim/config.hpp"
-#include "sim/program.hpp"
 #include "sim/sia.hpp"
 #include "snn/engine.hpp"
 #include "snn/model.hpp"
@@ -44,32 +48,27 @@ namespace sia::core {
 struct BatchOptions {
     /// Worker threads; 0 = hardware concurrency.
     std::size_t threads = 0;
-    /// Base seed for the per-item RNG streams handed to stochastic
+    /// Base seed for the per-request RNG streams handed to stochastic
     /// encoding paths. Results depend on this seed but never on the
     /// thread count.
     std::uint64_t seed = util::kDefaultSeed;
-    /// Execution knobs forwarded to every worker's FunctionalEngine
-    /// (kernel dispatch mode, scatter density threshold). Dense and
-    /// scatter paths are bit-identical, so this never affects results —
-    /// only throughput.
+    /// Execution knobs for the internal FunctionalBackend built by the
+    /// model-anchored constructor (kernel dispatch mode, scatter density
+    /// threshold). Ignored when the runner is constructed over an
+    /// explicit Backend — configure that backend directly instead.
     snn::EngineConfig engine = {};
-};
-
-/// How run_sim maps inputs onto simulated accelerator instances.
-enum class SimSchedule {
-    /// One fresh sim::Sia per input (the pre-residency behaviour; kept
-    /// as the amortization baseline the bench compares against).
-    kPerItem,
-    /// One resident sim::Sia per worker; whole sub-batches go through
-    /// Sia::run_batch so BRAM weight residency and the compiled program
-    /// amortize across the sub-batch. Bit-identical to kPerItem.
-    kResident,
 };
 
 /// Timing/throughput aggregates of one batch call.
 struct BatchStats {
     std::size_t inputs = 0;
     std::size_t threads = 1;
+    /// False when the batch threw: wall_ms/setup_ms/run_ms then cover
+    /// the work actually performed up to the failure (the pool drains
+    /// in-flight items before rethrowing), inputs/threads still
+    /// describe the failed batch, and inputs_per_sec() reports 0 — a
+    /// failed batch has no meaningful throughput.
+    bool completed = false;
     double wall_ms = 0.0;
     /// Engine/program construction time inside this call: functional
     /// engine builds, program compilation, and sim::Sia constructions.
@@ -77,60 +76,76 @@ struct BatchStats {
     /// share of wall_ms; a warm runner reports ~0 here — the residency
     /// amortization made visible.
     double setup_ms = 0.0;
-    /// Per-item execution time (encode + run), summed across workers and
-    /// exclusive of setup_ms.
+    /// Per-request execution time (encode + run), summed across workers
+    /// and exclusive of setup_ms.
     double run_ms = 0.0;
     [[nodiscard]] double inputs_per_sec() const noexcept {
-        return wall_ms > 0.0 ? 1e3 * static_cast<double>(inputs) / wall_ms : 0.0;
+        return completed && wall_ms > 0.0
+                   ? 1e3 * static_cast<double>(inputs) / wall_ms
+                   : 0.0;
     }
 };
 
 class BatchRunner {
 public:
-    /// Keeps a reference to `model` (must outlive the runner) and spawns
-    /// the pool. Validates the model; engines are built on first use.
+    /// Backend-generic form (the redesigned API): `run(requests)` fans
+    /// out over `backend`, which owns every engine/simulator. The
+    /// runner keeps the backend alive; one backend must not be shared
+    /// by concurrently-running runners.
+    BatchRunner(std::shared_ptr<Backend> backend, BatchOptions options = {});
+
+    /// Legacy-compatible form: anchors the runner on `model` (must
+    /// outlive the runner) and builds a FunctionalBackend internally on
+    /// first use; run_sim shims maintain a SiaBackend cache keyed on
+    /// SiaConfig::operator== (a changed config field reliably
+    /// invalidates both the compiled program and the resident
+    /// simulators, which live inside the cached backend).
     explicit BatchRunner(const snn::SnnModel& model, BatchOptions options = {});
     ~BatchRunner();
 
     BatchRunner(const BatchRunner&) = delete;
     BatchRunner& operator=(const BatchRunner&) = delete;
 
-    /// Run the functional engine over every encoded input. Result order
-    /// matches input order.
+    /// The unified entry point: run every request through the runner's
+    /// backend. Response order matches request order.
+    [[nodiscard]] std::vector<Response> run(const std::vector<Request>& requests);
+
+    /// Same, through an explicit backend (the runner contributes only
+    /// the pool and stats protocol). Exposed so callers can multiplex
+    /// several backends over one pool.
+    [[nodiscard]] std::vector<Response> run(Backend& backend,
+                                            const std::vector<Request>& requests);
+
+    // ------------------------------------------------------------------
+    // Deprecated legacy entry points — thin shims over run(requests),
+    // kept for one PR. Migration: build Requests with the view_*
+    // factories and pick the backend at construction time.
+    // ------------------------------------------------------------------
+
+    /// Deprecated: use run(requests) with Request::view_train.
     [[nodiscard]] std::vector<snn::RunResult> run(
         const std::vector<snn::SpikeTrain>& inputs);
 
-    /// Thermometer-encode each image on the worker, then run. Equivalent
-    /// to encode_thermometer + run but keeps the encoded trains off the
-    /// caller's heap.
+    /// Deprecated: use run(requests) with Request::view_thermometer.
     [[nodiscard]] std::vector<snn::RunResult> run_images(
         const std::vector<tensor::Tensor>& images, std::int64_t timesteps);
 
-    /// Poisson-rate-encode each image from its item_rng stream, then run.
-    /// Stochastic, but reproducible: results depend on the batch seed and
-    /// item order only, never on the thread count.
+    /// Deprecated: use run(requests) with Request::view_poisson.
     [[nodiscard]] std::vector<snn::RunResult> run_images_poisson(
         const std::vector<tensor::Tensor>& images, std::int64_t timesteps);
 
-    /// Cycle-accurate batched run over one CompiledProgram (compiled
-    /// lazily on first use and cached). With kResident (the default),
-    /// contiguous sub-batches are scheduled onto per-worker resident
-    /// sim::Sia instances via Sia::run_batch; with kPerItem every input
-    /// gets a fresh instance. Both schedules produce bit-identical
-    /// results — to each other, to sequential Sia::run calls, and (for
-    /// spikes/logits) to run() by the engines' shared-numerics
-    /// construction — for every thread count.
+    /// Deprecated: construct the runner over a SiaBackend instead.
     [[nodiscard]] std::vector<sim::SiaRunResult> run_sim(
         const sim::SiaConfig& config, const std::vector<snn::SpikeTrain>& inputs,
         SimSchedule schedule = SimSchedule::kResident);
 
-    /// Stats of the most recent run*/run_sim call. If that call threw,
-    /// inputs/threads describe the failed batch and wall_ms is 0.
+    /// Stats of the most recent run*/run_sim call; see
+    /// BatchStats::completed for the failed-batch semantics.
     [[nodiscard]] const BatchStats& last_stats() const noexcept { return stats_; }
 
     /// Residency accounting aggregated over every Sia::run_batch call of
-    /// the most recent kResident run_sim (zero-valued after kPerItem or
-    /// non-sim runs). `waves` sums across sub-batches.
+    /// the most recent batch (zero-valued after per-item or functional
+    /// runs). `waves` sums across sub-batches.
     [[nodiscard]] const sim::SiaBatchStats& last_sim_batch_stats() const noexcept {
         return sim_batch_stats_;
     }
@@ -138,47 +153,28 @@ public:
     [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
     [[nodiscard]] const snn::SnnModel& model() const noexcept { return model_; }
 
-    /// The RNG stream item `index` draws from, regardless of which worker
-    /// executes it (exposed so tests can assert stream independence).
+    /// The RNG stream request `index` draws from by default, regardless
+    /// of which worker executes it (exposed so tests can assert stream
+    /// independence).
     [[nodiscard]] util::Rng item_rng(std::size_t index) const;
 
 private:
-    /// The calling worker's private engine, constructed on its first item
-    /// (so engine count scales with workers that actually execute work,
-    /// not with pool size). Race-free: slot `worker` is only ever touched
-    /// by pool worker `worker`.
-    [[nodiscard]] snn::FunctionalEngine& engine(std::size_t worker);
-    /// The calling worker's private resident simulator (same slot
-    /// discipline as engine()). Requires program_ for `config` to be
-    /// compiled already.
-    [[nodiscard]] sim::Sia& resident_sia(std::size_t worker,
-                                         const sim::SiaConfig& config);
-    /// Compile (or reuse) the cached program for `config`; invalidates
-    /// the resident simulators on recompilation.
-    void ensure_program(const sim::SiaConfig& config);
-
-    template <typename Result, typename PerItem>
-    std::vector<Result> run_batch(std::size_t fan_out, std::size_t inputs,
-                                  const PerItem& per_item);
+    /// The internal FunctionalBackend (model-anchored construction),
+    /// built on first use.
+    [[nodiscard]] Backend& functional_backend();
+    /// The internal SiaBackend cache for the run_sim shim, keyed on
+    /// SiaConfig::operator==: a config change rebuilds the backend,
+    /// dropping the compiled program and every resident simulator at
+    /// once.
+    [[nodiscard]] SiaBackend& sia_backend(const sim::SiaConfig& config);
 
     const snn::SnnModel& model_;
     BatchOptions options_;
     util::ThreadPool pool_;
-    /// One private engine slot per worker, filled lazily, reused across
-    /// batches.
-    std::vector<std::unique_ptr<snn::FunctionalEngine>> engines_;
-    /// One private resident sim::Sia slot per worker (kResident run_sim),
-    /// filled lazily, reused across batches, rebuilt on config change.
-    std::vector<std::unique_ptr<sim::Sia>> resident_sias_;
-    /// Cached compiled program for run_sim (keyed by the config's
-    /// identity; recompiled when a different config is passed).
-    std::optional<sim::CompiledProgram> program_;
-    std::optional<sim::SiaConfig> program_config_;
+    std::shared_ptr<Backend> backend_;     ///< primary (or lazy functional)
+    std::unique_ptr<SiaBackend> sia_backend_;  ///< legacy run_sim cache
     BatchStats stats_;
     sim::SiaBatchStats sim_batch_stats_;
-    /// Construction time accumulated by workers during the current batch
-    /// (engine/Sia builds + program compile), drained into stats_.
-    std::atomic<std::int64_t> setup_nanos_{0};
 };
 
 }  // namespace sia::core

@@ -1,0 +1,153 @@
+#include "core/server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sia::core {
+
+Server::Server(std::shared_ptr<Backend> backend, ServerOptions options)
+    : backend_(std::move(backend)), options_(options),
+      runner_(backend_, {.threads = options.threads, .seed = options.seed}) {
+    if (options_.max_queue == 0) {
+        throw std::invalid_argument("Server: max_queue must be >= 1");
+    }
+    if (options_.max_batch == 0) {
+        throw std::invalid_argument("Server: max_batch must be >= 1");
+    }
+    dispatcher_ = std::thread([this] { drain_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+std::optional<std::future<Response>> Server::try_submit(Request request) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (options_.backpressure == BackpressurePolicy::kBlock) {
+        space_cv_.wait(lock, [this] {
+            return stopping_ || queue_.size() < options_.max_queue;
+        });
+    }
+    if (stopping_ || queue_.size() >= options_.max_queue) {
+        ++stats_.rejected;
+        return std::nullopt;
+    }
+    // Pin the RNG stream to the admission sequence (unless the caller
+    // pinned one already): batch formation is a timing artifact and must
+    // never influence stochastic encodings.
+    if (!request.rng_stream) request.rng_stream = next_stream_;
+    ++next_stream_;
+    ++stats_.submitted;
+    Pending pending{std::move(request), std::promise<Response>{},
+                    std::chrono::steady_clock::now()};
+    std::future<Response> future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    lock.unlock();
+    queue_cv_.notify_one();
+    return future;
+}
+
+std::future<Response> Server::submit(Request request) {
+    auto future = try_submit(std::move(request));
+    if (!future) {
+        throw std::runtime_error(stopping() ? "Server::submit: shutting down"
+                                            : "Server::submit: queue full");
+    }
+    return std::move(*future);
+}
+
+void Server::shutdown() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    space_cv_.notify_all();
+    std::call_once(join_once_, [this] {
+        if (dispatcher_.joinable()) dispatcher_.join();
+    });
+}
+
+bool Server::stopping() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stopping_;
+}
+
+std::size_t Server::queue_depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+ServerStats Server::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void Server::drain_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping, fully drained
+
+        // Admission window: wait (relative to the *oldest* arrival, so a
+        // request never waits longer than max_wait_us for batchmates)
+        // until the batch fills, the window closes, or shutdown begins.
+        const auto deadline =
+            queue_.front().enqueued + std::chrono::microseconds(options_.max_wait_us);
+        while (queue_.size() < options_.max_batch && !stopping_) {
+            if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+        }
+
+        const std::size_t take = std::min(options_.max_batch, queue_.size());
+        std::vector<Pending> batch;
+        batch.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        ++stats_.batches;
+        lock.unlock();
+        space_cv_.notify_all();
+
+        std::vector<Request> requests;
+        requests.reserve(take);
+        for (auto& p : batch) requests.push_back(std::move(p.request));
+
+        std::vector<Response> responses;
+        std::exception_ptr failure;
+        try {
+            responses = runner_.run(requests);
+        } catch (...) {
+            failure = std::current_exception();
+        }
+        const auto now = std::chrono::steady_clock::now();
+
+        lock.lock();
+        for (const auto& p : batch) {
+            if (failure) {
+                ++stats_.failed;
+            } else {
+                ++stats_.completed;
+                stats_.latency_us.add(
+                    std::chrono::duration<double, std::micro>(now - p.enqueued)
+                        .count());
+            }
+        }
+        lock.unlock();
+
+        // Resolve futures outside the lock: promise continuations
+        // (futures waited on by submitters) must not observe a held
+        // server mutex.
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (failure) {
+                batch[i].promise.set_exception(failure);
+            } else {
+                batch[i].promise.set_value(std::move(responses[i]));
+            }
+        }
+        lock.lock();
+    }
+}
+
+}  // namespace sia::core

@@ -1,0 +1,148 @@
+// core::Server: a long-running serving loop over one core::Backend —
+// the step from "batch API" to "serves heavy traffic".
+//
+// Request lifecycle:
+//
+//   submit(Request)                      caller thread
+//     -> bounded admission queue         (backpressure when full:
+//                                         kBlock waits for space,
+//                                         kReject hands back nullopt)
+//     -> drain loop                      dedicated dispatcher thread
+//          admission batching: take up to max_batch requests, waiting
+//          at most max_wait_us after the oldest arrival to let a batch
+//          fill before dispatching a partial one
+//     -> BatchRunner::run(requests)      backend-generic fan-out over
+//                                        the worker pool
+//     -> std::future<Response> resolves  per-request latency recorded
+//                                        (enqueue -> completion) in a
+//                                        util::StreamingHistogram
+//
+// Determinism: each admitted request is pinned to an RNG stream equal to
+// its admission sequence number, so for a fixed seed and arrival order
+// the responses are bit-identical regardless of how batches happen to
+// form, how many worker threads run, or which backend schedule executes
+// — timing can shift latency, never results.
+//
+// Shutdown: shutdown() stops admissions, drains every queued request
+// through the backend, resolves all futures, and joins the dispatcher.
+// Submitters blocked on a full queue at shutdown time are refused
+// (their submit returns rejection) rather than left hanging.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/backend.hpp"
+#include "core/batch_runner.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace sia::core {
+
+/// What submit() does when the admission queue is at max_queue.
+enum class BackpressurePolicy : std::uint8_t {
+    kBlock,   ///< wait for space (bounds memory, pushes latency upstream)
+    kReject,  ///< fail fast (bounds latency, sheds load)
+};
+
+struct ServerOptions {
+    /// Worker threads of the underlying BatchRunner; 0 = hardware
+    /// concurrency.
+    std::size_t threads = 0;
+    /// Admission queue bound (>= 1). The queue holds requests not yet
+    /// handed to the runner; in-flight batches are not counted.
+    std::size_t max_queue = 256;
+    /// Largest batch the drain loop forms (>= 1).
+    std::size_t max_batch = 32;
+    /// Admission window: after the oldest queued request arrived, how
+    /// long the drain loop waits for the batch to fill before
+    /// dispatching a partial one. 0 = dispatch immediately.
+    std::int64_t max_wait_us = 500;
+    BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+    /// Base seed for per-request RNG streams (stream = admission seq).
+    std::uint64_t seed = util::kDefaultSeed;
+};
+
+/// Snapshot of the server's counters and latency distribution.
+struct ServerStats {
+    std::size_t submitted = 0;  ///< admitted into the queue
+    std::size_t rejected = 0;   ///< refused (queue full under kReject, or stopping)
+    std::size_t completed = 0;  ///< futures resolved with a Response
+    std::size_t failed = 0;     ///< futures resolved with an exception
+    std::size_t batches = 0;    ///< dispatches through the runner
+    /// Per-request latency, admission to completion, in microseconds.
+    util::StreamingHistogram latency_us;
+
+    [[nodiscard]] double mean_batch_size() const noexcept {
+        return batches > 0
+                   ? static_cast<double>(completed + failed) /
+                         static_cast<double>(batches)
+                   : 0.0;
+    }
+};
+
+class Server {
+public:
+    /// Starts the dispatcher thread immediately. The server shares
+    /// ownership of the backend; `backend->model()` must outlive it.
+    explicit Server(std::shared_ptr<Backend> backend, ServerOptions options = {});
+    /// Destructor performs a graceful shutdown (drains the queue).
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Submit one request. Returns a future that resolves when the
+    /// request's batch completes (or fails). Throws std::runtime_error
+    /// when the request is refused — queue full under kReject, or the
+    /// server is shutting down.
+    [[nodiscard]] std::future<Response> submit(Request request);
+
+    /// Non-throwing form: nullopt when refused.
+    [[nodiscard]] std::optional<std::future<Response>> try_submit(Request request);
+
+    /// Stop admissions, drain every queued request, resolve all
+    /// futures, join the dispatcher. Idempotent; safe to call from
+    /// multiple threads.
+    void shutdown();
+
+    [[nodiscard]] bool stopping() const;
+    [[nodiscard]] std::size_t queue_depth() const;
+    [[nodiscard]] ServerStats stats() const;
+    [[nodiscard]] const ServerOptions& options() const noexcept { return options_; }
+    [[nodiscard]] Backend& backend() noexcept { return *backend_; }
+
+private:
+    struct Pending {
+        Request request;
+        std::promise<Response> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void drain_loop();
+
+    std::shared_ptr<Backend> backend_;
+    ServerOptions options_;
+    BatchRunner runner_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable queue_cv_;  ///< wakes the dispatcher
+    std::condition_variable space_cv_;  ///< wakes blocked submitters
+    std::deque<Pending> queue_;
+    bool stopping_ = false;
+    std::uint64_t next_stream_ = 0;  ///< admission sequence number
+    ServerStats stats_;
+
+    std::once_flag join_once_;
+    std::thread dispatcher_;  // started last, joined via shutdown()
+};
+
+}  // namespace sia::core

@@ -54,6 +54,11 @@ struct SiaConfig {
     /// bytes per phase; batches larger than this run in multiple waves.
     std::int64_t membrane_banks = 4;
 
+    /// Memberwise equality over every field. Load-bearing: this is the
+    /// cache key for core::BatchRunner's SiaBackend (compiled program +
+    /// per-worker resident simulators), so a new field added here is
+    /// automatically part of the key — any changed field reliably
+    /// invalidates both caches (asserted by tests/test_backend.cpp).
     [[nodiscard]] bool operator==(const SiaConfig&) const = default;
 
     [[nodiscard]] std::int64_t pe_count() const noexcept { return pe_rows * pe_cols; }

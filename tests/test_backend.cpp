@@ -1,0 +1,456 @@
+// core::Backend API tests: the equivalence matrix proving every legacy
+// BatchRunner entry point is bit-identical to its Request-form
+// replacement (per thread count, per backend, per schedule), the
+// SiaConfig-keyed cache invalidation, failed-batch stats semantics, and
+// the Request/Response surface itself (mixed encodings, stream pinning,
+// owned vs borrowed inputs, backend-specific response extras).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/batch_runner.hpp"
+#include "sim/sia.hpp"
+#include "snn/encoding.hpp"
+#include "snn/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sia {
+namespace {
+
+// ---- compact random model/stimulus helpers (mirrors test_batch_runner) ----
+
+snn::SnnModel small_model(std::uint64_t seed) {
+    util::Rng rng(seed);
+    snn::SnnModel model;
+    model.input_channels = 2;
+    model.input_h = 6;
+    model.input_w = 6;
+
+    std::int64_t in_c = model.input_channels;
+    for (std::int64_t d = 0; d < 2; ++d) {
+        snn::SnnLayer layer;
+        layer.op = snn::LayerOp::kConv;
+        layer.label = "conv" + std::to_string(d);
+        layer.input = static_cast<int>(d) - 1;
+        auto& b = layer.main;
+        b.in_channels = in_c;
+        b.out_channels = 4;
+        b.kernel = 3;
+        b.stride = 1;
+        b.padding = 1;
+        b.weights.resize(static_cast<std::size_t>(in_c * 4 * 9));
+        for (auto& w : b.weights) w = static_cast<std::int8_t>(rng.integer(-127, 127));
+        b.gain.resize(4);
+        b.bias.resize(4);
+        for (auto& g : b.gain) g = static_cast<std::int16_t>(rng.integer(50, 2000));
+        for (auto& h : b.bias) h = static_cast<std::int16_t>(rng.integer(-100, 100));
+        layer.out_channels = 4;
+        layer.out_h = 6;
+        layer.out_w = 6;
+        layer.in_h = 6;
+        layer.in_w = 6;
+        model.layers.push_back(std::move(layer));
+        in_c = 4;
+    }
+
+    snn::SnnLayer fc;
+    fc.op = snn::LayerOp::kLinear;
+    fc.label = "fc";
+    fc.input = 1;
+    fc.spiking = false;
+    fc.main.in_features = 4 * 6 * 6;
+    fc.main.out_features = 4;
+    fc.main.weights.resize(static_cast<std::size_t>(fc.main.in_features * 4));
+    for (auto& w : fc.main.weights) w = static_cast<std::int8_t>(rng.integer(-64, 64));
+    fc.main.gain.assign(4, 256);
+    fc.main.bias.assign(4, 0);
+    fc.out_channels = 4;
+    model.layers.push_back(std::move(fc));
+    model.classes = 4;
+    model.validate();
+    return model;
+}
+
+std::vector<snn::SpikeTrain> random_batch(const snn::SnnModel& model, std::size_t count,
+                                          std::int64_t timesteps, std::uint64_t seed) {
+    std::vector<snn::SpikeTrain> batch;
+    batch.reserve(count);
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+        snn::SpikeTrain train(static_cast<std::size_t>(timesteps),
+                              snn::SpikeMap(model.input_channels, model.input_h,
+                                            model.input_w));
+        for (auto& frame : train) {
+            for (std::int64_t j = 0; j < frame.size(); ++j) {
+                frame.set_flat(j, rng.bernoulli(0.3));
+            }
+        }
+        batch.push_back(std::move(train));
+    }
+    return batch;
+}
+
+std::vector<tensor::Tensor> random_images(const snn::SnnModel& model, std::size_t count,
+                                          std::uint64_t seed) {
+    std::vector<tensor::Tensor> images;
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+        tensor::Tensor img(tensor::Shape{1, model.input_channels, model.input_h,
+                                         model.input_w});
+        for (std::int64_t j = 0; j < img.numel(); ++j) img.flat(j) = rng.uniform();
+        images.push_back(std::move(img));
+    }
+    return images;
+}
+
+void expect_same_core(const core::Response& r, const snn::RunResult& ref) {
+    EXPECT_EQ(r.logits_per_step, ref.logits_per_step);
+    EXPECT_EQ(r.spike_counts, ref.spike_counts);
+    EXPECT_EQ(r.neuron_counts, ref.neuron_counts);
+    EXPECT_EQ(r.timesteps, ref.timesteps);
+}
+
+// ---- the API-equivalence matrix: legacy entry point vs Request form ----
+
+TEST(BackendEquivalence, RunTrainsMatchesRequestForm) {
+    const auto model = small_model(7);
+    const auto batch = random_batch(model, 6, 5, 17);
+    std::vector<core::Request> requests;
+    for (const auto& t : batch) requests.push_back(core::Request::view_train(t));
+
+    for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+        core::BatchRunner legacy(model, {.threads = threads});
+        const auto old_results = legacy.run(batch);
+
+        core::BatchRunner unified(std::make_shared<core::FunctionalBackend>(model),
+                                  {.threads = threads});
+        const auto responses = unified.run(requests);
+
+        ASSERT_EQ(responses.size(), old_results.size());
+        for (std::size_t i = 0; i < responses.size(); ++i) {
+            SCOPED_TRACE("threads=" + std::to_string(threads) + " item=" +
+                         std::to_string(i));
+            expect_same_core(responses[i], old_results[i]);
+        }
+    }
+}
+
+TEST(BackendEquivalence, RunImagesMatchesThermometerRequests) {
+    const auto model = small_model(5);
+    const auto images = random_images(model, 5, 29);
+    const std::int64_t timesteps = 6;
+    std::vector<core::Request> requests;
+    for (const auto& img : images) {
+        requests.push_back(core::Request::view_thermometer(img, timesteps));
+    }
+
+    for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+        core::BatchRunner legacy(model, {.threads = threads});
+        const auto old_results = legacy.run_images(images, timesteps);
+        core::BatchRunner unified(std::make_shared<core::FunctionalBackend>(model),
+                                  {.threads = threads});
+        const auto responses = unified.run(requests);
+        ASSERT_EQ(responses.size(), old_results.size());
+        for (std::size_t i = 0; i < responses.size(); ++i) {
+            SCOPED_TRACE("threads=" + std::to_string(threads) + " item=" +
+                         std::to_string(i));
+            expect_same_core(responses[i], old_results[i]);
+        }
+    }
+}
+
+TEST(BackendEquivalence, RunImagesPoissonMatchesPoissonRequests) {
+    const auto model = small_model(5);
+    const auto images = random_images(model, 7, 43);
+    const std::int64_t timesteps = 6;
+    std::vector<core::Request> requests;
+    for (const auto& img : images) {
+        requests.push_back(core::Request::view_poisson(img, timesteps));
+    }
+
+    for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+        core::BatchRunner legacy(model, {.threads = threads, .seed = 77});
+        const auto old_results = legacy.run_images_poisson(images, timesteps);
+        core::BatchRunner unified(std::make_shared<core::FunctionalBackend>(model),
+                                  {.threads = threads, .seed = 77});
+        const auto responses = unified.run(requests);
+        ASSERT_EQ(responses.size(), old_results.size());
+        for (std::size_t i = 0; i < responses.size(); ++i) {
+            SCOPED_TRACE("threads=" + std::to_string(threads) + " item=" +
+                         std::to_string(i));
+            expect_same_core(responses[i], old_results[i]);
+        }
+    }
+}
+
+TEST(BackendEquivalence, RunSimMatchesSiaBackendRequests) {
+    const auto model = small_model(11);
+    const auto batch = random_batch(model, 5, 4, 31);
+    std::vector<core::Request> requests;
+    for (const auto& t : batch) requests.push_back(core::Request::view_train(t));
+
+    for (const auto schedule :
+         {core::SimSchedule::kResident, core::SimSchedule::kPerItem}) {
+        for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+            SCOPED_TRACE(std::string("schedule=") +
+                         (schedule == core::SimSchedule::kResident ? "resident"
+                                                                   : "per-item") +
+                         " threads=" + std::to_string(threads));
+            core::BatchRunner legacy(model, {.threads = threads});
+            const auto old_results =
+                legacy.run_sim(sim::SiaConfig{}, batch, schedule);
+
+            core::BatchRunner unified(
+                std::make_shared<core::SiaBackend>(model, sim::SiaConfig{}, schedule),
+                {.threads = threads});
+            const auto responses = unified.run(requests);
+
+            ASSERT_EQ(responses.size(), old_results.size());
+            for (std::size_t i = 0; i < responses.size(); ++i) {
+                SCOPED_TRACE("item=" + std::to_string(i));
+                EXPECT_EQ(responses[i].logits_per_step, old_results[i].logits_per_step);
+                EXPECT_EQ(responses[i].spike_counts, old_results[i].spike_counts);
+                EXPECT_EQ(responses[i].neuron_counts, old_results[i].neuron_counts);
+                EXPECT_EQ(responses[i].timesteps, old_results[i].timesteps);
+                // Cycle stats must survive the unified Response intact.
+                ASSERT_EQ(responses[i].layer_stats.size(),
+                          old_results[i].layer_stats.size());
+                EXPECT_EQ(responses[i].total_cycles(), old_results[i].total_cycles());
+            }
+        }
+    }
+}
+
+// ---- the Request/Response surface ----
+
+TEST(BackendApi, ResponseCarriesBackendSpecificExtras) {
+    const auto model = small_model(7);
+    const auto batch = random_batch(model, 2, 4, 17);
+    const std::vector<core::Request> requests = {core::Request::view_train(batch[0]),
+                                                 core::Request::view_train(batch[1])};
+
+    core::BatchRunner functional(std::make_shared<core::FunctionalBackend>(model),
+                                 {.threads = 2});
+    const auto f = functional.run(requests);
+    ASSERT_EQ(f.size(), 2U);
+    EXPECT_FALSE(f[0].layer_dispatch.empty());
+    EXPECT_FALSE(f[0].has_cycle_stats());
+
+    core::BatchRunner sim_runner(std::make_shared<core::SiaBackend>(model),
+                                 {.threads = 2});
+    const auto s = sim_runner.run(requests);
+    ASSERT_EQ(s.size(), 2U);
+    EXPECT_TRUE(s[0].layer_dispatch.empty());
+    EXPECT_TRUE(s[0].has_cycle_stats());
+    EXPECT_GT(s[0].total_cycles(), 0);
+
+    // Shared numerics: both backends agree on logits and spikes.
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(f[i].logits_per_step, s[i].logits_per_step);
+        EXPECT_EQ(f[i].spike_counts, s[i].spike_counts);
+        EXPECT_EQ(f[i].predicted_class(f[i].timesteps - 1),
+                  s[i].predicted_class(s[i].timesteps - 1));
+    }
+}
+
+TEST(BackendApi, MixedEncodingsInOneBatch) {
+    const auto model = small_model(9);
+    const auto batch = random_batch(model, 1, 6, 19);
+    const auto images = random_images(model, 2, 23);
+    const std::int64_t timesteps = 6;
+    const std::uint64_t seed = 91;
+
+    std::vector<core::Request> requests;
+    requests.push_back(core::Request::view_train(batch[0]));
+    requests.push_back(core::Request::view_thermometer(images[0], timesteps));
+    requests.push_back(core::Request::view_poisson(images[1], timesteps));
+
+    core::BatchRunner runner(std::make_shared<core::FunctionalBackend>(model),
+                             {.threads = 2, .seed = seed});
+    const auto responses = runner.run(requests);
+    ASSERT_EQ(responses.size(), 3U);
+
+    snn::FunctionalEngine engine(model);
+    expect_same_core(responses[0], engine.run(batch[0]));
+    expect_same_core(responses[1],
+                     engine.run(snn::encode_thermometer(images[0], timesteps)));
+    util::Rng rng(util::mix_seed(seed, 2));  // stream = batch position 2
+    expect_same_core(responses[2],
+                     engine.run(snn::encode_poisson(images[1], timesteps, rng)));
+}
+
+TEST(BackendApi, RngStreamPinningDecouplesResultsFromBatchPosition) {
+    const auto model = small_model(9);
+    const auto images = random_images(model, 3, 37);
+    const std::int64_t timesteps = 5;
+    core::BatchRunner runner(std::make_shared<core::FunctionalBackend>(model),
+                             {.threads = 2, .seed = 5});
+
+    // Reference: image 2 encoded at batch position 2 (default stream).
+    std::vector<core::Request> plain;
+    for (const auto& img : images) {
+        plain.push_back(core::Request::view_poisson(img, timesteps));
+    }
+    const auto reference = runner.run(plain);
+
+    // Pin image 2's stream to 2, then submit it alone: identical result.
+    auto pinned = core::Request::view_poisson(images[2], timesteps);
+    pinned.rng_stream = 2;
+    const auto alone = runner.run({std::move(pinned)});
+    ASSERT_EQ(alone.size(), 1U);
+    EXPECT_EQ(alone[0].logits_per_step, reference[2].logits_per_step);
+    EXPECT_EQ(alone[0].spike_counts, reference[2].spike_counts);
+}
+
+TEST(BackendApi, OwnedAndBorrowedInputsAreEquivalent) {
+    const auto model = small_model(13);
+    const auto batch = random_batch(model, 2, 4, 41);
+    core::BatchRunner runner(std::make_shared<core::FunctionalBackend>(model),
+                             {.threads = 2});
+
+    std::vector<core::Request> borrowed;
+    for (const auto& t : batch) borrowed.push_back(core::Request::view_train(t));
+    std::vector<core::Request> owned;
+    for (const auto& t : batch) owned.push_back(core::Request::from_train(t));
+
+    const auto a = runner.run(borrowed);
+    const auto b = runner.run(owned);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].logits_per_step, b[i].logits_per_step);
+        EXPECT_EQ(a[i].spike_counts, b[i].spike_counts);
+    }
+}
+
+TEST(BackendApi, MalformedImageRequestThrows) {
+    const auto model = small_model(7);
+    const auto images = random_images(model, 1, 3);
+    core::BatchRunner runner(std::make_shared<core::FunctionalBackend>(model),
+                             {.threads = 1});
+    EXPECT_THROW(
+        (void)runner.run({core::Request::view_thermometer(images[0], 0)}),
+        std::invalid_argument);
+    EXPECT_FALSE(runner.last_stats().completed);
+}
+
+// ---- SiaConfig equality & cache invalidation ----
+
+TEST(SiaConfigKey, EqualityCoversEveryObservableField) {
+    const sim::SiaConfig base;
+    EXPECT_TRUE(base == sim::SiaConfig{});
+
+    sim::SiaConfig pe = base;
+    pe.pe_rows = 16;
+    EXPECT_FALSE(base == pe);
+
+    sim::SiaConfig mmio = base;
+    mmio.mmio_cycles_per_word *= 2;
+    EXPECT_FALSE(base == mmio);
+
+    sim::SiaConfig banks = base;
+    banks.membrane_banks = 8;
+    EXPECT_FALSE(base == banks);
+
+    sim::SiaConfig clock = base;
+    clock.clock_mhz = 200.0;
+    EXPECT_FALSE(base == clock);
+}
+
+TEST(SiaConfigKey, ConfigChangeInvalidatesProgramAndResidentSias) {
+    const auto model = small_model(11);
+    const auto batch = random_batch(model, 3, 4, 31);
+    // One worker: resident-Sia construction then deterministically lands
+    // in the first batch (with more workers, a worker that received no
+    // units builds its simulator in a later batch).
+    core::BatchRunner runner(model, {.threads = 1});
+
+    const sim::SiaConfig config_a;
+    sim::SiaConfig config_b;
+    config_b.mmio_cycles_per_word *= 4;  // slower PS<->PL word transfers
+
+    const auto first_a = runner.run_sim(config_a, batch);
+    EXPECT_GT(runner.last_stats().setup_ms, 0.0);  // compiled + built Sias
+
+    (void)runner.run_sim(config_a, batch);
+    EXPECT_EQ(runner.last_stats().setup_ms, 0.0);  // cache hit: same config
+
+    const auto first_b = runner.run_sim(config_b, batch);
+    EXPECT_GT(runner.last_stats().setup_ms, 0.0);  // recompiled for B
+    // The changed config must actually reach the rebuilt simulators:
+    // identical numerics, different cycle accounting.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(first_b[i].logits_per_step, first_a[i].logits_per_step);
+        EXPECT_GT(first_b[i].total_cycles(), first_a[i].total_cycles());
+    }
+
+    // Switching back is a config change too (single-entry cache).
+    const auto second_a = runner.run_sim(config_a, batch);
+    EXPECT_GT(runner.last_stats().setup_ms, 0.0);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(second_a[i].total_cycles(), first_a[i].total_cycles());
+    }
+}
+
+// ---- BatchStats failure semantics (via a custom backend: the API is
+// open precisely so tests and exotic engines can implement it) ----
+
+class FlakyBackend final : public core::Backend {
+public:
+    explicit FlakyBackend(const snn::SnnModel& model) : Backend(model) {}
+
+    [[nodiscard]] std::string_view name() const noexcept override { return "flaky"; }
+    void prepare(std::size_t) override {}
+    void run_span(std::size_t /*worker*/, std::span<const core::Request> requests,
+                  std::span<core::Response> responses, std::size_t base,
+                  std::uint64_t /*seed*/) override {
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            if (fail_at >= 0 && base + i == static_cast<std::size_t>(fail_at)) {
+                throw std::runtime_error("injected failure");
+            }
+            core::Response r;
+            r.logits_per_step = {{static_cast<std::int64_t>(base + i)}};
+            r.timesteps = 1;
+            responses[i] = std::move(r);
+        }
+    }
+
+    int fail_at = -1;
+};
+
+TEST(BatchStatsSemantics, FailedBatchIsMarkedAndConsistent) {
+    const auto model = small_model(7);
+    auto backend = std::make_shared<FlakyBackend>(model);
+    core::BatchRunner runner(backend, {.threads = 2});
+
+    std::vector<core::Request> requests(8);
+
+    backend->fail_at = 3;
+    EXPECT_THROW((void)runner.run(requests), std::runtime_error);
+    const auto failed = runner.last_stats();
+    EXPECT_FALSE(failed.completed);
+    EXPECT_EQ(failed.inputs, 8U);
+    EXPECT_EQ(failed.threads, 2U);
+    EXPECT_GE(failed.wall_ms, 0.0);
+    EXPECT_GE(failed.run_ms, 0.0);
+    EXPECT_EQ(failed.inputs_per_sec(), 0.0);  // no throughput for a failed batch
+
+    // The next successful batch starts from a clean slate: stats are not
+    // polluted by the failed batch's residue.
+    backend->fail_at = -1;
+    const auto responses = runner.run(requests);
+    ASSERT_EQ(responses.size(), 8U);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+        EXPECT_EQ(responses[i].logits_per_step[0][0], static_cast<std::int64_t>(i));
+    }
+    const auto ok = runner.last_stats();
+    EXPECT_TRUE(ok.completed);
+    EXPECT_EQ(ok.setup_ms, 0.0);
+    EXPECT_GT(ok.inputs_per_sec(), 0.0);
+}
+
+}  // namespace
+}  // namespace sia

@@ -218,7 +218,8 @@ TEST(BatchRunner, BitExactAcrossThreadCounts) {
 TEST(BatchRunner, EmptyBatch) {
     const auto model = small_model(7);
     core::BatchRunner runner(model, {.threads = 2});
-    EXPECT_TRUE(runner.run({}).empty());
+    EXPECT_TRUE(runner.run(std::vector<snn::SpikeTrain>{}).empty());
+    EXPECT_TRUE(runner.run(std::vector<core::Request>{}).empty());
     EXPECT_TRUE(runner.run_images({}, 4).empty());
     EXPECT_EQ(runner.last_stats().inputs, 0U);
 }

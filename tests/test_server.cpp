@@ -1,0 +1,455 @@
+// core::Server tests: concurrent submitters against both backends,
+// queue-full backpressure (reject and block), shutdown-drains-queue,
+// admission batching, latency stats, and the determinism contract —
+// same seed + same arrival order => identical responses, regardless of
+// batch formation, thread count, or backend schedule.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/server.hpp"
+#include "snn/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sia {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---- compact random model/stimulus helpers (mirrors test_batch_runner) ----
+
+snn::SnnModel small_model(std::uint64_t seed) {
+    util::Rng rng(seed);
+    snn::SnnModel model;
+    model.input_channels = 2;
+    model.input_h = 6;
+    model.input_w = 6;
+
+    snn::SnnLayer layer;
+    layer.op = snn::LayerOp::kConv;
+    layer.label = "conv0";
+    layer.input = -1;
+    auto& b = layer.main;
+    b.in_channels = 2;
+    b.out_channels = 4;
+    b.kernel = 3;
+    b.stride = 1;
+    b.padding = 1;
+    b.weights.resize(static_cast<std::size_t>(2 * 4 * 9));
+    for (auto& w : b.weights) w = static_cast<std::int8_t>(rng.integer(-127, 127));
+    b.gain.resize(4);
+    b.bias.resize(4);
+    for (auto& g : b.gain) g = static_cast<std::int16_t>(rng.integer(50, 2000));
+    for (auto& h : b.bias) h = static_cast<std::int16_t>(rng.integer(-100, 100));
+    layer.out_channels = 4;
+    layer.out_h = 6;
+    layer.out_w = 6;
+    layer.in_h = 6;
+    layer.in_w = 6;
+    model.layers.push_back(std::move(layer));
+
+    snn::SnnLayer fc;
+    fc.op = snn::LayerOp::kLinear;
+    fc.label = "fc";
+    fc.input = 0;
+    fc.spiking = false;
+    fc.main.in_features = 4 * 6 * 6;
+    fc.main.out_features = 4;
+    fc.main.weights.resize(static_cast<std::size_t>(fc.main.in_features * 4));
+    for (auto& w : fc.main.weights) w = static_cast<std::int8_t>(rng.integer(-64, 64));
+    fc.main.gain.assign(4, 256);
+    fc.main.bias.assign(4, 0);
+    fc.out_channels = 4;
+    model.layers.push_back(std::move(fc));
+    model.classes = 4;
+    model.validate();
+    return model;
+}
+
+snn::SpikeTrain random_train(const snn::SnnModel& model, std::int64_t timesteps,
+                             std::uint64_t seed) {
+    util::Rng rng(seed);
+    snn::SpikeTrain train(static_cast<std::size_t>(timesteps),
+                          snn::SpikeMap(model.input_channels, model.input_h,
+                                        model.input_w));
+    for (auto& frame : train) {
+        for (std::int64_t j = 0; j < frame.size(); ++j) {
+            frame.set_flat(j, rng.bernoulli(0.3));
+        }
+    }
+    return train;
+}
+
+tensor::Tensor random_image(const snn::SnnModel& model, std::uint64_t seed) {
+    util::Rng rng(seed);
+    tensor::Tensor img(
+        tensor::Shape{1, model.input_channels, model.input_h, model.input_w});
+    for (std::int64_t j = 0; j < img.numel(); ++j) img.flat(j) = rng.uniform();
+    return img;
+}
+
+/// Waits (bounded) for a predicate that another thread flips.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds budget = 2000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() > deadline) return false;
+        std::this_thread::sleep_for(1ms);
+    }
+    return true;
+}
+
+/// Test backend whose run_span blocks until release() — used to hold the
+/// drain loop mid-batch so tests can fill the admission queue
+/// deterministically. Responses echo the request's RNG stream so routing
+/// (future <-> request) is verifiable.
+class GatedBackend final : public core::Backend {
+public:
+    explicit GatedBackend(const snn::SnnModel& model) : Backend(model) {}
+
+    [[nodiscard]] std::string_view name() const noexcept override { return "gated"; }
+    void prepare(std::size_t) override {}
+    void run_span(std::size_t /*worker*/, std::span<const core::Request> requests,
+                  std::span<core::Response> responses, std::size_t base,
+                  std::uint64_t /*seed*/) override {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ++entered_;
+            cv_.wait(lock, [this] { return open_; });
+        }
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            core::Response r;
+            r.logits_per_step = {{static_cast<std::int64_t>(
+                requests[i].rng_stream.value_or(base + i))}};
+            r.timesteps = 1;
+            responses[i] = std::move(r);
+        }
+    }
+
+    void release() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            open_ = true;
+        }
+        cv_.notify_all();
+    }
+    [[nodiscard]] int entered() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return entered_;
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool open_ = false;
+    int entered_ = 0;
+};
+
+// ---- serving correctness under concurrency, per backend ----
+
+TEST(Server, ConcurrentSubmittersFunctionalBackend) {
+    const auto model = small_model(7);
+    constexpr std::size_t kSubmitters = 4;
+    constexpr std::size_t kPerSubmitter = 6;
+
+    // Sequential references, one engine, per submitter x request.
+    snn::FunctionalEngine engine(model);
+    std::vector<std::vector<snn::SpikeTrain>> trains(kSubmitters);
+    std::vector<std::vector<snn::RunResult>> reference(kSubmitters);
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+        for (std::size_t i = 0; i < kPerSubmitter; ++i) {
+            trains[s].push_back(random_train(model, 4, 100 * s + i));
+            reference[s].push_back(engine.run(trains[s][i]));
+        }
+    }
+
+    core::Server server(std::make_shared<core::FunctionalBackend>(model),
+                        {.threads = 2, .max_batch = 4, .max_wait_us = 200});
+    std::vector<std::thread> submitters;
+    std::vector<std::vector<std::future<core::Response>>> futures(kSubmitters);
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&, s] {
+            for (std::size_t i = 0; i < kPerSubmitter; ++i) {
+                futures[s].push_back(
+                    server.submit(core::Request::view_train(trains[s][i])));
+            }
+        });
+    }
+    for (auto& t : submitters) t.join();
+
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+        for (std::size_t i = 0; i < kPerSubmitter; ++i) {
+            SCOPED_TRACE("submitter=" + std::to_string(s) + " item=" +
+                         std::to_string(i));
+            const auto response = futures[s][i].get();
+            EXPECT_EQ(response.logits_per_step, reference[s][i].logits_per_step);
+            EXPECT_EQ(response.spike_counts, reference[s][i].spike_counts);
+        }
+    }
+
+    server.shutdown();
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.submitted, kSubmitters * kPerSubmitter);
+    EXPECT_EQ(stats.completed, kSubmitters * kPerSubmitter);
+    EXPECT_EQ(stats.rejected, 0U);
+    EXPECT_EQ(stats.failed, 0U);
+    EXPECT_EQ(stats.latency_us.count(), kSubmitters * kPerSubmitter);
+    EXPECT_GT(stats.latency_us.p50(), 0.0);
+    EXPECT_LE(stats.latency_us.p50(), stats.latency_us.p99());
+    EXPECT_GE(stats.batches, 1U);
+}
+
+TEST(Server, ConcurrentSubmittersSiaBackend) {
+    const auto model = small_model(11);
+    constexpr std::size_t kSubmitters = 2;
+    constexpr std::size_t kPerSubmitter = 3;
+
+    snn::FunctionalEngine engine(model);
+    std::vector<std::vector<snn::SpikeTrain>> trains(kSubmitters);
+    std::vector<std::vector<snn::RunResult>> reference(kSubmitters);
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+        for (std::size_t i = 0; i < kPerSubmitter; ++i) {
+            trains[s].push_back(random_train(model, 3, 7 * s + i + 1));
+            reference[s].push_back(engine.run(trains[s][i]));
+        }
+    }
+
+    core::Server server(std::make_shared<core::SiaBackend>(model),
+                        {.threads = 2, .max_batch = 3, .max_wait_us = 200});
+    std::vector<std::thread> submitters;
+    std::vector<std::vector<std::future<core::Response>>> futures(kSubmitters);
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&, s] {
+            for (std::size_t i = 0; i < kPerSubmitter; ++i) {
+                futures[s].push_back(
+                    server.submit(core::Request::view_train(trains[s][i])));
+            }
+        });
+    }
+    for (auto& t : submitters) t.join();
+
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+        for (std::size_t i = 0; i < kPerSubmitter; ++i) {
+            SCOPED_TRACE("submitter=" + std::to_string(s) + " item=" +
+                         std::to_string(i));
+            const auto response = futures[s][i].get();
+            // Shared numerics with the functional reference, plus the
+            // cycle stats only the simulated accelerator produces.
+            EXPECT_EQ(response.logits_per_step, reference[s][i].logits_per_step);
+            EXPECT_EQ(response.spike_counts, reference[s][i].spike_counts);
+            EXPECT_TRUE(response.has_cycle_stats());
+            EXPECT_GT(response.total_cycles(), 0);
+        }
+    }
+    server.shutdown();
+    EXPECT_EQ(server.stats().completed, kSubmitters * kPerSubmitter);
+}
+
+// ---- backpressure ----
+
+TEST(Server, RejectPolicyShedsLoadWhenQueueFull) {
+    const auto model = small_model(7);
+    auto backend = std::make_shared<GatedBackend>(model);
+    core::Server server(backend, {.threads = 1,
+                                  .max_queue = 2,
+                                  .max_batch = 1,
+                                  .max_wait_us = 0,
+                                  .backpressure = core::BackpressurePolicy::kReject});
+
+    // First request is dequeued into the (gated) in-flight batch...
+    auto f0 = server.submit(core::Request{});
+    ASSERT_TRUE(eventually([&] { return backend->entered() >= 1; }));
+    ASSERT_TRUE(eventually([&] { return server.queue_depth() == 0; }));
+
+    // ...then the queue fills to max_queue...
+    auto f1 = server.submit(core::Request{});
+    auto f2 = server.submit(core::Request{});
+    ASSERT_EQ(server.queue_depth(), 2U);
+
+    // ...and the next submissions are shed, not blocked.
+    EXPECT_FALSE(server.try_submit(core::Request{}).has_value());
+    EXPECT_THROW((void)server.submit(core::Request{}), std::runtime_error);
+
+    backend->release();
+    EXPECT_EQ(f0.get().logits_per_step[0][0], 0);
+    EXPECT_EQ(f1.get().logits_per_step[0][0], 1);
+    EXPECT_EQ(f2.get().logits_per_step[0][0], 2);
+
+    server.shutdown();
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.submitted, 3U);
+    EXPECT_EQ(stats.completed, 3U);
+    EXPECT_EQ(stats.rejected, 2U);
+}
+
+TEST(Server, BlockPolicyWaitsForSpaceInsteadOfRejecting) {
+    const auto model = small_model(7);
+    auto backend = std::make_shared<GatedBackend>(model);
+    core::Server server(backend, {.threads = 1,
+                                  .max_queue = 1,
+                                  .max_batch = 1,
+                                  .max_wait_us = 0,
+                                  .backpressure = core::BackpressurePolicy::kBlock});
+
+    auto f0 = server.submit(core::Request{});
+    ASSERT_TRUE(eventually([&] { return server.queue_depth() == 0; }));
+    auto f1 = server.submit(core::Request{});  // fills the queue
+
+    // A third submission must block (not throw, not drop).
+    std::atomic<bool> submitted{false};
+    std::future<core::Response> f2;
+    std::thread blocked([&] {
+        f2 = server.submit(core::Request{});
+        submitted.store(true);
+    });
+    std::this_thread::sleep_for(50ms);
+    EXPECT_FALSE(submitted.load());  // still waiting for space
+
+    backend->release();  // drain; space frees; the blocked submit proceeds
+    ASSERT_TRUE(eventually([&] { return submitted.load(); }));
+    blocked.join();
+
+    EXPECT_EQ(f0.get().logits_per_step[0][0], 0);
+    EXPECT_EQ(f1.get().logits_per_step[0][0], 1);
+    EXPECT_EQ(f2.get().logits_per_step[0][0], 2);
+    server.shutdown();
+    EXPECT_EQ(server.stats().rejected, 0U);
+    EXPECT_EQ(server.stats().completed, 3U);
+}
+
+// ---- shutdown ----
+
+TEST(Server, ShutdownDrainsEveryQueuedRequest) {
+    const auto model = small_model(7);
+    auto backend = std::make_shared<GatedBackend>(model);
+    core::Server server(backend, {.threads = 1,
+                                  .max_queue = 16,
+                                  .max_batch = 2,
+                                  .max_wait_us = 0});
+
+    std::vector<std::future<core::Response>> futures;
+    for (int i = 0; i < 7; ++i) futures.push_back(server.submit(core::Request{}));
+    ASSERT_TRUE(eventually([&] { return backend->entered() >= 1; }));
+
+    // Release the gate concurrently with shutdown: shutdown must block
+    // until the whole queue has drained through the backend.
+    std::thread releaser([&] {
+        std::this_thread::sleep_for(20ms);
+        backend->release();
+    });
+    server.shutdown();
+    releaser.join();
+
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        ASSERT_EQ(futures[i].wait_for(0s), std::future_status::ready) << i;
+        EXPECT_EQ(futures[i].get().logits_per_step[0][0],
+                  static_cast<std::int64_t>(i));
+    }
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.completed, 7U);
+    EXPECT_EQ(stats.failed, 0U);
+    EXPECT_EQ(server.queue_depth(), 0U);
+}
+
+TEST(Server, SubmitAfterShutdownIsRefused) {
+    const auto model = small_model(7);
+    core::Server server(std::make_shared<core::FunctionalBackend>(model),
+                        {.threads = 1});
+    server.shutdown();
+    EXPECT_TRUE(server.stopping());
+    EXPECT_FALSE(server.try_submit(core::Request{}).has_value());
+    EXPECT_THROW((void)server.submit(core::Request{}), std::runtime_error);
+    EXPECT_EQ(server.stats().rejected, 2U);
+    server.shutdown();  // idempotent
+}
+
+// ---- admission batching ----
+
+TEST(Server, AdmissionWindowFormsMultiRequestBatches) {
+    const auto model = small_model(7);
+    auto backend = std::make_shared<GatedBackend>(model);
+    core::Server server(backend, {.threads = 1,
+                                  .max_queue = 16,
+                                  .max_batch = 8,
+                                  .max_wait_us = 0});
+
+    // While the gate holds the first dispatch, six more requests queue
+    // up; the next batch must take all of them at once.
+    auto f0 = server.submit(core::Request{});
+    ASSERT_TRUE(eventually([&] { return backend->entered() >= 1; }));
+    std::vector<std::future<core::Response>> rest;
+    for (int i = 0; i < 6; ++i) rest.push_back(server.submit(core::Request{}));
+    ASSERT_EQ(server.queue_depth(), 6U);
+
+    backend->release();
+    (void)f0.get();
+    for (auto& f : rest) (void)f.get();
+    server.shutdown();
+
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.completed, 7U);
+    EXPECT_EQ(stats.batches, 2U);  // {f0}, then the six queued together
+    EXPECT_GT(stats.mean_batch_size(), 1.0);
+}
+
+// ---- determinism ----
+
+TEST(Server, SameSeedSameArrivalOrderSameResponses) {
+    const auto model = small_model(9);
+    const std::int64_t timesteps = 5;
+    std::vector<tensor::Tensor> images;
+    for (int i = 0; i < 12; ++i) images.push_back(random_image(model, 50 + i));
+
+    // Two servers with wildly different batch formation (thread counts,
+    // batch caps, admission windows, backends' dispatch) must produce
+    // bit-identical responses for the same seed and arrival order,
+    // because RNG streams are pinned to the admission sequence.
+    const auto run_server = [&](core::ServerOptions opts) {
+        opts.seed = 2024;
+        core::Server server(std::make_shared<core::FunctionalBackend>(model), opts);
+        std::vector<std::future<core::Response>> futures;
+        for (const auto& img : images) {
+            futures.push_back(
+                server.submit(core::Request::view_poisson(img, timesteps)));
+        }
+        std::vector<core::Response> responses;
+        for (auto& f : futures) responses.push_back(f.get());
+        server.shutdown();
+        return responses;
+    };
+
+    const auto a = run_server({.threads = 1, .max_batch = 1, .max_wait_us = 0});
+    const auto b = run_server({.threads = 4, .max_batch = 8, .max_wait_us = 2000});
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("item=" + std::to_string(i));
+        EXPECT_EQ(a[i].logits_per_step, b[i].logits_per_step);
+        EXPECT_EQ(a[i].spike_counts, b[i].spike_counts);
+    }
+
+    // And the server path equals the plain batch path with pinned
+    // streams — the serving loop adds no hidden nondeterminism.
+    core::BatchRunner runner(std::make_shared<core::FunctionalBackend>(model),
+                             {.threads = 2, .seed = 2024});
+    std::vector<core::Request> requests;
+    for (const auto& img : images) {
+        requests.push_back(core::Request::view_poisson(img, timesteps));
+    }
+    const auto direct = runner.run(requests);
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+        EXPECT_EQ(a[i].logits_per_step, direct[i].logits_per_step);
+    }
+}
+
+}  // namespace
+}  // namespace sia

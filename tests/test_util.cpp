@@ -1,8 +1,10 @@
 // Tests for stats, table, CSV and RNG utilities.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -67,6 +69,87 @@ TEST(Histogram, CdfMonotone) {
 TEST(Histogram, RejectsBadRange) {
     EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
     EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(StreamingHistogram, QuantilesWithinBucketResolution) {
+    StreamingHistogram h;  // defaults: [1, 1e9), 64 bins/decade (~3.7%)
+    for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 1000U);
+    // quantile() reports the upper bucket edge, so it never understates
+    // the true quantile and overstates by at most one bucket (~3.7%).
+    EXPECT_GE(h.p50(), 500.0);
+    EXPECT_LE(h.p50(), 500.0 * 1.04);
+    EXPECT_GE(h.p95(), 950.0);
+    EXPECT_LE(h.p95(), 950.0 * 1.04);
+    EXPECT_GE(h.p99(), 990.0);
+    EXPECT_LE(h.p99(), 990.0 * 1.04);
+    EXPECT_LE(h.p50(), h.p95());
+    EXPECT_LE(h.p95(), h.p99());
+    // Exact (non-bucketed) scalar summaries.
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+}
+
+TEST(StreamingHistogram, EmptyAndReset) {
+    StreamingHistogram h;
+    EXPECT_EQ(h.count(), 0U);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    h.add(42.0);
+    EXPECT_EQ(h.count(), 1U);
+    h.reset();
+    EXPECT_EQ(h.count(), 0U);
+    EXPECT_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(StreamingHistogram, ClampsOutOfRangeValues) {
+    StreamingHistogram h(1.0, 1e3, 8);
+    h.add(0.0);     // non-positive -> first bucket
+    h.add(-5.0);    // non-positive -> first bucket
+    h.add(1e9);     // beyond hi -> last bucket
+    EXPECT_EQ(h.count(), 3U);
+    // First bucket's upper edge is 10^(1/8); last bucket's is 1e3.
+    EXPECT_LE(h.quantile(0.5), std::pow(10.0, 1.0 / 8.0) + 1e-12);
+    EXPECT_NEAR(h.quantile(1.0), 1e3, 1e-9);
+    EXPECT_DOUBLE_EQ(h.max(), 1e9);  // exact extremes are not clamped
+}
+
+TEST(StreamingHistogram, MergeEqualsCombinedStream) {
+    StreamingHistogram a;
+    StreamingHistogram b;
+    StreamingHistogram all;
+    Rng rng(7);
+    for (int i = 0; i < 400; ++i) {
+        const double x = std::exp(static_cast<double>(rng.uniform(0.0F, 12.0F)));
+        ((i % 2 == 0) ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+        EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    // Mean sums in a different order (a's total + b's total), so allow
+    // floating-point non-associativity.
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9 * all.mean());
+}
+
+TEST(StreamingHistogram, MergeRejectsMismatchedGeometry) {
+    StreamingHistogram a(1.0, 1e6, 32);
+    StreamingHistogram b(1.0, 1e6, 64);
+    StreamingHistogram c(10.0, 1e6, 32);
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+    EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(StreamingHistogram, RejectsBadConstruction) {
+    EXPECT_THROW(StreamingHistogram(0.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(StreamingHistogram(10.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(StreamingHistogram(1.0, 10.0, 0), std::invalid_argument);
 }
 
 TEST(Rng, Deterministic) {
