@@ -51,6 +51,11 @@ int main() {
     const std::size_t batch_size = 32;
     const std::int64_t timesteps = 8;
     const auto batch = make_batch(model, batch_size, timesteps);
+    std::vector<core::Request> requests;
+    requests.reserve(batch.size());
+    for (const auto& train : batch) {
+        requests.push_back(core::Request::view_train(train));
+    }
 
     // Sequential reference.
     snn::FunctionalEngine engine(model);
@@ -70,7 +75,7 @@ int main() {
     bool all_exact = true;
     for (const std::size_t threads : {1UL, 2UL, 4UL, 8UL}) {
         core::BatchRunner runner(model, {.threads = threads});
-        const auto results = runner.run(batch);
+        const auto results = runner.run(requests);
         const auto& stats = runner.last_stats();
 
         bool exact = results.size() == reference.size();
@@ -94,11 +99,16 @@ int main() {
         for (std::int64_t j = 0; j < img.numel(); ++j) img.flat(j) = img_rng.uniform();
         images.push_back(std::move(img));
     }
+    std::vector<core::Request> poisson_requests;
+    poisson_requests.reserve(images.size());
+    for (const auto& img : images) {
+        poisson_requests.push_back(core::Request::view_poisson(img, timesteps));
+    }
     core::BatchRunner ref_runner(model, {.threads = 1});
-    const auto poisson_ref = ref_runner.run_images_poisson(images, timesteps);
+    const auto poisson_ref = ref_runner.run(poisson_requests);
     for (const std::size_t threads : {2UL, 8UL}) {
         core::BatchRunner runner(model, {.threads = threads});
-        const auto results = runner.run_images_poisson(images, timesteps);
+        const auto results = runner.run(poisson_requests);
         bool exact = results.size() == poisson_ref.size();
         for (std::size_t i = 0; exact && i < results.size(); ++i) {
             exact = results[i].logits_per_step == poisson_ref[i].logits_per_step;
@@ -116,6 +126,11 @@ int main() {
     const std::size_t sim_batch_size = 16;
     const std::vector<snn::SpikeTrain> sim_batch(
         batch.begin(), batch.begin() + static_cast<std::ptrdiff_t>(sim_batch_size));
+    std::vector<core::Request> sim_requests;
+    sim_requests.reserve(sim_batch.size());
+    for (const auto& train : sim_batch) {
+        sim_requests.push_back(core::Request::view_train(train));
+    }
     const sim::SiaConfig sia_config;
 
     // Sequential reference: one resident instance, inputs one at a time
@@ -128,7 +143,7 @@ int main() {
     for (const auto& train : sim_batch) sim_ref.push_back(ref_sia.run(train));
     const double sim_seq_ms = sim_seq_timer.millis();
 
-    const auto sim_exact = [&](const std::vector<sim::SiaRunResult>& results) {
+    const auto sim_exact = [&](const std::vector<core::Response>& results) {
         if (results.size() != sim_ref.size()) return false;
         for (std::size_t i = 0; i < results.size(); ++i) {
             if (results[i].logits_per_step != sim_ref[i].logits_per_step ||
@@ -140,7 +155,7 @@ int main() {
         return true;
     };
 
-    util::Table sim_table("run_sim schedules, VGG-11 w=8, batch=16, T=8");
+    util::Table sim_table("SiaBackend schedules, VGG-11 w=8, batch=16, T=8");
     sim_table.header({"schedule", "threads", "wall_ms", "inputs/s", "setup_ms",
                       "run_ms", "bit_exact"});
     sim_table.row({"seq run()", "-", util::cell(sim_seq_ms, 1),
@@ -150,11 +165,13 @@ int main() {
 
     sim::SiaBatchStats residency{};
     for (const std::size_t threads : {1UL, 4UL}) {
-        core::BatchRunner runner(model, {.threads = threads});
         for (const auto schedule :
              {core::SimSchedule::kPerItem, core::SimSchedule::kResident}) {
             const bool resident = schedule == core::SimSchedule::kResident;
-            const auto results = runner.run_sim(sia_config, sim_batch, schedule);
+            core::BatchRunner runner(
+                std::make_shared<core::SiaBackend>(model, sia_config, schedule),
+                {.threads = threads});
+            const auto results = runner.run(sim_requests);
             const auto& stats = runner.last_stats();
             const bool exact = sim_exact(results);
             all_exact = all_exact && exact;

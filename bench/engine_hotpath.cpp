@@ -1,12 +1,16 @@
 // FunctionalEngine hot-path bench: dense gather vs scatter vs
 // density-adaptive kernel dispatch, swept over spike density x layer
-// shape (VGG-11 / ResNet-18 conv blocks + a pool-unrolled-style FC).
+// shape (VGG-11 / ResNet-18 conv blocks + a pool-unrolled-style FC),
+// plus the fire-stage sweep — scalar per-neuron loop vs the fused
+// vectorized aggregate+fire kernels, both under adaptive dispatch.
 //
 // Prints steps/s per (shape, density, mode) and emits machine-readable
-// BENCH_ENGINE.json. With --check, exits nonzero if adaptive dispatch
-// is slower than dense at 5% density on any conv shape (the CI
-// perf-smoke gate: at paper-realistic spike rates the event-driven
-// path must never lose to the dense scan).
+// BENCH_ENGINE.json (dispatch rows in "results", the fire-stage sweep
+// in "fire_results"). With --check, exits nonzero if, on any conv
+// shape at 5% density, adaptive dispatch is slower than dense OR the
+// fused fire stage is slower than the scalar baseline (the CI
+// perf-smoke gates: at paper-realistic spike rates neither
+// optimization may regress below its baseline).
 //
 // Flags: --quick (reduced sweep), --check, --out <path>,
 //        --min-ms <per-measurement milliseconds>.
@@ -139,6 +143,11 @@ struct ResultRow {
     double scatter_sps = 0.0;
     double adaptive_sps = 0.0;
     double adaptive_scatter_fraction = 0.0;
+    /// Fire-stage sweep (both under adaptive psum dispatch): the scalar
+    /// per-neuron loop vs the fused vector kernels. vector_fire_sps is
+    /// the same configuration as adaptive_sps and reuses its reading.
+    double scalar_fire_sps = 0.0;
+    double vector_fire_sps = 0.0;
 };
 
 void write_json(const std::string& path, const std::vector<ResultRow>& rows, bool quick,
@@ -163,6 +172,17 @@ void write_json(const std::string& path, const std::vector<ResultRow>& rows, boo
             << ", \"adaptive_scatter_fraction\": " << r.adaptive_scatter_fraction
             << ", \"scatter_speedup\": " << (r.dense_sps > 0 ? r.scatter_sps / r.dense_sps : 0.0)
             << ", \"adaptive_speedup\": " << (r.dense_sps > 0 ? r.adaptive_sps / r.dense_sps : 0.0)
+            << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"fire_results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ResultRow& r = rows[i];
+        out << "    {\"shape\": \"" << r.shape << "\", \"kind\": \""
+            << (r.conv ? "conv" : "linear") << "\", \"density\": " << r.density
+            << ", \"scalar_fire_steps_per_sec\": " << r.scalar_fire_sps
+            << ", \"vector_fire_steps_per_sec\": " << r.vector_fire_sps
+            << ", \"fire_speedup\": "
+            << (r.scalar_fire_sps > 0 ? r.vector_fire_sps / r.scalar_fire_sps : 0.0)
             << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
@@ -213,9 +233,11 @@ int main(int argc, char** argv) {
         densities = {0.05, 0.25};
     }
 
-    const snn::EngineConfig adaptive;  // defaults: kAdaptive + calibrated threshold
+    const snn::EngineConfig adaptive;  // defaults: kAdaptive + vector fire
+    const snn::EngineConfig scalar_fire{.fire = snn::FirePath::kScalar};
     std::cout << "==============================================================\n"
-              << "Engine hot path: dense vs scatter vs adaptive dispatch\n"
+              << "Engine hot path: dense vs scatter vs adaptive dispatch,\n"
+              << "scalar vs fused-vector fire stage\n"
               << "(steps/s of FunctionalEngine::step, T=16 inputs per pass,\n"
               << " adaptive threshold " << adaptive.scatter_density_threshold << ")\n"
               << "==============================================================\n";
@@ -224,6 +246,9 @@ int main(int argc, char** argv) {
     util::Table table("engine_hotpath" + std::string(quick ? " (quick)" : ""));
     table.header({"shape", "density", "dense st/s", "scatter st/s", "adaptive st/s",
                   "adapt path", "speedup"});
+    util::Table fire_table("fire stage: scalar loop vs fused vector kernels "
+                           "(adaptive dispatch)");
+    fire_table.header({"shape", "density", "scalar st/s", "vector st/s", "speedup"});
 
     bool check_failed = false;
     for (const BenchShape& shape : shapes) {
@@ -252,31 +277,51 @@ int main(int argc, char** argv) {
             const Measurement ad = measure(model, adaptive, inputs, min_ms);
             row.adaptive_sps = ad.steps_per_sec;
             row.adaptive_scatter_fraction = ad.scatter_fraction;
+            // Fire-stage sweep: same adaptive psum dispatch, scalar
+            // fire loop vs the fused kernels (= the adaptive reading).
+            row.scalar_fire_sps = measure(model, scalar_fire, inputs, min_ms).steps_per_sec;
+            row.vector_fire_sps = row.adaptive_sps;
             rows.push_back(row);
 
             table.row({shape.name, util::cell(density, 2), util::cell(row.dense_sps, 0),
                        util::cell(row.scatter_sps, 0), util::cell(row.adaptive_sps, 0),
                        ad.scatter_fraction >= 0.5 ? "scatter" : "dense",
                        util::cell(row.adaptive_sps / row.dense_sps, 2) + "x"});
+            fire_table.row({shape.name, util::cell(density, 2),
+                            util::cell(row.scalar_fire_sps, 0),
+                            util::cell(row.vector_fire_sps, 0),
+                            util::cell(row.vector_fire_sps / row.scalar_fire_sps, 2) +
+                                "x"});
 
-            if (check && shape.conv && density <= 0.05 + 1e-9 &&
-                row.adaptive_sps < row.dense_sps) {
-                check_failed = true;
-                std::cerr << "CHECK FAILED: adaptive (" << row.adaptive_sps
-                          << " steps/s) slower than dense (" << row.dense_sps
-                          << " steps/s) on " << shape.name << " at density " << density
-                          << "\n";
+            if (check && shape.conv && density <= 0.05 + 1e-9) {
+                if (row.adaptive_sps < row.dense_sps) {
+                    check_failed = true;
+                    std::cerr << "CHECK FAILED: adaptive (" << row.adaptive_sps
+                              << " steps/s) slower than dense (" << row.dense_sps
+                              << " steps/s) on " << shape.name << " at density "
+                              << density << "\n";
+                }
+                if (row.vector_fire_sps < row.scalar_fire_sps) {
+                    check_failed = true;
+                    std::cerr << "CHECK FAILED: fused fire (" << row.vector_fire_sps
+                              << " steps/s) slower than scalar fire ("
+                              << row.scalar_fire_sps << " steps/s) on " << shape.name
+                              << " at density " << density << "\n";
+                }
             }
         }
         table.separator();
+        fire_table.separator();
     }
     table.print(std::cout);
+    fire_table.print(std::cout);
 
     write_json(out_path, rows, quick, adaptive.scatter_density_threshold);
     std::cout << "wrote " << out_path << "\n";
 
     if (check_failed) {
-        std::cerr << "FATAL: adaptive dispatch lost to dense at <=5% density\n";
+        std::cerr << "FATAL: a hot-path optimization lost to its baseline at <=5% "
+                     "density (see CHECK FAILED lines)\n";
         return EXIT_FAILURE;
     }
     return EXIT_SUCCESS;

@@ -61,12 +61,8 @@ Request Request::view_poisson(const tensor::Tensor& img, std::int64_t timesteps)
 // --------------------------------------------------------------- Response
 
 std::int64_t Response::predicted_class(std::int64_t t) const {
-    const auto& logits = logits_per_step.at(static_cast<std::size_t>(t));
-    std::size_t best = 0;
-    for (std::size_t j = 1; j < logits.size(); ++j) {
-        if (logits[j] > logits[best]) best = j;
-    }
-    return static_cast<std::int64_t>(best);
+    return static_cast<std::int64_t>(
+        snn::argmax_first(logits_per_step.at(static_cast<std::size_t>(t))));
 }
 
 std::int64_t Response::total_cycles() const noexcept {
@@ -93,26 +89,6 @@ Response Response::from(sim::SiaRunResult r) {
     resp.layer_stats = std::move(r.layer_stats);
     resp.timesteps = r.timesteps;
     return resp;
-}
-
-snn::RunResult Response::into_run_result() && {
-    snn::RunResult r;
-    r.logits_per_step = std::move(logits_per_step);
-    r.spike_counts = std::move(spike_counts);
-    r.neuron_counts = std::move(neuron_counts);
-    r.layer_dispatch = std::move(layer_dispatch);
-    r.timesteps = timesteps;
-    return r;
-}
-
-sim::SiaRunResult Response::into_sia_result() && {
-    sim::SiaRunResult r;
-    r.logits_per_step = std::move(logits_per_step);
-    r.spike_counts = std::move(spike_counts);
-    r.neuron_counts = std::move(neuron_counts);
-    r.layer_stats = std::move(layer_stats);
-    r.timesteps = timesteps;
-    return r;
 }
 
 // ---------------------------------------------------------------- Backend

@@ -114,9 +114,6 @@ struct Response {
 
     [[nodiscard]] static Response from(snn::RunResult r);
     [[nodiscard]] static Response from(sim::SiaRunResult r);
-    /// Legacy-view conversions (the deprecated BatchRunner shims).
-    [[nodiscard]] snn::RunResult into_run_result() &&;
-    [[nodiscard]] sim::SiaRunResult into_sia_result() &&;
 };
 
 /// How a sim backend maps requests onto simulated accelerator instances.

@@ -30,16 +30,6 @@ Backend& BatchRunner::functional_backend() {
     return *backend_;
 }
 
-SiaBackend& BatchRunner::sia_backend(const sim::SiaConfig& config) {
-    // Keyed on SiaConfig::operator== (every field participates): any
-    // changed field rebuilds the backend, which drops the compiled
-    // program and the resident simulators together.
-    if (!sia_backend_ || !(sia_backend_->config() == config)) {
-        sia_backend_ = std::make_unique<SiaBackend>(model_, config);
-    }
-    return *sia_backend_;
-}
-
 std::vector<Response> BatchRunner::run(const std::vector<Request>& requests) {
     return run(functional_backend(), requests);
 }
@@ -101,68 +91,6 @@ std::vector<Response> BatchRunner::run(Backend& backend,
     finalize(/*completed=*/true);
     sim_batch_stats_ = backend.take_sim_batch_stats();
     return responses;
-}
-
-// ------------------------------------------------------------------------
-// Deprecated legacy shims: build view Requests, run the unified path,
-// unwrap the Responses. Every shim is bit-identical to its Request-form
-// replacement by construction (asserted by the equivalence matrix in
-// tests/test_backend.cpp).
-// ------------------------------------------------------------------------
-
-std::vector<snn::RunResult> BatchRunner::run(
-    const std::vector<snn::SpikeTrain>& inputs) {
-    std::vector<Request> requests;
-    requests.reserve(inputs.size());
-    for (const auto& train : inputs) requests.push_back(Request::view_train(train));
-    auto responses = run(functional_backend(), requests);
-    std::vector<snn::RunResult> results;
-    results.reserve(responses.size());
-    for (auto& r : responses) results.push_back(std::move(r).into_run_result());
-    return results;
-}
-
-std::vector<snn::RunResult> BatchRunner::run_images(
-    const std::vector<tensor::Tensor>& images, std::int64_t timesteps) {
-    std::vector<Request> requests;
-    requests.reserve(images.size());
-    for (const auto& img : images) {
-        requests.push_back(Request::view_thermometer(img, timesteps));
-    }
-    auto responses = run(functional_backend(), requests);
-    std::vector<snn::RunResult> results;
-    results.reserve(responses.size());
-    for (auto& r : responses) results.push_back(std::move(r).into_run_result());
-    return results;
-}
-
-std::vector<snn::RunResult> BatchRunner::run_images_poisson(
-    const std::vector<tensor::Tensor>& images, std::int64_t timesteps) {
-    std::vector<Request> requests;
-    requests.reserve(images.size());
-    for (const auto& img : images) {
-        requests.push_back(Request::view_poisson(img, timesteps));
-    }
-    auto responses = run(functional_backend(), requests);
-    std::vector<snn::RunResult> results;
-    results.reserve(responses.size());
-    for (auto& r : responses) results.push_back(std::move(r).into_run_result());
-    return results;
-}
-
-std::vector<sim::SiaRunResult> BatchRunner::run_sim(
-    const sim::SiaConfig& config, const std::vector<snn::SpikeTrain>& inputs,
-    SimSchedule schedule) {
-    SiaBackend& backend = sia_backend(config);
-    backend.set_schedule(schedule);
-    std::vector<Request> requests;
-    requests.reserve(inputs.size());
-    for (const auto& train : inputs) requests.push_back(Request::view_train(train));
-    auto responses = run(backend, requests);
-    std::vector<sim::SiaRunResult> results;
-    results.reserve(responses.size());
-    for (auto& r : responses) results.push_back(std::move(r).into_sia_result());
-    return results;
 }
 
 }  // namespace sia::core

@@ -21,11 +21,11 @@
 //     from the batch seed and the request's stream index — never from a
 //     shared or worker-keyed stream.
 //
-// Legacy surface (deprecated, removed next PR): the four bespoke entry
-// points run / run_images / run_images_poisson / run_sim predate the
-// Request API. They are kept as thin shims over run(requests) — bit-
-// identical to their replacements (asserted by tests/test_backend.cpp's
-// equivalence matrix); see docs/ARCHITECTURE.md §6 for migration notes.
+// The four bespoke pre-Request entry points (run(trains) / run_images /
+// run_images_poisson / run_sim) were deprecated in the PR that
+// introduced this API and are now removed; build Requests with the
+// view_*/from_* factories and pick the backend at construction time
+// (migration table in docs/ARCHITECTURE.md §6).
 #pragma once
 
 #include <cstddef>
@@ -34,12 +34,8 @@
 #include <vector>
 
 #include "core/backend.hpp"
-#include "sim/config.hpp"
-#include "sim/sia.hpp"
 #include "snn/engine.hpp"
 #include "snn/model.hpp"
-#include "snn/spike.hpp"
-#include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -94,12 +90,9 @@ public:
     /// by concurrently-running runners.
     BatchRunner(std::shared_ptr<Backend> backend, BatchOptions options = {});
 
-    /// Legacy-compatible form: anchors the runner on `model` (must
-    /// outlive the runner) and builds a FunctionalBackend internally on
-    /// first use; run_sim shims maintain a SiaBackend cache keyed on
-    /// SiaConfig::operator== (a changed config field reliably
-    /// invalidates both the compiled program and the resident
-    /// simulators, which live inside the cached backend).
+    /// Model-anchored form: anchors the runner on `model` (must outlive
+    /// the runner) and builds a FunctionalBackend internally on first
+    /// use, configured from BatchOptions::engine.
     explicit BatchRunner(const snn::SnnModel& model, BatchOptions options = {});
     ~BatchRunner();
 
@@ -116,31 +109,8 @@ public:
     [[nodiscard]] std::vector<Response> run(Backend& backend,
                                             const std::vector<Request>& requests);
 
-    // ------------------------------------------------------------------
-    // Deprecated legacy entry points — thin shims over run(requests),
-    // kept for one PR. Migration: build Requests with the view_*
-    // factories and pick the backend at construction time.
-    // ------------------------------------------------------------------
-
-    /// Deprecated: use run(requests) with Request::view_train.
-    [[nodiscard]] std::vector<snn::RunResult> run(
-        const std::vector<snn::SpikeTrain>& inputs);
-
-    /// Deprecated: use run(requests) with Request::view_thermometer.
-    [[nodiscard]] std::vector<snn::RunResult> run_images(
-        const std::vector<tensor::Tensor>& images, std::int64_t timesteps);
-
-    /// Deprecated: use run(requests) with Request::view_poisson.
-    [[nodiscard]] std::vector<snn::RunResult> run_images_poisson(
-        const std::vector<tensor::Tensor>& images, std::int64_t timesteps);
-
-    /// Deprecated: construct the runner over a SiaBackend instead.
-    [[nodiscard]] std::vector<sim::SiaRunResult> run_sim(
-        const sim::SiaConfig& config, const std::vector<snn::SpikeTrain>& inputs,
-        SimSchedule schedule = SimSchedule::kResident);
-
-    /// Stats of the most recent run*/run_sim call; see
-    /// BatchStats::completed for the failed-batch semantics.
+    /// Stats of the most recent run call; see BatchStats::completed for
+    /// the failed-batch semantics.
     [[nodiscard]] const BatchStats& last_stats() const noexcept { return stats_; }
 
     /// Residency accounting aggregated over every Sia::run_batch call of
@@ -162,17 +132,11 @@ private:
     /// The internal FunctionalBackend (model-anchored construction),
     /// built on first use.
     [[nodiscard]] Backend& functional_backend();
-    /// The internal SiaBackend cache for the run_sim shim, keyed on
-    /// SiaConfig::operator==: a config change rebuilds the backend,
-    /// dropping the compiled program and every resident simulator at
-    /// once.
-    [[nodiscard]] SiaBackend& sia_backend(const sim::SiaConfig& config);
 
     const snn::SnnModel& model_;
     BatchOptions options_;
     util::ThreadPool pool_;
     std::shared_ptr<Backend> backend_;     ///< primary (or lazy functional)
-    std::unique_ptr<SiaBackend> sia_backend_;  ///< legacy run_sim cache
     BatchStats stats_;
     sim::SiaBatchStats sim_batch_stats_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snn/simd.hpp"
+
 namespace sia::snn::compute {
 
 std::vector<std::int8_t> transpose_conv(const Branch& b) {
@@ -32,7 +34,7 @@ std::vector<std::int8_t> transpose_linear(const Branch& b) {
 void conv_psum_chunk(const Branch& b, const std::vector<std::int8_t>& wt,
                      const SpikeMap& in, std::int64_t out_h, std::int64_t out_w,
                      std::int64_t ic_begin, std::int64_t ic_end,
-                     std::vector<std::int32_t>& psum) {
+                     std::span<std::int32_t> psum) {
     const std::int64_t oc = b.out_channels;
     const std::int64_t in_h = in.height();
     const std::int64_t in_w = in.width();
@@ -58,14 +60,14 @@ void conv_psum_chunk(const Branch& b, const std::vector<std::int8_t>& wt,
 }
 
 void conv_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeMap& in,
-               std::int64_t out_h, std::int64_t out_w, std::vector<std::int32_t>& psum) {
+               std::int64_t out_h, std::int64_t out_w, std::span<std::int32_t> psum) {
     std::fill(psum.begin(), psum.end(), 0);
     conv_psum_chunk(b, wt, in, out_h, out_w, 0, b.in_channels, psum);
 }
 
 void conv_psum_scatter(const Branch& b, const std::vector<std::int8_t>& wt,
                        const SpikeMap& in, std::int64_t out_h, std::int64_t out_w,
-                       std::vector<std::int32_t>& psum) {
+                       std::span<std::int32_t> psum) {
     std::fill(psum.begin(), psum.end(), 0);
     const std::int64_t oc = b.out_channels;
     const std::int64_t in_w = in.width();
@@ -100,7 +102,7 @@ void conv_psum_scatter(const Branch& b, const std::vector<std::int8_t>& wt,
 }
 
 void linear_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeMap& in,
-                 std::vector<std::int32_t>& psum) {
+                 std::span<std::int32_t> psum) {
     std::fill(psum.begin(), psum.end(), 0);
     for (std::int64_t d = 0; d < b.in_features; ++d) {
         if (!in.get_flat(d)) continue;
@@ -112,7 +114,7 @@ void linear_psum(const Branch& b, const std::vector<std::int8_t>& wt, const Spik
 }
 
 void linear_psum_scatter(const Branch& b, const std::vector<std::int8_t>& wt,
-                         const SpikeMap& in, std::vector<std::int32_t>& psum) {
+                         const SpikeMap& in, std::span<std::int32_t> psum) {
     std::fill(psum.begin(), psum.end(), 0);
     const std::int64_t features = b.out_features;
     std::int32_t* p = psum.data();
@@ -120,6 +122,222 @@ void linear_psum_scatter(const Branch& b, const std::vector<std::int8_t>& wt,
         const std::int8_t* wrow = wt.data() + d * features;
         for (std::int64_t f = 0; f < features; ++f) p[f] += wrow[f];
     });
+}
+
+namespace {
+
+/// Scalar tile transpose (the remainder path, and the whole path when
+/// no shuffle support is compiled in): 16x16 int32 tiles keep both
+/// faces in L1 while the writes stay sequential runs.
+void transpose_tile_scalar(const std::int32_t* hwc, std::int32_t* chw,
+                           std::int64_t channels, std::int64_t plane,
+                           std::int64_t p0, std::int64_t p_end, std::int64_t c0,
+                           std::int64_t c_end) {
+    constexpr std::int64_t kTile = 16;
+    for (std::int64_t pt = p0; pt < p_end; pt += kTile) {
+        const std::int64_t p1 = std::min(pt + kTile, p_end);
+        for (std::int64_t ct = c0; ct < c_end; ct += kTile) {
+            const std::int64_t c1 = std::min(ct + kTile, c_end);
+            for (std::int64_t c = ct; c < c1; ++c) {
+                std::int32_t* crow = chw + c * plane;
+                for (std::int64_t p = pt; p < p1; ++p) {
+                    crow[p] = hwc[p * channels + c];
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void transpose_hwc_to_chw(const std::int32_t* hwc, std::int32_t* chw,
+                          std::int64_t channels, std::int64_t plane) {
+#if defined(SIA_SIMD_SHUFFLE)
+    // Bulk: 8x8 register-resident tiles through the shuffle network;
+    // the ragged right/bottom edges fall back to the scalar tiles.
+    // Channel-outer order keeps the 8 destination rows fixed while the
+    // writes stream along the plane — plane is typically a power-of-two
+    // number of KiB, so the plane-outer order would land every tile's 8
+    // writes in one L1 set and thrash it.
+    const std::int64_t c8 = channels & ~std::int64_t{7};
+    const std::int64_t p8 = plane & ~std::int64_t{7};
+    for (std::int64_t c0 = 0; c0 < c8; c0 += 8) {
+        for (std::int64_t p0 = 0; p0 < p8; p0 += 8) {
+            simd::i32x8 rows[8];
+            simd::i32x8 cols[8];
+            for (int k = 0; k < 8; ++k) {
+                rows[k] = simd::load(hwc + (p0 + k) * channels + c0);
+            }
+            simd::transpose8x8(rows, cols);
+            for (int j = 0; j < 8; ++j) {
+                simd::store(chw + (c0 + j) * plane + p0, cols[j]);
+            }
+        }
+    }
+    if (c8 < channels) transpose_tile_scalar(hwc, chw, channels, plane, 0, p8, c8, channels);
+    if (p8 < plane) transpose_tile_scalar(hwc, chw, channels, plane, p8, plane, 0, channels);
+#else
+    transpose_tile_scalar(hwc, chw, channels, plane, 0, plane, 0, channels);
+#endif
+}
+
+// ------------------------------------------------------------------------
+// Fused aggregate+fire kernels. One pass over the SoA banks per layer
+// per timestep: aggregate (main + optional skip), LIF decay, integrate,
+// threshold, reset and spike emission — 8-lane int32 groups, 64 neurons
+// (one packed spike word) per outer iteration, no per-neuron branches.
+// Every lane op is the int32 recipe of util/fixed_point's *_lane
+// helpers, i.e. exactly what aggregate()/update_neuron() compute — the
+// bit-identity of the scalar and vector fire paths is by construction,
+// and asserted across the equivalence matrix in
+// tests/test_engine_dispatch.cpp.
+// ------------------------------------------------------------------------
+
+namespace {
+
+enum class SkipKind { kNone, kIdentity, kConv };
+
+/// m = sat16(fxp_mul_shift(sat16(psum), gain) + bias), 8 lanes; the
+/// coefficient vectors come pre-loaded (streamed bank lanes or a
+/// hoisted per-channel broadcast — same arithmetic either way).
+inline simd::i32x8 aggregate8(const std::int32_t* psum, simd::i32x8 gain,
+                              simd::i32x8 bias, int shift) noexcept {
+    using simd::i32x8;
+    const i32x8 p = simd::clamp16(simd::load(psum));
+    const i32x8 prod = p * gain;
+    i32x8 scaled;
+    if (shift > 0) {
+        const i32x8 rounding = simd::broadcast(std::int32_t{1} << (shift - 1));
+        scaled = simd::clamp16((prod + rounding) >> shift);
+    } else {
+        scaled = simd::clamp16(prod);
+    }
+    return simd::clamp16(scaled + bias);
+}
+
+template <bool kLif, bool kSubtract, SkipKind kSkipKind, bool kUniform>
+void fused_fire(const FireArgs& a, SpikeMap& out) {
+    using simd::i32x8;
+    const i32x8 thr = simd::broadcast(a.threshold);
+    const i32x8 charge = simd::broadcast(a.identity_charge);
+    alignas(32) static constexpr std::int32_t kLaneBit[simd::kLanes] = {1,  2,  4,  8,
+                                                                       16, 32, 64, 128};
+    const i32x8 lane_bit = simd::load(kLaneBit);
+    const i32x8 one = simd::broadcast(1);
+    // Channel-uniform path: whole words share one channel, so the
+    // coefficient lookups hoist to per-word broadcasts, refreshed only
+    // at channel boundaries (tracked incrementally — no division in
+    // the word loop).
+    [[maybe_unused]] const std::int64_t words_per_channel =
+        kUniform ? a.plane / simd::kBlock : 0;
+    [[maybe_unused]] std::int64_t channel = 0;
+    [[maybe_unused]] std::int64_t channel_words_left = 0;
+    i32x8 gain_u{};
+    i32x8 bias_u{};
+    [[maybe_unused]] i32x8 skip_gain_u{};
+    [[maybe_unused]] i32x8 skip_bias_u{};
+
+    const std::int64_t words = (a.neurons + simd::kBlock - 1) / simd::kBlock;
+    for (std::int64_t w = 0; w < words; ++w) {
+        const std::int64_t base = w * simd::kBlock;
+        [[maybe_unused]] std::uint64_t skip_word = 0;
+        if constexpr (kSkipKind == SkipKind::kIdentity) skip_word = a.skip_words[w];
+        if constexpr (kUniform) {
+            if (channel_words_left == 0) {
+                gain_u = simd::broadcast(a.channel_gain[channel]);
+                bias_u = simd::broadcast(a.channel_bias[channel]);
+                if constexpr (kSkipKind == SkipKind::kConv) {
+                    skip_gain_u = simd::broadcast(a.skip_channel_gain[channel]);
+                    skip_bias_u = simd::broadcast(a.skip_channel_bias[channel]);
+                }
+                ++channel;
+                channel_words_left = words_per_channel;
+            }
+            --channel_words_left;
+        }
+        std::uint64_t fired = 0;
+        for (int g = 0; g < simd::kBlock / simd::kLanes; ++g) {
+            const std::int64_t i = base + g * simd::kLanes;
+            const i32x8 gain = kUniform ? gain_u : simd::load_i16(a.gain + i);
+            const i32x8 bias = kUniform ? bias_u : simd::load_i16(a.bias + i);
+            i32x8 m = aggregate8(a.psum + i, gain, bias, a.gain_shift);
+            if constexpr (kSkipKind == SkipKind::kConv) {
+                const i32x8 sg = kUniform ? skip_gain_u : simd::load_i16(a.skip_gain + i);
+                const i32x8 sb = kUniform ? skip_bias_u : simd::load_i16(a.skip_bias + i);
+                const i32x8 ms = aggregate8(a.skip_psum + i, sg, sb, a.skip_gain_shift);
+                m = simd::clamp16(m + ms);
+            } else if constexpr (kSkipKind == SkipKind::kIdentity) {
+                const i32x8 byte = simd::broadcast(
+                    static_cast<std::int32_t>((skip_word >> (g * simd::kLanes)) & 0xFFU));
+                const i32x8 has = (byte & lane_bit) >= one;  // all-ones/zero lanes
+                m = simd::clamp16(m + (has & charge));
+            }
+            i32x8 u = simd::load_i16(a.membrane + i);
+            if constexpr (kLif) u = simd::clamp16(u - (u >> a.leak_shift));
+            u = simd::clamp16(u + m);
+            const i32x8 fire = u >= thr;
+            i32x8 reset;
+            if constexpr (kSubtract) {
+                reset = simd::clamp16(u - thr);
+            } else {
+                reset = simd::broadcast(0);
+            }
+            u = simd::select(fire, reset, u);
+            simd::store_i16(a.membrane + i, u);
+            fired |= simd::movemask(fire) << (g * simd::kLanes);
+        }
+        // Padding lanes aggregate zero current, but a non-positive
+        // threshold could still fire them: mask the tail word so the
+        // map's trailing-bits-zero invariant holds unconditionally.
+        if (w == words - 1) {
+            const std::uint64_t tail = static_cast<std::uint64_t>(a.neurons) & 63U;
+            if (tail != 0) fired &= ~std::uint64_t{0} >> (64U - tail);
+        }
+        out.set_word(w, fired);
+    }
+}
+
+template <bool kLif, bool kSubtract, SkipKind kSkipKind>
+void fire_dispatch_uniform(const FireArgs& a, SpikeMap& out) {
+    const bool uniform = a.plane > 0 && a.plane % simd::kBlock == 0 &&
+                         a.channel_gain != nullptr && a.channel_bias != nullptr;
+    if (uniform) {
+        fused_fire<kLif, kSubtract, kSkipKind, true>(a, out);
+    } else {
+        fused_fire<kLif, kSubtract, kSkipKind, false>(a, out);
+    }
+}
+
+template <bool kLif>
+void fire_dispatch(const FireArgs& a, SpikeMap& out) {
+    const SkipKind skip = a.skip_words != nullptr  ? SkipKind::kIdentity
+                          : a.skip_psum != nullptr ? SkipKind::kConv
+                                                   : SkipKind::kNone;
+    const bool subtract = a.reset == ResetMode::kSubtract;
+    switch (skip) {
+        case SkipKind::kNone:
+            subtract ? fire_dispatch_uniform<kLif, true, SkipKind::kNone>(a, out)
+                     : fire_dispatch_uniform<kLif, false, SkipKind::kNone>(a, out);
+            break;
+        case SkipKind::kIdentity:
+            subtract ? fire_dispatch_uniform<kLif, true, SkipKind::kIdentity>(a, out)
+                     : fire_dispatch_uniform<kLif, false, SkipKind::kIdentity>(a, out);
+            break;
+        case SkipKind::kConv:
+            subtract ? fire_dispatch_uniform<kLif, true, SkipKind::kConv>(a, out)
+                     : fire_dispatch_uniform<kLif, false, SkipKind::kConv>(a, out);
+            break;
+    }
+}
+
+}  // namespace
+
+void aggregate_fire_dense(const FireArgs& a, SpikeMap& out) {
+    fire_dispatch<false>(a, out);
+}
+
+void aggregate_fire_lif(const FireArgs& a, SpikeMap& out) {
+    fire_dispatch<true>(a, out);
 }
 
 }  // namespace sia::snn::compute

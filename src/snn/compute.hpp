@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "snn/model.hpp"
@@ -30,7 +31,7 @@ namespace sia::snn::compute {
 /// (order-independent); 16-bit saturation is applied at aggregation
 /// handoff, matching the PE-to-aggregation-core interface.
 void conv_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeMap& in,
-               std::int64_t out_h, std::int64_t out_w, std::vector<std::int32_t>& psum);
+               std::int64_t out_h, std::int64_t out_w, std::span<std::int32_t> psum);
 
 /// As conv_psum but restricted to input channels [ic_begin, ic_end) and
 /// accumulating into `psum` without clearing — the weight-memory-chunked
@@ -38,7 +39,7 @@ void conv_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeM
 void conv_psum_chunk(const Branch& b, const std::vector<std::int8_t>& wt,
                      const SpikeMap& in, std::int64_t out_h, std::int64_t out_w,
                      std::int64_t ic_begin, std::int64_t ic_end,
-                     std::vector<std::int32_t>& psum);
+                     std::span<std::int32_t> psum);
 
 /// Scatter-form (truly event-driven) convolution partial sums: iterates
 /// the input's spike events via the packed-word iterator and scatters
@@ -48,45 +49,115 @@ void conv_psum_chunk(const Branch& b, const std::vector<std::int8_t>& wt,
 /// multiset of exact int32 additions, which are order-independent.
 void conv_psum_scatter(const Branch& b, const std::vector<std::int8_t>& wt,
                        const SpikeMap& in, std::int64_t out_h, std::int64_t out_w,
-                       std::vector<std::int32_t>& psum);
+                       std::span<std::int32_t> psum);
 
 /// Gather-form fully-connected partial sums ([F], cleared first): scans
 /// every input feature's bit and accumulates the set ones.
 void linear_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeMap& in,
-                 std::vector<std::int32_t>& psum);
+                 std::span<std::int32_t> psum);
 
 /// Scatter-form fully-connected partial sums: word-skips the packed
 /// input to visit only spike events, accumulating each spike's [F]
 /// weight row. Bit-identical to linear_psum (same adds, same ascending
 /// feature order).
 void linear_psum_scatter(const Branch& b, const std::vector<std::int8_t>& wt,
-                         const SpikeMap& in, std::vector<std::int32_t>& psum);
+                         const SpikeMap& in, std::span<std::int32_t> psum);
+
+/// Cache-blocked [plane][channels] -> [channels][plane] int32 transpose:
+/// reorders an HWC psum accumulation bank into the CHW order the fused
+/// fire kernels (and the packed SpikeMap bit layout) use. `chw` may be
+/// padded past channels * plane; only the first channels * plane
+/// elements are written.
+void transpose_hwc_to_chw(const std::int32_t* hwc, std::int32_t* chw,
+                          std::int64_t channels, std::int64_t plane);
+
+/// Inputs of the fused aggregate+fire kernels. All banks are flat CHW,
+/// 64-byte aligned, padded to a 64-neuron multiple with zero psum and
+/// zero gain/bias in the padding lanes (snn::LayerState's layout);
+/// gain/bias are the per-output-channel coefficients broadcast per
+/// neuron, so the kernels read contiguous streams only.
+struct FireArgs {
+    const std::int32_t* psum = nullptr;  ///< main-branch aggregated current
+    /// Per-neuron broadcast coefficient banks (any layer geometry).
+    const std::int16_t* gain = nullptr;
+    const std::int16_t* bias = nullptr;
+    /// Channel-uniform fast path: when `plane` is a whole number of
+    /// 64-neuron words, every word lies inside one channel, so the
+    /// kernels hoist the coefficients to two broadcast scalars per word
+    /// from these per-channel arrays instead of streaming the banks
+    /// (saves a third of the pass's memory traffic on conv shapes).
+    /// Set both `plane` (% 64 == 0) and these pointers to take it; the
+    /// banks are then ignored and may be null.
+    const std::int16_t* channel_gain = nullptr;
+    const std::int16_t* channel_bias = nullptr;
+    std::int64_t plane = 0;  ///< OH * OW (used by the uniform path only)
+    int gain_shift = util::kBnGainShift;
+
+    /// Residual downsample branch (fused two-psum aggregate); ignored
+    /// unless the layer has a non-identity skip. Same bank/uniform
+    /// split as the main branch.
+    const std::int32_t* skip_psum = nullptr;
+    const std::int16_t* skip_gain = nullptr;
+    const std::int16_t* skip_bias = nullptr;
+    const std::int16_t* skip_channel_gain = nullptr;
+    const std::int16_t* skip_channel_bias = nullptr;
+    int skip_gain_shift = util::kBnGainShift;
+
+    /// Identity-skip source spikes as packed words (same CHW geometry
+    /// as the output map); null unless the layer has an identity skip.
+    const std::uint64_t* skip_words = nullptr;
+    std::int16_t identity_charge = 0;
+
+    std::int16_t* membrane = nullptr;  ///< read-modify-write potentials
+    std::int16_t threshold = 0;
+    ResetMode reset = ResetMode::kSubtract;
+    int leak_shift = 0;  ///< LIF kernel only
+    std::int64_t neurons = 0;
+};
+
+/// Fused fire stage for IF neurons: one dense sweep over the SoA banks
+/// that aggregates (main + optional skip), thresholds, resets
+/// (subtract/zero) and emits spikes — 64 neurons per iteration as
+/// 8-lane int32 groups with no per-neuron branches, the fire mask
+/// assembled from lane compares and written word-wise into `out`
+/// (every word overwritten, tail bits masked). Bit-identical to the
+/// scalar aggregate()/update_neuron() loop: each lane performs the
+/// same util/fixed_point lane ops in the same order.
+void aggregate_fire_dense(const FireArgs& a, SpikeMap& out);
+
+/// As aggregate_fire_dense with the LIF leak (U -= U >> leak_shift,
+/// saturating) fused in front of the integration.
+void aggregate_fire_lif(const FireArgs& a, SpikeMap& out);
 
 /// Aggregation-core arithmetic (batch-norm unit of Eq. 2): 16-bit
-/// saturating psum, fixed-point gain multiply, bias add.
+/// saturating psum, fixed-point gain multiply, bias add. Written in the
+/// int32 lane ops of util/fixed_point.hpp — the exact per-lane recipe
+/// the vectorized fire kernels execute 8 lanes at a time, so the scalar
+/// and SIMD fire paths share one arithmetic definition.
 [[nodiscard]] inline std::int16_t aggregate(std::int32_t psum, std::int16_t gain,
                                             std::int16_t bias, int shift) noexcept {
-    const std::int16_t p16 = util::saturate16(psum);
-    const std::int16_t scaled = util::fxp_mul_shift(p16, gain, shift);
-    return util::sat_add16(scaled, bias);
+    const std::int32_t p16 = util::clamp16_lane(psum);
+    const std::int32_t scaled = util::fxp_mul_shift_lane(p16, gain, shift);
+    return static_cast<std::int16_t>(util::clamp16_lane(scaled + bias));
 }
 
 /// Activation-unit update: leak (LIF mode), integrate, threshold
-/// compare, reset. Returns the new potential; sets `spike`.
+/// compare, reset. Returns the new potential; sets `spike`. Same
+/// int32-lane spelling as `aggregate` (see there).
 [[nodiscard]] inline std::int16_t update_neuron(std::int16_t membrane, std::int16_t current,
                                                 const SnnLayer& layer,
                                                 bool& spike) noexcept {
-    std::int16_t u = membrane;
+    std::int32_t u = membrane;
     if (layer.neuron == NeuronKind::kLif) {
-        u = util::sat_sub16(u, static_cast<std::int16_t>(u >> layer.leak_shift));
+        u = util::clamp16_lane(u - (u >> layer.leak_shift));
     }
-    u = util::sat_add16(u, current);
+    u = util::clamp16_lane(u + current);
     spike = u >= layer.threshold;
     if (spike) {
-        u = layer.reset == ResetMode::kSubtract ? util::sat_sub16(u, layer.threshold)
-                                                : std::int16_t{0};
+        u = layer.reset == ResetMode::kSubtract ? util::clamp16_lane(u - layer.threshold)
+                                                : 0;
     }
-    return u;
+    return static_cast<std::int16_t>(u);
 }
 
 }  // namespace sia::snn::compute

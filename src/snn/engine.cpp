@@ -7,14 +7,19 @@
 
 namespace sia::snn {
 
-
-std::int64_t RunResult::predicted_class(std::int64_t t) const {
-    const auto& logits = logits_per_step.at(static_cast<std::size_t>(t));
+std::size_t argmax_first(std::span<const std::int64_t> logits) noexcept {
     std::size_t best = 0;
     for (std::size_t j = 1; j < logits.size(); ++j) {
+        // Strict > : an equal later logit never displaces the earlier
+        // one, so ties resolve to the first (lowest) index.
         if (logits[j] > logits[best]) best = j;
     }
-    return static_cast<std::int64_t>(best);
+    return best;
+}
+
+std::int64_t RunResult::predicted_class(std::int64_t t) const {
+    return static_cast<std::int64_t>(
+        argmax_first(logits_per_step.at(static_cast<std::size_t>(t))));
 }
 
 FunctionalEngine::FunctionalEngine(const SnnModel& model, EngineConfig config)
@@ -23,8 +28,7 @@ FunctionalEngine::FunctionalEngine(const SnnModel& model, EngineConfig config)
     const std::size_t n = model_.layers.size();
     main_wt_.resize(n);
     skip_wt_.resize(n);
-    membranes_.resize(n);
-    psum_.resize(n);
+    state_.resize(n);
     spikes_.resize(n);
     spike_counts_.assign(n, 0);
     dispatch_.assign(n, LayerDispatchStats{});
@@ -39,8 +43,7 @@ FunctionalEngine::FunctionalEngine(const SnnModel& model, EngineConfig config)
         } else {
             main_wt_[i] = compute::transpose_linear(layer.main);
         }
-        membranes_[i].assign(static_cast<std::size_t>(layer.neurons()), 0);
-        psum_[i].assign(static_cast<std::size_t>(layer.neurons()), 0);
+        state_[i].init(layer);
         spikes_[i] = SpikeMap(layer.out_channels, layer.out_h, layer.out_w);
     }
     readout_.assign(static_cast<std::size_t>(model_.classes), 0);
@@ -50,8 +53,8 @@ FunctionalEngine::FunctionalEngine(const SnnModel& model, EngineConfig config)
 void FunctionalEngine::reset() {
     for (std::size_t i = 0; i < model_.layers.size(); ++i) {
         const SnnLayer& layer = model_.layers[i];
-        std::fill(membranes_[i].begin(), membranes_[i].end(),
-                  layer.spiking ? layer.initial_potential : std::int16_t{0});
+        state_[i].reset_membrane(layer.spiking ? layer.initial_potential
+                                               : std::int16_t{0});
         spikes_[i].clear();
         spike_counts_[i] = 0;
         dispatch_[i] = LayerDispatchStats{};
@@ -98,7 +101,7 @@ void FunctionalEngine::step(const SpikeMap& input) {
 bool FunctionalEngine::dispatch_conv(const Branch& b, const std::vector<std::int8_t>& wt,
                                      const SpikeMap& in, std::int64_t out_h,
                                      std::int64_t out_w,
-                                     std::vector<std::int32_t>& psum) {
+                                     std::span<std::int32_t> psum) {
     const bool scatter = use_scatter(in);
     if (scatter) {
         compute::conv_psum_scatter(b, wt, in, out_h, out_w, psum);
@@ -112,7 +115,7 @@ void FunctionalEngine::run_conv_layer(std::size_t index, const SpikeMap& input) 
     const SnnLayer& layer = model_.layers[index];
     LayerDispatchStats& d = dispatch_[index];
     const bool scatter = dispatch_conv(layer.main, main_wt_[index], input, layer.out_h,
-                                       layer.out_w, psum_[index]);
+                                       layer.out_w, state_[index].accum());
     ++(scatter ? d.scatter_steps : d.dense_steps);
     d.input_spikes += input.count();
     d.input_sites += input.size();
@@ -123,9 +126,10 @@ void FunctionalEngine::run_linear_layer(std::size_t index, const SpikeMap& input
     LayerDispatchStats& d = dispatch_[index];
     const bool scatter = use_scatter(input);
     if (scatter) {
-        compute::linear_psum_scatter(layer.main, main_wt_[index], input, psum_[index]);
+        compute::linear_psum_scatter(layer.main, main_wt_[index], input,
+                                     state_[index].accum());
     } else {
-        compute::linear_psum(layer.main, main_wt_[index], input, psum_[index]);
+        compute::linear_psum(layer.main, main_wt_[index], input, state_[index].accum());
     }
     ++(scatter ? d.scatter_steps : d.dense_steps);
     d.input_spikes += input.count();
@@ -134,79 +138,141 @@ void FunctionalEngine::run_linear_layer(std::size_t index, const SpikeMap& input
 
 void FunctionalEngine::integrate_and_fire(std::size_t index) {
     const SnnLayer& layer = model_.layers[index];
-    auto& psum = psum_[index];
+    LayerState& st = state_[index];
 
     if (!layer.spiking) {
-        // Readout layer: accumulate aggregated current into wide logits.
+        // Readout layer: accumulate aggregated current into wide logits
+        // (O(classes); never worth vectorizing).
+        const std::int32_t* psum = st.accum_data();
         for (std::int64_t f = 0; f < layer.out_channels; ++f) {
             const std::int16_t m =
-                compute::aggregate(psum[static_cast<std::size_t>(f)],
-                          layer.main.gain[static_cast<std::size_t>(f)],
-                          layer.main.bias[static_cast<std::size_t>(f)],
-                          layer.main.gain_shift);
+                compute::aggregate(psum[f], layer.main.gain[static_cast<std::size_t>(f)],
+                                   layer.main.bias[static_cast<std::size_t>(f)],
+                                   layer.main.gain_shift);
             readout_[static_cast<std::size_t>(f)] += m;
         }
         return;
     }
 
-    auto& mem = membranes_[index];
-    SpikeMap& out = spikes_[index];
-    out.clear();
-
-    // Skip-path precomputation (psum for downsample branch).
-    const bool has_skip = layer.has_skip();
+    // Resolve the residual source and accumulate the downsample psum.
+    // skip_src may be -1 (network input) when the stem runs on the
+    // processor-side front end and the first block skips from it.
     const SpikeMap* skip_spikes = nullptr;
-    std::vector<std::int32_t> skip_psum;
-    if (has_skip) {
-        // skip_src may be -1 (network input) when the stem runs on the
-        // processor-side front end and the first block skips from it.
+    if (layer.has_skip()) {
         skip_spikes = layer.skip_src == -1
                           ? current_input_
                           : &spikes_.at(static_cast<std::size_t>(layer.skip_src));
         if (!layer.skip_is_identity) {
-            skip_psum.assign(static_cast<std::size_t>(layer.neurons()), 0);
             // Same density-adaptive choice as the main branch (counters
             // track the main branch only; the downsample rides along).
             (void)dispatch_conv(layer.skip, skip_wt_[index], *skip_spikes, layer.out_h,
-                                layer.out_w, skip_psum);
+                                layer.out_w, st.skip_accum());
         }
     }
+
+    if (config_.fire == FirePath::kScalar) {
+        fire_scalar(index, skip_spikes);
+        ++dispatch_[index].scalar_fire_steps;
+    } else {
+        fire_vector(index, skip_spikes);
+        ++dispatch_[index].vector_fire_steps;
+    }
+    spike_counts_[index] += spikes_[index].count();
+}
+
+void FunctionalEngine::fire_vector(std::size_t index, const SpikeMap* skip_spikes) {
+    const SnnLayer& layer = model_.layers[index];
+    LayerState& st = state_[index];
+    const bool conv_skip = layer.has_skip() && !layer.skip_is_identity;
+
+    // Reorder the HWC accumulation banks into the CHW fire banks; when
+    // the orders coincide the kernels already accumulated in place.
+    if (st.interleaved) {
+        compute::transpose_hwc_to_chw(st.psum_hwc.data(), st.psum.data(), st.channels,
+                                      st.plane);
+        if (conv_skip) {
+            compute::transpose_hwc_to_chw(st.skip_psum_hwc.data(), st.skip_psum.data(),
+                                          st.channels, st.plane);
+        }
+    }
+
+    compute::FireArgs args;
+    args.psum = st.psum.data();
+    args.gain = st.gain.data();
+    args.bias = st.bias.data();
+    args.channel_gain = layer.main.gain.data();
+    args.channel_bias = layer.main.bias.data();
+    args.plane = st.plane;
+    args.gain_shift = layer.main.gain_shift;
+    if (conv_skip) {
+        args.skip_psum = st.skip_psum.data();
+        args.skip_gain = st.skip_gain.data();
+        args.skip_bias = st.skip_bias.data();
+        args.skip_channel_gain = layer.skip.gain.data();
+        args.skip_channel_bias = layer.skip.bias.data();
+        args.skip_gain_shift = layer.skip.gain_shift;
+    } else if (layer.has_skip()) {
+        // Identity skip: same CHW geometry as the output, so the packed
+        // source words align bit-for-bit with the fire blocks.
+        args.skip_words = skip_spikes->raw().data();
+        args.identity_charge = layer.identity_skip.charge;
+    }
+    args.membrane = st.membrane.data();
+    args.threshold = layer.threshold;
+    args.reset = layer.reset;
+    args.leak_shift = layer.leak_shift;
+    args.neurons = st.neurons;
+
+    // No clear(): the kernels overwrite every packed word of the map.
+    SpikeMap& out = spikes_[index];
+    if (layer.neuron == NeuronKind::kLif) {
+        compute::aggregate_fire_lif(args, out);
+    } else {
+        compute::aggregate_fire_dense(args, out);
+    }
+}
+
+void FunctionalEngine::fire_scalar(std::size_t index, const SpikeMap* skip_spikes) {
+    const SnnLayer& layer = model_.layers[index];
+    LayerState& st = state_[index];
+    // The accumulation bank is HWC when interleaved; when the orders
+    // coincide (oc == 1 or 1x1 spatial) the two index formulas agree,
+    // so hwc-indexing it is correct in every case.
+    const std::int32_t* psum = st.accum_data();
+    const std::int32_t* skip_psum =
+        layer.has_skip() && !layer.skip_is_identity ? st.skip_accum_data() : nullptr;
+    std::int16_t* mem = st.membrane.data();
+    SpikeMap& out = spikes_[index];
+    out.clear();
 
     const std::int64_t oc = layer.out_channels;
     const std::int64_t oh = layer.out_h;
     const std::int64_t ow = layer.out_w;
-    std::int64_t fired = 0;
     for (std::int64_t y = 0; y < oh; ++y) {
         for (std::int64_t x = 0; x < ow; ++x) {
             for (std::int64_t o = 0; o < oc; ++o) {
                 const std::size_t hwc = static_cast<std::size_t>((y * ow + x) * oc + o);
                 const std::size_t chw = static_cast<std::size_t>((o * oh + y) * ow + x);
-                std::int16_t m = compute::aggregate(psum[hwc], layer.main.gain[static_cast<std::size_t>(o)],
-                                           layer.main.bias[static_cast<std::size_t>(o)],
-                                           layer.main.gain_shift);
-                if (has_skip) {
-                    if (layer.skip_is_identity) {
-                        if (skip_spikes->get(o, y, x)) {
-                            m = util::sat_add16(m, layer.identity_skip.charge);
-                        }
-                    } else {
-                        const std::int16_t ms = compute::aggregate(
-                            skip_psum[hwc], layer.skip.gain[static_cast<std::size_t>(o)],
-                            layer.skip.bias[static_cast<std::size_t>(o)],
-                            layer.skip.gain_shift);
-                        m = util::sat_add16(m, ms);
+                std::int16_t m = compute::aggregate(
+                    psum[hwc], layer.main.gain[static_cast<std::size_t>(o)],
+                    layer.main.bias[static_cast<std::size_t>(o)], layer.main.gain_shift);
+                if (skip_psum != nullptr) {
+                    const std::int16_t ms = compute::aggregate(
+                        skip_psum[hwc], layer.skip.gain[static_cast<std::size_t>(o)],
+                        layer.skip.bias[static_cast<std::size_t>(o)],
+                        layer.skip.gain_shift);
+                    m = util::sat_add16(m, ms);
+                } else if (skip_spikes != nullptr) {
+                    if (skip_spikes->get(o, y, x)) {
+                        m = util::sat_add16(m, layer.identity_skip.charge);
                     }
                 }
                 bool spike = false;
                 mem[chw] = compute::update_neuron(mem[chw], m, layer, spike);
-                if (spike) {
-                    out.set(o, y, x, true);
-                    ++fired;
-                }
+                if (spike) out.set(o, y, x, true);
             }
         }
     }
-    spike_counts_[index] += fired;
 }
 
 RunResult FunctionalEngine::run(const SpikeTrain& input) {

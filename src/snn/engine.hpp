@@ -14,10 +14,17 @@
 #include <span>
 #include <vector>
 
+#include "snn/layer_state.hpp"
 #include "snn/model.hpp"
 #include "snn/spike.hpp"
 
 namespace sia::snn {
+
+/// First-index-wins argmax over accumulated logits: ties resolve to the
+/// lowest class index, explicitly — the deterministic comparator both
+/// engines' predictions are defined by (and the convention the paper's
+/// readout comparator tree implements).
+[[nodiscard]] std::size_t argmax_first(std::span<const std::int64_t> logits) noexcept;
 
 /// Which psum kernel form FunctionalEngine uses per layer per timestep.
 enum class DispatchMode : std::uint8_t {
@@ -29,8 +36,21 @@ enum class DispatchMode : std::uint8_t {
     kScatter,  ///< always the scatter kernels
 };
 
-/// Execution knobs of FunctionalEngine. Both paths are bit-identical,
-/// so this only trades throughput, never results.
+/// Which fire-stage implementation FunctionalEngine runs. Like the psum
+/// dispatch, both paths are bit-identical (spikes, membranes, logits) —
+/// the choice only trades throughput.
+enum class FirePath : std::uint8_t {
+    /// Fused SoA kernels (compute::aggregate_fire_*): 64 neurons per
+    /// iteration, spike words emitted directly. The default.
+    kVector,
+    /// The per-neuron reference loop (aggregate()/update_neuron()
+    /// per site). Kept as the baseline the bench and the equivalence
+    /// matrix compare against.
+    kScalar,
+};
+
+/// Execution knobs of FunctionalEngine. Both paths of either knob are
+/// bit-identical, so this only trades throughput, never results.
 struct EngineConfig {
     DispatchMode dispatch = DispatchMode::kAdaptive;
     /// kAdaptive: input densities strictly below this run the scatter
@@ -40,12 +60,17 @@ struct EngineConfig {
     /// competitive once maps approach half-full, so that is where the
     /// adaptive path falls back to it.
     double scatter_density_threshold = 0.5;
+    /// Fire-stage implementation (vectorized fused kernels vs scalar
+    /// reference loop).
+    FirePath fire = FirePath::kVector;
 };
 
 /// Per-layer dispatch counters accumulated across step() calls.
 struct LayerDispatchStats {
     std::int64_t dense_steps = 0;    ///< timesteps run through the gather kernel
     std::int64_t scatter_steps = 0;  ///< timesteps run through the scatter kernel
+    std::int64_t vector_fire_steps = 0;  ///< timesteps fired through the fused kernels
+    std::int64_t scalar_fire_steps = 0;  ///< timesteps fired through the scalar loop
     std::int64_t input_spikes = 0;   ///< main-branch input spikes summed over steps
     std::int64_t input_sites = 0;    ///< main-branch input sites summed over steps
 
@@ -102,7 +127,8 @@ public:
     }
     /// Membrane potentials of layer `i` (CHW order).
     [[nodiscard]] std::span<const std::int16_t> membrane(std::size_t i) const {
-        return membranes_.at(i);
+        const LayerState& st = state_.at(i);
+        return {st.membrane.data(), static_cast<std::size_t>(st.neurons)};
     }
     /// Accumulated readout logits.
     [[nodiscard]] const std::vector<std::int64_t>& readout() const noexcept {
@@ -124,6 +150,12 @@ private:
     void run_conv_layer(std::size_t index, const SpikeMap& input);
     void run_linear_layer(std::size_t index, const SpikeMap& input);
     void integrate_and_fire(std::size_t index);
+    /// Fire-stage implementations over the layer's SoA banks; both
+    /// update membranes + spikes_[index] identically (spike emission
+    /// included), differing only in throughput. `skip_spikes` is the
+    /// resolved residual source (null when the layer has no skip).
+    void fire_vector(std::size_t index, const SpikeMap* skip_spikes);
+    void fire_scalar(std::size_t index, const SpikeMap* skip_spikes);
     [[nodiscard]] const SpikeMap& source_spikes(int src, const SpikeMap& input) const;
     /// Density-adaptive path choice for one kernel invocation.
     [[nodiscard]] bool use_scatter(const SpikeMap& in) const noexcept;
@@ -131,7 +163,7 @@ private:
     /// true when the scatter path was taken.
     bool dispatch_conv(const Branch& b, const std::vector<std::int8_t>& wt,
                        const SpikeMap& in, std::int64_t out_h, std::int64_t out_w,
-                       std::vector<std::int32_t>& psum);
+                       std::span<std::int32_t> psum);
 
     const SnnModel& model_;
     EngineConfig config_;
@@ -140,8 +172,7 @@ private:
     std::vector<std::vector<std::int8_t>> main_wt_;
     std::vector<std::vector<std::int8_t>> skip_wt_;
 
-    std::vector<std::vector<std::int16_t>> membranes_;   // per layer, CHW
-    std::vector<std::vector<std::int32_t>> psum_;        // scratch, CHW
+    std::vector<LayerState> state_;                      // SoA banks per layer
     std::vector<SpikeMap> spikes_;                       // per layer, this step
     std::vector<std::int64_t> readout_;                  // accumulated logits
     std::vector<std::int64_t> spike_counts_;             // per layer since reset

@@ -1,0 +1,84 @@
+#include "snn/layer_state.hpp"
+
+#include <algorithm>
+
+namespace sia::snn {
+
+namespace {
+
+/// Broadcast one per-channel coefficient stream into a per-neuron CHW
+/// bank: channel c's value fills its whole [plane] slice. Padding lanes
+/// past `channels * plane` stay zero (AlignedVec::assign zeroed them),
+/// so a padding lane always aggregates to zero current.
+void broadcast_per_channel(const std::vector<std::int16_t>& per_channel,
+                           std::int64_t plane,
+                           simd::AlignedVec<std::int16_t>& bank) {
+    for (std::size_t c = 0; c < per_channel.size(); ++c) {
+        std::int16_t* slice = bank.data() + static_cast<std::int64_t>(c) * plane;
+        std::fill(slice, slice + plane, per_channel[c]);
+    }
+}
+
+}  // namespace
+
+void LayerState::init(const SnnLayer& layer) {
+    neurons = layer.neurons();
+    channels = layer.out_channels;
+    plane = layer.out_h * layer.out_w;
+    padded = (neurons + simd::kBlock - 1) / simd::kBlock * simd::kBlock;
+    interleaved = channels > 1 && plane > 1;
+
+    const auto n = static_cast<std::size_t>(neurons);
+    const auto np = static_cast<std::size_t>(padded);
+    psum.assign(np);
+    psum_hwc.assign(interleaved ? n : 0);
+
+    if (!layer.spiking) {
+        // Readout layers only aggregate psums into the wide logits; the
+        // membrane bank stays allocated (all-zero, exposed through the
+        // engine's membrane() accessor) but no broadcast coefficient
+        // banks exist — the readout loop is O(classes), never
+        // vectorized, and reads the per-channel values directly.
+        membrane.assign(np);
+        gain.assign(0);
+        bias.assign(0);
+        skip_psum.assign(0);
+        skip_psum_hwc.assign(0);
+        skip_gain.assign(0);
+        skip_bias.assign(0);
+        return;
+    }
+
+    membrane.assign(np);
+    // When the plane is a whole number of 64-neuron words the fused
+    // kernels take the channel-uniform path (two broadcast scalars per
+    // word straight from the per-channel arrays) and never touch the
+    // broadcast banks — skip materializing them.
+    const bool banks = plane % simd::kBlock != 0;
+    gain.assign(banks ? np : 0);
+    bias.assign(banks ? np : 0);
+    if (banks) {
+        broadcast_per_channel(layer.main.gain, plane, gain);
+        broadcast_per_channel(layer.main.bias, plane, bias);
+    }
+
+    const bool conv_skip = layer.has_skip() && !layer.skip_is_identity;
+    skip_psum.assign(conv_skip ? np : 0);
+    skip_psum_hwc.assign(conv_skip && interleaved ? n : 0);
+    skip_gain.assign(conv_skip && banks ? np : 0);
+    skip_bias.assign(conv_skip && banks ? np : 0);
+    if (conv_skip && banks) {
+        broadcast_per_channel(layer.skip.gain, plane, skip_gain);
+        broadcast_per_channel(layer.skip.bias, plane, skip_bias);
+    }
+}
+
+void LayerState::reset_membrane(std::int16_t initial) {
+    if (membrane.empty()) return;
+    std::fill(membrane.data(), membrane.data() + neurons, initial);
+    // Padding lanes stay zero: they never fire into the result (tail
+    // bits are masked) and keeping them fixed makes reruns identical.
+    std::fill(membrane.data() + neurons, membrane.data() + padded, std::int16_t{0});
+}
+
+}  // namespace sia::snn

@@ -32,6 +32,10 @@ void validate_linear_branch(const Branch& b, const std::string& label) {
             label + ": gain size mismatch");
     require(static_cast<std::int64_t>(b.bias.size()) == b.out_features,
             label + ": bias size mismatch");
+    // Same bound as conv branches; the fire-stage lane arithmetic
+    // (util::fxp_mul_shift_lane) relies on it to keep the rounded
+    // product inside int32.
+    require(b.gain_shift >= 0 && b.gain_shift <= 15, label + ": bad gain shift");
 }
 
 }  // namespace
@@ -75,15 +79,26 @@ void SnnModel::validate() const {
                 require(layer.skip.out_channels == layer.out_channels,
                         label + ": skip out_channels mismatch");
             } else {
-                const std::int64_t src_c =
-                    layer.skip_src == -1
-                        ? input_channels
-                        : layers[static_cast<std::size_t>(layer.skip_src)].out_channels;
+                // Identity skips inject the source map verbatim, and
+                // the fused fire kernels alias its packed words, so
+                // the full CHW geometry must match — not just the
+                // channel count.
+                const bool from_input = layer.skip_src == -1;
+                const SnnLayer* src =
+                    from_input ? nullptr
+                               : &layers[static_cast<std::size_t>(layer.skip_src)];
+                const std::int64_t src_c = from_input ? input_channels : src->out_channels;
+                const std::int64_t src_h = from_input ? input_h : src->out_h;
+                const std::int64_t src_w = from_input ? input_w : src->out_w;
                 require(src_c == layer.out_channels,
                         label + ": identity skip channel mismatch");
+                require(src_h == layer.out_h && src_w == layer.out_w,
+                        label + ": identity skip spatial mismatch");
             }
         }
         require(layer.threshold > 0, label + ": non-positive threshold");
+        require(layer.leak_shift >= 0 && layer.leak_shift <= 15,
+                label + ": bad leak shift");
         require(layer.out_h > 0 && layer.out_w > 0, label + ": bad output geometry");
     }
 }

@@ -101,6 +101,18 @@ public:
         }
     }
 
+    /// Overwrite packed word `w` wholesale, maintaining the set-bit
+    /// count — the fused fire kernels' spike-emission path (one word
+    /// per 64-neuron block, no per-bit calls). For the final word the
+    /// caller must have masked bits past size() (the kernels do; the
+    /// class invariant that trailing bits are zero is preserved, not
+    /// re-enforced here).
+    void set_word(std::int64_t w, std::uint64_t bits) noexcept {
+        std::uint64_t& slot = words_[static_cast<std::size_t>(w)];
+        count_ += std::popcount(bits) - std::popcount(slot);
+        slot = bits;
+    }
+
     /// Packed 64-bit words (the wire/serialization representation).
     /// Bits past size() are guaranteed zero, so equality of raw() is
     /// equality of the maps.

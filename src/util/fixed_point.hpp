@@ -48,6 +48,31 @@ inline constexpr int kBnGainShift = 8;
     return saturate16(static_cast<std::int64_t>(a) - static_cast<std::int64_t>(b));
 }
 
+/// Saturating lane ops for the vectorized fire stage. The fused
+/// aggregate+fire kernels (snn::compute::aggregate_fire_*) keep every
+/// quantity in int32 lanes and clamp into the int16 membrane domain
+/// between ops; these scalar definitions are the per-lane semantics.
+/// They are exactly equivalent to the int64-based saturate16/sat_add16/
+/// sat_sub16 forms for inputs already in the int16 domain (no int32
+/// intermediate here can overflow: |a|,|b| <= 2^15 before adds, and the
+/// gain product is bounded by 2^30), which is what makes the scalar and
+/// vector fire paths bit-identical by construction.
+
+/// Clamp an int32 lane into the signed 16-bit range.
+[[nodiscard]] constexpr std::int32_t clamp16_lane(std::int32_t v) noexcept {
+    return v < -32768 ? -32768 : (v > 32767 ? 32767 : v);
+}
+
+/// Lane form of fxp_mul_shift: (a * b) >> shift with round-to-nearest
+/// and 16-bit saturation, a and b already in int16 range.
+[[nodiscard]] constexpr std::int32_t fxp_mul_shift_lane(std::int32_t a, std::int32_t b,
+                                                        int shift) noexcept {
+    const std::int32_t prod = a * b;
+    if (shift <= 0) return clamp16_lane(prod);
+    const std::int32_t rounding = std::int32_t{1} << (shift - 1);
+    return clamp16_lane((prod + rounding) >> shift);
+}
+
 /// Round a real value to the nearest integer, ties away from zero —
 /// matches std::lround and the quantizers used during training.
 [[nodiscard]] inline std::int32_t round_nearest(double v) noexcept {

@@ -1,9 +1,9 @@
-// core::Backend API tests: the equivalence matrix proving every legacy
-// BatchRunner entry point is bit-identical to its Request-form
-// replacement (per thread count, per backend, per schedule), the
-// SiaConfig-keyed cache invalidation, failed-batch stats semantics, and
-// the Request/Response surface itself (mixed encodings, stream pinning,
-// owned vs borrowed inputs, backend-specific response extras).
+// core::Backend API tests: the equivalence matrix proving the batched
+// Request path is bit-identical to sequential single-engine references
+// (per thread count, per backend, per schedule), backend caching,
+// failed-batch stats semantics, and the Request/Response surface itself
+// (mixed encodings, stream pinning, owned vs borrowed inputs,
+// backend-specific response extras).
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -13,6 +13,7 @@
 
 #include "core/backend.hpp"
 #include "core/batch_runner.hpp"
+#include "core/compiler.hpp"
 #include "sim/sia.hpp"
 #include "snn/encoding.hpp"
 #include "snn/engine.hpp"
@@ -114,32 +115,33 @@ void expect_same_core(const core::Response& r, const snn::RunResult& ref) {
     EXPECT_EQ(r.timesteps, ref.timesteps);
 }
 
-// ---- the API-equivalence matrix: legacy entry point vs Request form ----
+// ---- the equivalence matrix: batched Request path vs sequential refs ----
 
-TEST(BackendEquivalence, RunTrainsMatchesRequestForm) {
+TEST(BackendEquivalence, FunctionalMatchesSequentialEngine) {
     const auto model = small_model(7);
     const auto batch = random_batch(model, 6, 5, 17);
     std::vector<core::Request> requests;
     for (const auto& t : batch) requests.push_back(core::Request::view_train(t));
 
-    for (const std::size_t threads : {1UL, 2UL, 8UL}) {
-        core::BatchRunner legacy(model, {.threads = threads});
-        const auto old_results = legacy.run(batch);
+    snn::FunctionalEngine engine(model);
+    std::vector<snn::RunResult> reference;
+    for (const auto& t : batch) reference.push_back(engine.run(t));
 
+    for (const std::size_t threads : {1UL, 2UL, 8UL}) {
         core::BatchRunner unified(std::make_shared<core::FunctionalBackend>(model),
                                   {.threads = threads});
         const auto responses = unified.run(requests);
 
-        ASSERT_EQ(responses.size(), old_results.size());
+        ASSERT_EQ(responses.size(), reference.size());
         for (std::size_t i = 0; i < responses.size(); ++i) {
             SCOPED_TRACE("threads=" + std::to_string(threads) + " item=" +
                          std::to_string(i));
-            expect_same_core(responses[i], old_results[i]);
+            expect_same_core(responses[i], reference[i]);
         }
     }
 }
 
-TEST(BackendEquivalence, RunImagesMatchesThermometerRequests) {
+TEST(BackendEquivalence, ThermometerRequestsMatchManualEncode) {
     const auto model = small_model(5);
     const auto images = random_images(model, 5, 29);
     const std::int64_t timesteps = 6;
@@ -148,50 +150,70 @@ TEST(BackendEquivalence, RunImagesMatchesThermometerRequests) {
         requests.push_back(core::Request::view_thermometer(img, timesteps));
     }
 
+    snn::FunctionalEngine engine(model);
+    std::vector<snn::RunResult> reference;
+    for (const auto& img : images) {
+        reference.push_back(engine.run(snn::encode_thermometer(img, timesteps)));
+    }
+
     for (const std::size_t threads : {1UL, 2UL, 8UL}) {
-        core::BatchRunner legacy(model, {.threads = threads});
-        const auto old_results = legacy.run_images(images, timesteps);
         core::BatchRunner unified(std::make_shared<core::FunctionalBackend>(model),
                                   {.threads = threads});
         const auto responses = unified.run(requests);
-        ASSERT_EQ(responses.size(), old_results.size());
+        ASSERT_EQ(responses.size(), reference.size());
         for (std::size_t i = 0; i < responses.size(); ++i) {
             SCOPED_TRACE("threads=" + std::to_string(threads) + " item=" +
                          std::to_string(i));
-            expect_same_core(responses[i], old_results[i]);
+            expect_same_core(responses[i], reference[i]);
         }
     }
 }
 
-TEST(BackendEquivalence, RunImagesPoissonMatchesPoissonRequests) {
+TEST(BackendEquivalence, PoissonRequestsDrawPerItemStreams) {
     const auto model = small_model(5);
     const auto images = random_images(model, 7, 43);
     const std::int64_t timesteps = 6;
+    const std::uint64_t seed = 77;
     std::vector<core::Request> requests;
     for (const auto& img : images) {
         requests.push_back(core::Request::view_poisson(img, timesteps));
     }
 
+    // Reference: item i encodes from stream i of the batch seed,
+    // independent of any batching/thread placement.
+    snn::FunctionalEngine engine(model);
+    std::vector<snn::RunResult> reference;
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        util::Rng rng(util::mix_seed(seed, i));
+        reference.push_back(engine.run(snn::encode_poisson(images[i], timesteps, rng)));
+    }
+
     for (const std::size_t threads : {1UL, 2UL, 8UL}) {
-        core::BatchRunner legacy(model, {.threads = threads, .seed = 77});
-        const auto old_results = legacy.run_images_poisson(images, timesteps);
         core::BatchRunner unified(std::make_shared<core::FunctionalBackend>(model),
-                                  {.threads = threads, .seed = 77});
+                                  {.threads = threads, .seed = seed});
         const auto responses = unified.run(requests);
-        ASSERT_EQ(responses.size(), old_results.size());
+        ASSERT_EQ(responses.size(), reference.size());
         for (std::size_t i = 0; i < responses.size(); ++i) {
             SCOPED_TRACE("threads=" + std::to_string(threads) + " item=" +
                          std::to_string(i));
-            expect_same_core(responses[i], old_results[i]);
+            expect_same_core(responses[i], reference[i]);
         }
     }
 }
 
-TEST(BackendEquivalence, RunSimMatchesSiaBackendRequests) {
+TEST(BackendEquivalence, SiaBackendMatchesSequentialSia) {
     const auto model = small_model(11);
     const auto batch = random_batch(model, 5, 4, 31);
     std::vector<core::Request> requests;
     for (const auto& t : batch) requests.push_back(core::Request::view_train(t));
+
+    const sim::SiaConfig config;
+    const auto program = core::SiaCompiler(config).compile(model);
+    std::vector<sim::SiaRunResult> reference;
+    for (const auto& t : batch) {
+        sim::Sia sia(config, model, program);
+        reference.push_back(sia.run(t));
+    }
 
     for (const auto schedule :
          {core::SimSchedule::kResident, core::SimSchedule::kPerItem}) {
@@ -200,26 +222,22 @@ TEST(BackendEquivalence, RunSimMatchesSiaBackendRequests) {
                          (schedule == core::SimSchedule::kResident ? "resident"
                                                                    : "per-item") +
                          " threads=" + std::to_string(threads));
-            core::BatchRunner legacy(model, {.threads = threads});
-            const auto old_results =
-                legacy.run_sim(sim::SiaConfig{}, batch, schedule);
-
             core::BatchRunner unified(
-                std::make_shared<core::SiaBackend>(model, sim::SiaConfig{}, schedule),
+                std::make_shared<core::SiaBackend>(model, config, schedule),
                 {.threads = threads});
             const auto responses = unified.run(requests);
 
-            ASSERT_EQ(responses.size(), old_results.size());
+            ASSERT_EQ(responses.size(), reference.size());
             for (std::size_t i = 0; i < responses.size(); ++i) {
                 SCOPED_TRACE("item=" + std::to_string(i));
-                EXPECT_EQ(responses[i].logits_per_step, old_results[i].logits_per_step);
-                EXPECT_EQ(responses[i].spike_counts, old_results[i].spike_counts);
-                EXPECT_EQ(responses[i].neuron_counts, old_results[i].neuron_counts);
-                EXPECT_EQ(responses[i].timesteps, old_results[i].timesteps);
+                EXPECT_EQ(responses[i].logits_per_step, reference[i].logits_per_step);
+                EXPECT_EQ(responses[i].spike_counts, reference[i].spike_counts);
+                EXPECT_EQ(responses[i].neuron_counts, reference[i].neuron_counts);
+                EXPECT_EQ(responses[i].timesteps, reference[i].timesteps);
                 // Cycle stats must survive the unified Response intact.
                 ASSERT_EQ(responses[i].layer_stats.size(),
-                          old_results[i].layer_stats.size());
-                EXPECT_EQ(responses[i].total_cycles(), old_results[i].total_cycles());
+                          reference[i].layer_stats.size());
+                EXPECT_EQ(responses[i].total_cycles(), reference[i].total_cycles());
             }
         }
     }
@@ -360,36 +378,40 @@ TEST(SiaConfigKey, EqualityCoversEveryObservableField) {
     EXPECT_FALSE(base == clock);
 }
 
-TEST(SiaConfigKey, ConfigChangeInvalidatesProgramAndResidentSias) {
+TEST(SiaConfigKey, BackendConfigReachesProgramAndResidentSias) {
     const auto model = small_model(11);
     const auto batch = random_batch(model, 3, 4, 31);
-    // One worker: resident-Sia construction then deterministically lands
-    // in the first batch (with more workers, a worker that received no
-    // units builds its simulator in a later batch).
-    core::BatchRunner runner(model, {.threads = 1});
+    std::vector<core::Request> requests;
+    for (const auto& t : batch) requests.push_back(core::Request::view_train(t));
 
     const sim::SiaConfig config_a;
     sim::SiaConfig config_b;
     config_b.mmio_cycles_per_word *= 4;  // slower PS<->PL word transfers
 
-    const auto first_a = runner.run_sim(config_a, batch);
-    EXPECT_GT(runner.last_stats().setup_ms, 0.0);  // compiled + built Sias
+    // One worker: resident-Sia construction then deterministically lands
+    // in the first batch (with more workers, a worker that received no
+    // units builds its simulator in a later batch).
+    core::BatchRunner runner_a(std::make_shared<core::SiaBackend>(model, config_a),
+                               {.threads = 1});
+    const auto first_a = runner_a.run(requests);
+    EXPECT_GT(runner_a.last_stats().setup_ms, 0.0);  // compiled + built Sias
 
-    (void)runner.run_sim(config_a, batch);
-    EXPECT_EQ(runner.last_stats().setup_ms, 0.0);  // cache hit: same config
+    (void)runner_a.run(requests);
+    EXPECT_EQ(runner_a.last_stats().setup_ms, 0.0);  // warm: program + Sias cached
 
-    const auto first_b = runner.run_sim(config_b, batch);
-    EXPECT_GT(runner.last_stats().setup_ms, 0.0);  // recompiled for B
-    // The changed config must actually reach the rebuilt simulators:
-    // identical numerics, different cycle accounting.
+    // A backend built over a different config must actually reach the
+    // simulators: identical numerics, different cycle accounting.
+    core::BatchRunner runner_b(std::make_shared<core::SiaBackend>(model, config_b),
+                               {.threads = 1});
+    const auto first_b = runner_b.run(requests);
+    EXPECT_GT(runner_b.last_stats().setup_ms, 0.0);  // compiled for B
     for (std::size_t i = 0; i < batch.size(); ++i) {
         EXPECT_EQ(first_b[i].logits_per_step, first_a[i].logits_per_step);
         EXPECT_GT(first_b[i].total_cycles(), first_a[i].total_cycles());
     }
 
-    // Switching back is a config change too (single-entry cache).
-    const auto second_a = runner.run_sim(config_a, batch);
-    EXPECT_GT(runner.last_stats().setup_ms, 0.0);
+    // Reruns through the warm A backend stay identical, cycles included.
+    const auto second_a = runner_a.run(requests);
     for (std::size_t i = 0; i < batch.size(); ++i) {
         EXPECT_EQ(second_a[i].total_cycles(), first_a[i].total_cycles());
     }

@@ -89,7 +89,21 @@ std::vector<snn::SpikeTrain> random_batch(const snn::SnnModel& model, std::size_
     return batch;
 }
 
-void expect_same_result(const snn::RunResult& a, const snn::RunResult& b) {
+std::vector<core::Request> view_requests(const std::vector<snn::SpikeTrain>& batch) {
+    std::vector<core::Request> requests;
+    requests.reserve(batch.size());
+    for (const auto& t : batch) requests.push_back(core::Request::view_train(t));
+    return requests;
+}
+
+void expect_same_result(const core::Response& a, const snn::RunResult& b) {
+    EXPECT_EQ(a.logits_per_step, b.logits_per_step);
+    EXPECT_EQ(a.spike_counts, b.spike_counts);
+    EXPECT_EQ(a.neuron_counts, b.neuron_counts);
+    EXPECT_EQ(a.timesteps, b.timesteps);
+}
+
+void expect_same_result(const core::Response& a, const core::Response& b) {
     EXPECT_EQ(a.logits_per_step, b.logits_per_step);
     EXPECT_EQ(a.spike_counts, b.spike_counts);
     EXPECT_EQ(a.neuron_counts, b.neuron_counts);
@@ -203,7 +217,7 @@ TEST(BatchRunner, BitExactAcrossThreadCounts) {
     for (const std::size_t threads : {1UL, 2UL, 8UL}) {
         core::BatchRunner runner(model, {.threads = threads});
         EXPECT_EQ(runner.threads(), threads);
-        const auto results = runner.run(batch);
+        const auto results = runner.run(view_requests(batch));
         ASSERT_EQ(results.size(), reference.size());
         for (std::size_t i = 0; i < results.size(); ++i) {
             SCOPED_TRACE("threads=" + std::to_string(threads) + " item=" +
@@ -218,9 +232,7 @@ TEST(BatchRunner, BitExactAcrossThreadCounts) {
 TEST(BatchRunner, EmptyBatch) {
     const auto model = small_model(7);
     core::BatchRunner runner(model, {.threads = 2});
-    EXPECT_TRUE(runner.run(std::vector<snn::SpikeTrain>{}).empty());
     EXPECT_TRUE(runner.run(std::vector<core::Request>{}).empty());
-    EXPECT_TRUE(runner.run_images({}, 4).empty());
     EXPECT_EQ(runner.last_stats().inputs, 0U);
 }
 
@@ -230,7 +242,7 @@ TEST(BatchRunner, OversizedBatchManyMoreItemsThanThreads) {
 
     snn::FunctionalEngine engine(model);
     core::BatchRunner runner(model, {.threads = 4});
-    const auto results = runner.run(batch);
+    const auto results = runner.run(view_requests(batch));
     ASSERT_EQ(results.size(), 33U);
     for (std::size_t i = 0; i < results.size(); ++i) {
         SCOPED_TRACE("item=" + std::to_string(i));
@@ -252,7 +264,11 @@ TEST(BatchRunner, RunImagesMatchesManualEncode) {
     }
 
     core::BatchRunner runner(model, {.threads = 3});
-    const auto results = runner.run_images(images, timesteps);
+    std::vector<core::Request> requests;
+    for (const auto& img : images) {
+        requests.push_back(core::Request::view_thermometer(img, timesteps));
+    }
+    const auto results = runner.run(requests);
 
     snn::FunctionalEngine engine(model);
     ASSERT_EQ(results.size(), images.size());
@@ -266,10 +282,13 @@ TEST(BatchRunner, RunImagesMatchesManualEncode) {
 TEST(BatchRunner, SimBatchMatchesFunctionalLogits) {
     const auto model = small_model(11);
     const auto batch = random_batch(model, 3, 4, 31);
+    const auto requests = view_requests(batch);
 
-    core::BatchRunner runner(model, {.threads = 2});
-    const auto functional = runner.run(batch);
-    const auto simulated = runner.run_sim(sim::SiaConfig{}, batch);
+    core::BatchRunner functional_runner(model, {.threads = 2});
+    const auto functional = functional_runner.run(requests);
+    core::BatchRunner sim_runner(
+        std::make_shared<core::SiaBackend>(model, sim::SiaConfig{}), {.threads = 2});
+    const auto simulated = sim_runner.run(requests);
 
     ASSERT_EQ(simulated.size(), functional.size());
     for (std::size_t i = 0; i < simulated.size(); ++i) {
@@ -277,8 +296,9 @@ TEST(BatchRunner, SimBatchMatchesFunctionalLogits) {
         EXPECT_EQ(simulated[i].logits_per_step, functional[i].logits_per_step);
         EXPECT_EQ(simulated[i].spike_counts, functional[i].spike_counts);
     }
-    // Cached program: a second run with the same config must also agree.
-    const auto again = runner.run_sim(sim::SiaConfig{}, batch);
+    // Cached program + resident instances: a second batch through the
+    // same backend must also agree.
+    const auto again = sim_runner.run(requests);
     ASSERT_EQ(again.size(), simulated.size());
     for (std::size_t i = 0; i < again.size(); ++i) {
         EXPECT_EQ(again[i].logits_per_step, simulated[i].logits_per_step);
@@ -295,24 +315,28 @@ TEST(BatchRunner, StatsSeparateSetupFromRunTime) {
 
     // First batch pays engine construction; it must be attributed to
     // setup_ms, not folded into the per-item run time.
-    (void)runner.run(batch);
+    const auto requests = view_requests(batch);
+    (void)runner.run(requests);
     const auto cold = runner.last_stats();
     EXPECT_GT(cold.setup_ms, 0.0);
     EXPECT_GT(cold.run_ms, 0.0);
 
     // Warm runner: engines are cached, so a second batch reports zero
     // construction time — the amortization made visible.
-    (void)runner.run(batch);
+    (void)runner.run(requests);
     const auto warm = runner.last_stats();
     EXPECT_EQ(warm.setup_ms, 0.0);
     EXPECT_GT(warm.run_ms, 0.0);
 
-    // Same for the resident simulator path: first run_sim compiles the
-    // program and builds per-worker Sia instances, the second reuses both.
-    (void)runner.run_sim(sim::SiaConfig{}, batch);
-    EXPECT_GT(runner.last_stats().setup_ms, 0.0);
-    (void)runner.run_sim(sim::SiaConfig{}, batch);
-    EXPECT_EQ(runner.last_stats().setup_ms, 0.0);
+    // Same for the resident simulator path: the first batch through a
+    // SiaBackend compiles the program and builds per-worker Sia
+    // instances, the second reuses both.
+    core::BatchRunner sim_runner(
+        std::make_shared<core::SiaBackend>(model, sim::SiaConfig{}), {.threads = 1});
+    (void)sim_runner.run(requests);
+    EXPECT_GT(sim_runner.last_stats().setup_ms, 0.0);
+    (void)sim_runner.run(requests);
+    EXPECT_EQ(sim_runner.last_stats().setup_ms, 0.0);
 }
 
 TEST(BatchRunner, PoissonEncodingIsThreadCountInvariant) {
@@ -328,10 +352,14 @@ TEST(BatchRunner, PoissonEncodingIsThreadCountInvariant) {
         images.push_back(std::move(img));
     }
 
+    std::vector<core::Request> requests;
+    for (const auto& img : images) {
+        requests.push_back(core::Request::view_poisson(img, timesteps));
+    }
     core::BatchRunner one(model, {.threads = 1, .seed = 77});
     core::BatchRunner eight(model, {.threads = 8, .seed = 77});
-    const auto a = one.run_images_poisson(images, timesteps);
-    const auto b = eight.run_images_poisson(images, timesteps);
+    const auto a = one.run(requests);
+    const auto b = eight.run(requests);
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
         SCOPED_TRACE("item=" + std::to_string(i));
@@ -340,7 +368,7 @@ TEST(BatchRunner, PoissonEncodingIsThreadCountInvariant) {
 
     // A different batch seed changes the stochastic encoding.
     core::BatchRunner other(model, {.threads = 2, .seed = 78});
-    const auto c = other.run_images_poisson(images, timesteps);
+    const auto c = other.run(requests);
     bool any_diff = false;
     for (std::size_t i = 0; i < c.size(); ++i) {
         any_diff = any_diff || c[i].spike_counts != a[i].spike_counts;

@@ -115,6 +115,24 @@ TEST(Engine, RunReturnsPerStepLogits) {
     EXPECT_EQ(res.neuron_counts[0], 9);
 }
 
+TEST(Engine, ArgmaxTiesResolveToFirstIndex) {
+    // The readout comparator is explicitly first-index-wins: an equal
+    // later logit never displaces an earlier one.
+    EXPECT_EQ(argmax_first(std::vector<std::int64_t>{3, 3, 3}), 0U);
+    EXPECT_EQ(argmax_first(std::vector<std::int64_t>{1, 7, 7, 2}), 1U);
+    EXPECT_EQ(argmax_first(std::vector<std::int64_t>{-5, -9, -5}), 0U);
+    EXPECT_EQ(argmax_first(std::vector<std::int64_t>{0, 2, 5, 5}), 2U);
+    EXPECT_EQ(argmax_first(std::vector<std::int64_t>{4}), 0U);
+    EXPECT_EQ(argmax_first(std::vector<std::int64_t>{}), 0U);
+
+    // RunResult::predicted_class goes through the same comparator.
+    RunResult res;
+    res.logits_per_step = {{5, 5, 1}};
+    EXPECT_EQ(res.predicted_class(0), 0);
+    res.logits_per_step = {{1, -2, 1}};
+    EXPECT_EQ(res.predicted_class(0), 0);
+}
+
 TEST(Engine, InputGeometryMismatchThrows) {
     const auto model = two_layer_model();
     FunctionalEngine engine(model);

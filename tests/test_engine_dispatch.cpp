@@ -1,16 +1,22 @@
-// Dense-gather vs scatter kernel equivalence and the FunctionalEngine's
-// density-adaptive dispatch.
+// Dense-gather vs scatter kernel equivalence, the FunctionalEngine's
+// density-adaptive dispatch, and the vector-vs-scalar fire stage.
 //
-// The load-bearing property: conv_psum/linear_psum and their *_scatter
-// forms perform the same multiset of exact int32 additions, so psums —
-// and therefore spikes, membranes and logits — are bit-identical no
-// matter which path (or per-step mixture of paths) runs. The matrix
-// here sweeps densities {0, 1 spike, 5%, 50%, 100%} x stride/padding
-// variants x identity/conv skip routing x IF/LIF neurons.
+// The load-bearing properties: (1) conv_psum/linear_psum and their
+// *_scatter forms perform the same multiset of exact int32 additions,
+// so psums — and therefore spikes, membranes and logits — are
+// bit-identical no matter which path (or per-step mixture of paths)
+// runs; (2) the fused SoA fire kernels (compute::aggregate_fire_*)
+// execute the same util/fixed_point lane recipe as the scalar
+// aggregate()/update_neuron() loop, so the fire paths are bit-identical
+// too. The matrix here sweeps densities {0, 1 spike, 5%, 50%, 100%} x
+// stride/padding variants x identity/conv skip routing x IF/LIF
+// neurons x subtract/zero reset x every dispatch x fire-path
+// combination, on both word-aligned and odd ("tail") neuron counts.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/batch_runner.hpp"
@@ -208,6 +214,157 @@ SnnModel matrix_model(NeuronKind neuron, ResetMode reset, util::Rng& rng) {
     return model;
 }
 
+/// As matrix_model but with awkward layer sizes that exercise the fused
+/// kernels' 64-lane tail handling: 125 neurons (one full spike word +
+/// a 61-bit tail, channel boundaries mid-word since the plane is 25),
+/// 63 neurons (a single sub-word map), a 13-neuron spiking FC. Same
+/// routing coverage: identity skip, conv skip, spiking FC, readout.
+SnnModel tail_model(NeuronKind neuron, ResetMode reset, util::Rng& rng) {
+    SnnModel model;
+    model.input_channels = 3;
+    model.input_h = 5;
+    model.input_w = 5;
+    model.classes = 3;
+
+    const auto tune = [&](SnnLayer& l) {
+        l.neuron = neuron;
+        l.reset = reset;
+        l.leak_shift = 3;
+    };
+
+    SnnLayer stem;
+    stem.op = LayerOp::kConv;
+    stem.label = "stem";
+    stem.input = -1;
+    stem.main = random_conv_branch(3, 5, 3, 1, 1, rng);
+    stem.out_channels = 5;
+    stem.out_h = stem.out_w = 5;
+    stem.in_h = stem.in_w = 5;
+    tune(stem);
+    model.layers.push_back(stem);
+
+    SnnLayer res;
+    res.op = LayerOp::kConv;
+    res.label = "res";
+    res.input = 0;
+    res.main = random_conv_branch(5, 5, 3, 1, 1, rng);
+    res.skip_src = 0;
+    res.skip_is_identity = true;
+    res.identity_skip.charge = 120;
+    res.out_channels = 5;
+    res.out_h = res.out_w = 5;
+    res.in_h = res.in_w = 5;
+    tune(res);
+    model.layers.push_back(res);
+
+    SnnLayer down;
+    down.op = LayerOp::kConv;
+    down.label = "down";
+    down.input = 1;
+    down.main = random_conv_branch(5, 7, 3, 2, 1, rng);
+    down.skip_src = 1;
+    down.skip_is_identity = false;
+    down.skip = random_conv_branch(5, 7, 1, 2, 0, rng);
+    down.out_channels = 7;
+    down.out_h = down.out_w = 3;
+    down.in_h = down.in_w = 5;
+    tune(down);
+    model.layers.push_back(down);
+
+    SnnLayer fc;
+    fc.op = LayerOp::kLinear;
+    fc.label = "fc";
+    fc.input = 2;
+    fc.main.in_features = 7 * 3 * 3;
+    fc.main.out_features = 13;
+    fc.main.weights.resize(static_cast<std::size_t>(fc.main.in_features * 13));
+    for (auto& w : fc.main.weights) w = static_cast<std::int8_t>(rng.integer(-128, 127));
+    fc.main.gain.assign(13, 256);
+    fc.main.bias.assign(13, 0);
+    fc.out_channels = 13;
+    tune(fc);
+    model.layers.push_back(fc);
+
+    SnnLayer readout;
+    readout.op = LayerOp::kLinear;
+    readout.label = "readout";
+    readout.input = 3;
+    readout.spiking = false;
+    readout.main.in_features = 13;
+    readout.main.out_features = 3;
+    readout.main.weights.resize(39);
+    for (auto& w : readout.main.weights) {
+        w = static_cast<std::int8_t>(rng.integer(-128, 127));
+    }
+    readout.main.gain.assign(3, 256);
+    readout.main.bias.assign(3, 0);
+    readout.out_channels = 3;
+    model.layers.push_back(readout);
+    return model;
+}
+
+/// Conv-skip layer on a channel-uniform plane (8x8 = exactly one
+/// 64-neuron word per channel): the fused kernels then take the
+/// per-word coefficient-broadcast fast path for BOTH the main and the
+/// skip aggregate (kUniform + conv skip), which no other model in this
+/// file reaches — matrix_model's conv skip has plane 16, tail_model's
+/// plane 9.
+SnnModel uniform_skip_model(NeuronKind neuron, ResetMode reset, util::Rng& rng) {
+    SnnModel model;
+    model.input_channels = 3;
+    model.input_h = 8;
+    model.input_w = 8;
+    model.classes = 3;
+
+    const auto tune = [&](SnnLayer& l) {
+        l.neuron = neuron;
+        l.reset = reset;
+        l.leak_shift = 3;
+    };
+
+    SnnLayer stem;
+    stem.op = LayerOp::kConv;
+    stem.label = "stem";
+    stem.input = -1;
+    stem.main = random_conv_branch(3, 4, 3, 1, 1, rng);
+    stem.out_channels = 4;
+    stem.out_h = stem.out_w = 8;
+    stem.in_h = stem.in_w = 8;
+    tune(stem);
+    model.layers.push_back(stem);
+
+    SnnLayer proj;
+    proj.op = LayerOp::kConv;
+    proj.label = "proj";
+    proj.input = 0;
+    proj.main = random_conv_branch(4, 6, 3, 1, 1, rng);
+    proj.skip_src = 0;
+    proj.skip_is_identity = false;
+    proj.skip = random_conv_branch(4, 6, 1, 1, 0, rng);
+    proj.out_channels = 6;
+    proj.out_h = proj.out_w = 8;
+    proj.in_h = proj.in_w = 8;
+    tune(proj);
+    model.layers.push_back(proj);
+
+    SnnLayer readout;
+    readout.op = LayerOp::kLinear;
+    readout.label = "readout";
+    readout.input = 1;
+    readout.spiking = false;
+    readout.main.in_features = 6 * 8 * 8;
+    readout.main.out_features = 3;
+    readout.main.weights.resize(static_cast<std::size_t>(6 * 8 * 8 * 3));
+    for (auto& w : readout.main.weights) {
+        w = static_cast<std::int8_t>(rng.integer(-128, 127));
+    }
+    readout.main.gain.assign(3, 256);
+    readout.main.bias.assign(3, 0);
+    readout.out_channels = 3;
+    model.layers.push_back(readout);
+    return model;
+}
+
 SpikeTrain matrix_train(const SnnModel& model, double density, bool single_spike,
                         util::Rng& rng) {
     SpikeTrain train;
@@ -225,40 +382,54 @@ SpikeTrain matrix_train(const SnnModel& model, double density, bool single_spike
 }
 
 void expect_same_run(const SnnModel& model, const SpikeTrain& train) {
-    FunctionalEngine dense(model, {.dispatch = DispatchMode::kDense});
-    FunctionalEngine scatter(model, {.dispatch = DispatchMode::kScatter});
-    FunctionalEngine adaptive(model, {});
+    // Reference: dense gather + scalar fire (the pre-vectorization
+    // engine). Every dispatch x fire-path combination must match it.
+    struct Variant {
+        const char* name;
+        EngineConfig config;
+    };
+    const std::vector<Variant> variants = {
+        {"dense/vector", {.dispatch = DispatchMode::kDense}},
+        {"scatter/scalar",
+         {.dispatch = DispatchMode::kScatter, .fire = FirePath::kScalar}},
+        {"scatter/vector", {.dispatch = DispatchMode::kScatter}},
+        {"adaptive/scalar", {.fire = FirePath::kScalar}},
+        {"adaptive/vector", {}},
+    };
+    const EngineConfig reference_config{.dispatch = DispatchMode::kDense,
+                                        .fire = FirePath::kScalar};
+    FunctionalEngine reference(model, reference_config);
+    std::vector<std::unique_ptr<FunctionalEngine>> engines;
+    for (const Variant& v : variants) {
+        engines.push_back(std::make_unique<FunctionalEngine>(model, v.config));
+    }
 
     // Step-level comparison so a divergence pinpoints its first timestep.
     for (std::size_t t = 0; t < train.size(); ++t) {
-        dense.step(train[t]);
-        scatter.step(train[t]);
-        adaptive.step(train[t]);
-        for (std::size_t l = 0; l < model.layers.size(); ++l) {
-            ASSERT_TRUE(dense.layer_spikes(l) == scatter.layer_spikes(l))
-                << "t=" << t << " layer=" << l;
-            ASSERT_TRUE(dense.layer_spikes(l) == adaptive.layer_spikes(l))
-                << "t=" << t << " layer=" << l;
-            const auto md = dense.membrane(l);
-            const auto ms = scatter.membrane(l);
-            const auto ma = adaptive.membrane(l);
-            ASSERT_TRUE(std::equal(md.begin(), md.end(), ms.begin(), ms.end()))
-                << "t=" << t << " layer=" << l;
-            ASSERT_TRUE(std::equal(md.begin(), md.end(), ma.begin(), ma.end()))
-                << "t=" << t << " layer=" << l;
+        reference.step(train[t]);
+        for (std::size_t e = 0; e < engines.size(); ++e) {
+            FunctionalEngine& engine = *engines[e];
+            engine.step(train[t]);
+            for (std::size_t l = 0; l < model.layers.size(); ++l) {
+                ASSERT_TRUE(reference.layer_spikes(l) == engine.layer_spikes(l))
+                    << variants[e].name << " t=" << t << " layer=" << l;
+                const auto mr = reference.membrane(l);
+                const auto me = engine.membrane(l);
+                ASSERT_TRUE(std::equal(mr.begin(), mr.end(), me.begin(), me.end()))
+                    << variants[e].name << " t=" << t << " layer=" << l;
+            }
+            ASSERT_EQ(reference.readout(), engine.readout())
+                << variants[e].name << " t=" << t;
         }
-        ASSERT_EQ(dense.readout(), scatter.readout()) << "t=" << t;
-        ASSERT_EQ(dense.readout(), adaptive.readout()) << "t=" << t;
     }
 
     // Whole-run results (fresh engines through run()).
-    const RunResult rd = run_snn(model, train, {.dispatch = DispatchMode::kDense});
-    const RunResult rs = run_snn(model, train, {.dispatch = DispatchMode::kScatter});
-    const RunResult ra = run_snn(model, train, {});
-    EXPECT_EQ(rd.logits_per_step, rs.logits_per_step);
-    EXPECT_EQ(rd.logits_per_step, ra.logits_per_step);
-    EXPECT_EQ(rd.spike_counts, rs.spike_counts);
-    EXPECT_EQ(rd.spike_counts, ra.spike_counts);
+    const RunResult ref = run_snn(model, train, reference_config);
+    for (const Variant& v : variants) {
+        const RunResult got = run_snn(model, train, v.config);
+        EXPECT_EQ(ref.logits_per_step, got.logits_per_step) << v.name;
+        EXPECT_EQ(ref.spike_counts, got.spike_counts) << v.name;
+    }
 }
 
 TEST(DispatchEquivalence, DensityNeuronSkipMatrix) {
@@ -268,6 +439,36 @@ TEST(DispatchEquivalence, DensityNeuronSkipMatrix) {
             const SnnModel model = matrix_model(neuron, reset, rng);
             expect_same_run(model, matrix_train(model, 0.0, false, rng));
             expect_same_run(model, matrix_train(model, 0.0, true, rng));  // 1 spike/step
+            expect_same_run(model, matrix_train(model, 0.05, false, rng));
+            expect_same_run(model, matrix_train(model, 0.5, false, rng));
+            expect_same_run(model, matrix_train(model, 1.0, false, rng));
+        }
+    }
+}
+
+TEST(DispatchEquivalence, TailMaskDensityNeuronSkipMatrix) {
+    // Odd neuron counts: every layer ends mid-word, so the fused fire
+    // kernels' padded lanes and tail masking are on the critical path.
+    util::Rng rng(203);
+    for (const NeuronKind neuron : {NeuronKind::kIf, NeuronKind::kLif}) {
+        for (const ResetMode reset : {ResetMode::kSubtract, ResetMode::kZero}) {
+            const SnnModel model = tail_model(neuron, reset, rng);
+            expect_same_run(model, matrix_train(model, 0.0, false, rng));
+            expect_same_run(model, matrix_train(model, 0.0, true, rng));  // 1 spike/step
+            expect_same_run(model, matrix_train(model, 0.05, false, rng));
+            expect_same_run(model, matrix_train(model, 0.5, false, rng));
+            expect_same_run(model, matrix_train(model, 1.0, false, rng));
+        }
+    }
+}
+
+TEST(DispatchEquivalence, UniformPlaneConvSkipMatrix) {
+    // Channel-uniform fused path with a residual downsample branch.
+    util::Rng rng(204);
+    for (const NeuronKind neuron : {NeuronKind::kIf, NeuronKind::kLif}) {
+        for (const ResetMode reset : {ResetMode::kSubtract, ResetMode::kZero}) {
+            const SnnModel model = uniform_skip_model(neuron, reset, rng);
+            expect_same_run(model, matrix_train(model, 0.0, true, rng));
             expect_same_run(model, matrix_train(model, 0.05, false, rng));
             expect_same_run(model, matrix_train(model, 0.5, false, rng));
             expect_same_run(model, matrix_train(model, 1.0, false, rng));
@@ -333,6 +534,39 @@ TEST(DispatchCounters, ThresholdZeroMeansAlwaysDense) {
               static_cast<std::int64_t>(train.size()));
 }
 
+TEST(DispatchCounters, FirePathCountersTrackConfiguredPath) {
+    util::Rng rng(606);
+    const SnnModel model = matrix_model(NeuronKind::kIf, ResetMode::kSubtract, rng);
+    const SpikeTrain train = matrix_train(model, 0.05, false, rng);
+    const auto steps = static_cast<std::int64_t>(train.size());
+
+    FunctionalEngine vector_engine(model, {});  // default: vectorized fire
+    FunctionalEngine scalar_engine(model, {.fire = FirePath::kScalar});
+    for (const auto& frame : train) {
+        vector_engine.step(frame);
+        scalar_engine.step(frame);
+    }
+    for (std::size_t l = 0; l < model.layers.size(); ++l) {
+        const bool spiking = model.layers[l].spiking;
+        // Spiking layers fire once per step through the configured path;
+        // the readout layer has no fire stage and counts neither.
+        EXPECT_EQ(vector_engine.dispatch_stats(l).vector_fire_steps,
+                  spiking ? steps : 0)
+            << l;
+        EXPECT_EQ(vector_engine.dispatch_stats(l).scalar_fire_steps, 0) << l;
+        EXPECT_EQ(scalar_engine.dispatch_stats(l).scalar_fire_steps,
+                  spiking ? steps : 0)
+            << l;
+        EXPECT_EQ(scalar_engine.dispatch_stats(l).vector_fire_steps, 0) << l;
+    }
+
+    // run() surfaces the counters; reset() clears them.
+    const RunResult res = vector_engine.run(train);
+    EXPECT_EQ(res.layer_dispatch[0].vector_fire_steps, steps);
+    vector_engine.reset();
+    EXPECT_EQ(vector_engine.dispatch_stats(0).vector_fire_steps, 0);
+}
+
 // ---- BatchRunner plumbing ----
 
 TEST(BatchRunnerDispatch, EngineConfigPreservesBitExactness) {
@@ -342,21 +576,28 @@ TEST(BatchRunnerDispatch, EngineConfigPreservesBitExactness) {
     for (int i = 0; i < 6; ++i) {
         batch.push_back(matrix_train(model, 0.02 + 0.2 * i, false, rng));
     }
+    std::vector<core::Request> requests;
+    for (const auto& train : batch) requests.push_back(core::Request::view_train(train));
 
     core::BatchRunner dense_runner(
         model, {.threads = 2, .engine = {.dispatch = DispatchMode::kDense}});
     core::BatchRunner scatter_runner(
         model, {.threads = 2, .engine = {.dispatch = DispatchMode::kScatter}});
     core::BatchRunner adaptive_runner(model, {.threads = 2});
-    const auto rd = dense_runner.run(batch);
-    const auto rs = scatter_runner.run(batch);
-    const auto ra = adaptive_runner.run(batch);
+    core::BatchRunner scalar_fire_runner(
+        model, {.threads = 2, .engine = {.fire = FirePath::kScalar}});
+    const auto rd = dense_runner.run(requests);
+    const auto rs = scatter_runner.run(requests);
+    const auto ra = adaptive_runner.run(requests);
+    const auto rf = scalar_fire_runner.run(requests);
     ASSERT_EQ(rd.size(), batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
         EXPECT_EQ(rd[i].logits_per_step, rs[i].logits_per_step) << i;
         EXPECT_EQ(rd[i].logits_per_step, ra[i].logits_per_step) << i;
+        EXPECT_EQ(rd[i].logits_per_step, rf[i].logits_per_step) << i;
         EXPECT_EQ(rd[i].spike_counts, rs[i].spike_counts) << i;
         EXPECT_EQ(rd[i].spike_counts, ra[i].spike_counts) << i;
+        EXPECT_EQ(rd[i].spike_counts, rf[i].spike_counts) << i;
     }
 }
 

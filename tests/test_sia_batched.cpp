@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -160,6 +161,37 @@ void expect_same_sia_result(const sim::SiaRunResult& got, const sim::SiaRunResul
     EXPECT_EQ(got.total_cycles(), want.total_cycles());
 }
 
+/// Same bit-identity check against a unified-API core::Response.
+void expect_same_sia_result(const core::Response& got, const sim::SiaRunResult& want) {
+    EXPECT_EQ(got.logits_per_step, want.logits_per_step);
+    EXPECT_EQ(got.spike_counts, want.spike_counts);
+    EXPECT_EQ(got.neuron_counts, want.neuron_counts);
+    EXPECT_EQ(got.timesteps, want.timesteps);
+    ASSERT_EQ(got.layer_stats.size(), want.layer_stats.size());
+    for (std::size_t l = 0; l < got.layer_stats.size(); ++l) {
+        SCOPED_TRACE("layer " + std::to_string(l));
+        const auto& a = got.layer_stats[l];
+        const auto& b = want.layer_stats[l];
+        EXPECT_EQ(a.label, b.label);
+        EXPECT_EQ(a.compute, b.compute);
+        EXPECT_EQ(a.aggregate, b.aggregate);
+        EXPECT_EQ(a.dma, b.dma);
+        EXPECT_EQ(a.mmio, b.mmio);
+        EXPECT_EQ(a.overhead, b.overhead);
+        EXPECT_EQ(a.input_spike_events, b.input_spike_events);
+        EXPECT_EQ(a.event_additions, b.event_additions);
+        EXPECT_EQ(a.dense_ops, b.dense_ops);
+    }
+    EXPECT_EQ(got.total_cycles(), want.total_cycles());
+}
+
+std::vector<core::Request> view_requests(const std::vector<snn::SpikeTrain>& batch) {
+    std::vector<core::Request> requests;
+    requests.reserve(batch.size());
+    for (const auto& t : batch) requests.push_back(core::Request::view_train(t));
+    return requests;
+}
+
 struct NamedModel {
     const char* name;
     snn::SnnModel model;
@@ -213,15 +245,16 @@ TEST(SiaBatched, MatrixBatchedEqualsSequentialEqualsFunctional) {
                           config.membrane_banks);
         }
 
-        // Threaded resident scheduling through BatchRunner.
+        // Threaded resident scheduling through BatchRunner + SiaBackend.
         for (const std::size_t threads : thread_counts) {
-            core::BatchRunner runner(model, {.threads = threads});
+            core::BatchRunner runner(std::make_shared<core::SiaBackend>(model, config),
+                                     {.threads = threads});
             for (const std::size_t bs : batch_sizes) {
                 SCOPED_TRACE("threads=" + std::to_string(threads) + " batch=" +
                              std::to_string(bs));
                 const std::vector<snn::SpikeTrain> sub(
                     inputs.begin(), inputs.begin() + static_cast<std::ptrdiff_t>(bs));
-                const auto results = runner.run_sim(config, sub);
+                const auto results = runner.run(view_requests(sub));
                 ASSERT_EQ(results.size(), bs);
                 for (std::size_t i = 0; i < bs; ++i) {
                     SCOPED_TRACE("item=" + std::to_string(i));
@@ -238,17 +271,24 @@ TEST(SiaBatched, PerItemAndResidentSchedulesAgree) {
     const auto model = conv_model(5);
     const auto inputs = random_batch(model, 9, 4, 55);
     const sim::SiaConfig config;
+    const auto requests = view_requests(inputs);
 
-    core::BatchRunner runner(model, {.threads = 4});
-    const auto resident = runner.run_sim(config, inputs, core::SimSchedule::kResident);
+    // One backend, schedule flipped between batches: bit-identical
+    // results, residency accounting only under kResident.
+    auto backend = std::make_shared<core::SiaBackend>(model, config);
+    core::BatchRunner runner(backend, {.threads = 4});
+    const auto resident = runner.run(requests);
     EXPECT_EQ(runner.last_sim_batch_stats().batch, inputs.size());
-    const auto per_item = runner.run_sim(config, inputs, core::SimSchedule::kPerItem);
+    backend->set_schedule(core::SimSchedule::kPerItem);
+    const auto per_item = runner.run(requests);
     EXPECT_EQ(runner.last_sim_batch_stats().batch, 0U);  // per-item: no residency
 
     ASSERT_EQ(resident.size(), per_item.size());
     for (std::size_t i = 0; i < resident.size(); ++i) {
         SCOPED_TRACE("item=" + std::to_string(i));
-        expect_same_sia_result(resident[i], per_item[i]);
+        EXPECT_EQ(resident[i].logits_per_step, per_item[i].logits_per_step);
+        EXPECT_EQ(resident[i].spike_counts, per_item[i].spike_counts);
+        EXPECT_EQ(resident[i].total_cycles(), per_item[i].total_cycles());
     }
 }
 
@@ -346,8 +386,9 @@ TEST(SiaBatched, EmptyBatch) {
     EXPECT_TRUE(sia.run_batch(std::vector<snn::SpikeTrain>{}).empty());
     EXPECT_EQ(sia.last_batch_stats().waves, 0);
 
-    core::BatchRunner runner(model, {.threads = 2});
-    EXPECT_TRUE(runner.run_sim(config, {}).empty());
+    core::BatchRunner runner(std::make_shared<core::SiaBackend>(model, config),
+                             {.threads = 2});
+    EXPECT_TRUE(runner.run(std::vector<core::Request>{}).empty());
     EXPECT_EQ(runner.last_stats().inputs, 0U);
 }
 

@@ -328,6 +328,47 @@ TEST(ModelValidate, RejectsFcFeatureMismatch) {
     EXPECT_THROW(model.validate(), std::invalid_argument);
 }
 
+TEST(ModelValidate, RejectsOutOfRangeShifts) {
+    // The fire-stage lane arithmetic relies on these bounds to keep
+    // every int32 intermediate from overflowing.
+    auto model = tiny_conv_model();
+    model.layers[1].main.gain_shift = 31;  // linear branch
+    EXPECT_THROW(model.validate(), std::invalid_argument);
+
+    auto leaky = tiny_conv_model();
+    leaky.layers[0].leak_shift = 33;
+    EXPECT_THROW(leaky.validate(), std::invalid_argument);
+}
+
+TEST(ModelValidate, RejectsIdentitySkipSpatialMismatch) {
+    // Identity skips alias the source's packed spike words, so the
+    // whole CHW geometry must match, not just the channel count.
+    auto model = tiny_conv_model();
+    auto& conv = model.layers[0];
+    conv.skip_src = -1;  // network input: 1ch, but 4x4 vs this 4x4...
+    conv.skip_is_identity = true;
+    ASSERT_EQ(conv.out_channels, 2);  // channel mismatch alone rejects
+    EXPECT_THROW(model.validate(), std::invalid_argument);
+
+    // Channel-matched but spatially mismatched source must also reject.
+    auto spatial = tiny_conv_model();
+    SnnLayer shrunk = spatial.layers[0];  // same 2 channels
+    shrunk.label = "shrunk";
+    shrunk.input = 0;
+    shrunk.main.in_channels = 2;
+    shrunk.main.weights.assign(static_cast<std::size_t>(2 * 2 * 9), 1);
+    shrunk.main.stride = 2;
+    shrunk.out_h = shrunk.out_w = 2;
+    shrunk.in_h = shrunk.in_w = 4;
+    shrunk.skip_src = 0;  // 2ch 4x4 source vs 2ch 2x2 output
+    shrunk.skip_is_identity = true;
+    spatial.layers.insert(spatial.layers.begin() + 1, shrunk);
+    spatial.layers[2].input = 1;
+    spatial.layers[2].main.in_features = 2 * 2 * 2;
+    spatial.layers[2].main.weights.assign(static_cast<std::size_t>(2 * 2 * 2 * 2), 1);
+    EXPECT_THROW(spatial.validate(), std::invalid_argument);
+}
+
 TEST(ModelOps, CountsSynapticOps) {
     const auto model = tiny_conv_model();
     // conv: 4*4 * 2 * 1 * 9 * 2 = 576; fc: 32*2*2 = 128.
