@@ -47,30 +47,34 @@ int main() {
     const snn::SpikeTrain pre_encoded = snn::encode_thermometer(images[0], timesteps);
 
     const auto serve = [&](std::shared_ptr<core::Backend> backend) {
-        core::Server server(std::move(backend), {.threads = 2,
-                                                 .max_queue = 64,
-                                                 .max_batch = 8,
-                                                 .max_wait_us = 300});
+        core::Server server(std::move(backend),
+                            {.threads = 2,
+                             .max_queue = 64,
+                             .max_batch = 8,
+                             .tenant_weights = {{"premium", 2}, {"batch", 1}}});
         std::cout << "\n-- serving via backend '" << server.backend().name()
                   << "' --\n";
 
-        // 2. Two client threads, mixed encodings, one shared server.
+        // 2. Two client threads (tenants with different fairness weights
+        // and priorities), mixed encodings, one shared server.
         std::vector<std::future<core::Response>> futures(1 + images.size());
         futures[0] = server.submit(core::Request::from_train(pre_encoded));
-        std::thread thermometer_client([&] {
+        std::thread premium_client([&] {
             for (std::size_t i = 0; i < images.size() / 2; ++i) {
                 futures[1 + i] = server.submit(
-                    core::Request::thermometer(images[i], timesteps));
+                    core::Request::thermometer(images[i], timesteps)
+                        .with("", "premium", core::Priority::kHigh));
             }
         });
-        std::thread poisson_client([&] {
+        std::thread batch_client([&] {
             for (std::size_t i = images.size() / 2; i < images.size(); ++i) {
                 futures[1 + i] =
-                    server.submit(core::Request::poisson(images[i], timesteps));
+                    server.submit(core::Request::poisson(images[i], timesteps)
+                                      .with("", "batch", core::Priority::kLow));
             }
         });
-        thermometer_client.join();
-        poisson_client.join();
+        premium_client.join();
+        batch_client.join();
 
         for (std::size_t i = 0; i < futures.size(); ++i) {
             const core::Response response = futures[i].get();

@@ -12,6 +12,14 @@ namespace sia::core {
 
 // ---------------------------------------------------------------- Request
 
+Request Request::with(std::string model_name, std::string tenant_name,
+                      Priority prio) && {
+    model = std::move(model_name);
+    tenant = std::move(tenant_name);
+    priority = prio;
+    return std::move(*this);
+}
+
 Request Request::from_train(snn::SpikeTrain t) {
     Request r;
     r.encoding = Encoding::kPreEncoded;

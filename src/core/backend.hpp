@@ -49,6 +49,19 @@ enum class Encoding : std::uint8_t {
     kPoisson,      ///< Poisson-rate-encode from the request's RNG stream
 };
 
+/// Scheduling lane of a request inside core::Server. Lower value = more
+/// urgent: the high lane preempts wave formation (its requests fill a
+/// forming wave before any normal/low request regardless of arrival
+/// time), the low lane is shed first when a full queue must make room
+/// under BackpressurePolicy::kReject. Priority never affects results —
+/// only when a request runs.
+enum class Priority : std::uint8_t {
+    kHigh = 0,
+    kNormal = 1,
+    kLow = 2,
+};
+inline constexpr std::size_t kPriorityLanes = 3;
+
 /// One inference request. Inputs may be owned (`from_*` factories — the
 /// serving path, where the submitter hands the data off) or borrowed
 /// (`view_*` factories — the zero-copy batch path; the caller keeps the
@@ -69,6 +82,21 @@ struct Request {
     /// does, to the admission sequence) when the same request must
     /// encode identically regardless of how batches are formed.
     std::optional<std::uint64_t> rng_stream;
+
+    // --- serving routing (core::Server; ignored by plain BatchRunner) ---
+    /// Registered model to route to. Empty = the server's sole model
+    /// (single-model servers), otherwise must name a registered model.
+    std::string model;
+    /// Tenant the request is accounted (fairness weight, per-tenant
+    /// latency/SLO stats) under. Empty is a valid tenant.
+    std::string tenant;
+    Priority priority = Priority::kNormal;
+
+    /// Chainable routing tag for rvalue requests:
+    ///   server.submit(Request::view_train(t).with("vgg", "tenant-a",
+    ///                                             Priority::kHigh));
+    [[nodiscard]] Request with(std::string model_name, std::string tenant_name = {},
+                               Priority prio = Priority::kNormal) &&;
 
     [[nodiscard]] static Request from_train(snn::SpikeTrain t);
     [[nodiscard]] static Request view_train(const snn::SpikeTrain& t);

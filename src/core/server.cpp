@@ -1,149 +1,530 @@
 #include "core/server.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <stdexcept>
+#include <thread>
 #include <utility>
-#include <vector>
 
 namespace sia::core {
 
-Server::Server(std::shared_ptr<Backend> backend, ServerOptions options)
-    : backend_(std::move(backend)), options_(options),
-      runner_(backend_, {.threads = options.threads, .seed = options.seed}) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Fair-queuing weight of a tenant: slots per round-robin cycle within
+/// a priority lane. Unlisted tenants weigh 1; 0 is clamped to 1 (a
+/// zero-weight tenant would starve outright, which fairness forbids).
+std::uint32_t weight_of(const ServerOptions& options, const std::string& tenant) {
+    const auto it = options.tenant_weights.find(tenant);
+    return it == options.tenant_weights.end() ? 1U
+                                              : std::max<std::uint32_t>(1, it->second);
+}
+
+/// One admitted request awaiting wave formation.
+struct Queued {
+    Request request;
+    std::promise<Response> promise;
+    Clock::time_point enqueued;
+};
+
+/// Scheduling state of one priority lane: per-tenant FIFOs plus the
+/// weighted round-robin rotation over tenants with queued work. The
+/// rotation is ordered by activation (first enqueue), so selection is a
+/// pure function of admission history — no timing, no hashing.
+struct PriorityLaneState {
+    std::map<std::string, std::deque<Queued>> per_tenant;
+    std::vector<std::string> rotation;
+    std::size_t cursor = 0;  ///< next tenant to serve in `rotation`
+    std::size_t size = 0;    ///< total requests across per_tenant
+
+    void deactivate(const std::string& tenant) {
+        per_tenant.erase(tenant);
+        const auto it = std::find(rotation.begin(), rotation.end(), tenant);
+        const auto idx = static_cast<std::size_t>(it - rotation.begin());
+        rotation.erase(it);
+        if (rotation.empty()) {
+            cursor = 0;
+        } else {
+            if (idx < cursor) --cursor;
+            cursor %= rotation.size();
+        }
+    }
+};
+
+}  // namespace
+
+void TenantStats::merge(const TenantStats& other) {
+    submitted += other.submitted;
+    completed += other.completed;
+    rejected += other.rejected;
+    shed += other.shed;
+    failed += other.failed;
+    latency_us.merge(other.latency_us);
+    // A default-constructed slot (e.g. a fresh map entry during
+    // aggregation) adopts the incoming threshold before the exact
+    // counter merge.
+    if (slo.total() == 0 && slo.threshold() != other.slo.threshold()) {
+        slo = util::SloBurnCounter(other.slo.threshold());
+    }
+    slo.merge(other.slo);
+}
+
+/// One registered model: its backend + runner, its admission queue
+/// (priority lanes over per-tenant FIFOs), its dispatcher thread, and
+/// the stats slice it owns. `mutex` guards every mutable field; the
+/// dispatcher only drops it while a wave is in flight (in_flight > 0),
+/// which is exactly the window reload_model waits out before swapping
+/// backend/runner.
+struct Server::ModelLane {
+    std::string name;
+    std::shared_ptr<Backend> backend;
+    std::unique_ptr<BatchRunner> runner;
+
+    mutable std::mutex mutex;
+    std::condition_variable work_cv;   ///< wakes the dispatcher
+    std::condition_variable space_cv;  ///< wakes blocked submitters
+    std::condition_variable idle_cv;   ///< wakes reload waiting for quiesce
+
+    std::array<PriorityLaneState, kPriorityLanes> prio;
+    std::size_t queued = 0;     ///< across all priority lanes
+    std::size_t in_flight = 0;  ///< requests of the wave being executed
+    bool stopping = false;      ///< shutdown or unregister drain
+    bool paused = false;        ///< reload quiesce: no new waves
+    std::uint64_t next_stream = 0;  ///< admission sequence number
+
+    // Stats slice (merged by Server::stats()).
+    std::size_t submitted = 0;
+    std::size_t rejected = 0;
+    std::size_t shed = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::size_t batches = 0;
+    std::size_t reloads = 0;
+    util::StreamingHistogram latency_us;
+    std::map<std::string, TenantStats> tenants;
+
+    std::thread dispatcher;
+    std::once_flag join_once;
+
+    TenantStats& tenant_slot(const std::string& tenant, double slo_us) {
+        const auto [it, fresh] = tenants.try_emplace(tenant);
+        if (fresh) it->second.slo = util::SloBurnCounter(slo_us);
+        return it->second;
+    }
+
+    void enqueue(Queued q) {
+        auto& lane = prio[static_cast<std::size_t>(q.request.priority)];
+        const auto [it, fresh] = lane.per_tenant.try_emplace(q.request.tenant);
+        if (fresh) lane.rotation.push_back(q.request.tenant);
+        it->second.push_back(std::move(q));
+        ++lane.size;
+        ++queued;
+    }
+
+    /// Form the next wave (up to max_batch) from the queues. The high
+    /// lane preempts batch formation: a wave that contains
+    /// high-priority work contains nothing else — a request's future
+    /// resolves when its whole wave completes, so batching premium
+    /// requests with lower-priority ones would make them wait on their
+    /// own batchmates. When the high lane is empty, normal fills first
+    /// and low tops the wave up. Within a lane, weighted round-robin
+    /// over tenants (each tenant takes up to `weight` slots per
+    /// visit); when the wave fills mid-quantum the cursor stays on
+    /// that tenant, so the next wave resumes where this one was cut
+    /// off.
+    [[nodiscard]] std::vector<Queued> form_wave(const ServerOptions& options) {
+        std::vector<Queued> wave;
+        wave.reserve(std::min(options.max_batch, queued));
+        for (std::size_t p = 0; p < kPriorityLanes; ++p) {
+            if (p == 1 && !wave.empty()) break;  // high preempts formation
+            auto& lane = prio[p];
+            while (lane.size > 0 && wave.size() < options.max_batch) {
+                const std::string tenant = lane.rotation[lane.cursor];
+                auto& fifo = lane.per_tenant[tenant];
+                const std::uint32_t quantum = weight_of(options, tenant);
+                std::uint32_t took = 0;
+                while (took < quantum && !fifo.empty() &&
+                       wave.size() < options.max_batch) {
+                    wave.push_back(std::move(fifo.front()));
+                    fifo.pop_front();
+                    --lane.size;
+                    --queued;
+                    ++took;
+                }
+                if (fifo.empty()) {
+                    lane.deactivate(tenant);
+                } else if (took == quantum) {
+                    lane.cursor = (lane.cursor + 1) % lane.rotation.size();
+                }
+            }
+        }
+        return wave;
+    }
+
+    /// Under kReject with a full queue: make room for an incoming
+    /// request by evicting a queued one of *strictly lower* priority —
+    /// the low lane sheds first. The victim is the youngest request of
+    /// the busiest tenant in the lowest-priority non-empty lane
+    /// (deterministic given queue state; sheds from whoever is loading
+    /// the queue hardest, and the youngest request loses the least
+    /// invested waiting time). nullopt when nothing outranks.
+    [[nodiscard]] std::optional<Queued> try_evict(Priority incoming) {
+        for (std::size_t p = kPriorityLanes; p-- > 0;) {
+            if (p <= static_cast<std::size_t>(incoming)) break;
+            auto& lane = prio[p];
+            if (lane.size == 0) continue;
+            const std::string* busiest = nullptr;
+            std::size_t longest = 0;
+            for (const auto& [tenant, fifo] : lane.per_tenant) {
+                if (fifo.size() >= longest) {
+                    longest = fifo.size();
+                    busiest = &tenant;
+                }
+            }
+            const std::string tenant = *busiest;
+            auto& fifo = lane.per_tenant[tenant];
+            Queued victim = std::move(fifo.back());
+            fifo.pop_back();
+            --lane.size;
+            --queued;
+            if (fifo.empty()) lane.deactivate(tenant);
+            return victim;
+        }
+        return std::nullopt;
+    }
+
+    void merge_into(ServerStats& out) const {
+        out.submitted += submitted;
+        out.rejected += rejected;
+        out.shed += shed;
+        out.completed += completed;
+        out.failed += failed;
+        out.batches += batches;
+        out.reloads += reloads;
+        out.latency_us.merge(latency_us);
+        for (const auto& [tenant, slice] : tenants) out.tenants[tenant].merge(slice);
+    }
+};
+
+// ------------------------------------------------------------------ Server
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
     if (options_.max_queue == 0) {
         throw std::invalid_argument("Server: max_queue must be >= 1");
     }
     if (options_.max_batch == 0) {
         throw std::invalid_argument("Server: max_batch must be >= 1");
     }
-    dispatcher_ = std::thread([this] { drain_loop(); });
+}
+
+Server::Server(std::shared_ptr<Backend> backend, ServerOptions options)
+    : Server(std::move(options)) {
+    register_model(kDefaultModel, std::move(backend));
 }
 
 Server::~Server() { shutdown(); }
 
-std::optional<std::future<Response>> Server::try_submit(Request request) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (options_.backpressure == BackpressurePolicy::kBlock) {
-        space_cv_.wait(lock, [this] {
-            return stopping_ || queue_.size() < options_.max_queue;
-        });
+void Server::register_model(const std::string& name,
+                            std::shared_ptr<Backend> backend) {
+    if (name.empty()) {
+        throw std::invalid_argument("Server::register_model: empty model name");
     }
-    if (stopping_ || queue_.size() >= options_.max_queue) {
-        ++stats_.rejected;
+    if (!backend) {
+        throw std::invalid_argument("Server::register_model: null backend");
+    }
+    auto lane = std::make_shared<ModelLane>();
+    lane->name = name;
+    lane->backend = std::move(backend);
+    lane->runner = std::make_unique<BatchRunner>(
+        lane->backend,
+        BatchOptions{.threads = options_.threads, .seed = options_.seed});
+
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    if (stopping_) {
+        throw std::runtime_error("Server::register_model: shutting down");
+    }
+    if (lanes_.count(name) != 0) {
+        throw std::invalid_argument("Server::register_model: duplicate model '" +
+                                    name + "'");
+    }
+    // Start the dispatcher while still holding the registry lock:
+    // shutdown() also takes it first, so a lane is never visible in the
+    // map with its dispatcher not yet joinable.
+    lane->dispatcher = std::thread([this, lane] { lane_loop(*lane); });
+    lanes_.emplace(name, std::move(lane));
+}
+
+void Server::reload_model(const std::string& name, std::shared_ptr<Backend> backend) {
+    if (!backend) {
+        throw std::invalid_argument("Server::reload_model: null backend");
+    }
+    std::shared_ptr<ModelLane> lane;
+    {
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
+        const auto it = lanes_.find(name);
+        if (it == lanes_.end()) {
+            throw std::invalid_argument("Server::reload_model: unknown model '" +
+                                        name + "'");
+        }
+        lane = it->second;
+    }
+    // Build the replacement runner before quiescing so its pool spin-up
+    // is off the pause window.
+    auto runner = std::make_unique<BatchRunner>(
+        backend, BatchOptions{.threads = options_.threads, .seed = options_.seed});
+    {
+        std::unique_lock<std::mutex> lock(lane->mutex);
+        lane->paused = true;
+        lane->idle_cv.wait(lock, [&] { return lane->in_flight == 0; });
+        lane->backend = std::move(backend);
+        lane->runner = std::move(runner);
+        ++lane->reloads;
+        lane->paused = false;
+    }
+    lane->work_cv.notify_all();
+}
+
+void Server::unregister_model(const std::string& name) {
+    std::shared_ptr<ModelLane> lane;
+    {
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
+        const auto it = lanes_.find(name);
+        if (it == lanes_.end()) {
+            throw std::invalid_argument("Server::unregister_model: unknown model '" +
+                                        name + "'");
+        }
+        lane = it->second;
+        lanes_.erase(it);
+    }
+    stop_lane(*lane);  // drains the lane's queue through its backend
+    const std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    const std::lock_guard<std::mutex> lane_lock(lane->mutex);
+    lane->merge_into(retired_);
+}
+
+std::vector<std::string> Server::model_names() const {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    std::vector<std::string> names;
+    names.reserve(lanes_.size());
+    for (const auto& [name, lane] : lanes_) names.push_back(name);
+    return names;
+}
+
+std::shared_ptr<Server::ModelLane> Server::route(const std::string& model) const {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    if (!model.empty()) {
+        const auto it = lanes_.find(model);
+        return it != lanes_.end() ? it->second : nullptr;
+    }
+    if (lanes_.size() == 1) return lanes_.begin()->second;
+    const auto it = lanes_.find(kDefaultModel);
+    return it != lanes_.end() ? it->second : nullptr;
+}
+
+std::optional<std::future<Response>> Server::try_submit(Request request) {
+    const std::shared_ptr<ModelLane> lane = route(request.model);
+    if (!lane) {
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
+        ++unroutable_;
         return std::nullopt;
     }
-    // Pin the RNG stream to the admission sequence (unless the caller
-    // pinned one already): batch formation is a timing artifact and must
-    // never influence stochastic encodings.
-    if (!request.rng_stream) request.rng_stream = next_stream_;
-    ++next_stream_;
-    ++stats_.submitted;
-    Pending pending{std::move(request), std::promise<Response>{},
-                    std::chrono::steady_clock::now()};
-    std::future<Response> future = pending.promise.get_future();
-    queue_.push_back(std::move(pending));
-    lock.unlock();
-    queue_cv_.notify_one();
+
+    std::optional<Queued> victim;
+    std::future<Response> future;
+    {
+        std::unique_lock<std::mutex> lock(lane->mutex);
+        if (options_.backpressure == BackpressurePolicy::kBlock) {
+            lane->space_cv.wait(lock, [&] {
+                return lane->stopping || lane->queued < options_.max_queue;
+            });
+        }
+        if (lane->stopping) {
+            ++lane->rejected;
+            ++lane->tenant_slot(request.tenant, options_.slo_us).rejected;
+            return std::nullopt;
+        }
+        if (lane->queued >= options_.max_queue) {
+            victim = lane->try_evict(request.priority);
+            if (!victim) {
+                ++lane->rejected;
+                ++lane->tenant_slot(request.tenant, options_.slo_us).rejected;
+                return std::nullopt;
+            }
+            ++lane->shed;
+            ++lane->tenant_slot(victim->request.tenant, options_.slo_us).shed;
+        }
+        // Pin the RNG stream to the lane's admission sequence (unless
+        // the caller pinned one already): wave formation, priorities,
+        // and tenant interleaving are scheduling artifacts and must
+        // never influence stochastic encodings.
+        if (!request.rng_stream) request.rng_stream = lane->next_stream;
+        ++lane->next_stream;
+        ++lane->submitted;
+        ++lane->tenant_slot(request.tenant, options_.slo_us).submitted;
+        Queued pending{std::move(request), std::promise<Response>{}, Clock::now()};
+        future = pending.promise.get_future();
+        lane->enqueue(std::move(pending));
+    }
+    lane->work_cv.notify_one();
+    // Resolve the shed victim outside the lane lock (its waiter may
+    // immediately re-enter the server).
+    if (victim) {
+        victim->promise.set_exception(std::make_exception_ptr(std::runtime_error(
+            "Server: request shed (displaced by a higher-priority request)")));
+    }
     return future;
 }
 
 std::future<Response> Server::submit(Request request) {
     auto future = try_submit(std::move(request));
     if (!future) {
-        throw std::runtime_error(stopping() ? "Server::submit: shutting down"
-                                            : "Server::submit: queue full");
+        throw std::runtime_error(
+            stopping() ? "Server::submit: shutting down"
+                       : "Server::submit: refused (queue full or unknown model)");
     }
     return std::move(*future);
 }
 
 void Server::shutdown() {
+    std::vector<std::shared_ptr<ModelLane>> lanes;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
         stopping_ = true;
+        lanes.reserve(lanes_.size());
+        for (const auto& [name, lane] : lanes_) lanes.push_back(lane);
     }
-    queue_cv_.notify_all();
-    space_cv_.notify_all();
-    std::call_once(join_once_, [this] {
-        if (dispatcher_.joinable()) dispatcher_.join();
+    for (const auto& lane : lanes) stop_lane(*lane);
+}
+
+void Server::stop_lane(ModelLane& lane) {
+    {
+        const std::lock_guard<std::mutex> lock(lane.mutex);
+        lane.stopping = true;
+    }
+    lane.work_cv.notify_all();
+    lane.space_cv.notify_all();
+    std::call_once(lane.join_once, [&] {
+        if (lane.dispatcher.joinable()) lane.dispatcher.join();
     });
 }
 
 bool Server::stopping() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
     return stopping_;
 }
 
 std::size_t Server::queue_depth() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
+    std::vector<std::shared_ptr<ModelLane>> lanes;
+    {
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
+        for (const auto& [name, lane] : lanes_) lanes.push_back(lane);
+    }
+    std::size_t depth = 0;
+    for (const auto& lane : lanes) {
+        const std::lock_guard<std::mutex> lock(lane->mutex);
+        depth += lane->queued;
+    }
+    return depth;
+}
+
+std::size_t Server::queue_depth(const std::string& model) const {
+    const std::shared_ptr<ModelLane> lane = route(model);
+    if (!lane) return 0;
+    const std::lock_guard<std::mutex> lock(lane->mutex);
+    return lane->queued;
 }
 
 ServerStats Server::stats() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    std::vector<std::shared_ptr<ModelLane>> lanes;
+    ServerStats out;
+    {
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
+        for (const auto& [name, lane] : lanes_) lanes.push_back(lane);
+        out = retired_;
+        out.rejected += unroutable_;
+    }
+    for (const auto& lane : lanes) {
+        const std::lock_guard<std::mutex> lock(lane->mutex);
+        lane->merge_into(out);
+    }
+    return out;
 }
 
-void Server::drain_loop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+Backend& Server::backend() {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    if (lanes_.size() != 1) {
+        throw std::logic_error("Server::backend: not a single-model server");
+    }
+    return *lanes_.begin()->second->backend;
+}
+
+void Server::lane_loop(ModelLane& lane) {
+    std::unique_lock<std::mutex> lock(lane.mutex);
     for (;;) {
-        queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-        if (queue_.empty()) return;  // stopping, fully drained
+        lane.work_cv.wait(lock, [&] {
+            return !lane.paused && (lane.stopping || lane.queued > 0);
+        });
+        if (lane.queued == 0) return;  // stopping, fully drained
 
-        // Admission window: wait (relative to the *oldest* arrival, so a
-        // request never waits longer than max_wait_us for batchmates)
-        // until the batch fills, the window closes, or shutdown begins.
-        const auto deadline =
-            queue_.front().enqueued + std::chrono::microseconds(options_.max_wait_us);
-        while (queue_.size() < options_.max_batch && !stopping_) {
-            if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
-        }
-
-        const std::size_t take = std::min(options_.max_batch, queue_.size());
-        std::vector<Pending> batch;
-        batch.reserve(take);
-        for (std::size_t i = 0; i < take; ++i) {
-            batch.push_back(std::move(queue_.front()));
-            queue_.pop_front();
-        }
-        ++stats_.batches;
+        // Continuous batching: the wave forms from whatever accumulated
+        // while the previous wave executed — the in-flight wave is the
+        // batching window. A lone request on an idle lane dispatches
+        // immediately; under load, wave size adapts to the backlog.
+        std::vector<Queued> wave = lane.form_wave(options_);
+        ++lane.batches;
+        lane.in_flight = wave.size();
+        // Stable across the unlocked region: reload_model only swaps
+        // the runner/backend after waiting for in_flight == 0.
+        BatchRunner& runner = *lane.runner;
         lock.unlock();
-        space_cv_.notify_all();
+        lane.space_cv.notify_all();
 
         std::vector<Request> requests;
-        requests.reserve(take);
-        for (auto& p : batch) requests.push_back(std::move(p.request));
+        requests.reserve(wave.size());
+        for (auto& q : wave) requests.push_back(std::move(q.request));
 
         std::vector<Response> responses;
         std::exception_ptr failure;
         try {
-            responses = runner_.run(requests);
+            responses = runner.run(requests);
         } catch (...) {
             failure = std::current_exception();
         }
-        const auto now = std::chrono::steady_clock::now();
+        const auto now = Clock::now();
 
         lock.lock();
-        for (const auto& p : batch) {
+        lane.in_flight = 0;
+        for (std::size_t i = 0; i < wave.size(); ++i) {
+            TenantStats& slice = lane.tenant_slot(requests[i].tenant, options_.slo_us);
             if (failure) {
-                ++stats_.failed;
+                ++lane.failed;
+                ++slice.failed;
             } else {
-                ++stats_.completed;
-                stats_.latency_us.add(
-                    std::chrono::duration<double, std::micro>(now - p.enqueued)
-                        .count());
+                ++lane.completed;
+                ++slice.completed;
+                const double us =
+                    std::chrono::duration<double, std::micro>(now - wave[i].enqueued)
+                        .count();
+                lane.latency_us.add(us);
+                slice.latency_us.add(us);
+                slice.slo.add(us);
             }
         }
         lock.unlock();
+        lane.idle_cv.notify_all();
 
-        // Resolve futures outside the lock: promise continuations
-        // (futures waited on by submitters) must not observe a held
-        // server mutex.
-        for (std::size_t i = 0; i < batch.size(); ++i) {
+        // Resolve futures outside the lock: promise continuations must
+        // not observe a held lane mutex.
+        for (std::size_t i = 0; i < wave.size(); ++i) {
             if (failure) {
-                batch[i].promise.set_exception(failure);
+                wave[i].promise.set_exception(failure);
             } else {
-                batch[i].promise.set_value(std::move(responses[i]));
+                wave[i].promise.set_value(std::move(responses[i]));
             }
         }
         lock.lock();

@@ -1,44 +1,75 @@
-// core::Server: a long-running serving loop over one core::Backend —
-// the step from "batch API" to "serves heavy traffic".
+// core::Server: a multi-model, multi-tenant serving subsystem — several
+// named core::Backends behind one admission surface, with per-tenant
+// fairness, priority lanes, continuous batching, and hot model reload.
 //
 // Request lifecycle:
 //
-//   submit(Request)                      caller thread
-//     -> bounded admission queue         (backpressure when full:
-//                                         kBlock waits for space,
-//                                         kReject hands back nullopt)
-//     -> drain loop                      dedicated dispatcher thread
-//          admission batching: take up to max_batch requests, waiting
-//          at most max_wait_us after the oldest arrival to let a batch
-//          fill before dispatching a partial one
-//     -> BatchRunner::run(requests)      backend-generic fan-out over
-//                                        the worker pool
-//     -> std::future<Response> resolves  per-request latency recorded
-//                                        (enqueue -> completion) in a
-//                                        util::StreamingHistogram
+//   submit(Request)                     caller thread; routed by
+//     |                                 Request::model to that model's
+//     |                                 lane, RNG stream pinned to the
+//     |                                 lane's admission sequence
+//     v
+//   per-model bounded queue             backpressure at max_queue:
+//     |                                   kBlock  — submitter waits
+//     |                                   kReject — refuse, after first
+//     |                                     shedding a queued lower-
+//     |                                     priority request if one
+//     |                                     exists (low lane sheds first)
+//     v
+//   wave formation                      per-model dispatcher thread;
+//     |                                 continuous batching: a wave is
+//     |                                 formed the moment the runner is
+//     |                                 free and work is queued — the
+//     |                                 in-flight wave IS the batching
+//     |                                 window, so an empty queue never
+//     |                                 stalls a lone request. The high
+//     |                                 lane preempts formation: a wave
+//     |                                 with high work carries ONLY high
+//     |                                 work (a request waits on its
+//     |                                 whole wave, so high never rides
+//     |                                 with slower batchmates); else
+//     |                                 normal fills before low. Within
+//     |                                 a lane, weighted round-robin
+//     |                                 over tenants (weight = slots
+//     |                                 per cycle).
+//     v
+//   BatchRunner::run(wave)              backend-generic fan-out over the
+//     |                                 lane's worker pool
+//     v
+//   future<Response> resolves           per-request latency recorded
+//                                       (admission -> completion) into
+//                                       aggregate + per-tenant
+//                                       StreamingHistograms and a
+//                                       per-tenant SLO-burn counter
 //
 // Determinism: each admitted request is pinned to an RNG stream equal to
-// its admission sequence number, so for a fixed seed and arrival order
-// the responses are bit-identical regardless of how batches happen to
-// form, how many worker threads run, or which backend schedule executes
-// — timing can shift latency, never results.
+// its model lane's admission sequence number, so for a fixed seed and
+// per-model arrival order the responses are bit-identical regardless of
+// wave formation, tenant interleaving, priorities, thread count, or
+// backend schedule — scheduling shifts *when* a request runs, never its
+// result (responses are grouping-invariant by the Backend contract).
 //
-// Shutdown: shutdown() stops admissions, drains every queued request
-// through the backend, resolves all futures, and joins the dispatcher.
+// Hot reload: reload_model(name, backend) quiesces only that model's
+// lane (waits for its in-flight wave), swaps the backend + runner, and
+// resumes; queued requests for the model run on the new backend, and
+// other models' queues are untouched. unregister_model drains the
+// lane's queue through its backend, then removes it.
+//
+// Shutdown: shutdown() stops admissions on every lane, drains every
+// queued request, resolves all futures, and joins the dispatchers.
 // Submitters blocked on a full queue at shutdown time are refused
-// (their submit returns rejection) rather than left hanging.
+// rather than left hanging.
 #pragma once
 
-#include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <thread>
+#include <string>
+#include <vector>
 
 #include "core/backend.hpp"
 #include "core/batch_runner.hpp"
@@ -47,39 +78,60 @@
 
 namespace sia::core {
 
-/// What submit() does when the admission queue is at max_queue.
+/// What submit() does when the target model's queue is at max_queue.
 enum class BackpressurePolicy : std::uint8_t {
     kBlock,   ///< wait for space (bounds memory, pushes latency upstream)
-    kReject,  ///< fail fast (bounds latency, sheds load)
+    kReject,  ///< fail fast (bounds latency, sheds load — low lane first)
 };
 
 struct ServerOptions {
-    /// Worker threads of the underlying BatchRunner; 0 = hardware
+    /// Worker threads of each model lane's BatchRunner; 0 = hardware
     /// concurrency.
     std::size_t threads = 0;
-    /// Admission queue bound (>= 1). The queue holds requests not yet
-    /// handed to the runner; in-flight batches are not counted.
+    /// Per-model admission queue bound (>= 1). The queue holds requests
+    /// not yet handed to the runner; in-flight waves are not counted.
     std::size_t max_queue = 256;
-    /// Largest batch the drain loop forms (>= 1).
+    /// Largest wave a lane dispatches (>= 1).
     std::size_t max_batch = 32;
-    /// Admission window: after the oldest queued request arrived, how
-    /// long the drain loop waits for the batch to fill before
-    /// dispatching a partial one. 0 = dispatch immediately.
-    std::int64_t max_wait_us = 500;
     BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
-    /// Base seed for per-request RNG streams (stream = admission seq).
+    /// Base seed for per-request RNG streams (stream = the model lane's
+    /// admission sequence number).
     std::uint64_t seed = util::kDefaultSeed;
+    /// Latency SLO threshold (same unit as the histograms: µs) feeding
+    /// the per-tenant SLO-burn counters.
+    double slo_us = 50'000.0;
+    /// Fair-queuing weight per tenant: slots per round-robin cycle
+    /// within a priority lane. Unlisted tenants weigh 1.
+    std::map<std::string, std::uint32_t> tenant_weights;
 };
 
-/// Snapshot of the server's counters and latency distribution.
+/// Per-tenant slice of the server's counters.
+struct TenantStats {
+    std::size_t submitted = 0;  ///< admitted into a queue
+    std::size_t completed = 0;
+    std::size_t rejected = 0;  ///< refused at submit
+    std::size_t shed = 0;      ///< admitted, then evicted for a higher-priority request
+    std::size_t failed = 0;    ///< future resolved with a backend exception
+    util::StreamingHistogram latency_us;
+    util::SloBurnCounter slo;
+
+    void merge(const TenantStats& other);
+};
+
+/// Snapshot of the server's counters and latency distributions,
+/// aggregated across every model lane.
 struct ServerStats {
-    std::size_t submitted = 0;  ///< admitted into the queue
-    std::size_t rejected = 0;   ///< refused (queue full under kReject, or stopping)
-    std::size_t completed = 0;  ///< futures resolved with a Response
-    std::size_t failed = 0;     ///< futures resolved with an exception
-    std::size_t batches = 0;    ///< dispatches through the runner
+    std::size_t submitted = 0;
+    std::size_t rejected = 0;  ///< refused (queue full under kReject, unknown model, or stopping)
+    std::size_t shed = 0;      ///< evicted from a queue to admit higher priority
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::size_t batches = 0;  ///< waves dispatched through the runners
+    std::size_t reloads = 0;  ///< hot backend swaps performed
     /// Per-request latency, admission to completion, in microseconds.
     util::StreamingHistogram latency_us;
+    /// Per-tenant breakdown (latency histogram + SLO burn per tenant).
+    std::map<std::string, TenantStats> tenants;
 
     [[nodiscard]] double mean_batch_size() const noexcept {
         return batches > 0
@@ -91,58 +143,77 @@ struct ServerStats {
 
 class Server {
 public:
-    /// Starts the dispatcher thread immediately. The server shares
-    /// ownership of the backend; `backend->model()` must outlive it.
+    /// Single-model convenience: registers `backend` under
+    /// kDefaultModel and starts its lane. Requests with an empty model
+    /// route to it.
     explicit Server(std::shared_ptr<Backend> backend, ServerOptions options = {});
-    /// Destructor performs a graceful shutdown (drains the queue).
+    /// Empty server; add models with register_model().
+    explicit Server(ServerOptions options = {});
+    /// Destructor performs a graceful shutdown (drains every lane).
     ~Server();
 
     Server(const Server&) = delete;
     Server& operator=(const Server&) = delete;
 
-    /// Submit one request. Returns a future that resolves when the
-    /// request's batch completes (or fails). Throws std::runtime_error
-    /// when the request is refused — queue full under kReject, or the
-    /// server is shutting down.
+    static constexpr const char* kDefaultModel = "default";
+
+    /// Register a named model and start its lane (queue + dispatcher +
+    /// runner). Throws if the name is taken or the server is stopping.
+    void register_model(const std::string& name, std::shared_ptr<Backend> backend);
+    /// Hot-swap the backend serving `name`: quiesce that lane's
+    /// in-flight wave, swap backend + runner, resume. Queued requests
+    /// run on the new backend; other models are unaffected. Throws on
+    /// unknown model.
+    void reload_model(const std::string& name, std::shared_ptr<Backend> backend);
+    /// Stop admissions for `name`, drain its queued requests through
+    /// its backend, join its dispatcher, and remove it. Other models'
+    /// queues are untouched. Throws on unknown model.
+    void unregister_model(const std::string& name);
+    [[nodiscard]] std::vector<std::string> model_names() const;
+
+    /// Submit one request, routed by request.model (empty = sole
+    /// registered model / kDefaultModel). Returns a future that
+    /// resolves when the request's wave completes, fails, or the
+    /// request is shed. Throws std::runtime_error when refused — queue
+    /// full under kReject with nothing lower-priority to shed, unknown
+    /// model, or the server/model is shutting down.
     [[nodiscard]] std::future<Response> submit(Request request);
 
     /// Non-throwing form: nullopt when refused.
     [[nodiscard]] std::optional<std::future<Response>> try_submit(Request request);
 
-    /// Stop admissions, drain every queued request, resolve all
-    /// futures, join the dispatcher. Idempotent; safe to call from
-    /// multiple threads.
+    /// Stop admissions on every lane, drain every queued request,
+    /// resolve all futures, join the dispatchers. Idempotent; safe to
+    /// call from multiple threads.
     void shutdown();
 
     [[nodiscard]] bool stopping() const;
+    /// Queued (not in-flight) requests across all lanes / in one lane.
     [[nodiscard]] std::size_t queue_depth() const;
+    [[nodiscard]] std::size_t queue_depth(const std::string& model) const;
+    /// Aggregated across lanes; exact histogram/counter merges.
     [[nodiscard]] ServerStats stats() const;
     [[nodiscard]] const ServerOptions& options() const noexcept { return options_; }
-    [[nodiscard]] Backend& backend() noexcept { return *backend_; }
+    /// Single-model convenience: the sole lane's backend. Throws
+    /// std::logic_error unless exactly one model is registered.
+    [[nodiscard]] Backend& backend();
 
 private:
-    struct Pending {
-        Request request;
-        std::promise<Response> promise;
-        std::chrono::steady_clock::time_point enqueued;
-    };
+    struct ModelLane;  // full definition in server.cpp
 
-    void drain_loop();
+    [[nodiscard]] std::shared_ptr<ModelLane> route(const std::string& model) const;
+    void lane_loop(ModelLane& lane);
+    static void stop_lane(ModelLane& lane);
 
-    std::shared_ptr<Backend> backend_;
     ServerOptions options_;
-    BatchRunner runner_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable queue_cv_;  ///< wakes the dispatcher
-    std::condition_variable space_cv_;  ///< wakes blocked submitters
-    std::deque<Pending> queue_;
+    /// Guards the lane map and the server-wide flags/counters. Lock
+    /// order: registry_mutex_ before any lane mutex, never the reverse.
+    mutable std::mutex registry_mutex_;
+    std::map<std::string, std::shared_ptr<ModelLane>> lanes_;
     bool stopping_ = false;
-    std::uint64_t next_stream_ = 0;  ///< admission sequence number
-    ServerStats stats_;
-
-    std::once_flag join_once_;
-    std::thread dispatcher_;  // started last, joined via shutdown()
+    std::size_t unroutable_ = 0;  ///< rejects with no lane to account them to
+    ServerStats retired_;  ///< stats carried over from unregistered lanes
 };
 
 }  // namespace sia::core

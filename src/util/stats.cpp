@@ -157,6 +157,14 @@ void StreamingHistogram::reset() noexcept {
     max_ = 0.0;
 }
 
+void SloBurnCounter::merge(const SloBurnCounter& other) {
+    if (threshold_ != other.threshold_) {
+        throw std::invalid_argument("SloBurnCounter::merge: threshold mismatch");
+    }
+    total_ += other.total_;
+    burned_ += other.burned_;
+}
+
 double mean_of(const std::vector<double>& xs) noexcept {
     if (xs.empty()) return 0.0;
     double s = 0.0;

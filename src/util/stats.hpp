@@ -99,6 +99,20 @@ public:
         return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
     }
 
+    /// Raw bucket occupancies — the state merge() sums. Exposed so the
+    /// merge-exactness property (splitting a stream across histograms
+    /// and merging equals one histogram that saw everything) can be
+    /// asserted bucket-wise, not just through quantiles. Note the mean
+    /// is *not* part of that exactness claim: merge() adds the partial
+    /// sums, and float addition is order-sensitive.
+    [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+        return counts_;
+    }
+    [[nodiscard]] bool same_geometry(const StreamingHistogram& other) const noexcept {
+        return counts_.size() == other.counts_.size() && log_lo_ == other.log_lo_ &&
+               bins_per_decade_ == other.bins_per_decade_;
+    }
+
     void reset() noexcept;
 
 private:
@@ -112,6 +126,46 @@ private:
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+};
+
+/// SLO-burn accounting: counts how many observed values exceeded a
+/// fixed service-level threshold. The burn rate (violations / total) is
+/// the fraction of an error budget a tenant is consuming; core::Server
+/// keeps one per tenant next to its latency histogram. merge() is exact
+/// (plain counter sums) so per-lane counters combine like histograms.
+class SloBurnCounter {
+public:
+    SloBurnCounter() = default;
+    explicit SloBurnCounter(double threshold) : threshold_(threshold) {}
+
+    void add(double x) noexcept {
+        ++total_;
+        if (x > threshold_) ++burned_;
+    }
+
+    /// Counter-wise sum. Throws std::invalid_argument when the
+    /// thresholds differ — burn counts against different SLOs are not
+    /// comparable.
+    void merge(const SloBurnCounter& other);
+
+    [[nodiscard]] double threshold() const noexcept { return threshold_; }
+    [[nodiscard]] std::size_t total() const noexcept { return total_; }
+    [[nodiscard]] std::size_t burned() const noexcept { return burned_; }
+    /// Fraction of observations over the threshold; 0 when empty.
+    [[nodiscard]] double burn_rate() const noexcept {
+        return total_ > 0 ? static_cast<double>(burned_) / static_cast<double>(total_)
+                          : 0.0;
+    }
+
+    void reset() noexcept {
+        total_ = 0;
+        burned_ = 0;
+    }
+
+private:
+    double threshold_ = 0.0;
+    std::size_t total_ = 0;
+    std::size_t burned_ = 0;
 };
 
 /// Mean of a vector; 0 for empty input.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <barrier>
 #include <chrono>
 #include <condition_variable>
 #include <future>
@@ -174,7 +175,7 @@ TEST(Server, ConcurrentSubmittersFunctionalBackend) {
     }
 
     core::Server server(std::make_shared<core::FunctionalBackend>(model),
-                        {.threads = 2, .max_batch = 4, .max_wait_us = 200});
+                        {.threads = 2, .max_batch = 4});
     std::vector<std::thread> submitters;
     std::vector<std::vector<std::future<core::Response>>> futures(kSubmitters);
     for (std::size_t s = 0; s < kSubmitters; ++s) {
@@ -225,7 +226,7 @@ TEST(Server, ConcurrentSubmittersSiaBackend) {
     }
 
     core::Server server(std::make_shared<core::SiaBackend>(model),
-                        {.threads = 2, .max_batch = 3, .max_wait_us = 200});
+                        {.threads = 2, .max_batch = 3});
     std::vector<std::thread> submitters;
     std::vector<std::vector<std::future<core::Response>>> futures(kSubmitters);
     for (std::size_t s = 0; s < kSubmitters; ++s) {
@@ -263,7 +264,6 @@ TEST(Server, RejectPolicyShedsLoadWhenQueueFull) {
     core::Server server(backend, {.threads = 1,
                                   .max_queue = 2,
                                   .max_batch = 1,
-                                  .max_wait_us = 0,
                                   .backpressure = core::BackpressurePolicy::kReject});
 
     // First request is dequeued into the (gated) in-flight batch...
@@ -298,7 +298,6 @@ TEST(Server, BlockPolicyWaitsForSpaceInsteadOfRejecting) {
     core::Server server(backend, {.threads = 1,
                                   .max_queue = 1,
                                   .max_batch = 1,
-                                  .max_wait_us = 0,
                                   .backpressure = core::BackpressurePolicy::kBlock});
 
     auto f0 = server.submit(core::Request{});
@@ -334,8 +333,7 @@ TEST(Server, ShutdownDrainsEveryQueuedRequest) {
     auto backend = std::make_shared<GatedBackend>(model);
     core::Server server(backend, {.threads = 1,
                                   .max_queue = 16,
-                                  .max_batch = 2,
-                                  .max_wait_us = 0});
+                                  .max_batch = 2});
 
     std::vector<std::future<core::Response>> futures;
     for (int i = 0; i < 7; ++i) futures.push_back(server.submit(core::Request{}));
@@ -373,15 +371,14 @@ TEST(Server, SubmitAfterShutdownIsRefused) {
     server.shutdown();  // idempotent
 }
 
-// ---- admission batching ----
+// ---- continuous batching ----
 
-TEST(Server, AdmissionWindowFormsMultiRequestBatches) {
+TEST(Server, ContinuousBatchingFormsWavesFromTheBacklog) {
     const auto model = small_model(7);
     auto backend = std::make_shared<GatedBackend>(model);
     core::Server server(backend, {.threads = 1,
                                   .max_queue = 16,
-                                  .max_batch = 8,
-                                  .max_wait_us = 0});
+                                  .max_batch = 8});
 
     // While the gate holds the first dispatch, six more requests queue
     // up; the next batch must take all of them at once.
@@ -410,10 +407,10 @@ TEST(Server, SameSeedSameArrivalOrderSameResponses) {
     std::vector<tensor::Tensor> images;
     for (int i = 0; i < 12; ++i) images.push_back(random_image(model, 50 + i));
 
-    // Two servers with wildly different batch formation (thread counts,
-    // batch caps, admission windows, backends' dispatch) must produce
-    // bit-identical responses for the same seed and arrival order,
-    // because RNG streams are pinned to the admission sequence.
+    // Two servers with wildly different wave formation (thread counts,
+    // batch caps, backends' dispatch) must produce bit-identical
+    // responses for the same seed and arrival order, because RNG
+    // streams are pinned to the admission sequence.
     const auto run_server = [&](core::ServerOptions opts) {
         opts.seed = 2024;
         core::Server server(std::make_shared<core::FunctionalBackend>(model), opts);
@@ -428,8 +425,8 @@ TEST(Server, SameSeedSameArrivalOrderSameResponses) {
         return responses;
     };
 
-    const auto a = run_server({.threads = 1, .max_batch = 1, .max_wait_us = 0});
-    const auto b = run_server({.threads = 4, .max_batch = 8, .max_wait_us = 2000});
+    const auto a = run_server({.threads = 1, .max_batch = 1});
+    const auto b = run_server({.threads = 4, .max_batch = 8});
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
         SCOPED_TRACE("item=" + std::to_string(i));
@@ -449,6 +446,157 @@ TEST(Server, SameSeedSameArrivalOrderSameResponses) {
     for (std::size_t i = 0; i < direct.size(); ++i) {
         EXPECT_EQ(a[i].logits_per_step, direct[i].logits_per_step);
     }
+}
+
+// ---- shutdown / race regressions (TSan tier) ----
+
+// Submit while shutdown is mid-drain: the gate holds the dispatcher
+// inside the first wave, so shutdown() is deterministically blocked in
+// its drain when the late submit arrives — it must be refused, never
+// enqueued into a dying lane or left hanging, and every request that
+// was admitted before shutdown must still complete.
+TEST(ServerRaces, SubmitDuringDrainIsRefused) {
+    const auto model = small_model(7);
+    auto backend = std::make_shared<GatedBackend>(model);
+    core::Server server(backend, {.threads = 1, .max_queue = 16, .max_batch = 2});
+
+    std::vector<std::future<core::Response>> futures;
+    for (int i = 0; i < 5; ++i) futures.push_back(server.submit(core::Request{}));
+    ASSERT_TRUE(eventually([&] { return backend->entered() >= 1; }));
+
+    std::thread shutter([&] { server.shutdown(); });
+    ASSERT_TRUE(eventually([&] { return server.stopping(); }));
+
+    // The drain is provably still in progress (the gate is closed), so
+    // this submit races with it — and must lose cleanly.
+    EXPECT_FALSE(server.try_submit(core::Request{}).has_value());
+    EXPECT_THROW((void)server.submit(core::Request{}), std::runtime_error);
+
+    backend->release();
+    shutter.join();
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        ASSERT_EQ(futures[i].wait_for(0s), std::future_status::ready) << i;
+        EXPECT_EQ(futures[i].get().logits_per_step[0][0],
+                  static_cast<std::int64_t>(i));
+    }
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.completed, 5U);
+    EXPECT_EQ(stats.rejected, 2U);
+}
+
+// Reload racing shutdown and submitters: a barrier releases all three
+// at once, and the invariants must hold for every legal interleaving —
+// each submitted future resolves exactly once (value or clean refusal),
+// the reload either applies or the server was already stopping, and the
+// ledger balances (submitted == completed + failed, nothing lost).
+TEST(ServerRaces, ReloadDuringDrainKeepsTheLedgerConsistent) {
+    const auto model = small_model(13);
+    for (int round = 0; round < 3; ++round) {
+        core::Server server(std::make_shared<core::FunctionalBackend>(model),
+                            {.threads = 2, .max_queue = 64, .max_batch = 4});
+        // Seed the queue so the drain has real work.
+        std::vector<std::future<core::Response>> warm;
+        for (int i = 0; i < 6; ++i) {
+            warm.push_back(server.submit(
+                core::Request::from_train(random_train(model, 3, 40 + i))));
+        }
+
+        std::atomic<int> late_accepted{0};
+        std::atomic<int> late_refused{0};
+        std::vector<std::future<core::Response>> late(8);
+        std::mutex late_mutex;
+
+        // threads: 1 shutter + 1 reloader + 2 submitters.
+        std::barrier barrier(4);
+        std::thread shutter([&] {
+            barrier.arrive_and_wait();
+            server.shutdown();
+        });
+        std::thread reloader([&] {
+            barrier.arrive_and_wait();
+            try {
+                server.reload_model(core::Server::kDefaultModel,
+                                    std::make_shared<core::FunctionalBackend>(model));
+            } catch (const std::exception&) {
+                // acceptable only if the lane was already gone; with a
+                // default-registered lane it never is.
+                ADD_FAILURE() << "reload_model threw during drain";
+            }
+        });
+        std::vector<std::thread> submitters;
+        for (int s = 0; s < 2; ++s) {
+            submitters.emplace_back([&, s] {
+                barrier.arrive_and_wait();
+                for (int i = 0; i < 4; ++i) {
+                    auto f = server.try_submit(
+                        core::Request::from_train(random_train(model, 3, 80 + i)));
+                    if (f) {
+                        const std::lock_guard<std::mutex> lock(late_mutex);
+                        late[static_cast<std::size_t>(4 * s + i)] = std::move(*f);
+                        late_accepted.fetch_add(1);
+                    } else {
+                        late_refused.fetch_add(1);
+                    }
+                }
+            });
+        }
+        shutter.join();
+        reloader.join();
+        for (auto& t : submitters) t.join();
+
+        for (auto& f : warm) EXPECT_NO_THROW((void)f.get());
+        for (auto& f : late) {
+            if (f.valid()) {
+                EXPECT_NO_THROW((void)f.get());
+            }
+        }
+        const auto stats = server.stats();
+        EXPECT_EQ(stats.reloads, 1U);
+        EXPECT_EQ(stats.submitted, 6U + static_cast<std::size_t>(late_accepted.load()));
+        EXPECT_EQ(stats.completed + stats.failed, stats.submitted);
+        EXPECT_EQ(stats.failed, 0U);
+        EXPECT_EQ(stats.rejected, static_cast<std::size_t>(late_refused.load()));
+        EXPECT_EQ(server.queue_depth(), 0U);
+    }
+}
+
+// Two submitters racing on an already-full kReject queue, lined up on a
+// barrier: both must be refused (same priority — nothing to shed), the
+// queue must not over-admit, and the queued requests must be untouched.
+TEST(ServerRaces, ConcurrentRejectsOnFullQueueShedNothing) {
+    const auto model = small_model(7);
+    auto backend = std::make_shared<GatedBackend>(model);
+    core::Server server(backend, {.threads = 1,
+                                  .max_queue = 2,
+                                  .max_batch = 1,
+                                  .backpressure = core::BackpressurePolicy::kReject});
+
+    auto f0 = server.submit(core::Request{});  // held in flight by the gate
+    ASSERT_TRUE(eventually([&] { return backend->entered() >= 1; }));
+    auto f1 = server.submit(core::Request{});
+    auto f2 = server.submit(core::Request{});
+    ASSERT_EQ(server.queue_depth(), 2U);
+
+    std::barrier barrier(2);
+    std::atomic<int> refused{0};
+    std::vector<std::thread> racers;
+    for (int r = 0; r < 2; ++r) {
+        racers.emplace_back([&] {
+            barrier.arrive_and_wait();
+            if (!server.try_submit(core::Request{}).has_value()) refused.fetch_add(1);
+        });
+    }
+    for (auto& t : racers) t.join();
+    EXPECT_EQ(refused.load(), 2);
+    EXPECT_EQ(server.queue_depth(), 2U);
+
+    backend->release();
+    EXPECT_EQ(f0.get().logits_per_step[0][0], 0);
+    EXPECT_EQ(f1.get().logits_per_step[0][0], 1);
+    EXPECT_EQ(f2.get().logits_per_step[0][0], 2);
+    server.shutdown();
+    EXPECT_EQ(server.stats().shed, 0U);
+    EXPECT_EQ(server.stats().rejected, 2U);
 }
 
 }  // namespace
