@@ -20,6 +20,23 @@ Request Request::with(std::string model_name, std::string tenant_name,
     return std::move(*this);
 }
 
+Request Request::with_session(std::string session_id, bool close) && {
+    session = std::move(session_id);
+    close_session = close;
+    return std::move(*this);
+}
+
+void Request::own_views() {
+    if (train_view != nullptr) {
+        train = *train_view;
+        train_view = nullptr;
+    }
+    if (image_view != nullptr) {
+        image = *image_view;
+        image_view = nullptr;
+    }
+}
+
 Request Request::from_train(snn::SpikeTrain t) {
     Request r;
     r.encoding = Encoding::kPreEncoded;
@@ -158,7 +175,15 @@ void FunctionalBackend::run_span(std::size_t worker,
         const std::uint64_t stream = requests[i].rng_stream.value_or(base + i);
         const snn::SpikeTrain& train =
             materialize(requests[i], seed, stream, scratch);
-        responses[i] = Response::from(engine(worker).run(train));
+        if (requests[i].session_state) {
+            snn::SessionState& state = *requests[i].session_state;
+            responses[i] = Response::from(engine(worker).run_window(train, state));
+            responses[i].session_steps = state.steps;
+        } else {
+            responses[i] = Response::from(engine(worker).run(train));
+        }
+        responses[i].session = requests[i].session;
+        responses[i].window_seq = requests[i].window_seq;
     }
 }
 
@@ -208,7 +233,15 @@ void SiaBackend::run_span(std::size_t worker, std::span<const Request> requests,
             const util::WallTimer timer;
             sim::Sia sia(config_, model(), *program_);
             add_setup_nanos(static_cast<std::int64_t>(timer.millis() * 1e6));
-            responses[i] = Response::from(sia.run(train));
+            if (requests[i].session_state) {
+                snn::SessionState& state = *requests[i].session_state;
+                responses[i] = Response::from(sia.run(train, state));
+                responses[i].session_steps = state.steps;
+            } else {
+                responses[i] = Response::from(sia.run(train));
+            }
+            responses[i].session = requests[i].session;
+            responses[i].window_seq = requests[i].window_seq;
         }
         return;
     }
@@ -220,14 +253,19 @@ void SiaBackend::run_span(std::size_t worker, std::span<const Request> requests,
     std::vector<snn::SpikeTrain> scratch(requests.size());
     std::vector<const snn::SpikeTrain*> slice;
     slice.reserve(requests.size());
+    std::vector<snn::SessionState*> sessions(requests.size(), nullptr);
     for (std::size_t i = 0; i < requests.size(); ++i) {
         const std::uint64_t stream = requests[i].rng_stream.value_or(base + i);
         slice.push_back(&materialize(requests[i], seed, stream, scratch[i]));
+        if (requests[i].session_state) sessions[i] = requests[i].session_state.get();
     }
     sim::Sia& sia = resident(worker);
-    auto results = sia.run_batch(slice);
+    auto results = sia.run_batch(slice, sessions);
     for (std::size_t i = 0; i < results.size(); ++i) {
         responses[i] = Response::from(std::move(results[i]));
+        if (sessions[i] != nullptr) responses[i].session_steps = sessions[i]->steps;
+        responses[i].session = requests[i].session;
+        responses[i].window_seq = requests[i].window_seq;
     }
     const sim::SiaBatchStats& s = sia.last_batch_stats();
     const std::lock_guard<std::mutex> lock(stats_mutex_);

@@ -36,6 +36,7 @@
 #include "sim/sia.hpp"
 #include "snn/engine.hpp"
 #include "snn/model.hpp"
+#include "snn/session.hpp"
 #include "snn/spike.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
@@ -92,11 +93,41 @@ struct Request {
     std::string tenant;
     Priority priority = Priority::kNormal;
 
+    // --- streaming sessions (persistent membranes across windows) ---
+    /// Logical streaming session this request is one window of. Empty =
+    /// stateless one-shot inference. Non-empty: the serving path routes
+    /// every window of the id to the same lane in admission order, and
+    /// the backend resumes/saves the attached session_state around the
+    /// run, so N chunked windows are bit-identical to one monolithic
+    /// run.
+    std::string session;
+    /// Window sequence number within the session. Assigned by the
+    /// server at admission; echoed in the response.
+    std::uint64_t window_seq = 0;
+    /// Retire the session once this window resolves (server-side).
+    bool close_session = false;
+    /// Carried state (membranes + readout) the backend resumes and
+    /// saves back. The server attaches the lane's table entry at
+    /// admission; callers driving BatchRunner directly attach their
+    /// own — but must not submit two windows of one session into the
+    /// same batch (they would race).
+    std::shared_ptr<snn::SessionState> session_state;
+
     /// Chainable routing tag for rvalue requests:
     ///   server.submit(Request::view_train(t).with("vgg", "tenant-a",
     ///                                             Priority::kHigh));
     [[nodiscard]] Request with(std::string model_name, std::string tenant_name = {},
                                Priority prio = Priority::kNormal) &&;
+    /// Chainable session tag for rvalue requests:
+    ///   server.submit(Request::from_train(w).with_session("cam-0"));
+    [[nodiscard]] Request with_session(std::string session_id, bool close = false) &&;
+
+    /// Deep-copy borrowed views (train_view/image_view) into owned
+    /// storage and drop the pointers, leaving the request
+    /// self-contained. The server calls this at admission: dispatch is
+    /// asynchronous, so a borrowed buffer can die between submit()
+    /// returning and a worker encoding the request.
+    void own_views();
 
     [[nodiscard]] static Request from_train(snn::SpikeTrain t);
     [[nodiscard]] static Request view_train(const snn::SpikeTrain& t);
@@ -132,6 +163,14 @@ struct Response {
     /// Cycle-accurate per-layer stats (SiaBackend only).
     std::vector<sim::LayerCycleStats> layer_stats;
     std::int64_t timesteps = 0;
+
+    // --- streaming session echo (empty / zero for stateless requests) ---
+    std::string session;       ///< session id of the request
+    std::uint64_t window_seq = 0;  ///< window index within the session
+    /// Timesteps the session has integrated in total, this window
+    /// included. logits_per_step.back() is the readout accumulated over
+    /// all session_steps, not just this window's timesteps.
+    std::int64_t session_steps = 0;
 
     /// Prediction after timestep `t` (argmax of accumulated logits).
     [[nodiscard]] std::int64_t predicted_class(std::int64_t t) const;

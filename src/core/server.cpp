@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -30,6 +31,21 @@ struct Queued {
     Request request;
     std::promise<Response> promise;
     Clock::time_point enqueued;
+};
+
+/// Lifecycle record of one streaming session on a lane. `state` is
+/// shared with every queued window of the session; the backend mutates
+/// it in place, and the one-window-per-session-per-wave rule in
+/// form_wave (plus the lane's single in-flight wave) is what makes
+/// that race-free and admission-ordered.
+struct SessionEntry {
+    std::shared_ptr<snn::SessionState> state;
+    std::string tenant;  ///< adopted by every later window (affinity)
+    Priority priority = Priority::kNormal;
+    std::uint64_t next_seq = 0;  ///< window sequence number to assign
+    std::size_t pending = 0;     ///< windows queued or in flight
+    bool close_after_pending = false;
+    Clock::time_point last_activity;
 };
 
 /// Scheduling state of one priority lane: per-tenant FIFOs plus the
@@ -64,6 +80,9 @@ void TenantStats::merge(const TenantStats& other) {
     rejected += other.rejected;
     shed += other.shed;
     failed += other.failed;
+    sessions_opened += other.sessions_opened;
+    sessions_closed += other.sessions_closed;
+    sessions_expired += other.sessions_expired;
     latency_us.merge(other.latency_us);
     // A default-constructed slot (e.g. a fresh map entry during
     // aggregation) adopts the incoming threshold before the exact
@@ -105,8 +124,14 @@ struct Server::ModelLane {
     std::size_t failed = 0;
     std::size_t batches = 0;
     std::size_t reloads = 0;
+    std::size_t sessions_opened = 0;
+    std::size_t sessions_closed = 0;
+    std::size_t sessions_expired = 0;
     util::StreamingHistogram latency_us;
     std::map<std::string, TenantStats> tenants;
+
+    /// Streaming sessions keyed by id; guarded by `mutex`.
+    std::map<std::string, SessionEntry> sessions;
 
     std::thread dispatcher;
     std::once_flag join_once;
@@ -115,6 +140,36 @@ struct Server::ModelLane {
         const auto [it, fresh] = tenants.try_emplace(tenant);
         if (fresh) it->second.slo = util::SloBurnCounter(slo_us);
         return it->second;
+    }
+
+    /// Remove `it` from the session table, accounting the retirement
+    /// as an explicit close or an idle expiry. Caller holds `mutex`.
+    void retire_session(std::map<std::string, SessionEntry>::iterator it,
+                        bool expired, double slo_us) {
+        TenantStats& slice = tenant_slot(it->second.tenant, slo_us);
+        if (expired) {
+            ++sessions_expired;
+            ++slice.sessions_expired;
+        } else {
+            ++sessions_closed;
+            ++slice.sessions_closed;
+        }
+        sessions.erase(it);
+    }
+
+    /// Lazily retire sessions idle past the configured horizon (no
+    /// queued or in-flight window). Runs at admission and after each
+    /// wave; caller holds `mutex`.
+    void expire_idle(const ServerOptions& options, Clock::time_point now) {
+        if (options.session_idle_ms <= 0) return;
+        const auto horizon = std::chrono::milliseconds(options.session_idle_ms);
+        for (auto it = sessions.begin(); it != sessions.end();) {
+            const auto next = std::next(it);
+            if (it->second.pending == 0 && now - it->second.last_activity > horizon) {
+                retire_session(it, /*expired=*/true, options.slo_us);
+            }
+            it = next;
+        }
     }
 
     void enqueue(Queued q) {
@@ -137,19 +192,39 @@ struct Server::ModelLane {
     /// visit); when the wave fills mid-quantum the cursor stays on
     /// that tenant, so the next wave resumes where this one was cut
     /// off.
+    ///
+    /// Streaming constraint: a wave carries at most ONE window per
+    /// session — two in one wave would race the shared carried state
+    /// and could retire out of order. A blocked session head also
+    /// blocks the rest of its tenant's FIFO for this wave (windows of
+    /// one session must run in admission order, and skipping past the
+    /// head could overtake it). The first window of a session taken
+    /// into an empty wave is never blocked, so formation always makes
+    /// progress; a stall counter stops the rotation scan once every
+    /// remaining tenant head is blocked.
     [[nodiscard]] std::vector<Queued> form_wave(const ServerOptions& options) {
         std::vector<Queued> wave;
         wave.reserve(std::min(options.max_batch, queued));
+        std::set<std::string> wave_sessions;
         for (std::size_t p = 0; p < kPriorityLanes; ++p) {
             if (p == 1 && !wave.empty()) break;  // high preempts formation
             auto& lane = prio[p];
-            while (lane.size > 0 && wave.size() < options.max_batch) {
+            std::size_t stalled = 0;  ///< consecutive tenants yielding nothing
+            while (lane.size > 0 && wave.size() < options.max_batch &&
+                   stalled < lane.rotation.size()) {
                 const std::string tenant = lane.rotation[lane.cursor];
                 auto& fifo = lane.per_tenant[tenant];
                 const std::uint32_t quantum = weight_of(options, tenant);
                 std::uint32_t took = 0;
+                bool blocked = false;
                 while (took < quantum && !fifo.empty() &&
                        wave.size() < options.max_batch) {
+                    const Request& head = fifo.front().request;
+                    if (!head.session.empty() &&
+                        !wave_sessions.insert(head.session).second) {
+                        blocked = true;
+                        break;
+                    }
                     wave.push_back(std::move(fifo.front()));
                     fifo.pop_front();
                     --lane.size;
@@ -158,8 +233,10 @@ struct Server::ModelLane {
                 }
                 if (fifo.empty()) {
                     lane.deactivate(tenant);
-                } else if (took == quantum) {
+                    stalled = 0;
+                } else if (blocked || took == quantum) {
                     lane.cursor = (lane.cursor + 1) % lane.rotation.size();
+                    stalled = took == 0 ? stalled + 1 : 0;
                 }
             }
         }
@@ -168,12 +245,18 @@ struct Server::ModelLane {
 
     /// Under kReject with a full queue: make room for an incoming
     /// request by evicting a queued one of *strictly lower* priority —
-    /// the low lane sheds first. The victim is the youngest request of
-    /// the busiest tenant in the lowest-priority non-empty lane
-    /// (deterministic given queue state; sheds from whoever is loading
-    /// the queue hardest, and the youngest request loses the least
-    /// invested waiting time). nullopt when nothing outranks.
+    /// the low lane sheds first. The victim is the youngest *sheddable*
+    /// request of the busiest sheddable tenant in the lowest-priority
+    /// non-empty lane (deterministic given queue state; sheds from
+    /// whoever is loading the queue hardest, and the youngest request
+    /// loses the least invested waiting time). Session windows are
+    /// never shed — dropping one mid-stream would desync the session's
+    /// carried state — so a tenant queueing only session windows is
+    /// passed over. nullopt when nothing sheddable outranks.
     [[nodiscard]] std::optional<Queued> try_evict(Priority incoming) {
+        const auto sheddable = [](const Queued& q) {
+            return q.request.session.empty();
+        };
         for (std::size_t p = kPriorityLanes; p-- > 0;) {
             if (p <= static_cast<std::size_t>(incoming)) break;
             auto& lane = prio[p];
@@ -181,19 +264,24 @@ struct Server::ModelLane {
             const std::string* busiest = nullptr;
             std::size_t longest = 0;
             for (const auto& [tenant, fifo] : lane.per_tenant) {
-                if (fifo.size() >= longest) {
+                if (std::any_of(fifo.begin(), fifo.end(), sheddable) &&
+                    fifo.size() >= longest) {
                     longest = fifo.size();
                     busiest = &tenant;
                 }
             }
+            if (busiest == nullptr) continue;
             const std::string tenant = *busiest;
             auto& fifo = lane.per_tenant[tenant];
-            Queued victim = std::move(fifo.back());
-            fifo.pop_back();
-            --lane.size;
-            --queued;
-            if (fifo.empty()) lane.deactivate(tenant);
-            return victim;
+            for (auto it = fifo.rbegin(); it != fifo.rend(); ++it) {
+                if (!sheddable(*it)) continue;
+                Queued victim = std::move(*it);
+                fifo.erase(std::next(it).base());
+                --lane.size;
+                --queued;
+                if (fifo.empty()) lane.deactivate(tenant);
+                return victim;
+            }
         }
         return std::nullopt;
     }
@@ -206,6 +294,10 @@ struct Server::ModelLane {
         out.failed += failed;
         out.batches += batches;
         out.reloads += reloads;
+        out.sessions_opened += sessions_opened;
+        out.sessions_closed += sessions_closed;
+        out.sessions_expired += sessions_expired;
+        out.active_sessions += sessions.size();
         out.latency_us.merge(latency_us);
         for (const auto& [tenant, slice] : tenants) out.tenants[tenant].merge(slice);
     }
@@ -304,6 +396,12 @@ void Server::unregister_model(const std::string& name) {
     stop_lane(*lane);  // drains the lane's queue through its backend
     const std::lock_guard<std::mutex> registry_lock(registry_mutex_);
     const std::lock_guard<std::mutex> lane_lock(lane->mutex);
+    // Open sessions die with the lane; account them as closed so the
+    // retired slice never reports them active.
+    while (!lane->sessions.empty()) {
+        lane->retire_session(lane->sessions.begin(), /*expired=*/false,
+                             options_.slo_us);
+    }
     lane->merge_into(retired_);
 }
 
@@ -327,6 +425,11 @@ std::shared_ptr<Server::ModelLane> Server::route(const std::string& model) const
 }
 
 std::optional<std::future<Response>> Server::try_submit(Request request) {
+    // Borrowed views (view_train / view_thermometer / view_poisson)
+    // reference caller memory that can die the moment submit returns;
+    // dispatch is asynchronous, so self-contain the request before it
+    // is queued.
+    request.own_views();
     const std::shared_ptr<ModelLane> lane = route(request.model);
     if (!lane) {
         const std::lock_guard<std::mutex> lock(registry_mutex_);
@@ -348,6 +451,18 @@ std::optional<std::future<Response>> Server::try_submit(Request request) {
             ++lane->tenant_slot(request.tenant, options_.slo_us).rejected;
             return std::nullopt;
         }
+        lane->expire_idle(options_, Clock::now());
+        // A window of a known session inherits the session's routing
+        // (tenant + priority): affinity keeps every window in one
+        // tenant FIFO of one priority lane, which is what serializes
+        // them in admission order.
+        if (!request.session.empty()) {
+            const auto sit = lane->sessions.find(request.session);
+            if (sit != lane->sessions.end()) {
+                request.tenant = sit->second.tenant;
+                request.priority = sit->second.priority;
+            }
+        }
         if (lane->queued >= options_.max_queue) {
             victim = lane->try_evict(request.priority);
             if (!victim) {
@@ -366,6 +481,25 @@ std::optional<std::future<Response>> Server::try_submit(Request request) {
         ++lane->next_stream;
         ++lane->submitted;
         ++lane->tenant_slot(request.tenant, options_.slo_us).submitted;
+        // Open or extend the streaming session now that admission is
+        // certain: attach the shared carried state, stamp the window's
+        // sequence number, and record the pending window.
+        if (!request.session.empty()) {
+            const auto [sit, fresh] = lane->sessions.try_emplace(request.session);
+            SessionEntry& entry = sit->second;
+            if (fresh) {
+                entry.state = std::make_shared<snn::SessionState>();
+                entry.tenant = request.tenant;
+                entry.priority = request.priority;
+                ++lane->sessions_opened;
+                ++lane->tenant_slot(entry.tenant, options_.slo_us).sessions_opened;
+            }
+            request.window_seq = entry.next_seq++;
+            request.session_state = entry.state;
+            ++entry.pending;
+            if (request.close_session) entry.close_after_pending = true;
+            entry.last_activity = Clock::now();
+        }
         Queued pending{std::move(request), std::promise<Response>{}, Clock::now()};
         future = pending.promise.get_future();
         lane->enqueue(std::move(pending));
@@ -388,6 +522,44 @@ std::future<Response> Server::submit(Request request) {
                        : "Server::submit: refused (queue full or unknown model)");
     }
     return std::move(*future);
+}
+
+bool Server::close_session(const std::string& session, const std::string& model) {
+    const std::shared_ptr<ModelLane> lane = route(model);
+    if (!lane) return false;
+    const std::lock_guard<std::mutex> lock(lane->mutex);
+    const auto it = lane->sessions.find(session);
+    if (it == lane->sessions.end()) return false;
+    if (it->second.pending > 0) {
+        // Windows are queued or in flight: let them resolve (each sees
+        // the state its predecessors left), then retire at the wave
+        // boundary that drains the last one.
+        it->second.close_after_pending = true;
+    } else {
+        lane->retire_session(it, /*expired=*/false, options_.slo_us);
+    }
+    return true;
+}
+
+std::size_t Server::session_count() const {
+    std::vector<std::shared_ptr<ModelLane>> lanes;
+    {
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
+        for (const auto& [name, lane] : lanes_) lanes.push_back(lane);
+    }
+    std::size_t count = 0;
+    for (const auto& lane : lanes) {
+        const std::lock_guard<std::mutex> lock(lane->mutex);
+        count += lane->sessions.size();
+    }
+    return count;
+}
+
+std::size_t Server::session_count(const std::string& model) const {
+    const std::shared_ptr<ModelLane> lane = route(model);
+    if (!lane) return 0;
+    const std::lock_guard<std::mutex> lock(lane->mutex);
+    return lane->sessions.size();
 }
 
 void Server::shutdown() {
@@ -515,6 +687,22 @@ void Server::lane_loop(ModelLane& lane) {
                 slice.slo.add(us);
             }
         }
+        // Session bookkeeping for the retired wave: a resolved window
+        // (completed OR failed — either way it will never run again)
+        // stops pending on its session; deferred closes fire once the
+        // last pending window is gone.
+        for (const Request& request : requests) {
+            if (request.session.empty()) continue;
+            const auto sit = lane.sessions.find(request.session);
+            if (sit == lane.sessions.end()) continue;
+            SessionEntry& entry = sit->second;
+            if (entry.pending > 0) --entry.pending;
+            entry.last_activity = now;
+            if (entry.pending == 0 && entry.close_after_pending) {
+                lane.retire_session(sit, /*expired=*/false, options_.slo_us);
+            }
+        }
+        lane.expire_idle(options_, now);
         lock.unlock();
         lane.idle_cv.notify_all();
 

@@ -49,6 +49,19 @@
 // backend schedule — scheduling shifts *when* a request runs, never its
 // result (responses are grouping-invariant by the Backend contract).
 //
+// Streaming sessions: a request with a non-empty session id is one
+// window of a continuous event stream (the paper's DVS use case). All
+// windows of a session route to the same lane in admission order and
+// inherit the session's tenant + priority (affinity keeps them in one
+// FIFO, which serializes them); admission attaches the session's
+// persistent state (per-layer membranes + accumulated readout), wave
+// formation never packs two windows of one session into the same wave,
+// and eviction never sheds a session window (dropping one mid-stream
+// would desync the carried state). Sessions retire explicitly
+// (close_session() or Request::close_session) or by idle timeout
+// (ServerOptions::session_idle_ms). N windows against one session are
+// bit-identical to one monolithic run over the concatenated train.
+//
 // Hot reload: reload_model(name, backend) quiesces only that model's
 // lane (waits for its in-flight wave), swaps the backend + runner, and
 // resumes; queued requests for the model run on the new backend, and
@@ -103,6 +116,11 @@ struct ServerOptions {
     /// Fair-queuing weight per tenant: slots per round-robin cycle
     /// within a priority lane. Unlisted tenants weigh 1.
     std::map<std::string, std::uint32_t> tenant_weights;
+    /// Idle-session expiry horizon in milliseconds: a streaming session
+    /// with no queued or in-flight window for longer than this is
+    /// retired (carried state freed) at the next admission or wave
+    /// boundary. 0 = sessions never expire (close them explicitly).
+    std::int64_t session_idle_ms = 60'000;
 };
 
 /// Per-tenant slice of the server's counters.
@@ -112,6 +130,9 @@ struct TenantStats {
     std::size_t rejected = 0;  ///< refused at submit
     std::size_t shed = 0;      ///< admitted, then evicted for a higher-priority request
     std::size_t failed = 0;    ///< future resolved with a backend exception
+    std::size_t sessions_opened = 0;   ///< streaming sessions created
+    std::size_t sessions_closed = 0;   ///< retired by explicit close
+    std::size_t sessions_expired = 0;  ///< retired by idle timeout
     util::StreamingHistogram latency_us;
     util::SloBurnCounter slo;
 
@@ -128,6 +149,10 @@ struct ServerStats {
     std::size_t failed = 0;
     std::size_t batches = 0;  ///< waves dispatched through the runners
     std::size_t reloads = 0;  ///< hot backend swaps performed
+    std::size_t sessions_opened = 0;   ///< streaming sessions created
+    std::size_t sessions_closed = 0;   ///< retired by explicit close
+    std::size_t sessions_expired = 0;  ///< retired by idle timeout
+    std::size_t active_sessions = 0;   ///< open sessions at snapshot time
     /// Per-request latency, admission to completion, in microseconds.
     util::StreamingHistogram latency_us;
     /// Per-tenant breakdown (latency histogram + SLO burn per tenant).
@@ -181,6 +206,17 @@ public:
 
     /// Non-throwing form: nullopt when refused.
     [[nodiscard]] std::optional<std::future<Response>> try_submit(Request request);
+
+    /// Close a streaming session on `model`'s lane (empty = sole /
+    /// default model): retires it immediately when no window of it is
+    /// queued or in flight, otherwise after its last pending window
+    /// resolves. Returns false when the session (or model) is unknown.
+    /// A window submitted under the same id after the close completes
+    /// opens a fresh session.
+    bool close_session(const std::string& session, const std::string& model = {});
+    /// Open streaming sessions across every lane / on one model's lane.
+    [[nodiscard]] std::size_t session_count() const;
+    [[nodiscard]] std::size_t session_count(const std::string& model) const;
 
     /// Stop admissions on every lane, drain every queued request,
     /// resolve all futures, join the dispatchers. Idempotent; safe to

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
 
 namespace sia::data {
 
@@ -52,10 +55,16 @@ std::vector<Event> make_event_scene(const EventSceneConfig& config) {
                 }
             }
         }
-        // Background noise.
+        // Background noise. Stochastic rounding of the fractional
+        // remainder: small sensors with a sub-1 expected count would
+        // otherwise truncate to zero events every step, silently
+        // disabling the background noise entirely.
         const auto pixels = config.size * config.size;
-        const auto noise_events =
-            static_cast<std::int64_t>(config.noise_rate * static_cast<float>(pixels));
+        const float expected = config.noise_rate * static_cast<float>(pixels);
+        auto noise_events = static_cast<std::int64_t>(expected);
+        const double frac =
+            static_cast<double>(expected) - static_cast<double>(noise_events);
+        if (frac > 0.0 && rng.bernoulli(frac)) ++noise_events;
         for (std::int64_t i = 0; i < noise_events; ++i) {
             events.push_back(Event{static_cast<std::int16_t>(rng.integer(0, config.size - 1)),
                                    static_cast<std::int16_t>(rng.integer(0, config.size - 1)),
@@ -68,14 +77,63 @@ std::vector<Event> make_event_scene(const EventSceneConfig& config) {
 }
 
 tensor::Tensor events_to_frames(const std::vector<Event>& events, std::int64_t size,
-                                std::int64_t timesteps) {
+                                std::int64_t timesteps, std::int64_t* dropped) {
     tensor::Tensor frames(tensor::Shape{timesteps, 2, size, size});
+    std::int64_t out_of_range = 0;
     for (const Event& e : events) {
-        if (e.t < 0 || e.t >= timesteps) continue;
-        if (e.x < 0 || e.x >= size || e.y < 0 || e.y >= size) continue;
+        if (e.t < 0 || e.t >= timesteps || e.x < 0 || e.x >= size || e.y < 0 ||
+            e.y >= size) {
+            ++out_of_range;
+            continue;
+        }
         frames.at(e.t, e.on ? 0 : 1, e.y, e.x) = 1.0F;
     }
+    if (dropped != nullptr) *dropped = out_of_range;
     return frames;
+}
+
+tensor::Tensor events_to_frames(const std::vector<Event>& events, std::int64_t size,
+                                std::int64_t timesteps) {
+    std::int64_t out_of_range = 0;
+    tensor::Tensor frames = events_to_frames(events, size, timesteps, &out_of_range);
+    if (out_of_range > 0) {
+        util::log_warn("events_to_frames: dropped ", out_of_range, " of ",
+                       events.size(), " events outside ", size, "x", size, "x",
+                       timesteps);
+    }
+    return frames;
+}
+
+std::vector<tensor::Tensor> events_to_windows(const std::vector<Event>& events,
+                                              std::int64_t size,
+                                              std::int64_t total_timesteps,
+                                              std::int64_t window_steps,
+                                              std::int64_t* dropped) {
+    if (window_steps < 1) {
+        throw std::invalid_argument("events_to_windows: window_steps must be >= 1");
+    }
+    const std::int64_t windows =
+        total_timesteps > 0 ? (total_timesteps + window_steps - 1) / window_steps : 0;
+    std::vector<tensor::Tensor> out;
+    out.reserve(static_cast<std::size_t>(windows));
+    for (std::int64_t w = 0; w < windows; ++w) {
+        const std::int64_t steps =
+            std::min(window_steps, total_timesteps - w * window_steps);
+        out.emplace_back(tensor::Shape{steps, 2, size, size});
+    }
+    std::int64_t out_of_range = 0;
+    for (const Event& e : events) {
+        if (e.t < 0 || e.t >= total_timesteps || e.x < 0 || e.x >= size || e.y < 0 ||
+            e.y >= size) {
+            ++out_of_range;
+            continue;
+        }
+        const std::int64_t w = e.t / window_steps;
+        out[static_cast<std::size_t>(w)].at(e.t % window_steps, e.on ? 0 : 1, e.y,
+                                            e.x) = 1.0F;
+    }
+    if (dropped != nullptr) *dropped = out_of_range;
+    return out;
 }
 
 }  // namespace sia::data

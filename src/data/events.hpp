@@ -38,8 +38,31 @@ struct EventSceneConfig {
 [[nodiscard]] std::vector<Event> make_event_scene(const EventSceneConfig& config);
 
 /// Rasterise events into spike frames [T, 2, H, W] (channel 0 = ON,
-/// channel 1 = OFF), the input format of the SNN front-end.
+/// channel 1 = OFF), the input format of the SNN front-end. Events
+/// outside the sensor bounds or the [0, timesteps) range are dropped;
+/// `dropped` (when non-null) receives their count.
+[[nodiscard]] tensor::Tensor events_to_frames(const std::vector<Event>& events,
+                                              std::int64_t size, std::int64_t timesteps,
+                                              std::int64_t* dropped);
+/// As above, but out-of-range events are reported through util::log
+/// (one warning per call) instead of a counter — dropping input
+/// events is a data defect the caller should hear about, not silence.
 [[nodiscard]] tensor::Tensor events_to_frames(const std::vector<Event>& events,
                                               std::int64_t size, std::int64_t timesteps);
+
+/// Chunk a stream into consecutive event windows — the serving unit of
+/// a streaming session. Window w holds frames [W', 2, H, W] covering
+/// global timesteps [w*window_steps, min((w+1)*window_steps,
+/// total_timesteps)), with event timestamps rebased to window-local
+/// steps, so concatenating the windows along T reproduces
+/// events_to_frames(events, size, total_timesteps) exactly (the
+/// chunking half of the sessions' bit-identity contract). The tail
+/// window is short when window_steps does not divide total_timesteps.
+/// `dropped` (when non-null) receives the out-of-range event count.
+/// Throws std::invalid_argument when window_steps < 1.
+[[nodiscard]] std::vector<tensor::Tensor> events_to_windows(
+    const std::vector<Event>& events, std::int64_t size,
+    std::int64_t total_timesteps, std::int64_t window_steps,
+    std::int64_t* dropped = nullptr);
 
 }  // namespace sia::data

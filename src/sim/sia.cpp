@@ -131,9 +131,51 @@ SiaRunResult Sia::run(const snn::SpikeTrain& input) {
     controller_.reset();
     controller_.transition(CtrlState::kInit);
     for (std::size_t li = 0; li < model_.layers.size(); ++li) {
-        run_layer(li, input, outs, res);
+        run_layer(li, input, outs, res, nullptr);
     }
     controller_.transition(CtrlState::kDone);
+    return res;
+}
+
+void Sia::prepare_session(snn::SessionState& session) const {
+    if (!session.initialized) {
+        session.membranes.assign(model_.layers.size(), {});
+        session.readout.assign(static_cast<std::size_t>(model_.classes), 0);
+        return;
+    }
+    if (session.membranes.size() != model_.layers.size() ||
+        session.readout.size() != static_cast<std::size_t>(model_.classes)) {
+        throw std::invalid_argument("Sia: session state/model geometry mismatch");
+    }
+    for (std::size_t i = 0; i < model_.layers.size(); ++i) {
+        const snn::SnnLayer& layer = model_.layers[i];
+        const std::size_t want =
+            layer.spiking ? static_cast<std::size_t>(layer.neurons()) : 0;
+        if (session.membranes[i].size() != want) {
+            throw std::invalid_argument("Sia: session membrane size mismatch");
+        }
+    }
+}
+
+SiaRunResult Sia::run(const snn::SpikeTrain& input, snn::SessionState& session) {
+    if (input.empty()) throw std::invalid_argument("Sia::run: empty input train");
+    prepare_session(session);
+    memory_.membrane.partition(1);
+
+    SiaRunResult res;
+    init_result(res, static_cast<std::int64_t>(input.size()), model_.classes,
+                model_.layers.size());
+    std::vector<snn::SpikeTrain> outs(model_.layers.size());
+
+    controller_.reset();
+    controller_.transition(CtrlState::kInit);
+    for (std::size_t li = 0; li < model_.layers.size(); ++li) {
+        run_layer(li, input, outs, res, &session);
+    }
+    controller_.transition(CtrlState::kDone);
+    session.initialized = true;
+    session.steps += res.timesteps;
+    ++session.windows;
     return res;
 }
 
@@ -146,7 +188,16 @@ std::vector<SiaRunResult> Sia::run_batch(const std::vector<snn::SpikeTrain>& inp
 
 std::vector<SiaRunResult> Sia::run_batch(
     const std::vector<const snn::SpikeTrain*>& inputs) {
+    return run_batch(inputs, std::vector<snn::SessionState*>(inputs.size(), nullptr));
+}
+
+std::vector<SiaRunResult> Sia::run_batch(
+    const std::vector<const snn::SpikeTrain*>& inputs,
+    const std::vector<snn::SessionState*>& sessions) {
     const std::size_t n = inputs.size();
+    if (sessions.size() != n) {
+        throw std::invalid_argument("Sia::run_batch: inputs/sessions size mismatch");
+    }
     batch_stats_ = SiaBatchStats{};
     batch_stats_.batch = n;
     batch_stats_.banks = std::max<std::int64_t>(1, config_.membrane_banks);
@@ -157,6 +208,9 @@ std::vector<SiaRunResult> Sia::run_batch(
         if (in == nullptr || in->empty()) {
             throw std::invalid_argument("Sia::run_batch: empty input train");
         }
+    }
+    for (snn::SessionState* session : sessions) {
+        if (session != nullptr) prepare_session(*session);
     }
 
     memory_.membrane.partition(batch_stats_.banks);
@@ -175,7 +229,15 @@ std::vector<SiaRunResult> Sia::run_batch(
     for (std::size_t start = 0; start < n; start += wave_width) {
         const std::size_t count = std::min(n - start, wave_width);
         ++batch_stats_.waves;
-        run_wave(inputs.data() + start, results.data() + start, count);
+        run_wave(inputs.data() + start, sessions.data() + start,
+                 results.data() + start, count);
+        for (std::size_t s = 0; s < count; ++s) {
+            snn::SessionState* session = sessions[start + s];
+            if (session == nullptr) continue;
+            session->initialized = true;
+            session->steps += results[start + s].timesteps;
+            ++session->windows;
+        }
         // Residency savings of this wave: conv kernels streamed once for
         // all `count` members, and the PS invoked each layer once.
         for (std::size_t li = 0; li < model_.layers.size(); ++li) {
@@ -202,7 +264,8 @@ std::vector<SiaRunResult> Sia::run_batch(
     return results;
 }
 
-void Sia::run_wave(const snn::SpikeTrain* const* inputs, SiaRunResult* results,
+void Sia::run_wave(const snn::SpikeTrain* const* inputs,
+                   snn::SessionState* const* sessions, SiaRunResult* results,
                    std::size_t count) {
     // Fresh FSM pass per wave; kDone -> kInit covers waves after the first.
     controller_.transition(CtrlState::kInit);
@@ -220,14 +283,15 @@ void Sia::run_wave(const snn::SpikeTrain* const* inputs, SiaRunResult* results,
     for (std::size_t li = 0; li < model_.layers.size(); ++li) {
         for (std::size_t s = 0; s < count; ++s) {
             memory_.membrane.set_active(static_cast<std::int64_t>(s));
-            run_layer(li, *inputs[s], outs[s], results[s]);
+            run_layer(li, *inputs[s], outs[s], results[s], sessions[s]);
         }
     }
     controller_.transition(CtrlState::kDone);
 }
 
 void Sia::run_layer(std::size_t index, const snn::SpikeTrain& input,
-                    std::vector<snn::SpikeTrain>& outs, SiaRunResult& res) {
+                    std::vector<snn::SpikeTrain>& outs, SiaRunResult& res,
+                    snn::SessionState* session) {
     const snn::SnnLayer& layer = model_.layers[index];
     const auto timesteps = static_cast<std::int64_t>(input.size());
     LayerCycleStats& stats = res.layer_stats[index];
@@ -250,9 +314,10 @@ void Sia::run_layer(std::size_t index, const snn::SpikeTrain& input,
 
     if (layer.op == snn::LayerOp::kConv) {
         run_conv_layer(index, in_train, skip_train, out_train, stats,
-                       res.logits_per_step);
+                       res.logits_per_step, session);
     } else {
-        run_linear_layer(index, in_train, out_train, stats, res.logits_per_step);
+        run_linear_layer(index, in_train, out_train, stats, res.logits_per_step,
+                         session);
     }
 
     res.neuron_counts.push_back(layer.neurons());
@@ -264,7 +329,8 @@ void Sia::run_layer(std::size_t index, const snn::SpikeTrain& input,
 void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
                          const snn::SpikeTrain* skip_train, snn::SpikeTrain& out_train,
                          LayerCycleStats& stats,
-                         std::vector<std::vector<std::int64_t>>& readout) {
+                         std::vector<std::vector<std::int64_t>>& readout,
+                         snn::SessionState* session) {
     const snn::SnnLayer& layer = model_.layers[index];
     const LayerPlan& plan = program_.layers[static_cast<std::size_t>(index)];
     const snn::Branch& b = layer.main;
@@ -293,10 +359,21 @@ void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
     const std::int64_t fit_neurons =
         std::min<std::int64_t>(neurons, memory_.membrane.bank_capacity() / 2);
     const std::int64_t spill_neurons = neurons - fit_neurons;
-    std::vector<std::int16_t> spill_mem(static_cast<std::size_t>(spill_neurons),
-                                        layer.initial_potential);
+    // Resume the carried potentials of a streaming session; a fresh
+    // session (or stateless run) starts from the initial potential.
+    const std::int16_t* resume =
+        session != nullptr && session->initialized
+            ? session->membranes[index].data()
+            : nullptr;
+    std::vector<std::int16_t> spill_mem(static_cast<std::size_t>(spill_neurons));
+    for (std::int64_t i = 0; i < spill_neurons; ++i) {
+        spill_mem[static_cast<std::size_t>(i)] =
+            resume != nullptr ? resume[fit_neurons + i] : layer.initial_potential;
+    }
     for (std::int64_t i = 0; i < fit_neurons; ++i) {
-        memory_.membrane.write16(2 * i, layer.initial_potential);
+        memory_.membrane.write16(2 * i,
+                                 resume != nullptr ? resume[i]
+                                                   : layer.initial_potential);
     }
     memory_.membrane.toggle();  // make the initial potentials readable
 
@@ -438,11 +515,23 @@ void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
         }
         memory_.membrane.toggle();
     }
+
+    if (session != nullptr) {
+        // Save the end-of-window potentials: after the final toggle the
+        // last written values are on the readable bank.
+        auto& mem = session->membranes[index];
+        mem.resize(static_cast<std::size_t>(neurons));
+        for (std::int64_t i = 0; i < fit_neurons; ++i) {
+            mem[static_cast<std::size_t>(i)] = memory_.membrane.read16(2 * i);
+        }
+        std::copy(spill_mem.begin(), spill_mem.end(), mem.begin() + fit_neurons);
+    }
 }
 
 void Sia::run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
                            snn::SpikeTrain& out_train, LayerCycleStats& stats,
-                           std::vector<std::vector<std::int64_t>>& readout) {
+                           std::vector<std::vector<std::int64_t>>& readout,
+                           snn::SessionState* session) {
     const snn::SnnLayer& layer = model_.layers[index];
     const LayerPlan& plan = program_.layers[static_cast<std::size_t>(index)];
     const snn::Branch& b = layer.main;
@@ -455,6 +544,20 @@ void Sia::run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
     std::vector<std::int16_t> mem(static_cast<std::size_t>(features),
                                   layer.initial_potential);
     std::vector<std::int64_t> acc(static_cast<std::size_t>(features), 0);
+    if (session != nullptr && session->initialized) {
+        if (layer.spiking) {
+            // Resume the carried potentials of the streaming session.
+            std::copy(session->membranes[index].begin(),
+                      session->membranes[index].end(), mem.begin());
+        } else {
+            // Readout carries across windows: logits keep accumulating.
+            const std::size_t carry =
+                std::min(acc.size(), session->readout.size());
+            std::copy(session->readout.begin(),
+                      session->readout.begin() + static_cast<std::ptrdiff_t>(carry),
+                      acc.begin());
+        }
+    }
 
     const std::int64_t oc_tiles = (features + lanes - 1) / lanes;
     const std::int64_t wc = SiaConfig::window_cycles(1);
@@ -514,6 +617,17 @@ void Sia::run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
             }
         }
         controller_.transition(CtrlState::kWriteOutput);
+    }
+
+    if (session != nullptr) {
+        if (layer.spiking) {
+            session->membranes[index] = mem;
+        } else {
+            session->membranes[index].clear();
+            const std::size_t carry = std::min(acc.size(), session->readout.size());
+            std::copy(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(carry),
+                      session->readout.begin());
+        }
     }
 }
 

@@ -24,6 +24,7 @@
 #include "sim/memory.hpp"
 #include "sim/program.hpp"
 #include "snn/model.hpp"
+#include "snn/session.hpp"
 #include "snn/spike.hpp"
 
 namespace sia::sim {
@@ -114,6 +115,16 @@ public:
     /// Run one inference over the input spike train.
     [[nodiscard]] SiaRunResult run(const snn::SpikeTrain& input);
 
+    /// Stateful-session form: resume the membrane-bank contents and the
+    /// carried readout from `session` (a fresh start when it is
+    /// uninitialized), run the window, and save the state back. The
+    /// representation is shared with snn::FunctionalEngine, so chunked
+    /// windows are bit-identical to one monolithic run on either
+    /// engine. Cycle stats are per-window. Throws std::invalid_argument
+    /// when an initialized session's geometry does not match the model.
+    [[nodiscard]] SiaRunResult run(const snn::SpikeTrain& input,
+                                   snn::SessionState& session);
+
     /// Batched resident execution: weights and the compiled program stay
     /// resident while up to config().membrane_banks inferences share the
     /// accelerator per wave, each owning one membrane context; layers are
@@ -130,6 +141,16 @@ public:
     /// Pointer form for schedulers slicing a larger batch without copies.
     [[nodiscard]] std::vector<SiaRunResult> run_batch(
         const std::vector<const snn::SpikeTrain*>& inputs);
+    /// Session-aware form: sessions[i] (null = stateless) is resumed
+    /// into inference i's membrane context at the start of each layer
+    /// pass and saved back when the layer's timestep loop retires — the
+    /// streaming counterpart of the resident schedule. A batch must not
+    /// contain two windows of the same session (their membrane contexts
+    /// would race layer-major); serialize windows across run_batch
+    /// calls instead, as core::Server's session affinity does.
+    [[nodiscard]] std::vector<SiaRunResult> run_batch(
+        const std::vector<const snn::SpikeTrain*>& inputs,
+        const std::vector<snn::SessionState*>& sessions);
 
     /// Accounting of the most recent run_batch call.
     [[nodiscard]] const SiaBatchStats& last_batch_stats() const noexcept {
@@ -142,17 +163,24 @@ public:
 
 private:
     void run_layer(std::size_t index, const snn::SpikeTrain& input,
-                   std::vector<snn::SpikeTrain>& outs, SiaRunResult& res);
-    void run_wave(const snn::SpikeTrain* const* inputs, SiaRunResult* results,
+                   std::vector<snn::SpikeTrain>& outs, SiaRunResult& res,
+                   snn::SessionState* session);
+    void run_wave(const snn::SpikeTrain* const* inputs,
+                  snn::SessionState* const* sessions, SiaRunResult* results,
                   std::size_t count);
+    /// Size/validate a session against the model before its first layer
+    /// pass touches it.
+    void prepare_session(snn::SessionState& session) const;
 
     void run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
                         const snn::SpikeTrain* skip_train, snn::SpikeTrain& out_train,
                         LayerCycleStats& stats,
-                        std::vector<std::vector<std::int64_t>>& readout);
+                        std::vector<std::vector<std::int64_t>>& readout,
+                        snn::SessionState* session);
     void run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
                           snn::SpikeTrain& out_train, LayerCycleStats& stats,
-                          std::vector<std::vector<std::int64_t>>& readout);
+                          std::vector<std::vector<std::int64_t>>& readout,
+                          snn::SessionState* session);
 
     /// Per-layer transposed weight layouts, built lazily on first use and
     /// then shared by every inference this instance runs — the host-side

@@ -51,15 +51,69 @@ FunctionalEngine::FunctionalEngine(const SnnModel& model, EngineConfig config)
 }
 
 void FunctionalEngine::reset() {
+    reset_membranes();
+    reset_readout();
+    reset_stats();
+}
+
+void FunctionalEngine::reset_membranes() {
     for (std::size_t i = 0; i < model_.layers.size(); ++i) {
         const SnnLayer& layer = model_.layers[i];
         state_[i].reset_membrane(layer.spiking ? layer.initial_potential
                                                : std::int16_t{0});
         spikes_[i].clear();
-        spike_counts_[i] = 0;
-        dispatch_[i] = LayerDispatchStats{};
     }
+}
+
+void FunctionalEngine::reset_readout() {
     std::fill(readout_.begin(), readout_.end(), std::int64_t{0});
+}
+
+void FunctionalEngine::reset_stats() {
+    std::fill(spike_counts_.begin(), spike_counts_.end(), std::int64_t{0});
+    std::fill(dispatch_.begin(), dispatch_.end(), LayerDispatchStats{});
+}
+
+void FunctionalEngine::save_session(SessionState& session) const {
+    session.membranes.resize(model_.layers.size());
+    for (std::size_t i = 0; i < model_.layers.size(); ++i) {
+        if (!model_.layers[i].spiking) {
+            session.membranes[i].clear();
+            continue;
+        }
+        const LayerState& st = state_[i];
+        session.membranes[i].assign(st.membrane.data(),
+                                    st.membrane.data() + st.neurons);
+    }
+    session.readout = readout_;
+    session.initialized = true;
+}
+
+void FunctionalEngine::restore_session(const SessionState& session) {
+    if (!session.initialized) {
+        reset();
+        return;
+    }
+    if (session.membranes.size() != model_.layers.size() ||
+        session.readout.size() != readout_.size()) {
+        throw std::invalid_argument(
+            "FunctionalEngine::restore_session: state/model geometry mismatch");
+    }
+    for (std::size_t i = 0; i < model_.layers.size(); ++i) {
+        if (!model_.layers[i].spiking) continue;
+        LayerState& st = state_[i];
+        const auto& mem = session.membranes[i];
+        if (mem.size() != static_cast<std::size_t>(st.neurons)) {
+            throw std::invalid_argument(
+                "FunctionalEngine::restore_session: membrane size mismatch");
+        }
+        std::copy(mem.begin(), mem.end(), st.membrane.data());
+        // Spike maps never carry across a step boundary; clear so the
+        // restored engine starts the window from a clean slate.
+        spikes_[i].clear();
+    }
+    std::copy(session.readout.begin(), session.readout.end(), readout_.begin());
+    reset_stats();
 }
 
 bool FunctionalEngine::use_scatter(const SpikeMap& in) const noexcept {
@@ -277,6 +331,10 @@ void FunctionalEngine::fire_scalar(std::size_t index, const SpikeMap* skip_spike
 
 RunResult FunctionalEngine::run(const SpikeTrain& input) {
     reset();
+    return run_window(input);
+}
+
+RunResult FunctionalEngine::run_window(const SpikeTrain& input) {
     RunResult res;
     res.timesteps = static_cast<std::int64_t>(input.size());
     res.logits_per_step.reserve(input.size());
@@ -288,6 +346,15 @@ RunResult FunctionalEngine::run(const SpikeTrain& input) {
     res.layer_dispatch = dispatch_;
     res.neuron_counts.reserve(model_.layers.size());
     for (const SnnLayer& layer : model_.layers) res.neuron_counts.push_back(layer.neurons());
+    return res;
+}
+
+RunResult FunctionalEngine::run_window(const SpikeTrain& input, SessionState& session) {
+    restore_session(session);  // zeroes per-run counters: stats are per-window
+    RunResult res = run_window(input);
+    save_session(session);
+    session.steps += res.timesteps;
+    ++session.windows;
     return res;
 }
 

@@ -16,6 +16,7 @@
 
 #include "snn/layer_state.hpp"
 #include "snn/model.hpp"
+#include "snn/session.hpp"
 #include "snn/spike.hpp"
 
 namespace sia::snn {
@@ -112,14 +113,46 @@ public:
     /// gather and scatter kernels alike).
     explicit FunctionalEngine(const SnnModel& model, EngineConfig config = {});
 
-    /// Reset membranes to their initial potential and clear the readout.
+    /// Full reset: membranes to their initial potential, readout
+    /// cleared, per-run counters zeroed. Equivalent to reset_membranes()
+    /// + reset_readout() + reset_stats().
     void reset();
+    /// Reset only the neuron state: membranes back to the initial
+    /// potential, last-step spike maps cleared. Leaves the accumulated
+    /// readout and counters alone.
+    void reset_membranes();
+    /// Clear only the accumulated readout logits.
+    void reset_readout();
+    /// Zero the per-run spike/dispatch counters (windowed runs report
+    /// per-window statistics while membranes and readout carry).
+    void reset_stats();
 
     /// Advance one timestep with the given input spikes.
     void step(const SpikeMap& input);
 
     /// reset() + step() over the train; collects statistics.
     [[nodiscard]] RunResult run(const SpikeTrain& input);
+
+    /// Run one window of a stream WITHOUT resetting membranes or
+    /// readout: statistics are per-window, logits_per_step continues
+    /// the accumulation carried in by earlier windows. Splitting a
+    /// train into consecutive run_window calls after a reset() is
+    /// bit-identical to one run() over the whole train.
+    [[nodiscard]] RunResult run_window(const SpikeTrain& input);
+
+    /// Stateful-session form: restore `session` (a fresh reset when it
+    /// is uninitialized), run the window, save the state back and
+    /// advance the session's step/window counters. Sessions are
+    /// engine-agnostic (sim::Sia resumes the same representation).
+    [[nodiscard]] RunResult run_window(const SpikeTrain& input, SessionState& session);
+
+    /// Copy the carried state (membranes + readout) out of the engine.
+    void save_session(SessionState& session) const;
+    /// Load carried state into the engine and zero the per-run
+    /// counters. An uninitialized session restores as a full reset().
+    /// Throws std::invalid_argument when the state's geometry does not
+    /// match the model.
+    void restore_session(const SessionState& session);
 
     /// Output spikes of layer `i` at the most recent timestep.
     [[nodiscard]] const SpikeMap& layer_spikes(std::size_t i) const {

@@ -2,6 +2,11 @@
 // event streams, CIFAR loader behaviour without data files.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "data/augment.hpp"
 #include "data/cifar.hpp"
 #include "data/events.hpp"
@@ -130,6 +135,73 @@ TEST(Events, FramesRasterisation) {
     EXPECT_EQ(frames.at(0, 0, 2, 1), 1.0F);  // ON channel, y=2, x=1
     EXPECT_EQ(frames.at(1, 1, 4, 3), 1.0F);  // OFF channel
     EXPECT_EQ(frames.sum(), 2.0F);
+}
+
+TEST(Events, FramesReportDroppedCount) {
+    const std::vector<Event> events = {{1, 2, 0, true},
+                                       {9, 0, 1, false},   // x out of range
+                                       {0, 0, 5, true},    // t out of range
+                                       {-1, 3, 2, true},   // x negative
+                                       {3, 3, 3, false}};
+    std::int64_t dropped = -1;
+    const auto frames = events_to_frames(events, 8, 4, &dropped);
+    EXPECT_EQ(dropped, 3);
+    EXPECT_EQ(frames.sum(), 2.0F);
+    // The logging overload rasterises identically.
+    const auto logged = events_to_frames(events, 8, 4);
+    for (std::int64_t i = 0; i < frames.numel(); ++i) {
+        ASSERT_EQ(logged.flat(i), frames.flat(i));
+    }
+}
+
+TEST(Events, NoiseSurvivesSmallSensors) {
+    EventSceneConfig cfg;
+    cfg.size = 16;
+    cfg.objects = 0;  // noise-only scene
+    cfg.timesteps = 400;
+    cfg.noise_rate = 0.002F;  // 0.512 expected events/step: plain
+                              // truncation would emit exactly zero
+    const auto events = make_event_scene(cfg);
+    EXPECT_FALSE(events.empty());
+    // Binomial(400, 0.512): mean ~205, sd ~10 — bounds are generous.
+    EXPECT_GT(events.size(), 80U);
+    EXPECT_LE(events.size(), 400U);
+}
+
+TEST(Events, WindowsConcatenateToMonolithicFrames) {
+    EventSceneConfig cfg;
+    cfg.size = 12;
+    cfg.timesteps = 8;
+    const auto events = make_event_scene(cfg);
+    std::int64_t mono_dropped = 0;
+    const auto mono = events_to_frames(events, cfg.size, cfg.timesteps, &mono_dropped);
+    for (const std::int64_t w : {1, 3, 4, 8}) {
+        SCOPED_TRACE("window_steps=" + std::to_string(w));
+        std::int64_t dropped = -1;
+        const auto windows =
+            events_to_windows(events, cfg.size, cfg.timesteps, w, &dropped);
+        EXPECT_EQ(dropped, mono_dropped);
+        EXPECT_EQ(windows.size(),
+                  static_cast<std::size_t>((cfg.timesteps + w - 1) / w));
+        std::int64_t t0 = 0;
+        for (const auto& win : windows) {
+            const std::int64_t steps = win.shape()[0];
+            for (std::int64_t t = 0; t < steps; ++t) {
+                for (std::int64_t c = 0; c < 2; ++c) {
+                    for (std::int64_t y = 0; y < cfg.size; ++y) {
+                        for (std::int64_t x = 0; x < cfg.size; ++x) {
+                            ASSERT_EQ(win.at(t, c, y, x), mono.at(t0 + t, c, y, x));
+                        }
+                    }
+                }
+            }
+            t0 += steps;
+        }
+        EXPECT_EQ(t0, cfg.timesteps);
+    }
+    EXPECT_THROW(
+        static_cast<void>(events_to_windows(events, cfg.size, cfg.timesteps, 0)),
+        std::invalid_argument);
 }
 
 TEST(Cifar, MissingDirectoryReturnsNullopt) {

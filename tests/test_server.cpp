@@ -19,6 +19,7 @@
 
 #include "core/backend.hpp"
 #include "core/server.hpp"
+#include "snn/encoding.hpp"
 #include "snn/engine.hpp"
 #include "util/rng.hpp"
 
@@ -150,6 +151,50 @@ public:
     }
 
 private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool open_ = false;
+    int entered_ = 0;
+};
+
+/// Delegating backend that holds every wave until release() — lets a
+/// test pin a wave in flight on a REAL backend and queue requests
+/// behind it deterministically (unlike GatedBackend, the inner backend
+/// actually encodes and runs the requests once released).
+class HoldWaves final : public core::Backend {
+public:
+    HoldWaves(const snn::SnnModel& model, std::shared_ptr<core::Backend> inner)
+        : Backend(model), inner_(std::move(inner)) {}
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "hold-waves";
+    }
+    void prepare(std::size_t workers) override { inner_->prepare(workers); }
+    void run_span(std::size_t worker, std::span<const core::Request> requests,
+                  std::span<core::Response> responses, std::size_t base,
+                  std::uint64_t seed) override {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ++entered_;
+            cv_.wait(lock, [this] { return open_; });
+        }
+        inner_->run_span(worker, requests, responses, base, seed);
+    }
+
+    void release() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            open_ = true;
+        }
+        cv_.notify_all();
+    }
+    [[nodiscard]] int entered() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return entered_;
+    }
+
+private:
+    std::shared_ptr<core::Backend> inner_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     bool open_ = false;
@@ -597,6 +642,61 @@ TEST(ServerRaces, ConcurrentRejectsOnFullQueueShedNothing) {
     server.shutdown();
     EXPECT_EQ(server.stats().shed, 0U);
     EXPECT_EQ(server.stats().rejected, 2U);
+}
+
+// ---- borrowed views must not dangle across async dispatch ----
+
+// Regression: a view_* request references caller memory, but submit()
+// returns before any worker encodes it. The server must deep-copy the
+// view at admission; without that, mutating (or freeing) the buffer
+// after submit() corrupts the inference. The gate holds a wave in
+// flight so the view request is deterministically still queued when
+// the buffer is clobbered.
+TEST(Server, BorrowedImageViewCopiedAtAdmission) {
+    const auto model = small_model(23);
+    snn::FunctionalEngine engine(model);
+    const tensor::Tensor original = random_image(model, 31);
+    const auto reference = engine.run(snn::encode_thermometer(original, 4));
+
+    auto gate = std::make_shared<HoldWaves>(
+        model, std::make_shared<core::FunctionalBackend>(model));
+    core::Server server(gate, {.threads = 1});
+    auto blocker = server.submit(core::Request::from_train(random_train(model, 2, 1)));
+    ASSERT_TRUE(eventually([&] { return gate->entered() >= 1; }));
+
+    tensor::Tensor img = random_image(model, 31);  // same content as `original`
+    auto future = server.submit(core::Request::view_thermometer(img, 4));
+    // Clobber the borrowed buffer right after submit returns — the
+    // wave that will encode it has not even formed yet.
+    for (std::int64_t j = 0; j < img.numel(); ++j) img.flat(j) = 0.0F;
+
+    gate->release();
+    blocker.get();
+    const auto response = future.get();
+    EXPECT_EQ(response.logits_per_step, reference.logits_per_step);
+    server.shutdown();
+}
+
+TEST(Server, BorrowedTrainViewCopiedAtAdmission) {
+    const auto model = small_model(29);
+    snn::FunctionalEngine engine(model);
+    const auto reference = engine.run(random_train(model, 4, 77));
+
+    auto gate = std::make_shared<HoldWaves>(
+        model, std::make_shared<core::FunctionalBackend>(model));
+    core::Server server(gate, {.threads = 1});
+    auto blocker = server.submit(core::Request::from_train(random_train(model, 2, 1)));
+    ASSERT_TRUE(eventually([&] { return gate->entered() >= 1; }));
+
+    snn::SpikeTrain train = random_train(model, 4, 77);
+    auto future = server.submit(core::Request::view_train(train));
+    train = random_train(model, 4, 78);  // clobber while still queued
+
+    gate->release();
+    blocker.get();
+    const auto response = future.get();
+    EXPECT_EQ(response.logits_per_step, reference.logits_per_step);
+    server.shutdown();
 }
 
 }  // namespace

@@ -1,0 +1,436 @@
+// Streaming-session tests: chunked event windows against a persistent
+// session reproduce the monolithic run bit-exactly — at the engine
+// level (FunctionalEngine::run_window, Sia::run with a SessionState)
+// and through core::Server sessions, across window sizes, thread
+// counts, and both backends — plus the session lifecycle (affinity and
+// window ordering, idle expiry, explicit close, deferred close,
+// shutdown with open sessions).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/compiler.hpp"
+#include "core/server.hpp"
+#include "sim/sia.hpp"
+#include "snn/engine.hpp"
+#include "snn/session.hpp"
+#include "util/rng.hpp"
+
+namespace sia {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---- compact random model/stimulus helpers (mirrors test_server) ----
+
+snn::SnnModel small_model(std::uint64_t seed) {
+    util::Rng rng(seed);
+    snn::SnnModel model;
+    model.input_channels = 2;
+    model.input_h = 6;
+    model.input_w = 6;
+
+    snn::SnnLayer layer;
+    layer.op = snn::LayerOp::kConv;
+    layer.label = "conv0";
+    layer.input = -1;
+    auto& b = layer.main;
+    b.in_channels = 2;
+    b.out_channels = 4;
+    b.kernel = 3;
+    b.stride = 1;
+    b.padding = 1;
+    b.weights.resize(static_cast<std::size_t>(2 * 4 * 9));
+    for (auto& w : b.weights) w = static_cast<std::int8_t>(rng.integer(-127, 127));
+    b.gain.resize(4);
+    b.bias.resize(4);
+    for (auto& g : b.gain) g = static_cast<std::int16_t>(rng.integer(50, 2000));
+    for (auto& h : b.bias) h = static_cast<std::int16_t>(rng.integer(-100, 100));
+    layer.out_channels = 4;
+    layer.out_h = 6;
+    layer.out_w = 6;
+    layer.in_h = 6;
+    layer.in_w = 6;
+    model.layers.push_back(std::move(layer));
+
+    snn::SnnLayer fc;
+    fc.op = snn::LayerOp::kLinear;
+    fc.label = "fc";
+    fc.input = 0;
+    fc.spiking = false;
+    fc.main.in_features = 4 * 6 * 6;
+    fc.main.out_features = 4;
+    fc.main.weights.resize(static_cast<std::size_t>(fc.main.in_features * 4));
+    for (auto& w : fc.main.weights) w = static_cast<std::int8_t>(rng.integer(-64, 64));
+    fc.main.gain.assign(4, 256);
+    fc.main.bias.assign(4, 0);
+    fc.out_channels = 4;
+    model.layers.push_back(std::move(fc));
+    model.classes = 4;
+    model.validate();
+    return model;
+}
+
+snn::SpikeTrain random_train(const snn::SnnModel& model, std::int64_t timesteps,
+                             std::uint64_t seed) {
+    util::Rng rng(seed);
+    snn::SpikeTrain train(static_cast<std::size_t>(timesteps),
+                          snn::SpikeMap(model.input_channels, model.input_h,
+                                        model.input_w));
+    for (auto& frame : train) {
+        for (std::int64_t j = 0; j < frame.size(); ++j) {
+            frame.set_flat(j, rng.bernoulli(0.3));
+        }
+    }
+    return train;
+}
+
+/// Split a train into consecutive windows of up to `window` steps.
+std::vector<snn::SpikeTrain> chunk(const snn::SpikeTrain& train,
+                                   std::size_t window) {
+    std::vector<snn::SpikeTrain> out;
+    for (std::size_t start = 0; start < train.size(); start += window) {
+        const std::size_t end = std::min(train.size(), start + window);
+        out.emplace_back(train.begin() + static_cast<std::ptrdiff_t>(start),
+                         train.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+    return out;
+}
+
+/// Waits (bounded) for a predicate that another thread flips.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds budget = 2000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() > deadline) return false;
+        std::this_thread::sleep_for(1ms);
+    }
+    return true;
+}
+
+// ---- engine-level chunking identity ----
+
+TEST(StreamSession, FunctionalChunkedWindowsMatchMonolithic) {
+    const auto model = small_model(3);
+    const auto train = random_train(model, 8, 42);
+    snn::FunctionalEngine engine(model);
+    const auto mono = engine.run(train);
+    for (const std::size_t w : {1U, 2U, 4U, 8U}) {
+        SCOPED_TRACE("window=" + std::to_string(w));
+        snn::SessionState session;
+        std::vector<std::vector<std::int64_t>> logits;
+        for (const auto& win : chunk(train, w)) {
+            const auto res = engine.run_window(win, session);
+            logits.insert(logits.end(), res.logits_per_step.begin(),
+                          res.logits_per_step.end());
+        }
+        EXPECT_EQ(logits, mono.logits_per_step);
+        EXPECT_EQ(session.steps, 8);
+        EXPECT_EQ(session.windows, 8U / w);
+    }
+}
+
+TEST(StreamSession, SiaChunkedWindowsMatchMonolithic) {
+    const auto model = small_model(5);
+    const auto train = random_train(model, 8, 9);
+    const sim::SiaConfig config;
+    const auto program = core::SiaCompiler(config).compile(model);
+    sim::Sia sia(config, model, program);
+    const auto mono = sia.run(train);
+    for (const std::size_t w : {1U, 2U, 4U}) {
+        SCOPED_TRACE("window=" + std::to_string(w));
+        snn::SessionState session;
+        std::vector<std::vector<std::int64_t>> logits;
+        for (const auto& win : chunk(train, w)) {
+            const auto res = sia.run(win, session);
+            logits.insert(logits.end(), res.logits_per_step.begin(),
+                          res.logits_per_step.end());
+        }
+        EXPECT_EQ(logits, mono.logits_per_step);
+    }
+}
+
+TEST(StreamSession, SessionsMigrateBetweenEngines) {
+    // The carried representation is engine-agnostic: alternate windows
+    // between the functional engine and the simulator mid-stream and
+    // the readout still matches the monolithic reference bit-exactly.
+    const auto model = small_model(7);
+    const auto train = random_train(model, 8, 17);
+    snn::FunctionalEngine engine(model);
+    const auto mono = engine.run(train);
+    const sim::SiaConfig config;
+    const auto program = core::SiaCompiler(config).compile(model);
+    sim::Sia sia(config, model, program);
+
+    snn::SessionState session;
+    std::vector<std::vector<std::int64_t>> logits;
+    bool use_sia = false;
+    for (const auto& win : chunk(train, 2)) {
+        std::vector<std::vector<std::int64_t>> step_logits;
+        if (use_sia) {
+            step_logits = sia.run(win, session).logits_per_step;
+        } else {
+            step_logits = engine.run_window(win, session).logits_per_step;
+        }
+        logits.insert(logits.end(), step_logits.begin(), step_logits.end());
+        use_sia = !use_sia;
+    }
+    EXPECT_EQ(logits, mono.logits_per_step);
+}
+
+TEST(StreamSession, RestoreRejectsMismatchedGeometry) {
+    const auto model = small_model(11);
+    snn::FunctionalEngine engine(model);
+    snn::SessionState session;
+    session.initialized = true;
+    session.membranes = {{1, 2, 3}};  // wrong layer count / sizes
+    session.readout = {0, 0, 0, 0};
+    EXPECT_THROW(engine.restore_session(session), std::invalid_argument);
+}
+
+// ---- server-level chunking identity (the tentpole property) ----
+
+void expect_server_chunk_identity(std::shared_ptr<core::Backend> backend,
+                                  const snn::SnnModel& model,
+                                  std::size_t threads) {
+    const auto train = random_train(model, 8, 21);
+    snn::FunctionalEngine engine(model);
+    const auto mono = engine.run(train);
+
+    core::Server server(std::move(backend), {.threads = threads, .max_batch = 4});
+    for (const std::size_t w : {1U, 2U, 4U, 8U}) {
+        SCOPED_TRACE("window=" + std::to_string(w));
+        const std::string id = "stream-" + std::to_string(w);
+        // Submit every window up front (none awaited) so wave
+        // formation actually has to serialize them.
+        std::vector<std::future<core::Response>> futures;
+        for (auto& win : chunk(train, w)) {
+            futures.push_back(server.submit(
+                core::Request::from_train(std::move(win)).with_session(id)));
+        }
+        std::vector<std::vector<std::int64_t>> logits;
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            auto response = futures[i].get();
+            EXPECT_EQ(response.session, id);
+            EXPECT_EQ(response.window_seq, i);
+            logits.insert(logits.end(), response.logits_per_step.begin(),
+                          response.logits_per_step.end());
+        }
+        EXPECT_EQ(logits, mono.logits_per_step);
+        EXPECT_TRUE(server.close_session(id));
+    }
+    server.shutdown();
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.sessions_opened, 4U);
+    EXPECT_EQ(stats.sessions_closed, 4U);
+    EXPECT_EQ(stats.sessions_expired, 0U);
+    EXPECT_EQ(stats.active_sessions, 0U);
+    EXPECT_EQ(stats.failed, 0U);
+}
+
+TEST(StreamSession, ServerChunkedFunctionalSingleThread) {
+    const auto model = small_model(13);
+    expect_server_chunk_identity(std::make_shared<core::FunctionalBackend>(model),
+                                 model, 1);
+}
+
+TEST(StreamSession, ServerChunkedFunctionalFourThreads) {
+    const auto model = small_model(13);
+    expect_server_chunk_identity(std::make_shared<core::FunctionalBackend>(model),
+                                 model, 4);
+}
+
+TEST(StreamSession, ServerChunkedSiaSingleThread) {
+    const auto model = small_model(19);
+    expect_server_chunk_identity(std::make_shared<core::SiaBackend>(model), model, 1);
+}
+
+TEST(StreamSession, ServerChunkedSiaFourThreads) {
+    const auto model = small_model(19);
+    expect_server_chunk_identity(std::make_shared<core::SiaBackend>(model), model, 4);
+}
+
+TEST(StreamSession, BackendsAgreeOnChunkedStreams) {
+    const auto model = small_model(23);
+    const auto train = random_train(model, 6, 5);
+    std::vector<std::vector<std::vector<std::int64_t>>> per_backend;
+    for (const bool use_sia : {false, true}) {
+        std::shared_ptr<core::Backend> backend;
+        if (use_sia) {
+            backend = std::make_shared<core::SiaBackend>(model);
+        } else {
+            backend = std::make_shared<core::FunctionalBackend>(model);
+        }
+        core::Server server(std::move(backend), {.threads = 2});
+        std::vector<std::future<core::Response>> futures;
+        for (auto& win : chunk(train, 2)) {
+            futures.push_back(server.submit(
+                core::Request::from_train(std::move(win)).with_session("x")));
+        }
+        std::vector<std::vector<std::int64_t>> logits;
+        for (auto& f : futures) {
+            auto response = f.get();
+            logits.insert(logits.end(), response.logits_per_step.begin(),
+                          response.logits_per_step.end());
+        }
+        per_backend.push_back(std::move(logits));
+        server.shutdown();
+    }
+    EXPECT_EQ(per_backend[0], per_backend[1]);
+}
+
+// ---- session lifecycle ----
+
+TEST(StreamSession, IdleSessionExpiresAndRestarts) {
+    const auto model = small_model(29);
+    core::Server server(std::make_shared<core::FunctionalBackend>(model),
+                        {.threads = 1, .session_idle_ms = 50});
+    const auto train = random_train(model, 2, 3);
+
+    const auto r0 =
+        server.submit(core::Request::from_train(train).with_session("cam")).get();
+    EXPECT_EQ(r0.window_seq, 0U);
+    EXPECT_EQ(r0.session_steps, 2);
+    EXPECT_TRUE(eventually([&] { return server.session_count() == 1; }));
+
+    std::this_thread::sleep_for(120ms);
+    // Expiry is lazy: the next admission sweeps the idle session and
+    // opens a fresh one under the same id (window_seq restarts at 0
+    // and the carried readout starts over).
+    const auto r1 =
+        server.submit(core::Request::from_train(train).with_session("cam")).get();
+    EXPECT_EQ(r1.window_seq, 0U);
+    EXPECT_EQ(r1.session_steps, 2);
+    EXPECT_EQ(r1.logits_per_step, r0.logits_per_step);
+
+    server.shutdown();
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.sessions_opened, 2U);
+    EXPECT_EQ(stats.sessions_expired, 1U);
+}
+
+TEST(StreamSession, CloseWithPendingWindowsDefers) {
+    const auto model = small_model(31);
+    core::Server server(std::make_shared<core::FunctionalBackend>(model),
+                        {.threads = 1});
+    const auto train = random_train(model, 2, 3);
+    std::vector<std::future<core::Response>> futures;
+    for (int i = 0; i < 4; ++i) {
+        futures.push_back(
+            server.submit(core::Request::from_train(train).with_session("s")));
+    }
+    EXPECT_TRUE(server.close_session("s"));
+    EXPECT_FALSE(server.close_session("unknown"));
+    for (auto& f : futures) static_cast<void>(f.get());
+    EXPECT_TRUE(eventually([&] { return server.session_count() == 0; }));
+    server.shutdown();
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.sessions_opened, 1U);
+    EXPECT_EQ(stats.sessions_closed, 1U);
+    EXPECT_EQ(stats.completed, 4U);
+}
+
+TEST(StreamSession, CloseFlagOnFinalWindowRetires) {
+    const auto model = small_model(37);
+    core::Server server(std::make_shared<core::FunctionalBackend>(model),
+                        {.threads = 1});
+    const auto train = random_train(model, 2, 3);
+    auto f0 = server.submit(core::Request::from_train(train).with_session("s"));
+    auto f1 = server.submit(
+        core::Request::from_train(train).with_session("s", /*close=*/true));
+    EXPECT_EQ(f0.get().window_seq, 0U);
+    const auto last = f1.get();
+    EXPECT_EQ(last.window_seq, 1U);
+    EXPECT_EQ(last.session_steps, 4);
+    EXPECT_TRUE(eventually([&] { return server.session_count() == 0; }));
+    server.shutdown();
+    EXPECT_EQ(server.stats().sessions_closed, 1U);
+}
+
+TEST(StreamSession, ShutdownWithOpenSessionsDrains) {
+    const auto model = small_model(41);
+    const auto train_a = random_train(model, 6, 50);
+    const auto train_b = random_train(model, 6, 51);
+    snn::FunctionalEngine engine(model);
+    const auto mono_a = engine.run(train_a);
+    const auto mono_b = engine.run(train_b);
+
+    core::Server server(std::make_shared<core::FunctionalBackend>(model),
+                        {.threads = 2, .max_batch = 2});
+    std::vector<std::future<core::Response>> fa;
+    std::vector<std::future<core::Response>> fb;
+    for (std::size_t i = 0; i < 3; ++i) {
+        fa.push_back(server.submit(
+            core::Request::from_train(chunk(train_a, 2)[i]).with_session("a")));
+        fb.push_back(server.submit(
+            core::Request::from_train(chunk(train_b, 2)[i]).with_session("b")));
+    }
+    // Shut down with every window still potentially queued: the drain
+    // must resolve each one against its session in admission order.
+    server.shutdown();
+    std::vector<std::vector<std::int64_t>> logits_a;
+    std::vector<std::vector<std::int64_t>> logits_b;
+    for (std::size_t i = 0; i < 3; ++i) {
+        auto ra = fa[i].get();
+        auto rb = fb[i].get();
+        logits_a.insert(logits_a.end(), ra.logits_per_step.begin(),
+                        ra.logits_per_step.end());
+        logits_b.insert(logits_b.end(), rb.logits_per_step.begin(),
+                        rb.logits_per_step.end());
+    }
+    EXPECT_EQ(logits_a, mono_a.logits_per_step);
+    EXPECT_EQ(logits_b, mono_b.logits_per_step);
+    EXPECT_EQ(server.stats().completed, 6U);
+    EXPECT_EQ(server.stats().failed, 0U);
+}
+
+TEST(StreamSession, SessionWindowsAreNeverShed) {
+    // Fill the queue with low-priority session windows, then push a
+    // high-priority request under kReject: the high request must be
+    // refused rather than a session window evicted (shedding one would
+    // desync the stream's carried state).
+    const auto model = small_model(43);
+    core::Server server(std::make_shared<core::FunctionalBackend>(model),
+                        {.threads = 1,
+                         .max_queue = 2,
+                         .max_batch = 1,
+                         .backpressure = core::BackpressurePolicy::kReject});
+    const auto train = random_train(model, 64, 3);
+    std::vector<std::future<core::Response>> futures;
+    // First submission may dispatch immediately; keep submitting until
+    // the queue is full of session windows.
+    std::size_t admitted = 0;
+    while (admitted < 6) {
+        auto f = server.try_submit(core::Request::from_train(train)
+                                       .with("", "t-low", core::Priority::kLow)
+                                       .with_session("s"));
+        if (f) {
+            futures.push_back(std::move(*f));
+            ++admitted;
+        } else {
+            break;  // queue full of session windows
+        }
+    }
+    const auto high = server.try_submit(core::Request::from_train(train).with(
+        "", "t-high", core::Priority::kHigh));
+    if (high.has_value()) {
+        // The queue was not full when the high request arrived (drain
+        // raced ahead) — nothing to assert about eviction.
+        SUCCEED();
+    } else {
+        EXPECT_EQ(server.stats().shed, 0U);
+    }
+    server.shutdown();
+    for (auto& f : futures) static_cast<void>(f.get());
+    EXPECT_EQ(server.stats().shed, 0U);
+}
+
+}  // namespace
+}  // namespace sia
