@@ -19,9 +19,17 @@
 // of its unloaded p99, aggregate throughput within 10% of the
 // single-tenant 2x point, ordered percentiles.
 //
+// With --chaos, the same overload shape runs twice more under kBlock —
+// fault-free, then with a seeded 1% throw + 1% transient FaultPlan on
+// both lanes — and --check gates the exact fault ledger (zero
+// non-faulted requests lost, every seeded fault resolved as a
+// structured error or retried success) plus premium p99 within 2x of
+// the fault-free twin.
+//
 // Emits machine-readable BENCH_SERVING.json.
 //
-// Flags: --quick (reduced sweep), --check, --out <path>, --threads <n>.
+// Flags: --quick (reduced sweep), --check, --chaos, --out <path>,
+// --threads <n>.
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -43,9 +51,12 @@
 #include "core/backend.hpp"
 #include "core/batch_runner.hpp"
 #include "core/convert.hpp"
+#include "core/faulty_backend.hpp"
 #include "core/server.hpp"
 #include "nn/vgg.hpp"
 #include "snn/encoding.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -356,9 +367,203 @@ MixedResult run_mixed(const snn::SnnModel& model,
     return result;
 }
 
+// ---- chaos storm (fault-injected overload) ----
+
+struct ChaosResult {
+    bool run = false;
+    double offered_rps = 0.0;
+    double aggregate_rps = 0.0;
+    double fault_free_premium_p99_us = 0.0;
+    double premium_p99_us = 0.0;
+    std::size_t total = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::size_t retried = 0;
+    std::size_t failed_over = 0;
+    std::size_t isolated_waves = 0;
+    std::size_t expected_failed = 0;
+    std::size_t expected_retried = 0;
+};
+
+/// The mixed-tenant storm shape under kBlock, run twice: a fault-free
+/// twin, then the same storm with a seeded 1% throw + 1% transient
+/// FaultPlan on both lanes. kBlock means nothing is rejected or shed,
+/// so the ledger is exact: faulted streams are the injector's pure
+/// per-stream decisions over each lane's admission range, every one of
+/// them must resolve as a structured failure (throws) or a retried
+/// success (transients), and every other request must complete — zero
+/// non-faulted requests lost. --check also gates the premium p99 under
+/// the fault storm against 2x its fault-free twin.
+ChaosResult run_chaos(const snn::SnnModel& model,
+                      const std::vector<snn::SpikeTrain>& pool, std::size_t threads,
+                      double capacity, std::size_t total) {
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    const std::size_t workers = std::max<std::size_t>(
+        1, threads == 0 ? hw : std::min(threads, hw));
+
+    ChaosResult result;
+    result.run = true;
+    result.offered_rps = 2.0 * capacity;
+
+    util::FaultPlan plan_a;
+    plan_a.seed = 0xC4A05;
+    plan_a.throw_probability = 0.01;
+    plan_a.transient_probability = 0.01;
+    util::FaultPlan plan_b = plan_a;
+    plan_b.seed = plan_a.seed + 1;
+
+    // Per-tenant submission counts are deterministic (kBlock admits
+    // everything), so each lane's admission range — and therefore its
+    // exact faulted set — is known client-side before the storm runs.
+    std::array<std::size_t, kTenants.size()> counts{};
+    std::size_t count_a = 0, count_b = 0;
+    result.total = 0;
+    for (std::size_t t = 0; t < kTenants.size(); ++t) {
+        counts[t] = static_cast<std::size_t>(
+            kTenants[t].share * static_cast<double>(total) + 0.5);
+        result.total += counts[t];
+        count_a += (counts[t] + 1) / 2;  // each tenant alternates, a first
+        count_b += counts[t] / 2;
+    }
+    const util::FaultInjector oracle_a(plan_a), oracle_b(plan_b);
+    const auto expect = [](const util::FaultInjector& oracle, std::size_t count,
+                           util::FaultKind kind) {
+        std::size_t n = 0;
+        for (std::uint64_t s = 0; s < count; ++s) {
+            if (oracle.decide(s) == kind) ++n;
+        }
+        return n;
+    };
+    result.expected_failed = expect(oracle_a, count_a, util::FaultKind::kThrow) +
+                             expect(oracle_b, count_b, util::FaultKind::kThrow);
+    result.expected_retried =
+        expect(oracle_a, count_a, util::FaultKind::kTransient) +
+        expect(oracle_b, count_b, util::FaultKind::kTransient);
+
+    core::ServerOptions storm_options{
+        .threads = workers,
+        .max_queue = 64,
+        .max_batch = 2 * workers,
+        .backpressure = core::BackpressurePolicy::kBlock,
+        .slo_us = 10'000.0,
+        .tenant_weights = {{"premium", 4}, {"standard", 2}, {"batch", 1}},
+    };
+    // The ledger gates assume the breaker never trips (a tripped lane
+    // with no fallback would fail-fast healthy requests): a 1% storm is
+    // load the lane should absorb request-by-request.
+    storm_options.fault.breaker_failures = 0;
+    storm_options.fault.breaker_failure_rate = 2.0;
+
+    struct StormOutcome {
+        core::ServerStats stats;
+        double premium_p99_us = 0.0;
+        double wall_ms = 0.0;
+    };
+    const auto storm = [&](bool faulty) {
+        auto base_a = std::make_shared<core::FunctionalBackend>(model);
+        auto base_b = std::make_shared<core::FunctionalBackend>(model);
+        (void)calibrate_capacity(base_a, pool, threads, 8);
+        (void)calibrate_capacity(base_b, pool, threads, 8);
+        core::Server server(storm_options);
+        server.register_model(
+            "vgg-a", faulty ? std::make_shared<core::FaultyBackend>(base_a, plan_a)
+                            : std::static_pointer_cast<core::Backend>(base_a));
+        server.register_model(
+            "vgg-b", faulty ? std::make_shared<core::FaultyBackend>(base_b, plan_b)
+                            : std::static_pointer_cast<core::Backend>(base_b));
+
+        std::vector<std::thread> submitters;
+        const util::WallTimer wall;
+        for (std::size_t t = 0; t < kTenants.size(); ++t) {
+            submitters.emplace_back([&, t] {
+                const TenantSpec& spec = kTenants[t];
+                const auto interval = std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        1.0 / (spec.share * result.offered_rps)));
+                std::vector<std::future<core::Response>> futures;
+                futures.reserve(counts[t]);
+                auto next = Clock::now();
+                for (std::size_t i = 0; i < counts[t]; ++i) {
+                    std::this_thread::sleep_until(next);
+                    next += interval;
+                    futures.push_back(server.submit(
+                        core::Request::view_train(pool[(t * 977 + i) % pool.size()])
+                            .with(i % 2 == 0 ? "vgg-a" : "vgg-b", spec.name,
+                                  spec.priority)));
+                }
+                // Failures arrive as structured-error values, so every
+                // future resolves via get() — none throw, none dropped.
+                for (auto& f : futures) (void)f.get();
+            });
+        }
+        for (auto& t : submitters) t.join();
+        StormOutcome outcome;
+        outcome.wall_ms = wall.millis();
+        server.shutdown();
+        outcome.stats = server.stats();
+        const auto it = outcome.stats.tenants.find("premium");
+        if (it != outcome.stats.tenants.end()) {
+            outcome.premium_p99_us = it->second.latency_us.p99();
+        }
+        return outcome;
+    };
+
+    const StormOutcome clean = storm(/*faulty=*/false);
+    result.fault_free_premium_p99_us = clean.premium_p99_us;
+    const StormOutcome chaos = storm(/*faulty=*/true);
+    result.premium_p99_us = chaos.premium_p99_us;
+    result.aggregate_rps =
+        1e3 * static_cast<double>(chaos.stats.completed) / chaos.wall_ms;
+    result.completed = chaos.stats.completed;
+    result.failed = chaos.stats.failed;
+    result.retried = chaos.stats.retried;
+    result.failed_over = chaos.stats.failed_over;
+    result.isolated_waves = chaos.stats.isolated_waves;
+    return result;
+}
+
+std::vector<std::string> chaos_check_errors(const ChaosResult& c) {
+    std::vector<std::string> errors;
+    if (c.completed != c.total - c.expected_failed ||
+        c.failed != c.expected_failed) {
+        std::ostringstream err;
+        err << "chaos ledger: completed=" << c.completed << " failed=" << c.failed
+            << " of total=" << c.total << ", expected exactly "
+            << c.expected_failed << " seeded failures (a non-faulted request "
+            << "was lost or a faulted one silently dropped)";
+        errors.push_back(err.str());
+    }
+    if (c.retried != c.expected_retried) {
+        std::ostringstream err;
+        err << "chaos ledger: retried=" << c.retried << ", expected "
+            << c.expected_retried << " (one retry per seeded transient)";
+        errors.push_back(err.str());
+    }
+    if (c.failed_over != 0) {
+        std::ostringstream err;
+        err << "chaos ledger: failed_over=" << c.failed_over
+            << " with no fallback registered";
+        errors.push_back(err.str());
+    }
+    // The degradation gate: a 1% storm costs bisection re-runs, not a
+    // latency regime — premium p99 stays within 2x of its fault-free
+    // twin (floored at 1.5ms, same run-to-run noise floor as the
+    // mixed-tenant gate).
+    const double gate = 2.0 * std::max(c.fault_free_premium_p99_us, 1500.0);
+    if (c.completed > 0 && c.premium_p99_us > gate) {
+        std::ostringstream err;
+        err << "chaos premium p99=" << c.premium_p99_us << "us exceeds " << gate
+            << "us (2x fault-free " << c.fault_free_premium_p99_us << "us)";
+        errors.push_back(err.str());
+    }
+    return errors;
+}
+
 void write_json(const std::string& path, const std::vector<LoadPoint>& rows,
                 const std::vector<std::pair<std::string, double>>& single_p99,
-                const MixedResult& mixed, bool quick, std::size_t threads) {
+                const MixedResult& mixed, const ChaosResult& chaos, bool quick,
+                std::size_t threads) {
     std::ofstream out(path, std::ios::trunc);
     if (!out) {
         std::cerr << "serving_latency: cannot open " << path << "\n";
@@ -409,7 +614,22 @@ void write_json(const std::string& path, const std::vector<LoadPoint>& rows,
             << ", \"slo_burn\": " << t.slo_burn << "}"
             << (i + 1 < mixed.tenants.size() ? "," : "") << "\n";
     }
-    out << "    ]\n  }\n}\n";
+    out << "    ]\n  },\n  \"chaos\": {\n"
+        << "    \"run\": " << (chaos.run ? "true" : "false") << ",\n"
+        << "    \"offered_rps\": " << chaos.offered_rps << ",\n"
+        << "    \"aggregate_rps\": " << chaos.aggregate_rps << ",\n"
+        << "    \"fault_free_premium_p99_us\": " << chaos.fault_free_premium_p99_us
+        << ",\n"
+        << "    \"premium_p99_us\": " << chaos.premium_p99_us << ",\n"
+        << "    \"total\": " << chaos.total << ",\n"
+        << "    \"completed\": " << chaos.completed << ",\n"
+        << "    \"failed\": " << chaos.failed << ",\n"
+        << "    \"retried\": " << chaos.retried << ",\n"
+        << "    \"failed_over\": " << chaos.failed_over << ",\n"
+        << "    \"isolated_waves\": " << chaos.isolated_waves << ",\n"
+        << "    \"expected_failed\": " << chaos.expected_failed << ",\n"
+        << "    \"expected_retried\": " << chaos.expected_retried << "\n"
+        << "  }\n}\n";
 }
 
 }  // namespace
@@ -417,6 +637,7 @@ void write_json(const std::string& path, const std::vector<LoadPoint>& rows,
 int main(int argc, char** argv) {
     bool quick = false;
     bool check = false;
+    bool with_chaos = false;
     std::string out_path = "BENCH_SERVING.json";
     std::size_t threads = 4;
     for (int i = 1; i < argc; ++i) {
@@ -424,13 +645,15 @@ int main(int argc, char** argv) {
             quick = true;
         } else if (std::strcmp(argv[i], "--check") == 0) {
             check = true;
+        } else if (std::strcmp(argv[i], "--chaos") == 0) {
+            with_chaos = true;
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
         } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
             threads = static_cast<std::size_t>(std::atoll(argv[++i]));
         } else {
-            std::cerr << "usage: serving_latency [--quick] [--check] [--out <path>] "
-                         "[--threads <n>]\n";
+            std::cerr << "usage: serving_latency [--quick] [--check] [--chaos] "
+                         "[--out <path>] [--threads <n>]\n";
             return EXIT_FAILURE;
         }
     }
@@ -648,8 +871,40 @@ int main(int argc, char** argv) {
         }
     }
 
+    // Chaos storm (--chaos): the same overload shape with a seeded 1%
+    // fault plan on both lanes, gated against its fault-free twin.
+    ChaosResult chaos;
+    if (with_chaos) {
+        // Every injected fault logs one warning; the storm seeds a few
+        // dozen of them by design.
+        util::set_log_level(util::LogLevel::kError);
+        chaos = run_chaos(model, pool, threads, functional_capacity, mixed_total);
+        if (check) {
+            auto errors = chaos_check_errors(chaos);
+            if (!errors.empty()) {
+                // The ledger is deterministic; only the p99 gate is
+                // noise-sensitive. One retry, same policy as the
+                // mixed-tenant gate.
+                chaos = run_chaos(model, pool, threads, functional_capacity,
+                                  mixed_total);
+                errors = chaos_check_errors(chaos);
+            }
+            for (const std::string& error : errors) {
+                check_failed = true;
+                std::cerr << "CHECK FAILED: " << error << "\n";
+            }
+        }
+        table.separator();
+        table.row({"chaos:clean", util::cell(chaos.offered_rps, 1), "-", "-", "-",
+                   util::cell(chaos.fault_free_premium_p99_us / 1e3, 2), "-"});
+        table.row({"chaos:storm", util::cell(chaos.offered_rps, 1),
+                   util::cell(chaos.aggregate_rps, 1), "-", "-",
+                   util::cell(chaos.premium_p99_us / 1e3, 2),
+                   util::cell(static_cast<double>(chaos.failed), 0)});
+    }
+
     table.print(std::cout);
-    write_json(out_path, rows, single_p99, mixed, quick, threads);
+    write_json(out_path, rows, single_p99, mixed, chaos, quick, threads);
     std::cout << "wrote " << out_path << "\n";
 
     if (check_failed) {

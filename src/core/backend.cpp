@@ -10,6 +10,20 @@
 
 namespace sia::core {
 
+const char* to_string(ErrorCode code) noexcept {
+    switch (code) {
+        case ErrorCode::kOk: return "kOk";
+        case ErrorCode::kInvalidRequest: return "kInvalidRequest";
+        case ErrorCode::kBackendError: return "kBackendError";
+        case ErrorCode::kDeadlineExceeded: return "kDeadlineExceeded";
+        case ErrorCode::kCircuitOpen: return "kCircuitOpen";
+        case ErrorCode::kShuttingDown: return "kShuttingDown";
+        case ErrorCode::kQueueFull: return "kQueueFull";
+        case ErrorCode::kUnknownModel: return "kUnknownModel";
+    }
+    return "?";
+}
+
 // ---------------------------------------------------------------- Request
 
 Request Request::with(std::string model_name, std::string tenant_name,
@@ -23,6 +37,11 @@ Request Request::with(std::string model_name, std::string tenant_name,
 Request Request::with_session(std::string session_id, bool close) && {
     session = std::move(session_id);
     close_session = close;
+    return std::move(*this);
+}
+
+Request Request::with_deadline(std::int64_t us) && {
+    deadline_us = us;
     return std::move(*this);
 }
 

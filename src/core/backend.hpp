@@ -28,6 +28,8 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -63,6 +65,32 @@ enum class Priority : std::uint8_t {
 };
 inline constexpr std::size_t kPriorityLanes = 3;
 
+/// Structured failure code of a request's Response (the serving fault
+/// model; see docs/ARCHITECTURE.md §8). A backend failure resolves the
+/// request's future with a *value* carrying the code + message — never
+/// a silently-dropped exception — so callers can distinguish "your
+/// request is malformed" from "the backend is unhealthy" from "you ran
+/// out of time".
+enum class ErrorCode : std::uint8_t {
+    kOk = 0,
+    kInvalidRequest,    ///< malformed request (never retried or failed over)
+    kBackendError,      ///< backend failure (after any retries/failover)
+    kDeadlineExceeded,  ///< deadline_us elapsed before completion
+    kCircuitOpen,       ///< lane breaker open and no fallback registered
+    kShuttingDown,      ///< refused: server/lane draining
+    kQueueFull,         ///< refused: queue at max_queue, nothing sheddable
+    kUnknownModel,      ///< refused: no lane for Request::model
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code) noexcept;
+
+/// Failure a backend classifies as retriable: the serving layer re-runs
+/// the request (bounded, exponential backoff) before treating it as a
+/// permanent kBackendError. Any other exception type is permanent.
+struct TransientError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
 /// One inference request. Inputs may be owned (`from_*` factories — the
 /// serving path, where the submitter hands the data off) or borrowed
 /// (`view_*` factories — the zero-copy batch path; the caller keeps the
@@ -92,6 +120,17 @@ struct Request {
     /// latency/SLO stats) under. Empty is a valid tenant.
     std::string tenant;
     Priority priority = Priority::kNormal;
+    /// Completion deadline relative to submission, in microseconds
+    /// (0 = none). The server enforces it at admission (a kBlock wait
+    /// gives up at the deadline), wave formation (an expired request
+    /// never occupies a wave slot), and completion/retry — the future
+    /// then resolves with ErrorCode::kDeadlineExceeded. Ignored for
+    /// session windows: skipping one would desync the stream's carried
+    /// state, so session windows always run.
+    std::int64_t deadline_us = 0;
+    /// Retry attempt number of this run (0 = first). Managed by the
+    /// serving layer; backends may key fault recovery off it.
+    std::uint32_t attempt = 0;
 
     // --- streaming sessions (persistent membranes across windows) ---
     /// Logical streaming session this request is one window of. Empty =
@@ -121,6 +160,8 @@ struct Request {
     /// Chainable session tag for rvalue requests:
     ///   server.submit(Request::from_train(w).with_session("cam-0"));
     [[nodiscard]] Request with_session(std::string session_id, bool close = false) &&;
+    /// Chainable deadline for rvalue requests.
+    [[nodiscard]] Request with_deadline(std::int64_t us) &&;
 
     /// Deep-copy borrowed views (train_view/image_view) into owned
     /// storage and drop the pointers, leaving the request
@@ -171,6 +212,18 @@ struct Response {
     /// included. logits_per_step.back() is the readout accumulated over
     /// all session_steps, not just this window's timesteps.
     std::int64_t session_steps = 0;
+
+    // --- structured failure (serving fault model; see ErrorCode) ---
+    ErrorCode error_code = ErrorCode::kOk;
+    /// Human-readable failure detail; empty on success.
+    std::string error;
+    /// Same-backend re-runs the serving layer performed for this request.
+    std::uint32_t retries = 0;
+    /// True when the lane's registered fallback backend served this
+    /// response (primary failed or its breaker was open).
+    bool failed_over = false;
+
+    [[nodiscard]] bool ok() const noexcept { return error_code == ErrorCode::kOk; }
 
     /// Prediction after timestep `t` (argmax of accumulated logits).
     [[nodiscard]] std::int64_t predicted_class(std::int64_t t) const;

@@ -31,7 +31,16 @@ Backend& BatchRunner::functional_backend() {
 }
 
 std::vector<Response> BatchRunner::run(const std::vector<Request>& requests) {
+    return run(functional_backend(), std::span<const Request>(requests));
+}
+
+std::vector<Response> BatchRunner::run(std::span<const Request> requests) {
     return run(functional_backend(), requests);
+}
+
+std::vector<Response> BatchRunner::run(Backend& backend,
+                                       const std::vector<Request>& requests) {
+    return run(backend, std::span<const Request>(requests));
 }
 
 /// Shared batch protocol: publish the batch shape to stats up front (so
@@ -41,7 +50,7 @@ std::vector<Response> BatchRunner::run(const std::vector<Request>& requests) {
 /// stats of a throwing batch cover the work performed before the pool
 /// drained, with completed = false).
 std::vector<Response> BatchRunner::run(Backend& backend,
-                                       const std::vector<Request>& requests) {
+                                       std::span<const Request> requests) {
     sim_batch_stats_ = {};
     stats_ = BatchStats{};
     stats_.inputs = requests.size();

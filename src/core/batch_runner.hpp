@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/backend.hpp"
@@ -108,6 +109,13 @@ public:
     /// several backends over one pool.
     [[nodiscard]] std::vector<Response> run(Backend& backend,
                                             const std::vector<Request>& requests);
+
+    /// Span forms of the same entry points: run a contiguous slice
+    /// without copying the requests. The serving layer's wave bisection
+    /// uses these to re-run halves of a failed wave in place.
+    [[nodiscard]] std::vector<Response> run(std::span<const Request> requests);
+    [[nodiscard]] std::vector<Response> run(Backend& backend,
+                                            std::span<const Request> requests);
 
     /// Stats of the most recent run call; see BatchStats::completed for
     /// the failed-batch semantics.

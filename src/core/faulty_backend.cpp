@@ -1,0 +1,86 @@
+#include "core/faulty_backend.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sia::core {
+
+namespace {
+
+std::string fault_message(const char* kind, std::uint64_t stream,
+                          std::uint32_t attempt) {
+    return std::string("FaultyBackend: injected ") + kind + " fault (stream " +
+           std::to_string(stream) + ", attempt " + std::to_string(attempt) + ")";
+}
+
+}  // namespace
+
+FaultyBackend::FaultyBackend(std::shared_ptr<Backend> inner, util::FaultPlan plan)
+    : Backend(inner->model()), inner_(std::move(inner)),
+      injector_(std::move(plan)),
+      name_(std::string("faulty+") + std::string(inner_->name())) {}
+
+void FaultyBackend::prepare(std::size_t workers) {
+    inner_->prepare(workers);
+    add_setup_nanos(inner_->take_setup_nanos());
+}
+
+std::size_t FaultyBackend::preferred_span(std::size_t n,
+                                          std::size_t workers) const noexcept {
+    return inner_->preferred_span(n, workers);
+}
+
+sim::SiaBatchStats FaultyBackend::take_sim_batch_stats() noexcept {
+    return inner_->take_sim_batch_stats();
+}
+
+void FaultyBackend::run_span(std::size_t worker, std::span<const Request> requests,
+                             std::span<Response> responses, std::size_t base,
+                             std::uint64_t seed) {
+    // Decide every request's fault before running anything: a poisoned
+    // request fails its whole span (the lowest-index one wins), which
+    // is the shape the server's wave bisection isolates.
+    std::vector<util::FaultKind> kinds(requests.size());
+    bool stall = false;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const std::uint64_t stream = requests[i].rng_stream.value_or(base + i);
+        kinds[i] = injector_.inject(stream, requests[i].attempt);
+        if (kinds[i] == util::FaultKind::kStall) stall = true;
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const std::uint64_t stream = requests[i].rng_stream.value_or(base + i);
+        if (kinds[i] == util::FaultKind::kThrow) {
+            throw std::runtime_error(
+                fault_message("throw", stream, requests[i].attempt));
+        }
+        if (kinds[i] == util::FaultKind::kTransient) {
+            throw TransientError(
+                fault_message("transient", stream, requests[i].attempt));
+        }
+    }
+    if (stall && injector_.plan().stall_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(injector_.plan().stall_us));
+    }
+
+    inner_->run_span(worker, requests, responses, base, seed);
+    add_setup_nanos(inner_->take_setup_nanos());
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (kinds[i] != util::FaultKind::kCorrupt) continue;
+        const std::uint64_t stream = requests[i].rng_stream.value_or(base + i);
+        Response& r = responses[i];
+        if (r.logits_per_step.empty() || r.logits_per_step.back().empty()) continue;
+        // Deterministic, stream-keyed corruption confined to this
+        // request's final readout (never zero, so it always flips).
+        auto& readout = r.logits_per_step.back();
+        const std::uint64_t mixed = util::mix_seed(injector_.plan().seed, stream);
+        readout[mixed % readout.size()] +=
+            static_cast<std::int64_t>(mixed % 997) + 1;
+    }
+}
+
+}  // namespace sia::core

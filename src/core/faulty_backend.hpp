@@ -1,0 +1,51 @@
+// FaultyBackend: a fault-injecting decorator over any core::Backend.
+//
+// Wraps an inner backend and consults a util::FaultInjector per request
+// before (throw/transient/stall) and after (corrupt) delegating to the
+// inner run_span. Decisions key off the request's rng_stream — the same
+// admission-pinned index the encodings draw from — so which requests
+// fault is independent of wave formation, bisection re-runs, and thread
+// scheduling, and a chaos test can predict the faulted set exactly.
+//
+// Span semantics: a span containing a poisoned request throws for the
+// lowest-index poisoned request before the inner backend runs anything.
+// That models the wave-poisoning failure the server's bisection
+// quarantines — any sub-span containing the poisoned request fails,
+// every sub-span without it completes bit-identically to a fault-free
+// run.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/backend.hpp"
+#include "util/fault.hpp"
+
+namespace sia::core {
+
+class FaultyBackend final : public Backend {
+public:
+    FaultyBackend(std::shared_ptr<Backend> inner, util::FaultPlan plan);
+
+    [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+    void prepare(std::size_t workers) override;
+    [[nodiscard]] std::size_t preferred_span(
+        std::size_t n, std::size_t workers) const noexcept override;
+    void run_span(std::size_t worker, std::span<const Request> requests,
+                  std::span<Response> responses, std::size_t base,
+                  std::uint64_t seed) override;
+    [[nodiscard]] sim::SiaBatchStats take_sim_batch_stats() noexcept override;
+
+    [[nodiscard]] const util::FaultInjector& injector() const noexcept {
+        return injector_;
+    }
+    [[nodiscard]] Backend& inner() noexcept { return *inner_; }
+
+private:
+    std::shared_ptr<Backend> inner_;
+    util::FaultInjector injector_;
+    std::string name_;
+};
+
+}  // namespace sia::core

@@ -7,9 +7,12 @@
 #include <deque>
 #include <exception>
 #include <set>
+#include <span>
 #include <stdexcept>
 #include <thread>
 #include <utility>
+
+#include "util/log.hpp"
 
 namespace sia::core {
 
@@ -31,6 +34,10 @@ struct Queued {
     Request request;
     std::promise<Response> promise;
     Clock::time_point enqueued;
+    /// Completion deadline (admission time + Request::deadline_us);
+    /// time_point::max() when none. Session windows never carry one —
+    /// skipping a window would desync the stream's carried state.
+    Clock::time_point expiry = Clock::time_point::max();
 };
 
 /// Lifecycle record of one streaming session on a lane. `state` is
@@ -72,7 +79,208 @@ struct PriorityLaneState {
     }
 };
 
+/// Outcome of executing one wave outside the lane lock.
+struct WaveExecResult {
+    std::vector<Response> responses;           ///< one per wave slot
+    std::vector<std::uint8_t> primary_failed;  ///< ultimate primary outcome (breaker feed)
+    std::size_t retried = 0;    ///< same-backend re-runs performed
+    std::size_t failovers = 0;  ///< requests served by the fallback
+    bool bisected = false;      ///< the wave threw and was quarantined
+};
+
+/// Executes one wave with failure isolation (docs/ARCHITECTURE.md §8).
+///
+/// A throwing wave is bisected: both halves re-run independently, so
+/// only sub-spans containing a genuinely poisoned request keep failing
+/// and healthy co-batched requests complete normally. At span size 1
+/// the failure is classified — std::invalid_argument resolves as
+/// kInvalidRequest (the request's own fault, never retried);
+/// TransientError is retried with exponential backoff up to
+/// FaultOptions::max_retries; anything else is a permanent backend
+/// failure. A request whose primary runs are exhausted fails over to
+/// the lane's fallback runner when one is registered, else resolves as
+/// kBackendError.
+///
+/// Correctness of every re-run rests on two invariants: (a) the
+/// request's rng_stream was pinned at admission, so a re-run encodes
+/// bit-identically to the first attempt; (b) the pre-wave SessionState
+/// of every session window is snapshotted up front and restored before
+/// any re-run, so a failed attempt never leaks partial membrane
+/// updates into the next one. A window that ultimately fails leaves
+/// its session at the pre-wave snapshot — as if the window never ran —
+/// and the stream continues from there.
+class WaveExecutor {
+public:
+    WaveExecutor(BatchRunner& runner, BatchRunner* fallback,
+                 const std::string& lane_name, const FaultOptions& fault,
+                 std::vector<Request>& requests,
+                 const std::vector<Clock::time_point>& expiry)
+        : runner_(runner), fallback_(fallback), lane_(lane_name), fault_(fault),
+          requests_(requests), expiry_(expiry) {
+        result_.responses.resize(requests.size());
+        result_.primary_failed.assign(requests.size(), 0);
+        snapshots_.resize(requests.size());
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            if (requests[i].session_state) {
+                snapshots_[i] =
+                    std::make_unique<snn::SessionState>(*requests[i].session_state);
+            }
+        }
+    }
+
+    [[nodiscard]] WaveExecResult run() {
+        solve(0, requests_.size());
+        return std::move(result_);
+    }
+
+private:
+    struct Classified {
+        bool transient = false;
+        bool invalid = false;
+        std::string what;
+    };
+
+    [[nodiscard]] static Classified classify(const std::exception_ptr& failure) {
+        Classified c;
+        try {
+            std::rethrow_exception(failure);
+        } catch (const TransientError& e) {
+            c.transient = true;
+            c.what = e.what();
+        } catch (const std::invalid_argument& e) {
+            c.invalid = true;
+            c.what = e.what();
+        } catch (const std::exception& e) {
+            c.what = e.what();
+        } catch (...) {
+            c.what = "unknown error";
+        }
+        return c;
+    }
+
+    void restore(std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            if (snapshots_[i]) *requests_[i].session_state = *snapshots_[i];
+        }
+    }
+
+    /// Run [lo, hi) through `runner`, filling the response slots on
+    /// success. Returns the failure instead of throwing.
+    [[nodiscard]] std::exception_ptr try_run(BatchRunner& runner, std::size_t lo,
+                                             std::size_t hi) {
+        try {
+            auto responses = runner.run(
+                std::span<const Request>(requests_.data() + lo, hi - lo));
+            for (std::size_t i = lo; i < hi; ++i) {
+                result_.responses[i] = std::move(responses[i - lo]);
+            }
+            return nullptr;
+        } catch (...) {
+            return std::current_exception();
+        }
+    }
+
+    /// Invariant: every session state in [lo, hi) is at its pre-wave
+    /// snapshot on entry; a successful run advances it exactly once.
+    void solve(std::size_t lo, std::size_t hi) {
+        if (lo == hi) return;
+        const std::exception_ptr failure = try_run(runner_, lo, hi);
+        if (!failure) return;
+        restore(lo, hi);
+        if (hi - lo > 1) {
+            result_.bisected = true;
+            const std::size_t mid = lo + (hi - lo) / 2;
+            solve(lo, mid);
+            solve(mid, hi);
+            return;
+        }
+        resolve_single(lo, failure);
+    }
+
+    void fail(std::size_t i, ErrorCode code, std::string what,
+              std::uint32_t attempts) {
+        Response r;
+        r.session = requests_[i].session;
+        r.window_seq = requests_[i].window_seq;
+        r.error_code = code;
+        r.error = std::move(what);
+        r.retries = attempts;
+        result_.responses[i] = std::move(r);
+    }
+
+    void resolve_single(std::size_t i, const std::exception_ptr& failure) {
+        Classified c = classify(failure);
+        util::log_warn("Server: lane '", lane_, "': request (stream ",
+                       requests_[i].rng_stream.value_or(0), ") failed: ", c.what);
+        if (c.invalid) {
+            // The request itself is malformed: not the backend's fault,
+            // so it is never retried or failed over and does not feed
+            // the lane's breaker.
+            fail(i, ErrorCode::kInvalidRequest, std::move(c.what), 0);
+            return;
+        }
+        std::uint32_t attempts = 0;
+        while (c.transient && attempts < fault_.max_retries) {
+            if (Clock::now() >= expiry_[i]) {
+                fail(i, ErrorCode::kDeadlineExceeded,
+                     "deadline exceeded during retry; last error: " + c.what,
+                     attempts);
+                result_.primary_failed[i] = 1;
+                return;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(fault_.retry_backoff_us << attempts));
+            ++attempts;
+            ++result_.retried;
+            requests_[i].attempt = attempts;
+            const std::exception_ptr retry_failure = try_run(runner_, i, i + 1);
+            if (!retry_failure) {
+                result_.responses[i].retries = attempts;
+                return;
+            }
+            restore(i, i + 1);
+            c = classify(retry_failure);
+            if (c.invalid) {
+                fail(i, ErrorCode::kInvalidRequest, std::move(c.what), attempts);
+                return;
+            }
+        }
+        result_.primary_failed[i] = 1;
+        if (fallback_ != nullptr) {
+            requests_[i].attempt = 0;
+            const std::exception_ptr fb_failure = try_run(*fallback_, i, i + 1);
+            if (!fb_failure) {
+                result_.responses[i].retries = attempts;
+                result_.responses[i].failed_over = true;
+                ++result_.failovers;
+                return;
+            }
+            restore(i, i + 1);
+            c.what += "; fallback: " + classify(fb_failure).what;
+        }
+        fail(i, ErrorCode::kBackendError, std::move(c.what), attempts);
+    }
+
+    BatchRunner& runner_;
+    BatchRunner* fallback_;
+    const std::string& lane_;
+    const FaultOptions& fault_;
+    std::vector<Request>& requests_;
+    const std::vector<Clock::time_point>& expiry_;
+    std::vector<std::unique_ptr<snn::SessionState>> snapshots_;
+    WaveExecResult result_;
+};
+
 }  // namespace
+
+const char* to_string(BreakerState state) noexcept {
+    switch (state) {
+        case BreakerState::kClosed: return "closed";
+        case BreakerState::kOpen: return "open";
+        case BreakerState::kHalfOpen: return "half-open";
+    }
+    return "?";
+}
 
 void TenantStats::merge(const TenantStats& other) {
     submitted += other.submitted;
@@ -103,6 +311,12 @@ struct Server::ModelLane {
     std::string name;
     std::shared_ptr<Backend> backend;
     std::unique_ptr<BatchRunner> runner;
+    /// Registered fallback (set_fallback): an open breaker routes whole
+    /// waves here; a permanently-failing request retries here
+    /// individually. Swapped only while in_flight == 0 (same quiesce
+    /// protocol as reload), so the dispatcher's unlocked use is stable.
+    std::shared_ptr<Backend> fallback;
+    std::unique_ptr<BatchRunner> fallback_runner;
 
     mutable std::mutex mutex;
     std::condition_variable work_cv;   ///< wakes the dispatcher
@@ -116,6 +330,14 @@ struct Server::ModelLane {
     bool paused = false;        ///< reload quiesce: no new waves
     std::uint64_t next_stream = 0;  ///< admission sequence number
 
+    // Circuit breaker (state machine in docs/ARCHITECTURE.md §8).
+    BreakerState breaker = BreakerState::kClosed;
+    Clock::time_point breaker_opened{};
+    std::uint32_t probe_successes = 0;       ///< consecutive half-open probe wins
+    std::size_t consecutive_failures = 0;    ///< consecutive primary request failures
+    std::deque<bool> outcome_window;         ///< recent primary outcomes (true = failed)
+    std::size_t window_failures = 0;         ///< failures inside outcome_window
+
     // Stats slice (merged by Server::stats()).
     std::size_t submitted = 0;
     std::size_t rejected = 0;
@@ -127,6 +349,12 @@ struct Server::ModelLane {
     std::size_t sessions_opened = 0;
     std::size_t sessions_closed = 0;
     std::size_t sessions_expired = 0;
+    std::size_t retried = 0;
+    std::size_t failed_over = 0;
+    std::size_t deadline_expired = 0;
+    std::size_t breaker_trips = 0;
+    std::size_t probes = 0;
+    std::size_t isolated_waves = 0;
     util::StreamingHistogram latency_us;
     std::map<std::string, TenantStats> tenants;
 
@@ -202,7 +430,13 @@ struct Server::ModelLane {
     /// into an empty wave is never blocked, so formation always makes
     /// progress; a stall counter stops the rotation scan once every
     /// remaining tenant head is blocked.
-    [[nodiscard]] std::vector<Queued> form_wave(const ServerOptions& options) {
+    /// Deadline sweep (fault model): an expired request visited during
+    /// formation is siphoned into `expired` instead of the wave — it
+    /// never occupies a wave slot and never reaches a backend. Only
+    /// stateless requests carry an expiry (see Queued::expiry).
+    [[nodiscard]] std::vector<Queued> form_wave(const ServerOptions& options,
+                                                Clock::time_point now,
+                                                std::vector<Queued>& expired) {
         std::vector<Queued> wave;
         wave.reserve(std::min(options.max_batch, queued));
         std::set<std::string> wave_sessions;
@@ -219,6 +453,13 @@ struct Server::ModelLane {
                 bool blocked = false;
                 while (took < quantum && !fifo.empty() &&
                        wave.size() < options.max_batch) {
+                    if (fifo.front().expiry <= now) {
+                        expired.push_back(std::move(fifo.front()));
+                        fifo.pop_front();
+                        --lane.size;
+                        --queued;
+                        continue;
+                    }
                     const Request& head = fifo.front().request;
                     if (!head.session.empty() &&
                         !wave_sessions.insert(head.session).second) {
@@ -298,6 +539,11 @@ struct Server::ModelLane {
         out.sessions_closed += sessions_closed;
         out.sessions_expired += sessions_expired;
         out.active_sessions += sessions.size();
+        out.retried += retried;
+        out.failed_over += failed_over;
+        out.deadline_expired += deadline_expired;
+        out.breaker_trips += breaker_trips;
+        out.isolated_waves += isolated_waves;
         out.latency_us.merge(latency_us);
         for (const auto& [tenant, slice] : tenants) out.tenants[tenant].merge(slice);
     }
@@ -381,6 +627,56 @@ void Server::reload_model(const std::string& name, std::shared_ptr<Backend> back
     lane->work_cv.notify_all();
 }
 
+void Server::set_fallback(const std::string& name, std::shared_ptr<Backend> backend) {
+    std::shared_ptr<ModelLane> lane;
+    {
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
+        const auto it = lanes_.find(name);
+        if (it == lanes_.end()) {
+            throw std::invalid_argument("Server::set_fallback: unknown model '" +
+                                        name + "'");
+        }
+        lane = it->second;
+    }
+    std::unique_ptr<BatchRunner> runner;
+    if (backend) {
+        runner = std::make_unique<BatchRunner>(
+            backend,
+            BatchOptions{.threads = options_.threads, .seed = options_.seed});
+    }
+    // Same quiesce protocol as reload: the dispatcher uses the fallback
+    // runner unlocked while a wave is in flight, so swap only at
+    // in_flight == 0.
+    {
+        std::unique_lock<std::mutex> lock(lane->mutex);
+        lane->paused = true;
+        lane->idle_cv.wait(lock, [&] { return lane->in_flight == 0; });
+        lane->fallback = std::move(backend);
+        lane->fallback_runner = std::move(runner);
+        lane->paused = false;
+    }
+    lane->work_cv.notify_all();
+}
+
+LaneStats Server::lane_stats(const std::string& model) const {
+    const std::shared_ptr<ModelLane> lane = route(model);
+    if (!lane) {
+        throw std::invalid_argument("Server::lane_stats: unknown model '" + model +
+                                    "'");
+    }
+    const std::lock_guard<std::mutex> lock(lane->mutex);
+    LaneStats out;
+    out.breaker = lane->breaker;
+    out.has_fallback = lane->fallback_runner != nullptr;
+    out.breaker_trips = lane->breaker_trips;
+    out.probes = lane->probes;
+    out.failovers = lane->failed_over;
+    out.retries = lane->retried;
+    out.isolated_waves = lane->isolated_waves;
+    out.deadline_expired = lane->deadline_expired;
+    return out;
+}
+
 void Server::unregister_model(const std::string& name) {
     std::shared_ptr<ModelLane> lane;
     {
@@ -425,6 +721,13 @@ std::shared_ptr<Server::ModelLane> Server::route(const std::string& model) const
 }
 
 std::optional<std::future<Response>> Server::try_submit(Request request) {
+    ErrorCode why = ErrorCode::kOk;
+    return try_submit(std::move(request), why);
+}
+
+std::optional<std::future<Response>> Server::try_submit(Request request,
+                                                        ErrorCode& why) {
+    why = ErrorCode::kOk;
     // Borrowed views (view_train / view_thermometer / view_poisson)
     // reference caller memory that can die the moment submit returns;
     // dispatch is asynchronous, so self-contain the request before it
@@ -434,21 +737,49 @@ std::optional<std::future<Response>> Server::try_submit(Request request) {
     if (!lane) {
         const std::lock_guard<std::mutex> lock(registry_mutex_);
         ++unroutable_;
+        why = stopping_ ? ErrorCode::kShuttingDown : ErrorCode::kUnknownModel;
         return std::nullopt;
     }
+
+    // Session windows never carry a deadline: skipping one would desync
+    // the stream's carried state (same reason they are never shed).
+    const auto now = Clock::now();
+    const auto expiry = (request.deadline_us > 0 && request.session.empty())
+                            ? now + std::chrono::microseconds(request.deadline_us)
+                            : Clock::time_point::max();
 
     std::optional<Queued> victim;
     std::future<Response> future;
     {
         std::unique_lock<std::mutex> lock(lane->mutex);
         if (options_.backpressure == BackpressurePolicy::kBlock) {
-            lane->space_cv.wait(lock, [&] {
+            const auto space = [&] {
                 return lane->stopping || lane->queued < options_.max_queue;
-            });
+            };
+            if (expiry == Clock::time_point::max()) {
+                lane->space_cv.wait(lock, space);
+            } else if (!lane->space_cv.wait_until(lock, expiry, space)) {
+                // Deadline elapsed while blocked on a full queue:
+                // resolve deterministically instead of waiting forever.
+                ++lane->rejected;
+                ++lane->deadline_expired;
+                ++lane->tenant_slot(request.tenant, options_.slo_us).rejected;
+                std::promise<Response> promise;
+                Response response;
+                response.error_code = ErrorCode::kDeadlineExceeded;
+                response.error =
+                    "Server: deadline exceeded while waiting for queue space";
+                promise.set_value(std::move(response));
+                return promise.get_future();
+            }
         }
         if (lane->stopping) {
+            // Admission raced shutdown (or an unregister drain): a
+            // deterministic kShuttingDown rejection, never a
+            // blocked-forever future.
             ++lane->rejected;
             ++lane->tenant_slot(request.tenant, options_.slo_us).rejected;
+            why = ErrorCode::kShuttingDown;
             return std::nullopt;
         }
         lane->expire_idle(options_, Clock::now());
@@ -468,6 +799,7 @@ std::optional<std::future<Response>> Server::try_submit(Request request) {
             if (!victim) {
                 ++lane->rejected;
                 ++lane->tenant_slot(request.tenant, options_.slo_us).rejected;
+                why = ErrorCode::kQueueFull;
                 return std::nullopt;
             }
             ++lane->shed;
@@ -500,7 +832,8 @@ std::optional<std::future<Response>> Server::try_submit(Request request) {
             if (request.close_session) entry.close_after_pending = true;
             entry.last_activity = Clock::now();
         }
-        Queued pending{std::move(request), std::promise<Response>{}, Clock::now()};
+        Queued pending{std::move(request), std::promise<Response>{}, Clock::now(),
+                       expiry};
         future = pending.promise.get_future();
         lane->enqueue(std::move(pending));
     }
@@ -515,11 +848,13 @@ std::optional<std::future<Response>> Server::try_submit(Request request) {
 }
 
 std::future<Response> Server::submit(Request request) {
-    auto future = try_submit(std::move(request));
+    ErrorCode why = ErrorCode::kOk;
+    auto future = try_submit(std::move(request), why);
     if (!future) {
-        throw std::runtime_error(
-            stopping() ? "Server::submit: shutting down"
-                       : "Server::submit: refused (queue full or unknown model)");
+        // Deterministic, code-tagged refusal: callers racing shutdown
+        // can distinguish kShuttingDown from kQueueFull/kUnknownModel.
+        throw std::runtime_error(std::string("Server::submit: rejected (") +
+                                 to_string(why) + ")");
     }
     return std::move(*future);
 }
@@ -636,6 +971,15 @@ Backend& Server::backend() {
 }
 
 void Server::lane_loop(ModelLane& lane) {
+    /// How a wave is routed by the lane's breaker state.
+    enum class Route : std::uint8_t {
+        kPrimary,   ///< closed: primary backend, failures feed the breaker
+        kProbe,     ///< half-open: primary as a probe
+        kFallback,  ///< open with a fallback: whole wave on the fallback
+        kFailFast,  ///< open, no fallback: resolve kCircuitOpen, run nothing
+    };
+    const FaultOptions& fault = options_.fault;
+
     std::unique_lock<std::mutex> lock(lane.mutex);
     for (;;) {
         lane.work_cv.wait(lock, [&] {
@@ -647,35 +991,130 @@ void Server::lane_loop(ModelLane& lane) {
         // while the previous wave executed — the in-flight wave is the
         // batching window. A lone request on an idle lane dispatches
         // immediately; under load, wave size adapts to the backlog.
-        std::vector<Queued> wave = lane.form_wave(options_);
+        const auto formed_at = Clock::now();
+        std::vector<Queued> expired;
+        std::vector<Queued> wave = lane.form_wave(options_, formed_at, expired);
+        for (const Queued& q : expired) {
+            ++lane.failed;
+            ++lane.deadline_expired;
+            ++lane.tenant_slot(q.request.tenant, options_.slo_us).failed;
+        }
+        const auto resolve_expired = [&expired] {
+            for (Queued& q : expired) {
+                Response response;
+                response.error_code = ErrorCode::kDeadlineExceeded;
+                response.error = "Server: deadline exceeded before dispatch";
+                q.promise.set_value(std::move(response));
+            }
+            expired.clear();
+        };
+        if (wave.empty()) {  // everything visited had expired
+            lock.unlock();
+            lane.space_cv.notify_all();
+            resolve_expired();
+            lock.lock();
+            continue;
+        }
         ++lane.batches;
         lane.in_flight = wave.size();
-        // Stable across the unlocked region: reload_model only swaps
-        // the runner/backend after waiting for in_flight == 0.
+
+        // Breaker routing, decided under the lock. The cooldown
+        // transition (open -> half-open) also happens here: the next
+        // wave after the cooldown probes the primary.
+        if (lane.breaker == BreakerState::kOpen &&
+            formed_at - lane.breaker_opened >=
+                std::chrono::milliseconds(fault.breaker_cooldown_ms)) {
+            lane.breaker = BreakerState::kHalfOpen;
+            lane.probe_successes = 0;
+            util::log_info("Server: lane '", lane.name,
+                           "': breaker half-open, probing primary");
+        }
+        Route route = Route::kPrimary;
+        if (lane.breaker == BreakerState::kOpen) {
+            route = lane.fallback_runner ? Route::kFallback : Route::kFailFast;
+        } else if (lane.breaker == BreakerState::kHalfOpen) {
+            route = Route::kProbe;
+            ++lane.probes;
+        }
+        // Stable across the unlocked region: reload_model/set_fallback
+        // only swap runners after waiting for in_flight == 0.
         BatchRunner& runner = *lane.runner;
+        BatchRunner* fallback = lane.fallback_runner.get();
         lock.unlock();
         lane.space_cv.notify_all();
+        resolve_expired();
 
         std::vector<Request> requests;
         requests.reserve(wave.size());
         for (auto& q : wave) requests.push_back(std::move(q.request));
+        std::vector<Clock::time_point> expiries;
+        expiries.reserve(wave.size());
+        for (const auto& q : wave) expiries.push_back(q.expiry);
 
-        std::vector<Response> responses;
-        std::exception_ptr failure;
-        try {
-            responses = runner.run(requests);
-        } catch (...) {
-            failure = std::current_exception();
+        WaveExecResult res;
+        switch (route) {
+            case Route::kPrimary:
+            case Route::kProbe:
+                res = WaveExecutor(runner, fallback, lane.name, fault, requests,
+                                   expiries)
+                          .run();
+                break;
+            case Route::kFallback: {
+                // Open breaker: the whole wave degrades to the fallback
+                // backend (same logits contract); nothing feeds the
+                // primary's breaker stats while it cools down.
+                res = WaveExecutor(*fallback, nullptr, lane.name, fault, requests,
+                                   expiries)
+                          .run();
+                res.primary_failed.assign(requests.size(), 0);
+                for (Response& r : res.responses) {
+                    if (r.ok()) {
+                        r.failed_over = true;
+                        ++res.failovers;
+                    }
+                }
+                break;
+            }
+            case Route::kFailFast: {
+                res.responses.resize(requests.size());
+                res.primary_failed.assign(requests.size(), 0);
+                for (std::size_t i = 0; i < requests.size(); ++i) {
+                    Response& r = res.responses[i];
+                    r.session = requests[i].session;
+                    r.window_seq = requests[i].window_seq;
+                    r.error_code = ErrorCode::kCircuitOpen;
+                    r.error = "Server: lane '" + lane.name +
+                              "' circuit breaker open, no fallback registered";
+                }
+                break;
+            }
         }
         const auto now = Clock::now();
 
         lock.lock();
         lane.in_flight = 0;
         for (std::size_t i = 0; i < wave.size(); ++i) {
+            Response& r = res.responses[i];
+            if (r.ok() && now >= wave[i].expiry) {
+                // Completed, but past its deadline: the caller has
+                // given up, so resolve with the deadline error instead
+                // of delivering a late result.
+                Response late;
+                late.session = std::move(r.session);
+                late.window_seq = r.window_seq;
+                late.retries = r.retries;
+                late.failed_over = r.failed_over;
+                late.error_code = ErrorCode::kDeadlineExceeded;
+                late.error = "Server: deadline exceeded before completion";
+                r = std::move(late);
+            }
             TenantStats& slice = lane.tenant_slot(requests[i].tenant, options_.slo_us);
-            if (failure) {
+            if (!r.ok()) {
                 ++lane.failed;
                 ++slice.failed;
+                if (r.error_code == ErrorCode::kDeadlineExceeded) {
+                    ++lane.deadline_expired;
+                }
             } else {
                 ++lane.completed;
                 ++slice.completed;
@@ -687,6 +1126,63 @@ void Server::lane_loop(ModelLane& lane) {
                 slice.slo.add(us);
             }
         }
+        lane.retried += res.retried;
+        lane.failed_over += res.failovers;
+        if (res.bisected) ++lane.isolated_waves;
+
+        // Breaker bookkeeping from the wave's primary outcomes.
+        if (route == Route::kPrimary) {
+            for (std::size_t i = 0; i < wave.size(); ++i) {
+                const bool failed = res.primary_failed[i] != 0;
+                lane.outcome_window.push_back(failed);
+                if (failed) ++lane.window_failures;
+                if (lane.outcome_window.size() > fault.breaker_window) {
+                    if (lane.outcome_window.front()) --lane.window_failures;
+                    lane.outcome_window.pop_front();
+                }
+                lane.consecutive_failures =
+                    failed ? lane.consecutive_failures + 1 : 0;
+            }
+            const bool consecutive_trip =
+                fault.breaker_failures > 0 &&
+                lane.consecutive_failures >= fault.breaker_failures;
+            const bool rate_trip =
+                fault.breaker_window > 0 &&
+                lane.outcome_window.size() >= fault.breaker_window &&
+                static_cast<double>(lane.window_failures) >=
+                    fault.breaker_failure_rate *
+                        static_cast<double>(lane.outcome_window.size());
+            if (consecutive_trip || rate_trip) {
+                lane.breaker = BreakerState::kOpen;
+                lane.breaker_opened = now;
+                ++lane.breaker_trips;
+                lane.consecutive_failures = 0;
+                lane.outcome_window.clear();
+                lane.window_failures = 0;
+                util::log_warn("Server: lane '", lane.name,
+                               "': circuit breaker tripped (",
+                               lane.fallback_runner
+                                   ? "failing over to fallback"
+                                   : "no fallback registered, failing fast",
+                               ")");
+            }
+        } else if (route == Route::kProbe) {
+            const bool any_failed =
+                std::any_of(res.primary_failed.begin(), res.primary_failed.end(),
+                            [](std::uint8_t f) { return f != 0; });
+            if (any_failed) {
+                lane.breaker = BreakerState::kOpen;  // probe failed: re-open
+                lane.breaker_opened = now;
+            } else if (++lane.probe_successes >= fault.breaker_probes) {
+                lane.breaker = BreakerState::kClosed;
+                lane.consecutive_failures = 0;
+                lane.outcome_window.clear();
+                lane.window_failures = 0;
+                util::log_info("Server: lane '", lane.name,
+                               "': circuit breaker closed (primary recovered)");
+            }
+        }
+
         // Session bookkeeping for the retired wave: a resolved window
         // (completed OR failed — either way it will never run again)
         // stops pending on its session; deferred closes fire once the
@@ -707,13 +1203,10 @@ void Server::lane_loop(ModelLane& lane) {
         lane.idle_cv.notify_all();
 
         // Resolve futures outside the lock: promise continuations must
-        // not observe a held lane mutex.
+        // not observe a held lane mutex. Failures resolve with a value
+        // carrying a structured error — never a dropped exception.
         for (std::size_t i = 0; i < wave.size(); ++i) {
-            if (failure) {
-                wave[i].promise.set_exception(failure);
-            } else {
-                wave[i].promise.set_value(std::move(responses[i]));
-            }
+            wave[i].promise.set_value(std::move(res.responses[i]));
         }
         lock.lock();
     }

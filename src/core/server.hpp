@@ -97,6 +97,41 @@ enum class BackpressurePolicy : std::uint8_t {
     kReject,  ///< fail fast (bounds latency, sheds load — low lane first)
 };
 
+/// Circuit-breaker state of a model lane (docs/ARCHITECTURE.md §8).
+enum class BreakerState : std::uint8_t {
+    kClosed,    ///< healthy: waves run on the primary backend
+    kOpen,      ///< tripped: waves fail over to the fallback (or fail fast)
+    kHalfOpen,  ///< cooling down: waves probe the primary
+};
+
+[[nodiscard]] const char* to_string(BreakerState state) noexcept;
+
+/// Fault-tolerance knobs of the serving layer (retry policy + per-lane
+/// circuit breaker). Defaults are production-ish; chaos tests tighten
+/// them to make trips observable.
+struct FaultOptions {
+    /// Same-backend re-runs of a transiently-failing request before it
+    /// is treated as a permanent failure (0 = never retry).
+    std::uint32_t max_retries = 2;
+    /// Backoff before the first retry, in microseconds; doubles per
+    /// retry. Retries restore the request's pre-wave session state and
+    /// re-use its admission-pinned rng_stream, so a retried request is
+    /// bit-identical to its first attempt.
+    std::int64_t retry_backoff_us = 200;
+    /// Consecutive request failures on the primary backend that trip
+    /// the lane's breaker.
+    std::uint32_t breaker_failures = 5;
+    /// Sliding window (in requests) for the failure-rate trip.
+    std::size_t breaker_window = 64;
+    /// Trip when the window is full and its failure fraction reaches
+    /// this (> 1 disables the rate trip).
+    double breaker_failure_rate = 0.5;
+    /// Open -> half-open cooldown in milliseconds.
+    std::int64_t breaker_cooldown_ms = 50;
+    /// Consecutive successful probe waves that close a half-open breaker.
+    std::uint32_t breaker_probes = 2;
+};
+
 struct ServerOptions {
     /// Worker threads of each model lane's BatchRunner; 0 = hardware
     /// concurrency.
@@ -121,6 +156,8 @@ struct ServerOptions {
     /// retired (carried state freed) at the next admission or wave
     /// boundary. 0 = sessions never expire (close them explicitly).
     std::int64_t session_idle_ms = 60'000;
+    /// Retry + circuit-breaker policy (see FaultOptions).
+    FaultOptions fault;
 };
 
 /// Per-tenant slice of the server's counters.
@@ -153,6 +190,12 @@ struct ServerStats {
     std::size_t sessions_closed = 0;   ///< retired by explicit close
     std::size_t sessions_expired = 0;  ///< retired by idle timeout
     std::size_t active_sessions = 0;   ///< open sessions at snapshot time
+    // --- fault-model counters (docs/ARCHITECTURE.md §8) ---
+    std::size_t retried = 0;          ///< same-backend re-runs performed
+    std::size_t failed_over = 0;      ///< requests served by a fallback backend
+    std::size_t deadline_expired = 0; ///< futures resolved kDeadlineExceeded
+    std::size_t breaker_trips = 0;    ///< closed -> open transitions
+    std::size_t isolated_waves = 0;   ///< thrown waves quarantined by bisection
     /// Per-request latency, admission to completion, in microseconds.
     util::StreamingHistogram latency_us;
     /// Per-tenant breakdown (latency histogram + SLO burn per tenant).
@@ -164,6 +207,18 @@ struct ServerStats {
                          static_cast<double>(batches)
                    : 0.0;
     }
+};
+
+/// Health snapshot of one model lane's fault machinery.
+struct LaneStats {
+    BreakerState breaker = BreakerState::kClosed;
+    bool has_fallback = false;
+    std::size_t breaker_trips = 0;    ///< closed -> open transitions
+    std::size_t probes = 0;           ///< half-open probe waves dispatched
+    std::size_t failovers = 0;        ///< requests served by the fallback
+    std::size_t retries = 0;          ///< same-backend re-runs performed
+    std::size_t isolated_waves = 0;   ///< thrown waves quarantined by bisection
+    std::size_t deadline_expired = 0; ///< futures resolved kDeadlineExceeded
 };
 
 class Server {
@@ -190,6 +245,14 @@ public:
     /// run on the new backend; other models are unaffected. Throws on
     /// unknown model.
     void reload_model(const std::string& name, std::shared_ptr<Backend> backend);
+    /// Register a fallback backend for `name`'s lane (graceful
+    /// degradation: same logits contract, different cost). An open
+    /// circuit breaker routes whole waves to it; a request whose
+    /// primary run fails permanently (retries exhausted) is retried on
+    /// it individually. Responses it serves are marked
+    /// Response::failed_over. Pass nullptr to clear. Throws on unknown
+    /// model.
+    void set_fallback(const std::string& name, std::shared_ptr<Backend> backend);
     /// Stop admissions for `name`, drain its queued requests through
     /// its backend, join its dispatcher, and remove it. Other models'
     /// queues are untouched. Throws on unknown model.
@@ -198,10 +261,11 @@ public:
 
     /// Submit one request, routed by request.model (empty = sole
     /// registered model / kDefaultModel). Returns a future that
-    /// resolves when the request's wave completes, fails, or the
-    /// request is shed. Throws std::runtime_error when refused — queue
-    /// full under kReject with nothing lower-priority to shed, unknown
-    /// model, or the server/model is shutting down.
+    /// resolves when the request's wave completes, fails (the Response
+    /// then carries a structured ErrorCode + message), or the request
+    /// is shed. Throws std::runtime_error when refused — the message is
+    /// deterministic and tagged with the ErrorCode name (kQueueFull,
+    /// kUnknownModel, or kShuttingDown).
     [[nodiscard]] std::future<Response> submit(Request request);
 
     /// Non-throwing form: nullopt when refused.
@@ -229,6 +293,9 @@ public:
     [[nodiscard]] std::size_t queue_depth(const std::string& model) const;
     /// Aggregated across lanes; exact histogram/counter merges.
     [[nodiscard]] ServerStats stats() const;
+    /// Fault-machinery snapshot of one model's lane (empty = sole /
+    /// default model). Throws std::invalid_argument on unknown model.
+    [[nodiscard]] LaneStats lane_stats(const std::string& model = {}) const;
     [[nodiscard]] const ServerOptions& options() const noexcept { return options_; }
     /// Single-model convenience: the sole lane's backend. Throws
     /// std::logic_error unless exactly one model is registered.
@@ -238,6 +305,10 @@ private:
     struct ModelLane;  // full definition in server.cpp
 
     [[nodiscard]] std::shared_ptr<ModelLane> route(const std::string& model) const;
+    /// try_submit with the refusal reason surfaced (kOk = admitted);
+    /// submit() uses it to throw a deterministic, code-tagged message.
+    [[nodiscard]] std::optional<std::future<Response>> try_submit(Request request,
+                                                                  ErrorCode& why);
     void lane_loop(ModelLane& lane);
     static void stop_lane(ModelLane& lane);
 

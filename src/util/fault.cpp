@@ -1,0 +1,78 @@
+#include "util/fault.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sia::util {
+
+namespace {
+
+/// Salt decorrelating fault decisions from encoding draws when a plan
+/// reuses the serving seed.
+constexpr std::uint64_t kFaultSalt = 0xFA17'B15EC7ULL;
+
+/// Map a mixed 64-bit word onto [0, 1).
+double to_unit(std::uint64_t word) noexcept {
+    return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+    switch (kind) {
+        case FaultKind::kNone: return "none";
+        case FaultKind::kThrow: return "throw";
+        case FaultKind::kTransient: return "transient";
+        case FaultKind::kStall: return "stall";
+        case FaultKind::kCorrupt: return "corrupt";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+    const double total = plan_.throw_probability + plan_.transient_probability +
+                         plan_.corrupt_probability;
+    if (plan_.throw_probability < 0.0 || plan_.transient_probability < 0.0 ||
+        plan_.corrupt_probability < 0.0 || total > 1.0) {
+        throw std::invalid_argument(
+            "FaultPlan: probabilities must be >= 0 and sum to <= 1");
+    }
+    if (plan_.transient_attempts == 0) {
+        throw std::invalid_argument("FaultPlan: transient_attempts must be >= 1");
+    }
+}
+
+FaultKind FaultInjector::decide(std::uint64_t stream) const noexcept {
+    for (const std::uint64_t s : plan_.fail_streams) {
+        if (s == stream) return FaultKind::kThrow;
+    }
+    const double x = to_unit(mix_seed(plan_.seed ^ kFaultSalt, stream));
+    double p = plan_.throw_probability;
+    if (x < p) return FaultKind::kThrow;
+    p += plan_.transient_probability;
+    if (x < p) return FaultKind::kTransient;
+    p += plan_.corrupt_probability;
+    if (x < p) return FaultKind::kCorrupt;
+    if (plan_.stall_every > 0 && stream % plan_.stall_every == 0) {
+        return FaultKind::kStall;
+    }
+    return FaultKind::kNone;
+}
+
+FaultKind FaultInjector::inject(std::uint64_t stream, std::uint32_t attempt) noexcept {
+    if (plan_.fail_first > 0 &&
+        calls_.fetch_add(1, std::memory_order_relaxed) < plan_.fail_first) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        return FaultKind::kThrow;
+    }
+    FaultKind kind = decide(stream);
+    if (kind == FaultKind::kTransient && attempt >= plan_.transient_attempts) {
+        kind = FaultKind::kNone;  // the fault cleared under retry
+    }
+    if (kind != FaultKind::kNone) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return kind;
+}
+
+}  // namespace sia::util

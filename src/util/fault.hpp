@@ -1,0 +1,92 @@
+// Deterministic fault injection for the serving stack's chaos tests.
+//
+// A FaultInjector turns a seeded FaultPlan into per-request fault
+// decisions. Probability-driven decisions are a pure function of
+// (plan.seed, rng_stream) through the same SplitMix64 finalizer the
+// encoding streams use — which request is poisoned depends only on its
+// admission-pinned stream, never on thread scheduling, wave formation,
+// or how many times a wave is re-run during bisection. That is what
+// lets a chaos test predict the exact faulted set up front and assert
+// an exact completed/failed/retried ledger against it.
+//
+// Two stateful modes sit on top of the pure decisions:
+//   * fail_first  — the first N inject() calls fail regardless of
+//     stream (shared atomic countdown), then the backend is healthy
+//     again: the shape that trips a circuit breaker and then lets its
+//     half-open probes succeed.
+//   * transient recovery — a kTransient decision succeeds once the
+//     request's retry attempt reaches transient_attempts, modelling a
+//     fault that clears under retry-with-backoff.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sia::util {
+
+/// What the injector does to one request.
+enum class FaultKind : std::uint8_t {
+    kNone = 0,
+    kThrow,      ///< permanent failure: throw std::runtime_error
+    kTransient,  ///< transient failure: throw core::TransientError; clears at attempt >= transient_attempts
+    kStall,      ///< run normally after sleeping stall_us (slow-wave fault)
+    kCorrupt,    ///< run normally, then deterministically corrupt the logits
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+/// Seeded description of a fault storm. Probabilities partition the
+/// unit interval in declaration order (throw, then transient, then
+/// corrupt); their sum must be <= 1.
+struct FaultPlan {
+    /// Seed of the fault decision stream. Salted internally so a plan
+    /// sharing the serving seed stays decorrelated from the encodings.
+    std::uint64_t seed = kDefaultSeed;
+    double throw_probability = 0.0;
+    double transient_probability = 0.0;
+    /// Attempts (including the first run) a kTransient fault survives
+    /// before clearing; a retry with attempt >= this succeeds.
+    std::uint32_t transient_attempts = 1;
+    double corrupt_probability = 0.0;
+    /// Every stall_every-th stream stalls (0 = never).
+    std::uint64_t stall_every = 0;
+    std::int64_t stall_us = 0;
+    /// Fail-N-then-recover: the first fail_first inject() calls throw
+    /// permanently, independent of stream. Note that wave bisection and
+    /// retries each consume one call.
+    std::uint64_t fail_first = 0;
+    /// Explicit schedule: these streams always throw permanently.
+    std::vector<std::uint64_t> fail_streams;
+};
+
+/// Thread-safe: decide() is pure; inject() only touches atomics.
+class FaultInjector {
+public:
+    explicit FaultInjector(FaultPlan plan);
+
+    /// The pure per-stream decision — what inject() would do for this
+    /// stream on its first attempt, ignoring fail_first. Tests use this
+    /// to predict the faulted set of a storm.
+    [[nodiscard]] FaultKind decide(std::uint64_t stream) const noexcept;
+
+    /// The stateful decision for one run of one request: consumes the
+    /// fail_first countdown, then applies decide() with transient
+    /// recovery at `attempt`.
+    [[nodiscard]] FaultKind inject(std::uint64_t stream, std::uint32_t attempt) noexcept;
+
+    /// Faults injected so far (every non-kNone inject() result).
+    [[nodiscard]] std::uint64_t injected() const noexcept {
+        return injected_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+private:
+    FaultPlan plan_;
+    std::atomic<std::uint64_t> calls_{0};     ///< fail_first countdown
+    std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace sia::util

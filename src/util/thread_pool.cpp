@@ -95,7 +95,16 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 
         {
             const std::lock_guard<std::mutex> lock(mutex_);
-            if (error && !batch->first_error) batch->first_error = error;
+            if (error) {
+                if (!batch->first_error) batch->first_error = std::move(error);
+                // Drop this worker's reference while still holding the
+                // mutex: the caller may rethrow, inspect, and release
+                // the exception the moment in_flight hits zero, and a
+                // last-reference release from this thread after the
+                // unlock would free the object concurrently with that
+                // inspection.
+                error = nullptr;
+            }
             if (--batch->in_flight == 0) done_.notify_all();
         }
     }

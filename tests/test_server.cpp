@@ -529,6 +529,60 @@ TEST(ServerRaces, SubmitDuringDrainIsRefused) {
     EXPECT_EQ(stats.rejected, 2U);
 }
 
+// A submitter blocked on queue space (kBlock) when shutdown starts must
+// neither hang nor be silently enqueued into the dying lane: it wakes
+// and is refused with a rejection that names kShuttingDown, so callers
+// can tell a shutdown race apart from an unknown model or a full queue.
+TEST(ServerRaces, BlockedSubmitterRacingShutdownGetsTaggedRejection) {
+    const auto model = small_model(7);
+    auto backend = std::make_shared<GatedBackend>(model);
+    core::Server server(backend, {.threads = 1,
+                                  .max_queue = 1,
+                                  .max_batch = 1,
+                                  .backpressure = core::BackpressurePolicy::kBlock});
+
+    auto in_flight = server.submit(core::Request{});
+    ASSERT_TRUE(eventually([&] { return backend->entered() >= 1; }));
+    auto queued = server.submit(core::Request{});  // fills the queue
+
+    // This submitter blocks for space that will never come: the gate is
+    // closed, so the only wake-up is shutdown itself.
+    std::string rejection;
+    std::thread blocked([&] {
+        try {
+            (void)server.submit(core::Request{});
+            rejection = "(not rejected)";
+        } catch (const std::runtime_error& error) {
+            rejection = error.what();
+        }
+    });
+    std::this_thread::sleep_for(30ms);  // let it reach the space wait
+
+    std::thread shutter([&] { server.shutdown(); });
+    ASSERT_TRUE(eventually([&] { return server.stopping(); }));
+    blocked.join();  // must wake promptly — a hang fails the test budget
+    EXPECT_NE(rejection.find("kShuttingDown"), std::string::npos) << rejection;
+
+    // A post-shutdown submit carries the same tag.
+    backend->release();
+    shutter.join();
+    try {
+        (void)server.submit(core::Request{});
+        FAIL() << "submit after shutdown must throw";
+    } catch (const std::runtime_error& error) {
+        EXPECT_NE(std::string(error.what()).find("kShuttingDown"),
+                  std::string::npos)
+            << error.what();
+    }
+
+    // The requests admitted before shutdown still completed.
+    EXPECT_TRUE(in_flight.get().ok());
+    EXPECT_TRUE(queued.get().ok());
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.completed, 2U);
+    EXPECT_EQ(stats.rejected, 2U);
+}
+
 // Reload racing shutdown and submitters: a barrier releases all three
 // at once, and the invariants must hold for every legal interleaving —
 // each submitted future resolves exactly once (value or clean refusal),

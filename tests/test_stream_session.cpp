@@ -17,7 +17,9 @@
 
 #include "core/backend.hpp"
 #include "core/compiler.hpp"
+#include "core/faulty_backend.hpp"
 #include "core/server.hpp"
+#include "util/fault.hpp"
 #include "sim/sia.hpp"
 #include "snn/engine.hpp"
 #include "snn/session.hpp"
@@ -430,6 +432,120 @@ TEST(StreamSession, SessionWindowsAreNeverShed) {
     server.shutdown();
     for (auto& f : futures) static_cast<void>(f.get());
     EXPECT_EQ(server.stats().shed, 0U);
+}
+
+// ---- fault tolerance (chaos x streaming) ----
+
+// A window that fails mid-stream must leave the stream continuing from
+// its pre-window state: the failed window's spikes are never applied
+// (the dispatcher restores the session snapshot before any re-run), the
+// caller gets a structured error, and later windows keep flowing — the
+// session is degraded, never wedged.
+TEST(StreamSession, FaultedWindowLeavesStreamContinuingFromPriorState) {
+    const auto model = small_model(47);
+    const auto train = random_train(model, 6, 60);
+    auto windows = chunk(train, 2);
+    ASSERT_EQ(windows.size(), 3U);
+
+    // Lane rng streams are pinned to admission order, so the second
+    // submitted window (stream 1) is deterministically poisoned.
+    util::FaultPlan plan;
+    plan.fail_streams = {1};
+    core::Server server(
+        std::make_shared<core::FaultyBackend>(
+            std::make_shared<core::FunctionalBackend>(model), plan),
+        {.threads = 1});
+    std::vector<std::future<core::Response>> futures;
+    for (auto& win : windows) {
+        futures.push_back(server.submit(
+            core::Request::from_train(std::move(win)).with_session("cam")));
+    }
+    auto r0 = futures[0].get();
+    auto r1 = futures[1].get();
+    auto r2 = futures[2].get();
+    ASSERT_TRUE(r0.ok()) << r0.error;
+    EXPECT_FALSE(r1.ok());
+    EXPECT_EQ(r1.error_code, core::ErrorCode::kBackendError);
+    EXPECT_EQ(r1.session, "cam");
+    EXPECT_EQ(r1.window_seq, 1U);
+    ASSERT_TRUE(r2.ok()) << r2.error;
+    EXPECT_EQ(r2.window_seq, 2U);
+    EXPECT_EQ(r2.session_steps, 4) << "the faulted window's steps never landed";
+
+    // Reference: a fault-free stream that simply skips the faulted
+    // window. Window 2 must match bit-for-bit — proof the failed run
+    // left the membranes exactly as window 0 did.
+    core::Server clean(std::make_shared<core::FunctionalBackend>(model),
+                       {.threads = 1});
+    auto ref_windows = chunk(train, 2);
+    const auto c0 = clean
+                        .submit(core::Request::from_train(std::move(ref_windows[0]))
+                                    .with_session("cam"))
+                        .get();
+    const auto c2 = clean
+                        .submit(core::Request::from_train(std::move(ref_windows[2]))
+                                    .with_session("cam"))
+                        .get();
+    EXPECT_EQ(r0.logits_per_step, c0.logits_per_step);
+    EXPECT_EQ(r2.logits_per_step, c2.logits_per_step);
+    clean.shutdown();
+
+    // The session is still live and closable; nothing leaked.
+    EXPECT_TRUE(server.close_session("cam"));
+    EXPECT_TRUE(eventually([&] { return server.session_count() == 0; }));
+    server.shutdown();
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.completed, 2U);
+    EXPECT_EQ(stats.failed, 1U);
+    EXPECT_EQ(stats.sessions_closed, 1U);
+}
+
+// Deferred close and idle expiry must survive mid-stream faults: a
+// faulted window still releases its pending slot (close fires once the
+// backlog drains) and a session whose last window failed still ages
+// out. A wedged pending count would hang both paths.
+TEST(StreamSession, FaultsDoNotWedgeDeferredCloseOrIdleExpiry) {
+    const auto model = small_model(53);
+    const auto train = random_train(model, 2, 61);
+
+    // Deferred close with a poisoned window in the backlog. Streams
+    // follow admission order: stream 1 is the second "s" window below,
+    // stream 5 the lone "u" window.
+    util::FaultPlan plan;
+    plan.fail_streams = {1, 5};
+    core::Server server(
+        std::make_shared<core::FaultyBackend>(
+            std::make_shared<core::FunctionalBackend>(model), plan),
+        {.threads = 1, .session_idle_ms = 50});
+    std::vector<std::future<core::Response>> futures;
+    for (int i = 0; i < 4; ++i) {
+        futures.push_back(
+            server.submit(core::Request::from_train(train).with_session("s")));
+    }
+    EXPECT_TRUE(server.close_session("s"));  // defers behind 4 windows
+    std::size_t failed = 0;
+    for (auto& f : futures) {
+        if (!f.get().ok()) ++failed;  // every future resolves, none dropped
+    }
+    EXPECT_EQ(failed, 1U);
+    EXPECT_TRUE(eventually([&] { return server.session_count() == 0; }));
+
+    // Idle expiry of a healthy session and of one whose only window
+    // faulted: both must age out the same way.
+    auto healthy = server.submit(core::Request::from_train(train)
+                                     .with_session("t"));  // stream 4
+    EXPECT_TRUE(healthy.get().ok());
+    auto faulted = server.submit(core::Request::from_train(train)
+                                     .with_session("u"));  // stream 5
+    EXPECT_FALSE(faulted.get().ok());
+    std::this_thread::sleep_for(120ms);
+    // Lazy sweep: the next admission retires both idle sessions.
+    EXPECT_TRUE(server.submit(core::Request::view_train(train)).get().ok());
+    EXPECT_TRUE(eventually([&] { return server.session_count() == 0; }));
+    server.shutdown();
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.sessions_closed, 1U);
+    EXPECT_EQ(stats.sessions_expired, 2U);
 }
 
 }  // namespace
