@@ -7,7 +7,10 @@
 //      Poisson-encoded raw images) from multiple client threads;
 //   3. swap the same serving loop onto the cycle-accurate SiaBackend —
 //      identical predictions, now with per-request cycle stats;
-//   4. print throughput, admission batching, and latency percentiles.
+//   4. swap it again onto a 2-shard pipelined ShardedSiaBackend —
+//      still identical predictions, now executed by a SiaCluster with
+//      cluster-level fill/drain/transfer accounting;
+//   5. print throughput, admission batching, and latency percentiles.
 //
 // Build & run:  ./build/examples/serving_loop
 #include <future>
@@ -96,10 +99,25 @@ int main() {
                   << stats.latency_us.p99() / 1e3 << " ms\n";
     };
 
-    // 3. The same serving loop over both engines — that is the point of
-    // the backend-polymorphic API.
+    // 3. The same serving loop over every engine — that is the point
+    // of the backend-polymorphic API. The last lane is a two-shard
+    // layer-pipelined Sia cluster: the server drives it like any other
+    // backend, and the cluster reports its own pipeline timeline.
     serve(std::make_shared<core::FunctionalBackend>(model));
     serve(std::make_shared<core::SiaBackend>(model));
+
+    auto sharded = std::make_shared<core::ShardedSiaBackend>(
+        model, sim::SiaConfig{},
+        core::ShardOptions{.partition = sim::ShardPartition::kPipeline,
+                           .shards = 2});
+    serve(sharded);
+    const sim::ShardStats shard_stats = sharded->take_shard_stats();
+    std::cout << "cluster: " << sim::to_string(shard_stats.partition) << " x"
+              << shard_stats.shards << ", makespan "
+              << shard_stats.makespan_cycles << " cycles, transfer stall "
+              << shard_stats.transfer_stall_cycles << ", fill "
+              << shard_stats.fill_cycles << ", drain "
+              << shard_stats.drain_cycles << "\n";
 
     return 0;
 }

@@ -304,4 +304,75 @@ sim::SiaBatchStats SiaBackend::take_sim_batch_stats() noexcept {
     return std::exchange(batch_stats_, {});
 }
 
+// ------------------------------------------------------ ShardedSiaBackend
+
+ShardedSiaBackend::ShardedSiaBackend(const snn::SnnModel& model,
+                                     sim::SiaConfig config,
+                                     ShardOptions shard_options,
+                                     sim::SiaClusterOptions cluster_options)
+    : Backend(model), config_(config), shard_options_(shard_options),
+      cluster_options_(cluster_options) {}
+
+void ShardedSiaBackend::prepare(std::size_t workers) {
+    (void)workers;  // the cluster drives its own pool
+    if (!cluster_) {
+        const util::WallTimer timer;
+        cluster_ = std::make_unique<sim::SiaCluster>(
+            config_, model(),
+            SiaCompiler(config_).compile_sharded(model(), shard_options_),
+            cluster_options_);
+        add_setup_nanos(static_cast<std::int64_t>(timer.millis() * 1e6));
+    }
+}
+
+std::size_t ShardedSiaBackend::preferred_span(
+    std::size_t n, std::size_t workers) const noexcept {
+    (void)workers;
+    // The whole batch as one span: the cluster parallelizes internally
+    // and must not be driven by two runner workers at once.
+    return n > 0 ? n : 1;
+}
+
+void ShardedSiaBackend::run_span(std::size_t worker,
+                                 std::span<const Request> requests,
+                                 std::span<Response> responses, std::size_t base,
+                                 std::uint64_t seed) {
+    (void)worker;
+    std::vector<snn::SpikeTrain> scratch(requests.size());
+    std::vector<const snn::SpikeTrain*> slice;
+    slice.reserve(requests.size());
+    std::vector<snn::SessionState*> sessions(requests.size(), nullptr);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const std::uint64_t stream = requests[i].rng_stream.value_or(base + i);
+        slice.push_back(&materialize(requests[i], seed, stream, scratch[i]));
+        if (requests[i].session_state) sessions[i] = requests[i].session_state.get();
+    }
+    auto results = cluster_->run_batch(slice, sessions);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        responses[i] = Response::from(std::move(results[i]));
+        if (sessions[i] != nullptr) responses[i].session_steps = sessions[i]->steps;
+        responses[i].session = requests[i].session;
+        responses[i].window_seq = requests[i].window_seq;
+    }
+    const sim::ShardStats& s = cluster_->last_stats();
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    shard_stats_.partition = s.partition;
+    shard_stats_.shards = s.shards;
+    shard_stats_.double_buffered = s.double_buffered;
+    shard_stats_.batch += s.batch;
+    shard_stats_.compute_cycles += s.compute_cycles;
+    shard_stats_.transfer_bytes += s.transfer_bytes;
+    shard_stats_.transfer_cycles += s.transfer_cycles;
+    shard_stats_.transfer_stall_cycles += s.transfer_stall_cycles;
+    shard_stats_.fill_cycles += s.fill_cycles;
+    shard_stats_.drain_cycles += s.drain_cycles;
+    shard_stats_.makespan_cycles += s.makespan_cycles;
+    shard_stats_.item_cycles += s.item_cycles;
+}
+
+sim::ShardStats ShardedSiaBackend::take_shard_stats() noexcept {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    return std::exchange(shard_stats_, {});
+}
+
 }  // namespace sia::core

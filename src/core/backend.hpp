@@ -33,9 +33,11 @@
 #include <string_view>
 #include <vector>
 
+#include "core/compiler.hpp"
 #include "sim/config.hpp"
 #include "sim/program.hpp"
 #include "sim/sia.hpp"
+#include "sim/sia_cluster.hpp"
 #include "snn/engine.hpp"
 #include "snn/model.hpp"
 #include "snn/session.hpp"
@@ -392,6 +394,51 @@ private:
     /// calls (hence the lock; spans on different workers race on it).
     std::mutex stats_mutex_;
     sim::SiaBatchStats batch_stats_;
+};
+
+/// Sharded cycle-accurate backend: one sim::SiaCluster — N resident Sia
+/// shards partitioned by SiaCompiler::compile_sharded — serves every
+/// span. The cluster drives its own worker pool, so the backend claims
+/// the whole batch as a single span (preferred_span = n) and runs it on
+/// one runner worker. Logits/spikes/sessions are bit-identical to
+/// SiaBackend by the sharding equivalence contract (sim/shard.hpp), so
+/// a cluster lane composes with batching, sessions, retries, and
+/// failover unchanged.
+class ShardedSiaBackend final : public Backend {
+public:
+    ShardedSiaBackend(const snn::SnnModel& model, sim::SiaConfig config,
+                      ShardOptions shard_options,
+                      sim::SiaClusterOptions cluster_options = {});
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "sia-cluster";
+    }
+    void prepare(std::size_t workers) override;
+    [[nodiscard]] std::size_t preferred_span(std::size_t n,
+                                             std::size_t workers) const noexcept override;
+    void run_span(std::size_t worker, std::span<const Request> requests,
+                  std::span<Response> responses, std::size_t base,
+                  std::uint64_t seed) override;
+
+    /// Drain the cluster accounting accumulated since the last call.
+    [[nodiscard]] sim::ShardStats take_shard_stats() noexcept;
+
+    [[nodiscard]] const sim::SiaConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const ShardOptions& shard_options() const noexcept {
+        return shard_options_;
+    }
+    /// The resident cluster (nullptr before the first prepare()).
+    [[nodiscard]] const sim::SiaCluster* cluster() const noexcept {
+        return cluster_.get();
+    }
+
+private:
+    sim::SiaConfig config_;
+    ShardOptions shard_options_;
+    sim::SiaClusterOptions cluster_options_;
+    std::unique_ptr<sim::SiaCluster> cluster_;
+    std::mutex stats_mutex_;
+    sim::ShardStats shard_stats_;
 };
 
 }  // namespace sia::core

@@ -1,12 +1,28 @@
 #include "core/compiler.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "sim/aggregation.hpp"
+#include "sim/axi.hpp"
 
 namespace sia::core {
 
 namespace {
+
 std::int64_t bits_to_bytes(std::int64_t bits) noexcept { return (bits + 7) / 8; }
+
+/// Validation errors name the offending layer: index, kind, label.
+[[noreturn]] void layer_error(std::size_t index, const snn::SnnLayer& layer,
+                              const std::string& what) {
+    const char* kind = layer.op == snn::LayerOp::kConv ? "conv" : "linear";
+    throw std::invalid_argument("SiaCompiler::compile: layer " +
+                                std::to_string(index) + " (" + kind + " '" +
+                                layer.label + "'): " + what);
+}
+
 }  // namespace
 
 sim::CompiledProgram SiaCompiler::compile(const snn::SnnModel& model) const {
@@ -47,9 +63,11 @@ sim::CompiledProgram SiaCompiler::compile(const snn::SnnModel& model) const {
                         : layer.skip.in_channels * layer.in_h * layer.in_w;
                 plan.residual_in_bytes = bits_to_bytes(skip_bits);
                 if (plan.residual_in_bytes > config_.residual_bytes) {
-                    throw std::invalid_argument(
-                        "compile: residual traffic exceeds residual memory for layer " +
-                        layer.label);
+                    layer_error(li, layer,
+                                "residual traffic exceeds residual memory (" +
+                                    std::to_string(plan.residual_in_bytes) + " > " +
+                                    std::to_string(config_.residual_bytes) +
+                                    " bytes)");
                 }
             }
         } else {
@@ -88,6 +106,218 @@ sim::CompiledProgram SiaCompiler::compile(const snn::SnnModel& model) const {
         program.layers.push_back(plan);
     }
     return program;
+}
+
+namespace {
+
+/// Static per-inference cycle estimate of one layer — the same terms
+/// sim::Sia accounts, with spike counts replaced by the nominal
+/// `density` (no runtime profile exists at compile time). Only relative
+/// magnitudes matter: the pipeline planner balances stages on these.
+std::int64_t estimate_layer_cycles(const snn::SnnLayer& layer,
+                                   const sim::LayerPlan& plan,
+                                   const sim::SiaConfig& config, double density,
+                                   std::int64_t timesteps) {
+    const std::int64_t lanes = config.pe_count();
+    std::int64_t once = config.ps_layer_overhead_cycles;
+    std::int64_t per_step = 0;
+    if (layer.op == snn::LayerOp::kConv) {
+        const snn::Branch& b = layer.main;
+        const auto spikes = static_cast<std::int64_t>(
+            static_cast<double>(b.in_channels * layer.in_h * layer.in_w) * density +
+            0.5);
+        once += sim::AxiDma::cycles_for(plan.weight_stream_bytes, config);
+        per_step += sim::AxiDma::cycles_for(
+            plan.spike_in_bytes * plan.oc_tiles * plan.spatial_tiles, config);
+        per_step += spikes * sim::SiaConfig::window_cycles(b.kernel) * plan.oc_tiles;
+        if (layer.has_skip()) {
+            per_step += sim::AxiDma::cycles_for(plan.residual_in_bytes, config);
+            if (!layer.skip_is_identity) {
+                const auto skip_spikes = static_cast<std::int64_t>(
+                    static_cast<double>(layer.skip.in_channels * layer.in_h *
+                                        layer.in_w) *
+                        density +
+                    0.5);
+                per_step += skip_spikes * sim::SiaConfig::window_cycles(1) *
+                            plan.oc_tiles;
+            }
+        }
+        per_step += sim::AggregationCore::retire_cycles(
+            layer.neurons(), config.aggregation_lanes,
+            plan.oc_tiles * config.aggregation_pipeline_depth);
+        per_step += sim::AxiDma::cycles_for(plan.spike_out_bytes, config);
+    } else {
+        const snn::Branch& b = layer.main;
+        const auto spikes = static_cast<std::int64_t>(
+            static_cast<double>(b.in_features) * density + 0.5);
+        const std::int64_t oc_tiles = (b.out_features + lanes - 1) / lanes;
+        const auto words = [](std::int64_t bytes) { return (bytes + 3) / 4; };
+        per_step += (words(plan.weight_stream_bytes) +
+                     words(bits_to_bytes(b.in_features)) + words(b.out_features * 4)) *
+                    config.mmio_cycles_per_word;
+        per_step += spikes * sim::SiaConfig::window_cycles(1) * oc_tiles;
+        per_step += sim::AggregationCore::retire_cycles(
+            b.out_features, config.aggregation_lanes,
+            oc_tiles * config.aggregation_pipeline_depth);
+    }
+    return once + per_step * timesteps;
+}
+
+/// Slice one layer's plan down to the output-channel/feature range
+/// [c0, c1): sliced tiling, transfer volumes, and membrane residency;
+/// input-side fields (spike_in, ic chunking, residual) stay full-model
+/// because every shard consumes the full gathered input.
+sim::LayerPlan slice_layer_plan(const snn::SnnLayer& layer, const sim::LayerPlan& full,
+                                const sim::SiaConfig& config, std::int64_t c0,
+                                std::int64_t c1) {
+    sim::LayerPlan p = full;
+    const std::int64_t span = c1 - c0;
+    if (span <= 0) {
+        p.oc_tiles = 0;
+        p.weight_stream_bytes = 0;
+        p.spike_out_bytes = 0;
+        p.membrane_bytes = 0;
+        p.spatial_tiles = 1;
+        return p;
+    }
+    const std::int64_t lanes = config.pe_count();
+    p.oc_tiles = (span + lanes - 1) / lanes;
+    if (layer.op == snn::LayerOp::kConv) {
+        const snn::Branch& b = layer.main;
+        p.weight_stream_bytes = span * b.in_channels * b.kernel * b.kernel;
+        p.spike_out_bytes = bits_to_bytes(span * layer.out_h * layer.out_w);
+        p.membrane_bytes = span * layer.out_h * layer.out_w * 2;
+    } else {
+        const snn::Branch& b = layer.main;
+        p.weight_stream_bytes = b.stream_weight_bytes > 0
+                                    ? (full.weight_stream_bytes * span) /
+                                          b.out_features
+                                    : b.in_features * span;
+        p.spike_out_bytes = bits_to_bytes(span);
+        p.membrane_bytes = span * 2;
+    }
+    const std::int64_t bank = config.membrane_bytes / 2;
+    p.spatial_tiles = layer.spiking && p.membrane_bytes > bank
+                          ? (p.membrane_bytes + bank - 1) / bank
+                          : 1;
+    return p;
+}
+
+}  // namespace
+
+sim::ShardPlan SiaCompiler::compile_sharded(const snn::SnnModel& model,
+                                            const ShardOptions& options) const {
+    if (options.shards < 1) {
+        throw std::invalid_argument(
+            "SiaCompiler::compile_sharded: shards must be >= 1");
+    }
+    sim::ShardPlan plan;
+    plan.partition = options.partition;
+    plan.shards = options.shards;
+    plan.program = compile(model);
+    const std::size_t L = model.layers.size();
+
+    if (options.partition == ShardPartition::kPipeline) {
+        // Cut legality: a boundary before layer l forwards exactly one
+        // spike train — layer l-1's output — so every layer at or after
+        // l must read nothing older (model input counts as index -1).
+        std::vector<std::size_t> bounds;  // candidate stage starts: {0} ∪ cuts
+        bounds.push_back(0);
+        for (std::size_t l = 1; l < L; ++l) {
+            bool ok = true;
+            for (std::size_t k = l; k < L && ok; ++k) {
+                const snn::SnnLayer& layer = model.layers[k];
+                auto src = static_cast<std::int64_t>(layer.input);
+                if (layer.has_skip()) {
+                    src = std::min(src, static_cast<std::int64_t>(layer.skip_src));
+                }
+                ok = src >= static_cast<std::int64_t>(l) - 1;
+            }
+            if (ok) bounds.push_back(l);
+        }
+        bounds.push_back(L);
+
+        std::vector<std::int64_t> prefix(L + 1, 0);
+        for (std::size_t i = 0; i < L; ++i) {
+            prefix[i + 1] =
+                prefix[i] + estimate_layer_cycles(model.layers[i],
+                                                  plan.program.layers[i], config_,
+                                                  options.est_density,
+                                                  options.est_timesteps);
+        }
+
+        // Balanced min-max DP over the legal boundaries: split the
+        // model into exactly `stages` contiguous stages minimizing the
+        // largest estimated stage cost.
+        const std::size_t B = bounds.size();
+        const auto stages = static_cast<std::size_t>(std::min<std::int64_t>(
+            options.shards, static_cast<std::int64_t>(B) - 1));
+        constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+        // best[p][j]: min over splits of bounds[0..j] into p stages of
+        // the max stage cost; from[p][j] reconstructs the split.
+        std::vector<std::vector<std::int64_t>> best(
+            stages + 1, std::vector<std::int64_t>(B, kInf));
+        std::vector<std::vector<std::size_t>> from(
+            stages + 1, std::vector<std::size_t>(B, 0));
+        best[0][0] = 0;
+        for (std::size_t p = 1; p <= stages; ++p) {
+            for (std::size_t j = p; j < B; ++j) {
+                for (std::size_t i = p - 1; i < j; ++i) {
+                    if (best[p - 1][i] == kInf) continue;
+                    const std::int64_t stage_cost =
+                        prefix[bounds[j]] - prefix[bounds[i]];
+                    const std::int64_t cand = std::max(best[p - 1][i], stage_cost);
+                    if (cand < best[p][j]) {
+                        best[p][j] = cand;
+                        from[p][j] = i;
+                    }
+                }
+            }
+        }
+        std::vector<std::size_t> ends;  // bounds indices, last to first
+        for (std::size_t p = stages, j = B - 1; p > 0; --p) {
+            ends.push_back(j);
+            j = from[p][j];
+        }
+        plan.stages.resize(stages);
+        std::size_t begin_idx = 0;
+        for (std::size_t s = 0; s < stages; ++s) {
+            const std::size_t end_idx = ends[stages - 1 - s];
+            sim::ShardStage& stage = plan.stages[s];
+            stage.first = bounds[begin_idx];
+            stage.last = bounds[end_idx];
+            stage.est_cycles = prefix[stage.last] - prefix[stage.first];
+            stage.boundary_bytes =
+                stage.last < L ? plan.program.layers[stage.last - 1].spike_out_bytes
+                               : 0;
+            begin_idx = end_idx;
+        }
+    } else {
+        // Channel-parallel: balanced contiguous output-channel/feature
+        // slices per layer; surplus shards get zero-width slices.
+        plan.slices.assign(static_cast<std::size_t>(options.shards),
+                           std::vector<sim::ShardSlice>(L));
+        for (std::size_t l = 0; l < L; ++l) {
+            const snn::SnnLayer& layer = model.layers[l];
+            const std::int64_t channels = layer.op == snn::LayerOp::kConv
+                                              ? layer.out_channels
+                                              : layer.main.out_features;
+            const std::int64_t base = channels / options.shards;
+            const std::int64_t rem = channels % options.shards;
+            std::int64_t c = 0;
+            for (std::int64_t k = 0; k < options.shards; ++k) {
+                const std::int64_t span = base + (k < rem ? 1 : 0);
+                sim::ShardSlice& slice =
+                    plan.slices[static_cast<std::size_t>(k)][l];
+                slice.c0 = c;
+                slice.c1 = c + span;
+                slice.plan = slice_layer_plan(layer, plan.program.layers[l], config_,
+                                              slice.c0, slice.c1);
+                c += span;
+            }
+        }
+    }
+    return plan;
 }
 
 }  // namespace sia::core

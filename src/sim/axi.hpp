@@ -19,9 +19,13 @@ public:
     /// reports). transfer() charges exactly this.
     [[nodiscard]] static std::int64_t cycles_for(std::int64_t bytes,
                                                  const SiaConfig& config) noexcept {
-        return static_cast<std::int64_t>(static_cast<double>(bytes) /
-                                             config.dma_bytes_per_cycle +
-                                         0.999999);
+        if (bytes <= 0) return 0;
+        const auto cycles = static_cast<std::int64_t>(
+            static_cast<double>(bytes) / config.dma_bytes_per_cycle + 0.999999);
+        // A nonzero transfer costs at least one cycle even when
+        // dma_bytes_per_cycle exceeds the byte count so far that the
+        // rounding term truncates away.
+        return cycles > 0 ? cycles : 1;
     }
 
     /// Cycles to move `bytes` PL<->DDR; accumulates volume counters.

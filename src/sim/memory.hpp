@@ -117,6 +117,26 @@ private:
     std::int64_t active_ = 0;
 };
 
+/// RAII re-partitioning of a PingPongMembrane: partitions into
+/// `contexts` slices on construction and restores single-context
+/// partitioning on destruction, so a mid-wave exception (batched or
+/// sharded execution) can never leave a stale multi-context
+/// partitioning behind for the next single-inference run().
+class PartitionGuard {
+public:
+    PartitionGuard(PingPongMembrane& membrane, std::int64_t contexts)
+        : membrane_(membrane) {
+        membrane_.partition(contexts);
+    }
+    ~PartitionGuard() { membrane_.partition(1); }
+
+    PartitionGuard(const PartitionGuard&) = delete;
+    PartitionGuard& operator=(const PartitionGuard&) = delete;
+
+private:
+    PingPongMembrane& membrane_;
+};
+
 /// The full §III-D memory unit.
 struct MemoryUnit {
     explicit MemoryUnit(const struct SiaConfig& config);

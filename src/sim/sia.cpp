@@ -213,7 +213,10 @@ std::vector<SiaRunResult> Sia::run_batch(
         if (session != nullptr) prepare_session(*session);
     }
 
-    memory_.membrane.partition(batch_stats_.banks);
+    // RAII: restores single-inference partitioning at scope exit, so a
+    // mid-wave throw can never leave a stale multi-context partitioning
+    // behind for a subsequent run().
+    const PartitionGuard partition_guard(memory_.membrane, batch_stats_.banks);
     batch_stats_.membrane_slice_bytes = memory_.membrane.bank_capacity();
     batch_stats_.membrane_resident = true;
     for (const LayerPlan& plan : program_.layers) {
@@ -253,9 +256,6 @@ std::vector<SiaRunResult> Sia::run_batch(
             saved_cycles += extra * config_.ps_layer_overhead_cycles;
         }
     }
-
-    // Restore single-inference partitioning for subsequent run() calls.
-    memory_.membrane.partition(1);
 
     for (const SiaRunResult& r : results) {
         batch_stats_.sequential_cycles += r.total_cycles();
@@ -312,12 +312,13 @@ void Sia::run_layer(std::size_t index, const snn::SpikeTrain& input,
     out_train.assign(static_cast<std::size_t>(timesteps),
                      snn::SpikeMap(layer.out_channels, layer.out_h, layer.out_w));
 
+    const LayerPlan& plan = program_.layers[index];
     if (layer.op == snn::LayerOp::kConv) {
-        run_conv_layer(index, in_train, skip_train, out_train, stats,
-                       res.logits_per_step, session);
+        run_conv_layer(index, plan, in_train, skip_train, out_train, stats,
+                       res.logits_per_step, session, 0, layer.out_channels);
     } else {
-        run_linear_layer(index, in_train, out_train, stats, res.logits_per_step,
-                         session);
+        run_linear_layer(index, plan, in_train, out_train, stats, res.logits_per_step,
+                         session, 0, layer.main.out_features);
     }
 
     res.neuron_counts.push_back(layer.neurons());
@@ -326,13 +327,54 @@ void Sia::run_layer(std::size_t index, const snn::SpikeTrain& input,
     res.spike_counts[index] = spikes;
 }
 
-void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
+void Sia::begin_inference() {
+    memory_.membrane.partition(1);
+    controller_.reset();
+    controller_.transition(CtrlState::kInit);
+}
+
+void Sia::end_inference() { controller_.transition(CtrlState::kDone); }
+
+void Sia::run_stage(std::size_t first, std::size_t last, const snn::SpikeTrain& input,
+                    std::vector<snn::SpikeTrain>& outs, SiaRunResult& res,
+                    snn::SessionState* session) {
+    begin_inference();
+    for (std::size_t li = first; li < last; ++li) {
+        run_layer(li, input, outs, res, session);
+    }
+    end_inference();
+}
+
+void Sia::run_layer_slice(std::size_t index, const LayerPlan& plan,
+                          const snn::SpikeTrain& in_train,
+                          const snn::SpikeTrain* skip_train, snn::SpikeTrain& out_train,
+                          LayerCycleStats& stats,
+                          std::vector<std::vector<std::int64_t>>& readout,
+                          snn::SessionState* session, std::int64_t c0, std::int64_t c1) {
+    const snn::SnnLayer& layer = model_.layers[index];
+    out_train.assign(in_train.size(),
+                     snn::SpikeMap(layer.out_channels, layer.out_h, layer.out_w));
+    if (c0 >= c1) return;  // zero-width slice: this shard idles the layer
+
+    stats.label = layer.label;
+    stats.overhead += config_.ps_layer_overhead_cycles;
+    controller_.transition(CtrlState::kLoadConfig);
+    if (layer.op == snn::LayerOp::kConv) {
+        run_conv_layer(index, plan, in_train, skip_train, out_train, stats, readout,
+                       session, c0, c1);
+    } else {
+        run_linear_layer(index, plan, in_train, out_train, stats, readout, session,
+                         c0, c1);
+    }
+}
+
+void Sia::run_conv_layer(std::size_t index, const LayerPlan& plan,
+                         const snn::SpikeTrain& in_train,
                          const snn::SpikeTrain* skip_train, snn::SpikeTrain& out_train,
                          LayerCycleStats& stats,
                          std::vector<std::vector<std::int64_t>>& readout,
-                         snn::SessionState* session) {
+                         snn::SessionState* session, std::int64_t c0, std::int64_t c1) {
     const snn::SnnLayer& layer = model_.layers[index];
-    const LayerPlan& plan = program_.layers[static_cast<std::size_t>(index)];
     const snn::Branch& b = layer.main;
     const auto timesteps = static_cast<std::int64_t>(in_train.size());
     const std::int64_t neurons = layer.neurons();
@@ -340,6 +382,12 @@ void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
     const std::int64_t oh = layer.out_h;
     const std::int64_t ow = layer.out_w;
     const std::int64_t lanes = config_.pe_count();
+    // Output-channel slice this instance owns (the full layer for
+    // unsharded runs). CHW flat indices make a channel slice the
+    // contiguous bit range [c0 * plane, c1 * plane).
+    const std::int64_t span = c1 - c0;
+    const std::int64_t plane = oh * ow;
+    const std::int64_t slice_neurons = span * plane;
 
     const std::vector<std::int8_t>& wt = main_wt(index);
     const bool has_down_skip = layer.has_skip() && !layer.skip_is_identity;
@@ -357,13 +405,15 @@ void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
     // numerically identical, with the re-streaming traffic accounted in
     // the DMA term above.
     const std::int64_t fit_neurons =
-        std::min<std::int64_t>(neurons, memory_.membrane.bank_capacity() / 2);
-    const std::int64_t spill_neurons = neurons - fit_neurons;
+        std::min<std::int64_t>(slice_neurons, memory_.membrane.bank_capacity() / 2);
+    const std::int64_t spill_neurons = slice_neurons - fit_neurons;
     // Resume the carried potentials of a streaming session; a fresh
-    // session (or stateless run) starts from the initial potential.
+    // session (or stateless run) starts from the initial potential. A
+    // sliced run addresses only its contiguous CHW range of the shared
+    // session bank.
     const std::int16_t* resume =
         session != nullptr && session->initialized
-            ? session->membranes[index].data()
+            ? session->membranes[index].data() + c0 * plane
             : nullptr;
     std::vector<std::int16_t> spill_mem(static_cast<std::size_t>(spill_neurons));
     for (std::int64_t i = 0; i < spill_neurons; ++i) {
@@ -389,10 +439,11 @@ void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
     stats.dma += dma_.transfer(plan.weight_stream_bytes);
 
     const std::uint64_t dense_per_step =
-        static_cast<std::uint64_t>(oc * oh * ow * b.in_channels * b.kernel * b.kernel) *
+        static_cast<std::uint64_t>(span * oh * ow * b.in_channels * b.kernel *
+                                   b.kernel) *
         2ULL;
     const std::uint64_t skip_dense_per_step =
-        has_down_skip ? static_cast<std::uint64_t>(oc * oh * ow *
+        has_down_skip ? static_cast<std::uint64_t>(span * oh * ow *
                                                    layer.skip.in_channels) *
                             2ULL
                       : 0ULL;
@@ -414,13 +465,13 @@ void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
             }
             for (std::int64_t tile = 0; tile < plan.oc_tiles; ++tile) {
                 controller_.transition(CtrlState::kPeCompute);
-                const std::int64_t tile_lanes = std::min(lanes, oc - tile * lanes);
+                const std::int64_t tile_lanes = std::min(lanes, span - tile * lanes);
                 stats.compute += chunk_spikes * wc;
                 stats.input_spike_events += chunk_spikes;
                 stats.event_additions +=
                     chunk_spikes * b.kernel * b.kernel * tile_lanes;
             }
-            snn::compute::conv_psum_chunk(b, wt, in, oh, ow, ic0, ic1, psum);
+            snn::compute::conv_psum_chunk_oc(b, wt, in, oh, ow, ic0, ic1, c0, c1, psum);
         }
         stats.dense_ops += dense_per_step;
 
@@ -439,17 +490,18 @@ void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
                     stats.compute += skip_spikes * wc_skip;
                     stats.input_spike_events += skip_spikes;
                     stats.event_additions +=
-                        skip_spikes * std::min(lanes, oc - tile * lanes);
+                        skip_spikes * std::min(lanes, span - tile * lanes);
                 }
-                snn::compute::conv_psum_chunk(layer.skip, skip_weights, skip_in, oh, ow,
-                                              0, layer.skip.in_channels, skip_psum);
+                snn::compute::conv_psum_chunk_oc(layer.skip, skip_weights, skip_in, oh,
+                                                 ow, 0, layer.skip.in_channels, c0, c1,
+                                                 skip_psum);
                 stats.dense_ops += skip_dense_per_step;
             }
         }
 
         controller_.transition(CtrlState::kAggregate);
         stats.aggregate += AggregationCore::retire_cycles(
-            neurons, config_.aggregation_lanes,
+            slice_neurons, config_.aggregation_lanes,
             plan.oc_tiles * config_.aggregation_pipeline_depth);
 
         snn::SpikeMap& out = out_train[static_cast<std::size_t>(t)];
@@ -457,9 +509,11 @@ void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
             layer.has_skip() ? &(*skip_train)[static_cast<std::size_t>(t)] : nullptr;
         for (std::int64_t y = 0; y < oh; ++y) {
             for (std::int64_t x = 0; x < ow; ++x) {
-                for (std::int64_t o = 0; o < oc; ++o) {
+                for (std::int64_t o = c0; o < c1; ++o) {
                     const auto hwc = static_cast<std::size_t>((y * ow + x) * oc + o);
-                    const std::int64_t chw = (o * oh + y) * ow + x;
+                    // Membrane banks hold only this instance's slice:
+                    // slice-relative CHW addressing.
+                    const std::int64_t chw = ((o - c0) * oh + y) * ow + x;
                     std::int16_t m = snn::compute::aggregate(
                         psum[hwc], b.gain[static_cast<std::size_t>(o)],
                         b.bias[static_cast<std::size_t>(o)], b.gain_shift);
@@ -496,13 +550,15 @@ void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
         (void)readout;  // conv layers are always spiking (validated upstream)
 
         controller_.transition(CtrlState::kWriteOutput);
-        // Bit-pack output spikes through the output BRAM (capacity checked).
-        const std::int64_t out_bytes = bits_to_bytes(neurons);
+        // Bit-pack the slice's output spikes through the output BRAM
+        // (capacity checked); the slice is the contiguous flat range
+        // [c0 * plane, c1 * plane).
+        const std::int64_t out_bytes = bits_to_bytes(slice_neurons);
         for (std::int64_t byte = 0; byte < out_bytes; ++byte) {
             std::uint8_t packed = 0;
             for (std::int64_t bit = 0; bit < 8; ++bit) {
                 const std::int64_t idx = byte * 8 + bit;
-                if (idx < neurons && out.get_flat(idx)) {
+                if (idx < slice_neurons && out.get_flat(c0 * plane + idx)) {
                     packed = static_cast<std::uint8_t>(packed | (1U << bit));
                 }
             }
@@ -518,26 +574,35 @@ void Sia::run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
 
     if (session != nullptr) {
         // Save the end-of-window potentials: after the final toggle the
-        // last written values are on the readable bank.
+        // last written values are on the readable bank. Sliced runs
+        // write only their disjoint range of the (presized) shared bank.
         auto& mem = session->membranes[index];
-        mem.resize(static_cast<std::size_t>(neurons));
-        for (std::int64_t i = 0; i < fit_neurons; ++i) {
-            mem[static_cast<std::size_t>(i)] = memory_.membrane.read16(2 * i);
+        if (mem.size() != static_cast<std::size_t>(neurons)) {
+            mem.resize(static_cast<std::size_t>(neurons));
         }
-        std::copy(spill_mem.begin(), spill_mem.end(), mem.begin() + fit_neurons);
+        const std::int64_t base = c0 * plane;
+        for (std::int64_t i = 0; i < fit_neurons; ++i) {
+            mem[static_cast<std::size_t>(base + i)] = memory_.membrane.read16(2 * i);
+        }
+        std::copy(spill_mem.begin(), spill_mem.end(), mem.begin() + base + fit_neurons);
     }
 }
 
-void Sia::run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
-                           snn::SpikeTrain& out_train, LayerCycleStats& stats,
+void Sia::run_linear_layer(std::size_t index, const LayerPlan& plan,
+                           const snn::SpikeTrain& in_train, snn::SpikeTrain& out_train,
+                           LayerCycleStats& stats,
                            std::vector<std::vector<std::int64_t>>& readout,
-                           snn::SessionState* session) {
+                           snn::SessionState* session, std::int64_t c0,
+                           std::int64_t c1) {
     const snn::SnnLayer& layer = model_.layers[index];
-    const LayerPlan& plan = program_.layers[static_cast<std::size_t>(index)];
     const snn::Branch& b = layer.main;
     const auto timesteps = static_cast<std::int64_t>(in_train.size());
     const std::int64_t lanes = config_.pe_count();
     const std::int64_t features = b.out_features;
+    // Output-feature slice this instance owns (the full layer for
+    // unsharded runs). Vectors keep the full-F layout; only [c0, c1) is
+    // touched, so disjoint slices compose bit-identically.
+    const std::int64_t span = c1 - c0;
 
     const std::vector<std::int8_t>& wt = main_wt(index);
     std::vector<std::int32_t> psum(static_cast<std::size_t>(features), 0);
@@ -546,23 +611,25 @@ void Sia::run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
     std::vector<std::int64_t> acc(static_cast<std::size_t>(features), 0);
     if (session != nullptr && session->initialized) {
         if (layer.spiking) {
-            // Resume the carried potentials of the streaming session.
-            std::copy(session->membranes[index].begin(),
-                      session->membranes[index].end(), mem.begin());
+            // Resume the carried potentials of the streaming session
+            // (only this instance's slice of the shared bank).
+            std::copy(session->membranes[index].begin() + c0,
+                      session->membranes[index].begin() + c1, mem.begin() + c0);
         } else {
             // Readout carries across windows: logits keep accumulating.
-            const std::size_t carry =
-                std::min(acc.size(), session->readout.size());
-            std::copy(session->readout.begin(),
-                      session->readout.begin() + static_cast<std::ptrdiff_t>(carry),
-                      acc.begin());
+            const auto hi = std::min<std::int64_t>(
+                c1, static_cast<std::int64_t>(session->readout.size()));
+            for (std::int64_t f = c0; f < hi; ++f) {
+                acc[static_cast<std::size_t>(f)] =
+                    session->readout[static_cast<std::size_t>(f)];
+            }
         }
     }
 
-    const std::int64_t oc_tiles = (features + lanes - 1) / lanes;
+    const std::int64_t oc_tiles = (span + lanes - 1) / lanes;
     const std::int64_t wc = SiaConfig::window_cycles(1);
     const std::uint64_t dense_per_step =
-        static_cast<std::uint64_t>(b.in_features * features) * 2ULL;
+        static_cast<std::uint64_t>(b.in_features * span) * 2ULL;
 
     for (std::int64_t t = 0; t < timesteps; ++t) {
         controller_.transition(CtrlState::kReadInput);
@@ -574,7 +641,7 @@ void Sia::run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
             // spike vector in and result readback (Table I FC calibration).
             stats.mmio += mmio_.transfer(plan.weight_stream_bytes);
             stats.mmio += mmio_.transfer(bits_to_bytes(b.in_features));
-            stats.mmio += mmio_.transfer(features * 4);
+            stats.mmio += mmio_.transfer(span * 4);
         } else {
             stats.dma += dma_.transfer(plan.weight_stream_bytes +
                                        bits_to_bytes(b.in_features));
@@ -582,21 +649,21 @@ void Sia::run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
 
         for (std::int64_t tile = 0; tile < oc_tiles; ++tile) {
             controller_.transition(CtrlState::kPeCompute);
-            const std::int64_t tile_lanes = std::min(lanes, features - tile * lanes);
+            const std::int64_t tile_lanes = std::min(lanes, span - tile * lanes);
             stats.compute += in_spikes * wc;
             stats.input_spike_events += in_spikes;
             stats.event_additions += in_spikes * tile_lanes;
         }
-        snn::compute::linear_psum(b, wt, in, psum);
+        snn::compute::linear_psum_range(b, wt, in, c0, c1, psum);
         stats.dense_ops += dense_per_step;
 
         controller_.transition(CtrlState::kAggregate);
         stats.aggregate += AggregationCore::retire_cycles(
-            features, config_.aggregation_lanes,
+            span, config_.aggregation_lanes,
             oc_tiles * config_.aggregation_pipeline_depth);
 
         snn::SpikeMap& out = out_train[static_cast<std::size_t>(t)];
-        for (std::int64_t f = 0; f < features; ++f) {
+        for (std::int64_t f = c0; f < c1; ++f) {
             const std::int16_t m = snn::compute::aggregate(
                 psum[static_cast<std::size_t>(f)], b.gain[static_cast<std::size_t>(f)],
                 b.bias[static_cast<std::size_t>(f)], b.gain_shift);
@@ -611,8 +678,9 @@ void Sia::run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
         }
         if (!layer.spiking) {
             auto& row = readout[static_cast<std::size_t>(t)];
-            for (std::int64_t f = 0; f < features && f < static_cast<std::int64_t>(row.size());
-                 ++f) {
+            const auto hi =
+                std::min<std::int64_t>(c1, static_cast<std::int64_t>(row.size()));
+            for (std::int64_t f = c0; f < hi; ++f) {
                 row[static_cast<std::size_t>(f)] = acc[static_cast<std::size_t>(f)];
             }
         }
@@ -621,12 +689,21 @@ void Sia::run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
 
     if (session != nullptr) {
         if (layer.spiking) {
-            session->membranes[index] = mem;
+            // Write only this instance's slice of the (presized) shared
+            // session bank — sliced shards save disjoint ranges.
+            auto& smem = session->membranes[index];
+            if (smem.size() != mem.size()) smem.resize(mem.size());
+            std::copy(mem.begin() + c0, mem.begin() + c1, smem.begin() + c0);
         } else {
-            session->membranes[index].clear();
-            const std::size_t carry = std::min(acc.size(), session->readout.size());
-            std::copy(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(carry),
-                      session->readout.begin());
+            // Readout layers carry no membranes; the bank is already
+            // empty for shared sliced sessions (clear() would race).
+            if (!session->membranes[index].empty()) session->membranes[index].clear();
+            const auto hi = std::min<std::int64_t>(
+                c1, static_cast<std::int64_t>(session->readout.size()));
+            for (std::int64_t f = c0; f < hi; ++f) {
+                session->readout[static_cast<std::size_t>(f)] =
+                    acc[static_cast<std::size_t>(f)];
+            }
         }
     }
 }

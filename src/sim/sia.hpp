@@ -157,6 +157,49 @@ public:
         return batch_stats_;
     }
 
+    // ---- Sharded execution (driven by sim::SiaCluster) ----------------
+
+    /// Open one sharded inference pass: restore single-inference membrane
+    /// partitioning and bring the controller FSM to kInit.
+    void begin_inference();
+    /// Close the controller FSM of a sharded inference pass.
+    void end_inference();
+
+    /// Pipeline-stage form of run(): execute the contiguous layers
+    /// [first, last) against the per-item `outs`/`res` shared by every
+    /// stage of the pipeline — stage s-1 leaves its boundary output in
+    /// `outs[first - 1]`, which is this stage's input. Per-layer results
+    /// and stats land at their full-model indices, so after the last
+    /// stage `res` is bit-identical to a single-Sia run() (including
+    /// cycle stats; inter-shard transfer cost is the cluster's to
+    /// account). Wraps the pass in begin_inference()/end_inference().
+    void run_stage(std::size_t first, std::size_t last, const snn::SpikeTrain& input,
+                   std::vector<snn::SpikeTrain>& outs, SiaRunResult& res,
+                   snn::SessionState* session);
+
+    /// Channel-parallel form of one layer pass: run layer `index`
+    /// restricted to output channels (conv) or features (linear)
+    /// [c0, c1), using `plan` — the shard's sliced layer plan — for
+    /// tiling and transfer accounting. `out_train` is assigned the full
+    /// layer geometry with only the slice's bits set, so the cluster's
+    /// all-gather is a word-wise OR across shards; membrane state for
+    /// the slice lives in this instance's banks (slice-relative
+    /// addressing), and a shared session is read/written only at the
+    /// slice's disjoint [c0 * plane, c1 * plane) range. A zero-width
+    /// slice assigns an empty-output train and does nothing else.
+    /// Callers bracket the per-item layer sequence with
+    /// begin_inference()/end_inference().
+    void run_layer_slice(std::size_t index, const LayerPlan& plan,
+                         const snn::SpikeTrain& in_train,
+                         const snn::SpikeTrain* skip_train, snn::SpikeTrain& out_train,
+                         LayerCycleStats& stats,
+                         std::vector<std::vector<std::int64_t>>& readout,
+                         snn::SessionState* session, std::int64_t c0, std::int64_t c1);
+
+    /// Size/validate a session against the model before its first layer
+    /// pass touches it (shared with SiaCluster's admission path).
+    void prepare_session(snn::SessionState& session) const;
+
     [[nodiscard]] const Controller& controller() const noexcept { return controller_; }
     [[nodiscard]] const MemoryUnit& memory() const noexcept { return memory_; }
     [[nodiscard]] const SiaConfig& config() const noexcept { return config_; }
@@ -168,19 +211,22 @@ private:
     void run_wave(const snn::SpikeTrain* const* inputs,
                   snn::SessionState* const* sessions, SiaRunResult* results,
                   std::size_t count);
-    /// Size/validate a session against the model before its first layer
-    /// pass touches it.
-    void prepare_session(snn::SessionState& session) const;
 
-    void run_conv_layer(std::size_t index, const snn::SpikeTrain& in_train,
+    /// Layer bodies, parameterized over the executing plan (the full
+    /// program's or a shard's sliced one) and the output-channel /
+    /// feature slice [c0, c1) this instance owns. Full-layer callers
+    /// pass program_.layers[index] and the whole range.
+    void run_conv_layer(std::size_t index, const LayerPlan& plan,
+                        const snn::SpikeTrain& in_train,
                         const snn::SpikeTrain* skip_train, snn::SpikeTrain& out_train,
                         LayerCycleStats& stats,
                         std::vector<std::vector<std::int64_t>>& readout,
-                        snn::SessionState* session);
-    void run_linear_layer(std::size_t index, const snn::SpikeTrain& in_train,
-                          snn::SpikeTrain& out_train, LayerCycleStats& stats,
+                        snn::SessionState* session, std::int64_t c0, std::int64_t c1);
+    void run_linear_layer(std::size_t index, const LayerPlan& plan,
+                          const snn::SpikeTrain& in_train, snn::SpikeTrain& out_train,
+                          LayerCycleStats& stats,
                           std::vector<std::vector<std::int64_t>>& readout,
-                          snn::SessionState* session);
+                          snn::SessionState* session, std::int64_t c0, std::int64_t c1);
 
     /// Per-layer transposed weight layouts, built lazily on first use and
     /// then shared by every inference this instance runs — the host-side

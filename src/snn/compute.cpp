@@ -35,6 +35,15 @@ void conv_psum_chunk(const Branch& b, const std::vector<std::int8_t>& wt,
                      const SpikeMap& in, std::int64_t out_h, std::int64_t out_w,
                      std::int64_t ic_begin, std::int64_t ic_end,
                      std::span<std::int32_t> psum) {
+    conv_psum_chunk_oc(b, wt, in, out_h, out_w, ic_begin, ic_end, 0, b.out_channels,
+                       psum);
+}
+
+void conv_psum_chunk_oc(const Branch& b, const std::vector<std::int8_t>& wt,
+                        const SpikeMap& in, std::int64_t out_h, std::int64_t out_w,
+                        std::int64_t ic_begin, std::int64_t ic_end,
+                        std::int64_t oc_begin, std::int64_t oc_end,
+                        std::span<std::int32_t> psum) {
     const std::int64_t oc = b.out_channels;
     const std::int64_t in_h = in.height();
     const std::int64_t in_w = in.width();
@@ -51,7 +60,9 @@ void conv_psum_chunk(const Branch& b, const std::vector<std::int8_t>& wt,
                         if (!in.get(ic, iy, ix)) continue;
                         const std::int8_t* wrow =
                             wt.data() + ((ic * b.kernel + ky) * b.kernel + kx) * oc;
-                        for (std::int64_t o = 0; o < oc; ++o) prow[o] += wrow[o];
+                        for (std::int64_t o = oc_begin; o < oc_end; ++o) {
+                            prow[o] += wrow[o];
+                        }
                     }
                 }
             }
@@ -103,11 +114,17 @@ void conv_psum_scatter(const Branch& b, const std::vector<std::int8_t>& wt,
 
 void linear_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeMap& in,
                  std::span<std::int32_t> psum) {
-    std::fill(psum.begin(), psum.end(), 0);
+    linear_psum_range(b, wt, in, 0, b.out_features, psum);
+}
+
+void linear_psum_range(const Branch& b, const std::vector<std::int8_t>& wt,
+                       const SpikeMap& in, std::int64_t f_begin, std::int64_t f_end,
+                       std::span<std::int32_t> psum) {
+    std::fill(psum.begin() + f_begin, psum.begin() + f_end, 0);
     for (std::int64_t d = 0; d < b.in_features; ++d) {
         if (!in.get_flat(d)) continue;
         const std::int8_t* wrow = wt.data() + d * b.out_features;
-        for (std::int64_t f = 0; f < b.out_features; ++f) {
+        for (std::int64_t f = f_begin; f < f_end; ++f) {
             psum[static_cast<std::size_t>(f)] += wrow[f];
         }
     }

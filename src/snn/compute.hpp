@@ -41,6 +41,19 @@ void conv_psum_chunk(const Branch& b, const std::vector<std::int8_t>& wt,
                      std::int64_t ic_begin, std::int64_t ic_end,
                      std::span<std::int32_t> psum);
 
+/// As conv_psum_chunk but additionally restricted to output channels
+/// [oc_begin, oc_end) — the channel-parallel shard schedule, where each
+/// accelerator owns a contiguous slice of a layer's output channels.
+/// `psum` keeps the full-OC HWC stride; only the slice's entries are
+/// touched, and each touched entry receives exactly the additions the
+/// unsliced kernel performs (int32, order-independent), so disjoint
+/// slices compose bit-identically to one full pass.
+void conv_psum_chunk_oc(const Branch& b, const std::vector<std::int8_t>& wt,
+                        const SpikeMap& in, std::int64_t out_h, std::int64_t out_w,
+                        std::int64_t ic_begin, std::int64_t ic_end,
+                        std::int64_t oc_begin, std::int64_t oc_end,
+                        std::span<std::int32_t> psum);
+
 /// Scatter-form (truly event-driven) convolution partial sums: iterates
 /// the input's spike events via the packed-word iterator and scatters
 /// each spike's [k][k][OC] weight rows into the output windows it
@@ -55,6 +68,14 @@ void conv_psum_scatter(const Branch& b, const std::vector<std::int8_t>& wt,
 /// every input feature's bit and accumulates the set ones.
 void linear_psum(const Branch& b, const std::vector<std::int8_t>& wt, const SpikeMap& in,
                  std::span<std::int32_t> psum);
+
+/// As linear_psum but restricted to output features [f_begin, f_end) —
+/// the channel-parallel shard schedule for FC layers. `psum` keeps the
+/// full-F layout; only the slice's entries are cleared and accumulated,
+/// bit-identically to the matching entries of one full pass.
+void linear_psum_range(const Branch& b, const std::vector<std::int8_t>& wt,
+                       const SpikeMap& in, std::int64_t f_begin, std::int64_t f_end,
+                       std::span<std::int32_t> psum);
 
 /// Scatter-form fully-connected partial sums: word-skips the packed
 /// input to visit only spike events, accumulating each spike's [F]

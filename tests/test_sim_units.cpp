@@ -203,6 +203,59 @@ TEST(Axi, MmioWordCost) {
     EXPECT_EQ(mmio.words(), 5);
 }
 
+TEST(Axi, DmaRoundingAtNonMultipleByteCounts) {
+    const SiaConfig cfg;  // 4 bytes/cycle
+    for (std::int64_t bytes = 1; bytes <= 4; ++bytes) {
+        EXPECT_EQ(AxiDma::cycles_for(bytes, cfg), 1) << bytes;
+    }
+    EXPECT_EQ(AxiDma::cycles_for(5, cfg), 2);
+    EXPECT_EQ(AxiDma::cycles_for(7, cfg), 2);
+    EXPECT_EQ(AxiDma::cycles_for(8, cfg), 2);
+    EXPECT_EQ(AxiDma::cycles_for(9, cfg), 3);
+}
+
+TEST(Axi, ZeroAndNegativeByteTransfersAreFree) {
+    const SiaConfig cfg;
+    EXPECT_EQ(AxiDma::cycles_for(0, cfg), 0);
+    EXPECT_EQ(AxiDma::cycles_for(-8, cfg), 0);
+    AxiDma dma(cfg);
+    EXPECT_EQ(dma.transfer(0), 0);
+    EXPECT_EQ(dma.cycles(), 0);
+    AxiLiteMmio mmio(cfg);
+    EXPECT_EQ(mmio.transfer(0), 0);
+    EXPECT_EQ(mmio.words(), 0);
+}
+
+TEST(Axi, DmaBytesPerCycleEdgeValues) {
+    // A huge link never rounds a nonzero transfer down to zero cycles...
+    SiaConfig wide;
+    wide.dma_bytes_per_cycle = 1e12;
+    EXPECT_EQ(AxiDma::cycles_for(1, wide), 1);
+    EXPECT_EQ(AxiDma::cycles_for(64 * 1024, wide), 1);
+    // ...a narrow one charges bytes/rate rounded up...
+    SiaConfig narrow;
+    narrow.dma_bytes_per_cycle = 0.5;
+    EXPECT_EQ(AxiDma::cycles_for(1, narrow), 2);
+    EXPECT_EQ(AxiDma::cycles_for(3, narrow), 6);
+    // ...and a fractional rate rounds per-transfer, not per-byte.
+    SiaConfig frac;
+    frac.dma_bytes_per_cycle = 3.0;
+    EXPECT_EQ(AxiDma::cycles_for(3, frac), 1);
+    EXPECT_EQ(AxiDma::cycles_for(4, frac), 2);
+    EXPECT_EQ(AxiDma::cycles_for(9, frac), 3);
+    EXPECT_EQ(AxiDma::cycles_for(10, frac), 4);
+}
+
+TEST(Axi, MmioWordRounding) {
+    const SiaConfig cfg;  // 564 cycles/word (Fig. 4 measurement)
+    AxiLiteMmio mmio(cfg);
+    EXPECT_EQ(mmio.transfer(1), cfg.mmio_cycles_per_word);
+    EXPECT_EQ(mmio.transfer(4), cfg.mmio_cycles_per_word);
+    EXPECT_EQ(mmio.transfer(5), 2 * cfg.mmio_cycles_per_word);
+    EXPECT_EQ(mmio.words(), 4);
+    EXPECT_EQ(mmio.cycles(), 4 * cfg.mmio_cycles_per_word);
+}
+
 TEST(Controller, LegalLayerLoop) {
     Controller ctrl;
     ctrl.transition(CtrlState::kInit);
