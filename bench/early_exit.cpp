@@ -1,0 +1,385 @@
+// Temporal early exit: accuracy vs mean timesteps (the anytime-inference
+// reading of the paper's Fig. 7/9 accuracy-vs-T curves — most inputs are
+// decided long before step T, so a per-item confidence criterion should
+// buy back most of the tail).
+//
+// For each model family (VGG-11, ResNet-18 reduced-width) and input
+// density, every test item runs the full T timesteps once with readout
+// history on; a margin sweep is then evaluated *offline* over the
+// recorded logits_per_step via snn::ExitEvaluator — exactly equivalent
+// to the live decision by the evaluator's purity contract — producing
+// the accuracy / mean-timesteps / prediction-flip curve per margin. A
+// live spot-check reruns a slice of items through both engines with the
+// calibrated criterion armed and verifies the engines' in-loop decision
+// (exit step, reason, readout) against the offline replay.
+//
+// Calibration picks the smallest swept margin with zero prediction
+// flips against the full-T run at the base density, doubling past the
+// fixed grid when a family's zero-flip point lies beyond it. With
+// --check the
+// calibrated point must exist, keep zero flips, and spend at most
+// 0.7x T mean timesteps — the regression tripwire for criterion-math
+// drift (exits firing late) and for silent history/decision divergence.
+//
+// Emits machine-readable BENCH_EARLY_EXIT.json.
+//
+// Flags: --quick (reduced families/sweep/items), --check, --out <path>.
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "snn/engine.hpp"
+#include "snn/exit.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace sia;
+
+constexpr std::int64_t kTimesteps = 30;
+constexpr double kMeanStepsCeiling = 0.7;  // --check: mean steps <= 0.7*T
+
+/// The swept criterion: margin rule with a short hysteresis window so a
+/// single noisy step cannot fire the exit, floor 2 so the all-zero
+/// step-0 readout is never even evaluated.
+snn::ExitCriterion sweep_criterion(std::int64_t margin) {
+    return {.margin = margin, .stable_checks = 0, .min_steps = 2, .hysteresis = 2,
+            .check_interval = 1};
+}
+
+struct Item {
+    std::vector<std::vector<std::int64_t>> history;  ///< full-T logits_per_step
+    snn::SpikeTrain train;
+    std::int64_t label = 0;
+    std::int64_t full_prediction = -1;
+    std::int64_t spikes = 0;
+};
+
+struct SweepPoint {
+    std::string family;
+    double density_scale = 1.0;
+    double density = 0.0;  ///< input spikes / (pixels * T)
+    std::int64_t margin = 0;
+    double mean_steps = 0.0;
+    double accuracy = 0.0;       ///< at the exit step
+    double full_accuracy = 0.0;  ///< same items at full T
+    std::int64_t flips = 0;      ///< exit prediction != full-T prediction
+    std::int64_t exited = 0;     ///< items retired before T
+    std::size_t items = 0;
+};
+
+struct Calibration {
+    std::string family;
+    bool found = false;
+    std::int64_t margin = 0;
+    double mean_steps = 0.0;
+    double ratio = 1.0;
+    std::int64_t flips = 0;
+};
+
+/// Offline replay of one item's criterion over its recorded history;
+/// returns the exit step (T when the criterion never fires).
+std::int64_t offline_exit_step(const Item& item, const snn::ExitCriterion& crit,
+                               snn::ExitReason* reason_out = nullptr) {
+    snn::ExitEvaluator eval(crit, {});
+    for (std::size_t t = 0; t < item.history.size(); ++t) {
+        const auto reason =
+            eval.observe(item.history[t], static_cast<std::int64_t>(t) + 1);
+        if (reason != snn::ExitReason::kNone) {
+            if (reason_out != nullptr) *reason_out = reason;
+            return static_cast<std::int64_t>(t) + 1;
+        }
+    }
+    if (reason_out != nullptr) *reason_out = snn::ExitReason::kNone;
+    return static_cast<std::int64_t>(item.history.size());
+}
+
+SweepPoint sweep(const std::vector<Item>& items, const std::string& family,
+                 double density_scale, double density, std::int64_t margin) {
+    SweepPoint point;
+    point.family = family;
+    point.density_scale = density_scale;
+    point.density = density;
+    point.margin = margin;
+    point.items = items.size();
+    const snn::ExitCriterion crit = sweep_criterion(margin);
+    std::int64_t steps_sum = 0;
+    std::int64_t correct = 0;
+    std::int64_t full_correct = 0;
+    for (const Item& item : items) {
+        const std::int64_t exit_step = offline_exit_step(item, crit);
+        steps_sum += exit_step;
+        const std::int64_t predicted = snn::argmax_first(
+            item.history[static_cast<std::size_t>(exit_step) - 1]);
+        if (predicted == item.label) ++correct;
+        if (item.full_prediction == item.label) ++full_correct;
+        if (predicted != item.full_prediction) ++point.flips;
+        if (exit_step < static_cast<std::int64_t>(item.history.size())) ++point.exited;
+    }
+    const auto n = static_cast<double>(items.size());
+    point.mean_steps = static_cast<double>(steps_sum) / n;
+    point.accuracy = static_cast<double>(correct) / n;
+    point.full_accuracy = static_cast<double>(full_correct) / n;
+    return point;
+}
+
+void write_json(const std::string& path, const std::vector<SweepPoint>& points,
+                const std::vector<Calibration>& calibrations,
+                std::size_t live_items, std::size_t live_mismatches, bool quick) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::cerr << "early_exit: cannot open " << path << "\n";
+        std::exit(EXIT_FAILURE);
+    }
+    out << "{\n  \"bench\": \"early_exit\",\n"
+        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+        << "  \"timesteps\": " << kTimesteps << ",\n"
+        << "  \"mean_steps_ceiling\": " << kMeanStepsCeiling << ",\n"
+        << "  \"criterion\": {\"min_steps\": 2, \"hysteresis\": 2, "
+           "\"check_interval\": 1},\n"
+        << "  \"live_check\": {\"items\": " << live_items
+        << ", \"mismatches\": " << live_mismatches << "},\n"
+        << "  \"calibration\": [\n";
+    for (std::size_t i = 0; i < calibrations.size(); ++i) {
+        const Calibration& c = calibrations[i];
+        out << "    {\"family\": \"" << c.family << "\", \"found\": "
+            << (c.found ? "true" : "false") << ", \"margin\": " << c.margin
+            << ", \"mean_steps\": " << c.mean_steps << ", \"ratio\": " << c.ratio
+            << ", \"flips\": " << c.flips << "}"
+            << (i + 1 < calibrations.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"sweep\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint& p = points[i];
+        out << "    {\"family\": \"" << p.family << "\", \"density_scale\": "
+            << p.density_scale << ", \"density\": " << p.density
+            << ", \"margin\": " << p.margin << ", \"mean_steps\": " << p.mean_steps
+            << ", \"accuracy\": " << p.accuracy << ", \"full_accuracy\": "
+            << p.full_accuracy << ", \"flips\": " << p.flips << ", \"exited\": "
+            << p.exited << ", \"items\": " << p.items << "}"
+            << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    bool check = false;
+    std::string out_path = "BENCH_EARLY_EXIT.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--check") == 0) {
+            check = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::cerr << "usage: early_exit [--quick] [--check] [--out <path>]\n";
+            return EXIT_FAILURE;
+        }
+    }
+
+    bench::print_header(
+        "Temporal early exit: accuracy vs mean timesteps (margin sweep)");
+    util::WallTimer timer;
+
+    // Reduced training in quick mode: the gates compare exit predictions
+    // against the same model's own full-T run, so absolute accuracy does
+    // not matter, only that the readout trajectories are model-shaped.
+    core::PipelineConfig cfg = bench::bench_pipeline_config();
+    if (quick) {
+        cfg.train.epochs = 2;
+        cfg.finetune_epochs = 1;
+    }
+
+    const std::vector<std::int64_t> margins =
+        quick ? std::vector<std::int64_t>{2, 8, 32, 128, 512, 2048}
+              : std::vector<std::int64_t>{1,  2,   4,   8,   16,   32,
+                                          64, 128, 256, 512, 1024, 2048};
+    // Input-density axis: the thermometer encoder fires proportionally
+    // to pixel intensity, so scaling the image sweeps the input spike
+    // density the same way the paper's coding ablation does.
+    const std::vector<double> density_scales =
+        quick ? std::vector<double>{1.0} : std::vector<double>{1.0, 0.6};
+
+    const std::vector<std::pair<std::string, bool>> families =
+        quick ? std::vector<std::pair<std::string, bool>>{{"vgg11", false}}
+              : std::vector<std::pair<std::string, bool>>{{"vgg11", false},
+                                                          {"resnet18", true}};
+
+    util::Table table("early_exit" + std::string(quick ? " (quick)" : "") +
+                      ", T=" + std::to_string(kTimesteps) +
+                      ", criterion: margin sweep, min_steps=2, hysteresis=2");
+    table.header({"family", "scale", "margin", "mean T", "acc %", "full %",
+                  "flips", "exited"});
+
+    std::vector<SweepPoint> points;
+    std::vector<Calibration> calibrations;
+    std::size_t live_items = 0;
+    std::size_t live_mismatches = 0;
+    bool check_failed = false;
+
+    for (const auto& [family, resnet] : families) {
+        const auto trained = bench::train_model(resnet, /*width=*/8, cfg);
+        const auto encoder = trained.encoder();
+        snn::FunctionalEngine engine(trained.result.snn);
+
+        const std::int64_t total = trained.data.test.size();
+        const std::int64_t count = quick ? std::min<std::int64_t>(total, 60) : total;
+
+        for (const double scale : density_scales) {
+            // Full-T reference pass with readout history on.
+            std::vector<Item> items;
+            items.reserve(static_cast<std::size_t>(count));
+            double spikes = 0.0;
+            double sites = 0.0;
+            for (std::int64_t i = 0; i < count; ++i) {
+                Item item;
+                tensor::Tensor img = trained.data.test.sample(i);
+                for (std::int64_t j = 0; j < img.numel(); ++j) {
+                    img.flat(j) *= static_cast<float>(scale);
+                }
+                item.train = encoder(img, kTimesteps);
+                item.label = trained.data.test.labels[static_cast<std::size_t>(i)];
+                const auto full = engine.run(item.train);
+                item.history = full.logits_per_step;
+                item.full_prediction = full.predicted();
+                for (const auto& frame : item.train) {
+                    item.spikes += frame.count();
+                    sites += static_cast<double>(frame.size());
+                }
+                spikes += static_cast<double>(item.spikes);
+                items.push_back(std::move(item));
+            }
+            const double density = sites > 0.0 ? spikes / sites : 0.0;
+
+            for (const std::int64_t margin : margins) {
+                const SweepPoint point =
+                    sweep(items, family, scale, density, margin);
+                table.row({family, util::cell(scale, 1), util::cell(margin),
+                           util::cell(point.mean_steps, 2),
+                           util::cell_pct(100.0 * point.accuracy),
+                           util::cell_pct(100.0 * point.full_accuracy),
+                           util::cell(point.flips),
+                           util::cell(point.exited)});
+                points.push_back(point);
+            }
+
+            if (scale != 1.0) continue;
+
+            // Calibration at the base density: smallest margin with zero
+            // prediction flips against the full-T run.
+            Calibration calib;
+            calib.family = family;
+            for (const SweepPoint& p : points) {
+                if (p.family != family || p.density_scale != 1.0) continue;
+                if (p.flips == 0) {
+                    calib.found = true;
+                    calib.margin = p.margin;
+                    calib.mean_steps = p.mean_steps;
+                    calib.ratio = p.mean_steps / static_cast<double>(kTimesteps);
+                    calib.flips = p.flips;
+                    break;
+                }
+            }
+            // The fixed grid can stop short of a family's zero-flip
+            // point; keep doubling past it (offline replay only, so the
+            // extension costs nothing next to the full-T reference
+            // pass). Terminates: a margin no accumulated lead can meet
+            // retires nothing, which trivially agrees with the full run.
+            for (std::int64_t margin = 2 * margins.back(); !calib.found;
+                 margin *= 2) {
+                const SweepPoint point =
+                    sweep(items, family, scale, density, margin);
+                table.row({family, util::cell(scale, 1), util::cell(margin),
+                           util::cell(point.mean_steps, 2),
+                           util::cell_pct(100.0 * point.accuracy),
+                           util::cell_pct(100.0 * point.full_accuracy),
+                           util::cell(point.flips),
+                           util::cell(point.exited)});
+                points.push_back(point);
+                if (point.flips == 0) {
+                    calib.found = true;
+                    calib.margin = point.margin;
+                    calib.mean_steps = point.mean_steps;
+                    calib.ratio =
+                        point.mean_steps / static_cast<double>(kTimesteps);
+                    calib.flips = point.flips;
+                }
+            }
+            calibrations.push_back(calib);
+            if (check) {
+                if (!calib.found) {
+                    check_failed = true;
+                    std::cerr << "CHECK FAILED: " << family
+                              << ": no swept margin reaches zero flips\n";
+                } else if (calib.ratio > kMeanStepsCeiling) {
+                    check_failed = true;
+                    std::cerr << "CHECK FAILED: " << family << ": margin "
+                              << calib.margin << " spends " << calib.mean_steps
+                              << " mean steps (" << calib.ratio << "x T, ceiling "
+                              << kMeanStepsCeiling << "x)\n";
+                }
+            }
+
+            // Live spot-check: the engine's in-loop decision must match
+            // the offline replay exactly (evaluator purity contract).
+            if (calib.found) {
+                const snn::ExitCriterion crit = sweep_criterion(calib.margin);
+                const std::size_t spot = std::min<std::size_t>(items.size(), 16);
+                for (std::size_t i = 0; i < spot; ++i) {
+                    ++live_items;
+                    snn::ExitReason want_reason = snn::ExitReason::kNone;
+                    const std::int64_t want_step =
+                        offline_exit_step(items[i], crit, &want_reason);
+                    const auto live = engine.run(items[i].train, crit);
+                    const auto& want_readout =
+                        items[i].history[static_cast<std::size_t>(want_step) - 1];
+                    if (live.timesteps != want_step ||
+                        live.exit_reason != want_reason ||
+                        live.readout != want_readout) {
+                        ++live_mismatches;
+                        std::cerr << "LIVE MISMATCH: " << family << " item " << i
+                                  << ": live step " << live.timesteps
+                                  << " vs offline " << want_step << "\n";
+                    }
+                }
+            }
+        }
+        table.separator();
+    }
+
+    table.print(std::cout);
+    for (const Calibration& c : calibrations) {
+        if (c.found) {
+            std::cout << c.family << ": margin " << c.margin << " -> "
+                      << util::cell(c.mean_steps, 2) << " mean steps ("
+                      << util::cell(c.ratio, 3) << "x T) at zero flips\n";
+        } else {
+            std::cout << c.family << ": no zero-flip margin in the sweep\n";
+        }
+    }
+
+    write_json(out_path, points, calibrations, live_items, live_mismatches, quick);
+    std::cout << "wrote " << out_path << " (" << util::cell(timer.seconds(), 1)
+              << " s)\n";
+
+    if (live_mismatches > 0) {
+        std::cerr << "FATAL: live early-exit decisions diverged from the offline "
+                     "replay\n";
+        return EXIT_FAILURE;
+    }
+    if (check_failed) {
+        std::cerr << "FATAL: early-exit bench failed its gates\n";
+        return EXIT_FAILURE;
+    }
+    return EXIT_SUCCESS;
+}

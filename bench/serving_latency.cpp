@@ -26,6 +26,17 @@
 // structured error or retried success) plus premium p99 within 2x of
 // the fault-free twin.
 //
+// An early-exit section then serves the same pool with a per-request
+// margin criterion on each lane and records per-lane mean/p50/p99
+// `steps_used` (and the retired fraction) — the serving-side view of
+// temporal early exit. With --check it gates the ledger: every request
+// completes, steps_used within [min_steps, T], ordered percentiles.
+//
+// Serving lanes run with readout history off (EngineConfig::
+// record_readout_history = false): responses carry the final logits and
+// steps_used either way, and per-step history is dead weight at serving
+// time.
+//
 // Emits machine-readable BENCH_SERVING.json.
 //
 // Flags: --quick (reduced sweep), --check, --chaos, --out <path>,
@@ -55,6 +66,8 @@
 #include "core/server.hpp"
 #include "nn/vgg.hpp"
 #include "snn/encoding.hpp"
+#include "snn/engine.hpp"
+#include "snn/exit.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
@@ -68,6 +81,14 @@ using Clock = std::chrono::steady_clock;
 
 // Wave bound of the single-model sweep (also recorded in the JSON).
 constexpr std::size_t kMaxBatch = 16;
+
+/// Serving lanes don't read per-step readout history — only the final
+/// logits and the exit decision — so the functional lanes drop it.
+snn::EngineConfig lean_engine_config() {
+    snn::EngineConfig config;
+    config.record_readout_history = false;
+    return config;
+}
 
 std::vector<snn::SpikeTrain> make_pool(const snn::SnnModel& model, std::size_t count,
                                        std::int64_t timesteps) {
@@ -196,6 +217,55 @@ LoadPoint run_load(const std::shared_ptr<core::Backend>& backend,
     return point;
 }
 
+// ---- early-exit steps_used accounting ----
+
+struct ExitLanePoint {
+    std::string backend;
+    std::int64_t margin = 0;
+    std::int64_t timesteps = 0;
+    std::size_t completed = 0;
+    std::size_t exited = 0;  ///< retired before the offered T
+    double mean_steps = 0.0;
+    double p50_steps = 0.0;
+    double p99_steps = 0.0;
+};
+
+/// Serve `total` pool requests with a margin criterion armed and record
+/// the per-lane steps_used distribution the responses report.
+ExitLanePoint measure_early_exit(const std::string& name,
+                                 const std::shared_ptr<core::Backend>& backend,
+                                 const std::vector<snn::SpikeTrain>& pool,
+                                 std::size_t threads, std::int64_t timesteps,
+                                 std::int64_t margin, std::size_t total) {
+    const snn::ExitCriterion crit{
+        .margin = margin, .stable_checks = 0, .min_steps = 2, .hysteresis = 1,
+        .check_interval = 1};
+    core::Server server(backend, {.threads = threads, .max_batch = kMaxBatch});
+    std::vector<std::future<core::Response>> futures;
+    futures.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        futures.push_back(server.submit(
+            core::Request::view_train(pool[i % pool.size()]).with_early_exit(crit)));
+    }
+    ExitLanePoint point;
+    point.backend = name;
+    point.margin = margin;
+    point.timesteps = timesteps;
+    util::StreamingHistogram steps;
+    for (auto& f : futures) {
+        const auto response = f.get();
+        if (!response.ok()) continue;
+        ++point.completed;
+        steps.add(static_cast<double>(response.steps_used));
+        if (response.steps_used < response.steps_offered) ++point.exited;
+    }
+    server.shutdown();
+    point.mean_steps = steps.mean();
+    point.p50_steps = steps.p50();
+    point.p99_steps = steps.p99();
+    return point;
+}
+
 // ---- mixed-tenant overload scenario ----
 
 struct TenantSpec {
@@ -259,8 +329,8 @@ MixedResult run_mixed(const snn::SnnModel& model,
     result.oversub = std::max(
         1.0, 2.0 * static_cast<double>(workers) / static_cast<double>(hw));
 
-    auto backend_a = std::make_shared<core::FunctionalBackend>(model);
-    auto backend_b = std::make_shared<core::FunctionalBackend>(model);
+    auto backend_a = std::make_shared<core::FunctionalBackend>(model, lean_engine_config());
+    auto backend_b = std::make_shared<core::FunctionalBackend>(model, lean_engine_config());
     (void)calibrate_capacity(backend_a, pool, threads, 8);
     (void)calibrate_capacity(backend_b, pool, threads, 8);
 
@@ -461,8 +531,8 @@ ChaosResult run_chaos(const snn::SnnModel& model,
         double wall_ms = 0.0;
     };
     const auto storm = [&](bool faulty) {
-        auto base_a = std::make_shared<core::FunctionalBackend>(model);
-        auto base_b = std::make_shared<core::FunctionalBackend>(model);
+        auto base_a = std::make_shared<core::FunctionalBackend>(model, lean_engine_config());
+        auto base_b = std::make_shared<core::FunctionalBackend>(model, lean_engine_config());
         (void)calibrate_capacity(base_a, pool, threads, 8);
         (void)calibrate_capacity(base_b, pool, threads, 8);
         core::Server server(storm_options);
@@ -562,6 +632,7 @@ std::vector<std::string> chaos_check_errors(const ChaosResult& c) {
 
 void write_json(const std::string& path, const std::vector<LoadPoint>& rows,
                 const std::vector<std::pair<std::string, double>>& single_p99,
+                const std::vector<ExitLanePoint>& exit_rows,
                 const MixedResult& mixed, const ChaosResult& chaos, bool quick,
                 std::size_t threads) {
     std::ofstream out(path, std::ios::trunc);
@@ -594,6 +665,19 @@ void write_json(const std::string& path, const std::vector<LoadPoint>& rows,
         out << "    {\"backend\": \"" << single_p99[i].first
             << "\", \"p99_us\": " << single_p99[i].second << "}"
             << (i + 1 < single_p99.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"early_exit\": [\n";
+    for (std::size_t i = 0; i < exit_rows.size(); ++i) {
+        const ExitLanePoint& e = exit_rows[i];
+        out << "    {\"backend\": \"" << e.backend
+            << "\", \"margin\": " << e.margin
+            << ", \"timesteps\": " << e.timesteps
+            << ", \"completed\": " << e.completed
+            << ", \"exited\": " << e.exited
+            << ", \"mean_steps\": " << e.mean_steps
+            << ", \"p50_steps\": " << e.p50_steps
+            << ", \"p99_steps\": " << e.p99_steps << "}"
+            << (i + 1 < exit_rows.size() ? "," : "") << "\n";
     }
     out << "  ],\n  \"mixed_tenant\": {\n"
         << "    \"offered_rps\": " << mixed.offered_rps << ",\n"
@@ -771,8 +855,9 @@ int main(int argc, char** argv) {
         }
     };
 
-    sweep("functional",
-          [&] { return std::make_shared<core::FunctionalBackend>(model); });
+    sweep("functional", [&] {
+        return std::make_shared<core::FunctionalBackend>(model, lean_engine_config());
+    });
     table.separator();
     sweep("sia", [&] { return std::make_shared<core::SiaBackend>(model); });
 
@@ -903,8 +988,64 @@ int main(int argc, char** argv) {
                    util::cell(static_cast<double>(chaos.failed), 0)});
     }
 
+    // Early-exit lanes: the same pool served with a per-request margin
+    // criterion on each backend. Responses report steps_used, so this is
+    // the serving-side cost model for temporal early exit — the accuracy
+    // side lives in BENCH_EARLY_EXIT.json. Both lanes receive the same
+    // requests in the same order, and exit decisions are deterministic
+    // per item, so the two step distributions must match exactly.
+    const std::int64_t exit_margin = 4;
+    const std::size_t exit_total = quick ? 32 : 128;
+    std::vector<ExitLanePoint> exit_rows;
+    exit_rows.push_back(measure_early_exit(
+        "functional",
+        std::make_shared<core::FunctionalBackend>(model, lean_engine_config()),
+        pool, threads, timesteps, exit_margin, exit_total));
+    exit_rows.push_back(measure_early_exit(
+        "sia", std::make_shared<core::SiaBackend>(model), pool, threads,
+        timesteps, exit_margin, exit_total));
+    table.separator();
+    for (const ExitLanePoint& e : exit_rows) {
+        table.row({"exit:" + e.backend, "-", "-",
+                   util::cell(e.p50_steps, 2), "-",
+                   util::cell(e.p99_steps, 2),
+                   util::cell(e.mean_steps, 2)});
+    }
+    if (check) {
+        for (const ExitLanePoint& e : exit_rows) {
+            const bool lost = e.completed != exit_total;
+            const bool out_of_range =
+                e.mean_steps < 2.0 - 1e-9 ||
+                e.p99_steps > static_cast<double>(timesteps) + 1e-9;
+            const bool disordered = e.p50_steps > e.p99_steps + 1e-9;
+            if (lost || out_of_range || disordered || e.exited > e.completed) {
+                check_failed = true;
+                std::cerr << "CHECK FAILED: early-exit lane " << e.backend
+                          << " completed=" << e.completed << "/" << exit_total
+                          << " exited=" << e.exited
+                          << " steps mean/p50/p99=" << e.mean_steps << "/"
+                          << e.p50_steps << "/" << e.p99_steps
+                          << " outside [min_steps=2, T=" << timesteps << "]\n";
+            }
+        }
+        const ExitLanePoint& a = exit_rows[0];
+        const ExitLanePoint& b = exit_rows[1];
+        if (a.exited != b.exited || a.mean_steps != b.mean_steps ||
+            a.p50_steps != b.p50_steps || a.p99_steps != b.p99_steps) {
+            check_failed = true;
+            std::cerr << "CHECK FAILED: early-exit step distributions diverge "
+                         "across backends (functional mean/p50/p99="
+                      << a.mean_steps << "/" << a.p50_steps << "/" << a.p99_steps
+                      << " exited=" << a.exited << ", sia=" << b.mean_steps << "/"
+                      << b.p50_steps << "/" << b.p99_steps
+                      << " exited=" << b.exited
+                      << ") — per-item decisions must be backend-invariant\n";
+        }
+    }
+
     table.print(std::cout);
-    write_json(out_path, rows, single_p99, mixed, chaos, quick, threads);
+    write_json(out_path, rows, single_p99, exit_rows, mixed, chaos, quick,
+               threads);
     std::cout << "wrote " << out_path << "\n";
 
     if (check_failed) {

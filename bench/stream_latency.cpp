@@ -447,11 +447,16 @@ int main(int argc, char** argv) {
     }
 
     std::vector<ThroughputPoint> throughput;
+    // The throughput sections never read per-step logits, so the
+    // functional lane drops readout history (the latency section above
+    // verifies logits_per_step and keeps the default).
+    snn::EngineConfig lean;
+    lean.record_readout_history = false;
     for (const bool use_sia : {false, true}) {
         const std::string name = use_sia ? "sia" : "functional";
         const auto make_backend = [&]() -> std::shared_ptr<core::Backend> {
             if (use_sia) return std::make_shared<core::SiaBackend>(model);
-            return std::make_shared<core::FunctionalBackend>(model);
+            return std::make_shared<core::FunctionalBackend>(model, lean);
         };
         ThroughputPoint point =
             measure_throughput(name, make_backend, load_streams, timesteps, threads);

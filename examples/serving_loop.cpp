@@ -10,7 +10,12 @@
 //   4. swap it again onto a 2-shard pipelined ShardedSiaBackend —
 //      still identical predictions, now executed by a SiaCluster with
 //      cluster-level fill/drain/transfer accounting;
-//   5. print throughput, admission batching, and latency percentiles.
+//   5. print throughput, admission batching, and latency percentiles;
+//   6. re-submit a request with a temporal early-exit criterion armed
+//      and read back how many timesteps it actually paid.
+//
+// Serving reads only the final readout (Response::predicted()), so the
+// functional lane runs with per-step readout history off.
 //
 // Build & run:  ./build/examples/serving_loop
 #include <future>
@@ -24,6 +29,8 @@
 #include "core/server.hpp"
 #include "nn/vgg.hpp"
 #include "snn/encoding.hpp"
+#include "snn/engine.hpp"
+#include "snn/exit.hpp"
 #include "util/rng.hpp"
 
 int main() {
@@ -81,8 +88,7 @@ int main() {
 
         for (std::size_t i = 0; i < futures.size(); ++i) {
             const core::Response response = futures[i].get();
-            std::cout << "request " << i << ": class "
-                      << response.predicted_class(response.timesteps - 1);
+            std::cout << "request " << i << ": class " << response.predicted();
             if (response.has_cycle_stats()) {
                 std::cout << " (" << response.total_cycles() << " cycles)";
             }
@@ -103,7 +109,9 @@ int main() {
     // of the backend-polymorphic API. The last lane is a two-shard
     // layer-pipelined Sia cluster: the server drives it like any other
     // backend, and the cluster reports its own pipeline timeline.
-    serve(std::make_shared<core::FunctionalBackend>(model));
+    snn::EngineConfig lean;
+    lean.record_readout_history = false;
+    serve(std::make_shared<core::FunctionalBackend>(model, lean));
     serve(std::make_shared<core::SiaBackend>(model));
 
     auto sharded = std::make_shared<core::ShardedSiaBackend>(
@@ -118,6 +126,27 @@ int main() {
               << shard_stats.transfer_stall_cycles << ", fill "
               << shard_stats.fill_cycles << ", drain "
               << shard_stats.drain_cycles << "\n";
+
+    // 4. Temporal early exit: the same request with a confidence
+    // criterion armed retires as soon as its accumulated readout lead
+    // clears the margin; steps_used reports what it actually paid.
+    {
+        core::Server server(std::make_shared<core::FunctionalBackend>(model, lean),
+                            {.threads = 2});
+        const snn::ExitCriterion criterion{.margin = 4,
+                                           .stable_checks = 0,
+                                           .min_steps = 2,
+                                           .hysteresis = 1,
+                                           .check_interval = 1};
+        const core::Response response =
+            server.submit(
+                      core::Request::from_train(pre_encoded).with_early_exit(criterion))
+                .get();
+        std::cout << "\nearly exit: class " << response.predicted() << " after "
+                  << response.steps_used << "/" << response.steps_offered
+                  << " steps (" << snn::to_string(response.exit_reason) << ")\n";
+        server.shutdown();
+    }
 
     return 0;
 }

@@ -45,6 +45,11 @@ Request Request::with_deadline(std::int64_t us) && {
     return std::move(*this);
 }
 
+Request Request::with_early_exit(snn::ExitCriterion criterion) && {
+    early_exit = criterion;
+    return std::move(*this);
+}
+
 void Request::own_views() {
     if (train_view != nullptr) {
         train = *train_view;
@@ -109,6 +114,10 @@ std::int64_t Response::predicted_class(std::int64_t t) const {
         snn::argmax_first(logits_per_step.at(static_cast<std::size_t>(t))));
 }
 
+std::int64_t Response::predicted() const {
+    return static_cast<std::int64_t>(snn::argmax_first(logits));
+}
+
 std::int64_t Response::total_cycles() const noexcept {
     std::int64_t total = 0;
     for (const auto& s : layer_stats) total += s.total();
@@ -118,20 +127,28 @@ std::int64_t Response::total_cycles() const noexcept {
 Response Response::from(snn::RunResult r) {
     Response resp;
     resp.logits_per_step = std::move(r.logits_per_step);
+    resp.logits = std::move(r.readout);
     resp.spike_counts = std::move(r.spike_counts);
     resp.neuron_counts = std::move(r.neuron_counts);
     resp.layer_dispatch = std::move(r.layer_dispatch);
     resp.timesteps = r.timesteps;
+    resp.steps_used = r.timesteps;
+    resp.steps_offered = r.steps_offered;
+    resp.exit_reason = r.exit_reason;
     return resp;
 }
 
 Response Response::from(sim::SiaRunResult r) {
     Response resp;
     resp.logits_per_step = std::move(r.logits_per_step);
+    resp.logits = std::move(r.readout);
     resp.spike_counts = std::move(r.spike_counts);
     resp.neuron_counts = std::move(r.neuron_counts);
     resp.layer_stats = std::move(r.layer_stats);
     resp.timesteps = r.timesteps;
+    resp.steps_used = r.timesteps;
+    resp.steps_offered = r.steps_offered;
+    resp.exit_reason = r.exit_reason;
     return resp;
 }
 
@@ -194,12 +211,16 @@ void FunctionalBackend::run_span(std::size_t worker,
         const std::uint64_t stream = requests[i].rng_stream.value_or(base + i);
         const snn::SpikeTrain& train =
             materialize(requests[i], seed, stream, scratch);
+        const std::optional<snn::ExitCriterion>& exit = requests[i].early_exit;
         if (requests[i].session_state) {
             snn::SessionState& state = *requests[i].session_state;
-            responses[i] = Response::from(engine(worker).run_window(train, state));
+            responses[i] = Response::from(
+                exit ? engine(worker).run_window(train, state, *exit)
+                     : engine(worker).run_window(train, state));
             responses[i].session_steps = state.steps;
         } else {
-            responses[i] = Response::from(engine(worker).run(train));
+            responses[i] = Response::from(exit ? engine(worker).run(train, *exit)
+                                               : engine(worker).run(train));
         }
         responses[i].session = requests[i].session;
         responses[i].window_seq = requests[i].window_seq;
@@ -252,12 +273,15 @@ void SiaBackend::run_span(std::size_t worker, std::span<const Request> requests,
             const util::WallTimer timer;
             sim::Sia sia(config_, model(), *program_);
             add_setup_nanos(static_cast<std::int64_t>(timer.millis() * 1e6));
+            const std::optional<snn::ExitCriterion>& exit = requests[i].early_exit;
             if (requests[i].session_state) {
                 snn::SessionState& state = *requests[i].session_state;
-                responses[i] = Response::from(sia.run(train, state));
+                responses[i] = Response::from(exit ? sia.run(train, state, *exit)
+                                                   : sia.run(train, state));
                 responses[i].session_steps = state.steps;
             } else {
-                responses[i] = Response::from(sia.run(train));
+                responses[i] = Response::from(exit ? sia.run(train, *exit)
+                                                   : sia.run(train));
             }
             responses[i].session = requests[i].session;
             responses[i].window_seq = requests[i].window_seq;
@@ -273,13 +297,15 @@ void SiaBackend::run_span(std::size_t worker, std::span<const Request> requests,
     std::vector<const snn::SpikeTrain*> slice;
     slice.reserve(requests.size());
     std::vector<snn::SessionState*> sessions(requests.size(), nullptr);
+    std::vector<const snn::ExitCriterion*> exits(requests.size(), nullptr);
     for (std::size_t i = 0; i < requests.size(); ++i) {
         const std::uint64_t stream = requests[i].rng_stream.value_or(base + i);
         slice.push_back(&materialize(requests[i], seed, stream, scratch[i]));
         if (requests[i].session_state) sessions[i] = requests[i].session_state.get();
+        if (requests[i].early_exit) exits[i] = &*requests[i].early_exit;
     }
     sim::Sia& sia = resident(worker);
-    auto results = sia.run_batch(slice, sessions);
+    auto results = sia.run_batch(slice, sessions, exits);
     for (std::size_t i = 0; i < results.size(); ++i) {
         responses[i] = Response::from(std::move(results[i]));
         if (sessions[i] != nullptr) responses[i].session_steps = sessions[i]->steps;
@@ -297,6 +323,13 @@ void SiaBackend::run_span(std::size_t worker, std::span<const Request> requests,
     batch_stats_.weight_bytes_sequential += s.weight_bytes_sequential;
     batch_stats_.resident_cycles += s.resident_cycles;
     batch_stats_.sequential_cycles += s.sequential_cycles;
+    batch_stats_.retired_early += s.retired_early;
+    batch_stats_.backfills += s.backfills;
+    batch_stats_.chunk_passes += s.chunk_passes;
+    batch_stats_.steps_executed += s.steps_executed;
+    batch_stats_.steps_offered += s.steps_offered;
+    batch_stats_.retired_at.insert(batch_stats_.retired_at.end(),
+                                   s.retired_at.begin(), s.retired_at.end());
 }
 
 sim::SiaBatchStats SiaBackend::take_sim_batch_stats() noexcept {
@@ -342,12 +375,14 @@ void ShardedSiaBackend::run_span(std::size_t worker,
     std::vector<const snn::SpikeTrain*> slice;
     slice.reserve(requests.size());
     std::vector<snn::SessionState*> sessions(requests.size(), nullptr);
+    std::vector<const snn::ExitCriterion*> exits(requests.size(), nullptr);
     for (std::size_t i = 0; i < requests.size(); ++i) {
         const std::uint64_t stream = requests[i].rng_stream.value_or(base + i);
         slice.push_back(&materialize(requests[i], seed, stream, scratch[i]));
         if (requests[i].session_state) sessions[i] = requests[i].session_state.get();
+        if (requests[i].early_exit) exits[i] = &*requests[i].early_exit;
     }
-    auto results = cluster_->run_batch(slice, sessions);
+    auto results = cluster_->run_batch(slice, sessions, exits);
     for (std::size_t i = 0; i < results.size(); ++i) {
         responses[i] = Response::from(std::move(results[i]));
         if (sessions[i] != nullptr) responses[i].session_steps = sessions[i]->steps;
@@ -368,6 +403,9 @@ void ShardedSiaBackend::run_span(std::size_t worker,
     shard_stats_.drain_cycles += s.drain_cycles;
     shard_stats_.makespan_cycles += s.makespan_cycles;
     shard_stats_.item_cycles += s.item_cycles;
+    shard_stats_.retired_early += s.retired_early;
+    shard_stats_.steps_executed += s.steps_executed;
+    shard_stats_.steps_offered += s.steps_offered;
 }
 
 sim::ShardStats ShardedSiaBackend::take_shard_stats() noexcept {

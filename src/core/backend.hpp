@@ -39,6 +39,7 @@
 #include "sim/sia.hpp"
 #include "sim/sia_cluster.hpp"
 #include "snn/engine.hpp"
+#include "snn/exit.hpp"
 #include "snn/model.hpp"
 #include "snn/session.hpp"
 #include "snn/spike.hpp"
@@ -154,6 +155,18 @@ struct Request {
     /// same batch (they would race).
     std::shared_ptr<snn::SessionState> session_state;
 
+    // --- temporal early exit (anytime inference) ---
+    /// Optional per-request confidence criterion: the backend stops
+    /// integrating timesteps once the accumulated readout satisfies it
+    /// (Response::steps_used < steps_offered, exit_reason set). Absent
+    /// or disabled = full train. For session windows the criterion
+    /// evaluates the *window's* readout delta, so a carried readout
+    /// lead from earlier windows never triggers an instant exit, and
+    /// the carried SessionState stays exactly what a full-attention
+    /// run of the executed steps would leave. A malformed criterion
+    /// resolves the request with ErrorCode::kInvalidRequest.
+    std::optional<snn::ExitCriterion> early_exit;
+
     /// Chainable routing tag for rvalue requests:
     ///   server.submit(Request::view_train(t).with("vgg", "tenant-a",
     ///                                             Priority::kHigh));
@@ -164,6 +177,10 @@ struct Request {
     [[nodiscard]] Request with_session(std::string session_id, bool close = false) &&;
     /// Chainable deadline for rvalue requests.
     [[nodiscard]] Request with_deadline(std::int64_t us) &&;
+    /// Chainable early-exit criterion for rvalue requests:
+    ///   server.submit(Request::view_train(t).with_early_exit(
+    ///       {.margin = 40, .min_steps = 8}));
+    [[nodiscard]] Request with_early_exit(snn::ExitCriterion criterion) &&;
 
     /// Deep-copy borrowed views (train_view/image_view) into owned
     /// storage and drop the pointers, leaving the request
@@ -198,7 +215,14 @@ struct Request {
 /// shared-numerics construction; the per-layer extras are
 /// backend-specific and empty elsewhere.
 struct Response {
+    /// Per-step accumulated readout rows. Only filled when the backend's
+    /// EngineConfig/record keeps history (serving configs turn it off);
+    /// `logits` below is always present.
     std::vector<std::vector<std::int64_t>> logits_per_step;  ///< [T][classes]
+    /// Final accumulated readout after the steps actually integrated —
+    /// the row predictions are defined on, filled by every backend
+    /// whether or not per-step history is recorded.
+    std::vector<std::int64_t> logits;
     std::vector<std::int64_t> spike_counts;                  ///< per layer
     std::vector<std::int64_t> neuron_counts;                 ///< per layer
     /// Kernel-dispatch/density counters (FunctionalBackend only).
@@ -206,6 +230,15 @@ struct Response {
     /// Cycle-accurate per-layer stats (SiaBackend only).
     std::vector<sim::LayerCycleStats> layer_stats;
     std::int64_t timesteps = 0;
+
+    // --- temporal early exit accounting ---
+    /// Timesteps actually integrated (== timesteps; alias kept explicit
+    /// for the serving stats surface).
+    std::int64_t steps_used = 0;
+    /// Timesteps the request offered (train length / Request::timesteps).
+    std::int64_t steps_offered = 0;
+    /// Why integration stopped (kNone = ran the full train).
+    snn::ExitReason exit_reason = snn::ExitReason::kNone;
 
     // --- streaming session echo (empty / zero for stateless requests) ---
     std::string session;       ///< session id of the request
@@ -229,6 +262,9 @@ struct Response {
 
     /// Prediction after timestep `t` (argmax of accumulated logits).
     [[nodiscard]] std::int64_t predicted_class(std::int64_t t) const;
+    /// Prediction of the final readout (`logits`; argmax, first-index
+    /// wins) — valid with or without per-step history.
+    [[nodiscard]] std::int64_t predicted() const;
     /// True when the backend attached cycle stats (i.e. it simulates
     /// the accelerator rather than just the numerics).
     [[nodiscard]] bool has_cycle_stats() const noexcept { return !layer_stats.empty(); }

@@ -73,13 +73,19 @@ void FaultyBackend::run_span(std::size_t worker, std::span<const Request> reques
         if (kinds[i] != util::FaultKind::kCorrupt) continue;
         const std::uint64_t stream = requests[i].rng_stream.value_or(base + i);
         Response& r = responses[i];
-        if (r.logits_per_step.empty() || r.logits_per_step.back().empty()) continue;
+        if (r.logits.empty()) continue;
         // Deterministic, stream-keyed corruption confined to this
         // request's final readout (never zero, so it always flips).
-        auto& readout = r.logits_per_step.back();
+        // Both readout views are perturbed identically so history-off
+        // responses corrupt the same way as history-on ones.
         const std::uint64_t mixed = util::mix_seed(injector_.plan().seed, stream);
-        readout[mixed % readout.size()] +=
-            static_cast<std::int64_t>(mixed % 997) + 1;
+        const std::size_t slot = mixed % r.logits.size();
+        const auto bump = static_cast<std::int64_t>(mixed % 997) + 1;
+        r.logits[slot] += bump;
+        if (!r.logits_per_step.empty() &&
+            slot < r.logits_per_step.back().size()) {
+            r.logits_per_step.back()[slot] += bump;
+        }
     }
 }
 

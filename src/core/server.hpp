@@ -62,6 +62,23 @@
 // (ServerOptions::session_idle_ms). N windows against one session are
 // bit-identical to one monolithic run over the concatenated train.
 //
+// Temporal early exit: a request carrying Request::early_exit stops
+// integrating timesteps once its accumulated readout satisfies the
+// criterion (Response::steps_used < steps_offered, exit_reason set).
+// Inside a wave the resident sim retires the item's membrane-bank
+// context the moment it exits, narrowing the wave or back-filling the
+// freed slot from the span's pending items; combined with continuous
+// batching — the next wave forms the instant the runner frees — early
+// exits translate directly into earlier wave completion and higher
+// admission throughput. For session windows the criterion evaluates
+// the window's readout delta (never the carried total), and the carried
+// SessionState is exactly what a full-attention run of the executed
+// steps would leave, so early exit never desyncs a stream. A malformed
+// criterion resolves with ErrorCode::kInvalidRequest (never retried).
+// Determinism is unchanged: a fixed criterion is a pure function of the
+// item's own readout sequence, so results stay bit-identical across
+// wave formation, thread count, batch composition, and backend.
+//
 // Hot reload: reload_model(name, backend) quiesces only that model's
 // lane (waits for its in-flight wave), swaps the backend + runner, and
 // resumes; queued requests for the model run on the new backend, and

@@ -111,6 +111,14 @@ struct ShardStats {
     /// stats overlap and the baseline must be measured separately.
     std::int64_t item_cycles = 0;
 
+    /// Items an armed ExitCriterion retired before their full train —
+    /// retirement drops the item out of every subsequent chunk round on
+    /// every shard of the cluster.
+    std::int64_t retired_early = 0;
+    /// Timesteps actually integrated vs offered across the batch.
+    std::int64_t steps_executed = 0;
+    std::int64_t steps_offered = 0;
+
     /// Serial-to-cluster cycle ratio (0 when no exact baseline).
     [[nodiscard]] double speedup() const noexcept {
         return makespan_cycles > 0 && item_cycles > 0

@@ -1,10 +1,13 @@
 #include "sim/sia.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "sim/aggregation.hpp"
 #include "snn/compute.hpp"
+#include "snn/engine.hpp"
 
 namespace sia::sim {
 
@@ -38,12 +41,33 @@ std::int64_t SiaRunResult::total_cycles() const noexcept {
 }
 
 std::int64_t SiaRunResult::predicted_class(std::int64_t t) const {
-    const auto& logits = logits_per_step.at(static_cast<std::size_t>(t));
-    std::size_t best = 0;
-    for (std::size_t j = 1; j < logits.size(); ++j) {
-        if (logits[j] > logits[best]) best = j;
+    // One comparator convention across engines: first-index-wins.
+    return static_cast<std::int64_t>(
+        snn::argmax_first(logits_per_step.at(static_cast<std::size_t>(t))));
+}
+
+std::int64_t SiaRunResult::predicted() const {
+    return static_cast<std::int64_t>(snn::argmax_first(readout));
+}
+
+void SiaRunResult::append_chunk(SiaRunResult&& chunk) {
+    for (auto& row : chunk.logits_per_step) {
+        logits_per_step.push_back(std::move(row));
     }
-    return static_cast<std::int64_t>(best);
+    if (spike_counts.size() != chunk.spike_counts.size()) {
+        spike_counts.assign(chunk.spike_counts.size(), 0);
+    }
+    for (std::size_t i = 0; i < spike_counts.size(); ++i) {
+        spike_counts[i] += chunk.spike_counts[i];
+    }
+    if (layer_stats.size() != chunk.layer_stats.size()) {
+        layer_stats.assign(chunk.layer_stats.size(), LayerCycleStats{});
+    }
+    for (std::size_t i = 0; i < layer_stats.size(); ++i) {
+        layer_stats[i] += chunk.layer_stats[i];
+    }
+    if (neuron_counts.empty()) neuron_counts = std::move(chunk.neuron_counts);
+    timesteps += chunk.timesteps;
 }
 
 double SiaRunResult::effective_gops(const SiaConfig& config) const noexcept {
@@ -105,12 +129,20 @@ namespace {
 void init_result(SiaRunResult& res, std::int64_t timesteps, std::int64_t classes,
                  std::size_t layer_count) {
     res.timesteps = timesteps;
+    res.steps_offered = timesteps;
+    res.exit_reason = snn::ExitReason::kNone;
     res.logits_per_step.assign(
         static_cast<std::size_t>(timesteps),
         std::vector<std::int64_t>(static_cast<std::size_t>(classes), 0));
+    res.readout.clear();
     res.layer_stats.assign(layer_count, LayerCycleStats{});
     res.spike_counts.assign(layer_count, 0);
     res.neuron_counts.clear();
+}
+
+/// Stamp the final readout of a full (non-segmented) run.
+void finish_result(SiaRunResult& res) {
+    if (!res.logits_per_step.empty()) res.readout = res.logits_per_step.back();
 }
 
 }  // namespace
@@ -134,7 +166,25 @@ SiaRunResult Sia::run(const snn::SpikeTrain& input) {
         run_layer(li, input, outs, res, nullptr);
     }
     controller_.transition(CtrlState::kDone);
+    finish_result(res);
     return res;
+}
+
+SiaRunResult Sia::run(const snn::SpikeTrain& input, const snn::ExitCriterion& exit) {
+    const std::vector<const snn::SpikeTrain*> inputs{&input};
+    const std::vector<snn::SessionState*> sessions{nullptr};
+    const std::vector<const snn::ExitCriterion*> exits{&exit};
+    auto results = run_batch(inputs, sessions, exits);
+    return std::move(results.front());
+}
+
+SiaRunResult Sia::run(const snn::SpikeTrain& input, snn::SessionState& session,
+                      const snn::ExitCriterion& exit) {
+    const std::vector<const snn::SpikeTrain*> inputs{&input};
+    const std::vector<snn::SessionState*> sessions{&session};
+    const std::vector<const snn::ExitCriterion*> exits{&exit};
+    auto results = run_batch(inputs, sessions, exits);
+    return std::move(results.front());
 }
 
 void Sia::prepare_session(snn::SessionState& session) const {
@@ -173,6 +223,7 @@ SiaRunResult Sia::run(const snn::SpikeTrain& input, snn::SessionState& session) 
         run_layer(li, input, outs, res, &session);
     }
     controller_.transition(CtrlState::kDone);
+    finish_result(res);
     session.initialized = true;
     session.steps += res.timesteps;
     ++session.windows;
@@ -194,9 +245,20 @@ std::vector<SiaRunResult> Sia::run_batch(
 std::vector<SiaRunResult> Sia::run_batch(
     const std::vector<const snn::SpikeTrain*>& inputs,
     const std::vector<snn::SessionState*>& sessions) {
+    return run_batch(inputs, sessions,
+                     std::vector<const snn::ExitCriterion*>(inputs.size(), nullptr));
+}
+
+std::vector<SiaRunResult> Sia::run_batch(
+    const std::vector<const snn::SpikeTrain*>& inputs,
+    const std::vector<snn::SessionState*>& sessions,
+    const std::vector<const snn::ExitCriterion*>& exits) {
     const std::size_t n = inputs.size();
     if (sessions.size() != n) {
         throw std::invalid_argument("Sia::run_batch: inputs/sessions size mismatch");
+    }
+    if (exits.size() != n) {
+        throw std::invalid_argument("Sia::run_batch: inputs/exits size mismatch");
     }
     batch_stats_ = SiaBatchStats{};
     batch_stats_.batch = n;
@@ -212,10 +274,16 @@ std::vector<SiaRunResult> Sia::run_batch(
     for (snn::SessionState* session : sessions) {
         if (session != nullptr) prepare_session(*session);
     }
+    bool any_exit = false;
+    for (const snn::ExitCriterion* exit : exits) {
+        if (exit == nullptr) continue;
+        exit->validate();
+        any_exit = any_exit || exit->enabled();
+    }
 
     // RAII: restores single-inference partitioning at scope exit, so a
     // mid-wave throw can never leave a stale multi-context partitioning
-    // behind for a subsequent run().
+    // behind for a subsequent run() — retired items included.
     const PartitionGuard partition_guard(memory_.membrane, batch_stats_.banks);
     batch_stats_.membrane_slice_bytes = memory_.membrane.bank_capacity();
     batch_stats_.membrane_resident = true;
@@ -227,14 +295,41 @@ std::vector<SiaRunResult> Sia::run_batch(
     }
     controller_.reset();
 
-    const auto wave_width = static_cast<std::size_t>(batch_stats_.banks);
     std::int64_t saved_cycles = 0;
+    if (any_exit) {
+        run_batch_ragged(inputs, sessions, exits, results, saved_cycles);
+    } else {
+        run_batch_full(inputs, sessions, results, saved_cycles);
+    }
+
+    batch_stats_.retired_at.reserve(n);
+    for (const SiaRunResult& r : results) {
+        batch_stats_.sequential_cycles += r.total_cycles();
+        batch_stats_.steps_executed += r.timesteps;
+        batch_stats_.steps_offered += r.steps_offered;
+        batch_stats_.retired_at.push_back(r.timesteps);
+        if (r.exit_reason != snn::ExitReason::kNone && r.timesteps < r.steps_offered) {
+            ++batch_stats_.retired_early;
+        }
+    }
+    batch_stats_.resident_cycles = batch_stats_.sequential_cycles - saved_cycles;
+    return results;
+}
+
+void Sia::run_batch_full(const std::vector<const snn::SpikeTrain*>& inputs,
+                         const std::vector<snn::SessionState*>& sessions,
+                         std::vector<SiaRunResult>& results,
+                         std::int64_t& saved_cycles) {
+    const std::size_t n = inputs.size();
+    const auto wave_width = static_cast<std::size_t>(batch_stats_.banks);
     for (std::size_t start = 0; start < n; start += wave_width) {
         const std::size_t count = std::min(n - start, wave_width);
         ++batch_stats_.waves;
+        ++batch_stats_.chunk_passes;
         run_wave(inputs.data() + start, sessions.data() + start,
                  results.data() + start, count);
         for (std::size_t s = 0; s < count; ++s) {
+            finish_result(results[start + s]);
             snn::SessionState* session = sessions[start + s];
             if (session == nullptr) continue;
             session->initialized = true;
@@ -256,12 +351,162 @@ std::vector<SiaRunResult> Sia::run_batch(
             saved_cycles += extra * config_.ps_layer_overhead_cycles;
         }
     }
+}
 
-    for (const SiaRunResult& r : results) {
-        batch_stats_.sequential_cycles += r.total_cycles();
+void Sia::run_batch_ragged(const std::vector<const snn::SpikeTrain*>& inputs,
+                           const std::vector<snn::SessionState*>& sessions,
+                           const std::vector<const snn::ExitCriterion*>& exits,
+                           std::vector<SiaRunResult>& results,
+                           std::int64_t& saved_cycles) {
+    const std::size_t n = inputs.size();
+    const auto wave_width = static_cast<std::size_t>(batch_stats_.banks);
+    constexpr std::size_t kFree = static_cast<std::size_t>(-1);
+
+    // Per-item carried state. The scratch session is what makes slot
+    // reuse safe: every segment pass resumes the item's membranes from
+    // its scratch and saves them back, so whatever another item left in
+    // the bank between this item's segments is never observed. User
+    // sessions are copied in at admission and written back only when
+    // the item finishes (a mid-batch throw leaves them untouched).
+    struct ItemState {
+        snn::SessionState scratch;
+        std::optional<snn::ExitEvaluator> eval;
+        std::int64_t steps_done = 0;
+        std::int64_t steps_total = 0;
+    };
+    std::vector<ItemState> items(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ItemState& it = items[i];
+        it.steps_total = static_cast<std::int64_t>(inputs[i]->size());
+        if (sessions[i] != nullptr) it.scratch = *sessions[i];
+        prepare_session(it.scratch);  // presizes fresh scratch state
+        if (exits[i] != nullptr && exits[i]->enabled()) {
+            // Baseline = the readout carried in at window entry, so
+            // session windows exit on their own delta (zeros when
+            // stateless — the absolute readout).
+            it.eval.emplace(*exits[i], it.scratch.readout);
+        }
+        init_result(results[i], 0, model_.classes, model_.layers.size());
+        results[i].steps_offered = it.steps_total;
     }
-    batch_stats_.resident_cycles = batch_stats_.sequential_cycles - saved_cycles;
-    return results;
+
+    // Ragged wave loop: slots are membrane-bank contexts. Free slots
+    // back-fill from the pending queue in admission order (lowest free
+    // slot first) at segment boundaries only — both orders are fixed by
+    // the batch, never by timing, so the schedule is deterministic.
+    std::vector<std::size_t> slot(wave_width, kFree);
+    std::size_t next_pending = 0;
+    std::size_t finished = 0;
+    bool admitted_first_cohort = false;
+
+    std::vector<std::size_t> active;              // occupied slot ids, ascending
+    std::vector<snn::SpikeTrain> segments(wave_width);
+    std::vector<SiaRunResult> chunk(wave_width);
+    std::vector<std::vector<snn::SpikeTrain>> outs(wave_width);
+
+    while (finished < n) {
+        for (std::size_t s = 0; s < wave_width && next_pending < n; ++s) {
+            if (slot[s] == kFree) {
+                slot[s] = next_pending++;
+                if (admitted_first_cohort) ++batch_stats_.backfills;
+            }
+        }
+        admitted_first_cohort = true;
+
+        // Segment boundaries: each item runs to its own next evaluation
+        // point (or to the end of its train) — a pure function of the
+        // item's criterion, independent of its co-batched neighbours.
+        active.clear();
+        for (std::size_t s = 0; s < wave_width; ++s) {
+            if (slot[s] == kFree) continue;
+            const std::size_t i = slot[s];
+            ItemState& it = items[i];
+            const snn::ExitCriterion* exit = exits[i];
+            const std::int64_t seg_end =
+                it.eval ? std::min(it.steps_total, exit->next_eval_step(it.steps_done))
+                        : it.steps_total;
+            snn::SpikeTrain& seg = segments[s];
+            seg.clear();
+            seg.reserve(static_cast<std::size_t>(seg_end - it.steps_done));
+            for (std::int64_t t = it.steps_done; t < seg_end; ++t) {
+                const snn::SpikeMap& frame = (*inputs[i])[static_cast<std::size_t>(t)];
+                if (frame.channels() != model_.input_channels ||
+                    frame.height() != model_.input_h ||
+                    frame.width() != model_.input_w) {
+                    throw std::invalid_argument(
+                        "Sia::run_batch: input frame geometry mismatch");
+                }
+                seg.push_back(frame);
+            }
+            init_result(chunk[s], seg_end - it.steps_done, model_.classes,
+                        model_.layers.size());
+            outs[s].assign(model_.layers.size(), {});
+            active.push_back(s);
+        }
+
+        // One layer-major pass over the active set — the same resident
+        // schedule as a full wave, just over segments.
+        ++batch_stats_.chunk_passes;
+        controller_.transition(CtrlState::kInit);
+        for (std::size_t li = 0; li < model_.layers.size(); ++li) {
+            for (const std::size_t s : active) {
+                memory_.membrane.set_active(static_cast<std::int64_t>(s));
+                run_layer(li, segments[s], outs[s], chunk[s],
+                          &items[slot[s]].scratch);
+            }
+        }
+        controller_.transition(CtrlState::kDone);
+
+        // Residency savings of this pass: weights streamed once for all
+        // active members, the PS invoked once per layer. A pass with a
+        // narrowed wave shares across fewer members — that shrinkage is
+        // exactly what back-filling recovers.
+        const auto count = static_cast<std::int64_t>(active.size());
+        for (std::size_t li = 0; li < model_.layers.size(); ++li) {
+            const LayerPlan& plan = program_.layers[li];
+            const std::int64_t extra = count - 1;
+            if (!plan.mmio) {
+                batch_stats_.weight_bytes_streamed += plan.weight_stream_bytes;
+                batch_stats_.weight_bytes_sequential +=
+                    count * plan.weight_stream_bytes;
+                saved_cycles += extra * AxiDma::cycles_for(plan.weight_stream_bytes,
+                                                           config_);
+            }
+            saved_cycles += extra * config_.ps_layer_overhead_cycles;
+        }
+
+        // Evaluate at the segment boundary; retire exited and completed
+        // items, releasing their membrane-bank context for back-fill.
+        for (const std::size_t s : active) {
+            const std::size_t i = slot[s];
+            ItemState& it = items[i];
+            it.steps_done += chunk[s].timesteps;
+            it.scratch.initialized = true;
+            results[i].append_chunk(std::move(chunk[s]));
+            snn::ExitReason reason = snn::ExitReason::kNone;
+            if (it.eval) {
+                reason = it.eval->observe(it.scratch.readout, it.steps_done);
+            }
+            if (reason == snn::ExitReason::kNone && it.steps_done < it.steps_total) {
+                continue;  // more segments to run
+            }
+            results[i].exit_reason = reason;
+            results[i].readout = it.scratch.readout;
+            if (sessions[i] != nullptr) {
+                snn::SessionState& user = *sessions[i];
+                user.membranes = std::move(it.scratch.membranes);
+                user.readout = it.scratch.readout;
+                user.initialized = true;
+                user.steps += it.steps_done;
+                ++user.windows;
+            }
+            slot[s] = kFree;
+            ++finished;
+        }
+    }
+    // In the ragged schedule a "wave" is one layer-major segment pass —
+    // the granularity at which weights are re-streamed.
+    batch_stats_.waves = batch_stats_.chunk_passes;
 }
 
 void Sia::run_wave(const snn::SpikeTrain* const* inputs,

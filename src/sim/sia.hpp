@@ -23,6 +23,7 @@
 #include "sim/controller.hpp"
 #include "sim/memory.hpp"
 #include "sim/program.hpp"
+#include "snn/exit.hpp"
 #include "snn/model.hpp"
 #include "snn/session.hpp"
 #include "snn/spike.hpp"
@@ -46,17 +47,47 @@ struct LayerCycleStats {
     [[nodiscard]] std::int64_t total() const noexcept {
         return compute + aggregate + dma + mmio + overhead;
     }
+
+    /// Accumulate another pass over the same layer (the chunked
+    /// early-exit schedule totals per-chunk stats into one run).
+    LayerCycleStats& operator+=(const LayerCycleStats& o) noexcept {
+        if (label.empty()) label = o.label;
+        compute += o.compute;
+        aggregate += o.aggregate;
+        dma += o.dma;
+        mmio += o.mmio;
+        overhead += o.overhead;
+        input_spike_events += o.input_spike_events;
+        output_spikes += o.output_spikes;
+        event_additions += o.event_additions;
+        dense_ops += o.dense_ops;
+        return *this;
+    }
 };
 
 struct SiaRunResult {
     std::vector<std::vector<std::int64_t>> logits_per_step;  ///< [T][classes]
+    /// Final accumulated readout after the last integrated timestep.
+    std::vector<std::int64_t> readout;
     std::vector<std::int64_t> spike_counts;                  ///< per layer
     std::vector<std::int64_t> neuron_counts;
     std::vector<LayerCycleStats> layer_stats;
+    /// Timesteps actually integrated (== steps_offered unless an
+    /// ExitCriterion retired the item first).
     std::int64_t timesteps = 0;
+    /// Timesteps the input train offered.
+    std::int64_t steps_offered = 0;
+    /// Why the run stopped (kNone = ran the full offered train).
+    snn::ExitReason exit_reason = snn::ExitReason::kNone;
 
     [[nodiscard]] std::int64_t total_cycles() const noexcept;
     [[nodiscard]] std::int64_t predicted_class(std::int64_t t) const;
+    /// Prediction from the final accumulated readout.
+    [[nodiscard]] std::int64_t predicted() const;
+    /// Accumulate a later chunk of the same item's run (the segmented
+    /// early-exit schedule): appends logit rows, adds per-layer stats
+    /// and spike counts, advances timesteps.
+    void append_chunk(SiaRunResult&& chunk);
     [[nodiscard]] double total_ms(const SiaConfig& config) const noexcept {
         return config.cycles_to_ms(total_cycles());
     }
@@ -104,6 +135,25 @@ struct SiaBatchStats {
                          static_cast<double>(resident_cycles)
                    : 1.0;
     }
+
+    // ---- Ragged-retirement accounting (early-exit batches only) ------
+    /// Items whose ExitCriterion fired before their offered timesteps.
+    std::int64_t retired_early = 0;
+    /// Pending items promoted into a freed wave slot mid-batch (fills
+    /// after each cohort's initial admission).
+    std::int64_t backfills = 0;
+    /// Layer-major segment passes executed. The legacy full-T schedule
+    /// runs one pass per wave (chunk_passes == waves); the ragged
+    /// schedule re-streams weights once per pass, which is the honest
+    /// hardware cost of PS-side criterion checks (amortized by
+    /// ExitCriterion::check_interval).
+    std::int64_t chunk_passes = 0;
+    /// Timesteps actually integrated vs offered, summed over the batch.
+    std::int64_t steps_executed = 0;
+    std::int64_t steps_offered = 0;
+    /// Per-item timesteps integrated, in batch order (retired-at-step
+    /// accounting; equals the offered length for items that never exit).
+    std::vector<std::int64_t> retired_at;
 };
 
 class Sia {
@@ -114,6 +164,18 @@ public:
 
     /// Run one inference over the input spike train.
     [[nodiscard]] SiaRunResult run(const snn::SpikeTrain& input);
+    /// Early-exit form: the criterion is evaluated at its eligible
+    /// steps and the run stops integrating once it fires. Because Sia
+    /// executes layer-major (the readout only materializes at the last
+    /// layer), an armed criterion runs the timestep range as segments
+    /// bounded by the evaluation points, resuming membranes between
+    /// segments exactly like a chunked streaming session — logits,
+    /// spikes and the exit step are bit-identical to the functional
+    /// engine's per-step evaluation; cycle stats reflect the segmented
+    /// schedule (per-segment weight re-streaming is the hardware cost
+    /// of a PS-side readout check).
+    [[nodiscard]] SiaRunResult run(const snn::SpikeTrain& input,
+                                   const snn::ExitCriterion& exit);
 
     /// Stateful-session form: resume the membrane-bank contents and the
     /// carried readout from `session` (a fresh start when it is
@@ -124,6 +186,12 @@ public:
     /// when an initialized session's geometry does not match the model.
     [[nodiscard]] SiaRunResult run(const snn::SpikeTrain& input,
                                    snn::SessionState& session);
+    /// Session window with early exit: the criterion evaluates the
+    /// window's readout delta, and the saved state reflects the exit
+    /// point exactly (the carried SessionState is never corrupted).
+    [[nodiscard]] SiaRunResult run(const snn::SpikeTrain& input,
+                                   snn::SessionState& session,
+                                   const snn::ExitCriterion& exit);
 
     /// Batched resident execution: weights and the compiled program stay
     /// resident while up to config().membrane_banks inferences share the
@@ -151,6 +219,21 @@ public:
     [[nodiscard]] std::vector<SiaRunResult> run_batch(
         const std::vector<const snn::SpikeTrain*>& inputs,
         const std::vector<snn::SessionState*>& sessions);
+    /// Ragged early-exit form: exits[i] (null or disabled = run item
+    /// i's full train) retires item i from its wave the moment its
+    /// criterion fires — the membrane-bank context is released and the
+    /// freed slot back-fills from the pending queue at the next segment
+    /// boundary, so the accelerator never idles a bank on a decided
+    /// item. Per-item logits/spikes/steps are bit-identical to
+    /// run(input, exit) run alone, for every batch composition (each
+    /// item's segment boundaries depend only on its own criterion);
+    /// SiaBatchStats reports retired-at-step / back-fill accounting.
+    /// When every criterion is null or disabled this is exactly the
+    /// legacy full-T wave schedule.
+    [[nodiscard]] std::vector<SiaRunResult> run_batch(
+        const std::vector<const snn::SpikeTrain*>& inputs,
+        const std::vector<snn::SessionState*>& sessions,
+        const std::vector<const snn::ExitCriterion*>& exits);
 
     /// Accounting of the most recent run_batch call.
     [[nodiscard]] const SiaBatchStats& last_batch_stats() const noexcept {
@@ -211,6 +294,19 @@ private:
     void run_wave(const snn::SpikeTrain* const* inputs,
                   snn::SessionState* const* sessions, SiaRunResult* results,
                   std::size_t count);
+    /// The legacy full-T wave loop (no criterion armed). Accumulates the
+    /// cycles the resident schedule saved over sequential into
+    /// `saved_cycles`.
+    void run_batch_full(const std::vector<const snn::SpikeTrain*>& inputs,
+                        const std::vector<snn::SessionState*>& sessions,
+                        std::vector<SiaRunResult>& results,
+                        std::int64_t& saved_cycles);
+    /// The ragged segmented schedule (at least one criterion armed).
+    void run_batch_ragged(const std::vector<const snn::SpikeTrain*>& inputs,
+                          const std::vector<snn::SessionState*>& sessions,
+                          const std::vector<const snn::ExitCriterion*>& exits,
+                          std::vector<SiaRunResult>& results,
+                          std::int64_t& saved_cycles);
 
     /// Layer bodies, parameterized over the executing plan (the full
     /// program's or a shard's sliced one) and the output-channel /

@@ -1,10 +1,12 @@
 #include "sim/sia_cluster.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "sim/axi.hpp"
+#include "snn/exit.hpp"
 
 namespace sia::sim {
 
@@ -13,9 +15,12 @@ namespace {
 void init_result(SiaRunResult& res, std::int64_t timesteps, std::int64_t classes,
                  std::size_t layer_count) {
     res.timesteps = timesteps;
+    res.steps_offered = timesteps;
+    res.exit_reason = snn::ExitReason::kNone;
     res.logits_per_step.assign(
         static_cast<std::size_t>(timesteps),
         std::vector<std::int64_t>(static_cast<std::size_t>(classes), 0));
+    res.readout.clear();
     res.layer_stats.assign(layer_count, LayerCycleStats{});
     res.spike_counts.assign(layer_count, 0);
     res.neuron_counts.clear();
@@ -115,10 +120,22 @@ std::vector<SiaRunResult> SiaCluster::run_batch(
 std::vector<SiaRunResult> SiaCluster::run_batch(
     const std::vector<const snn::SpikeTrain*>& inputs,
     const std::vector<snn::SessionState*>& sessions) {
+    return run_batch(inputs, sessions,
+                     std::vector<const snn::ExitCriterion*>(inputs.size(), nullptr));
+}
+
+std::vector<SiaRunResult> SiaCluster::run_batch(
+    const std::vector<const snn::SpikeTrain*>& inputs,
+    const std::vector<snn::SessionState*>& sessions,
+    const std::vector<const snn::ExitCriterion*>& exits) {
     const std::size_t n = inputs.size();
     if (sessions.size() != n) {
         throw std::invalid_argument(
             "SiaCluster::run_batch: inputs/sessions size mismatch");
+    }
+    if (exits.size() != n) {
+        throw std::invalid_argument(
+            "SiaCluster::run_batch: inputs/exits size mismatch");
     }
     stats_ = ShardStats{};
     stats_.partition = plan_.partition;
@@ -136,19 +153,149 @@ std::vector<SiaRunResult> SiaCluster::run_batch(
     for (snn::SessionState* session : sessions) {
         if (session != nullptr) prepare_session(*session);
     }
-
-    if (plan_.partition == ShardPartition::kPipeline) {
-        run_batch_pipeline(inputs, sessions, results);
-    } else {
-        run_batch_channel(inputs, sessions, results);
+    bool any_exit = false;
+    for (const snn::ExitCriterion* exit : exits) {
+        if (exit == nullptr) continue;
+        exit->validate();
+        any_exit = any_exit || exit->enabled();
     }
 
-    for (std::size_t i = 0; i < n; ++i) {
-        if (sessions[i] != nullptr) {
-            finalize_session(*sessions[i], results[i].timesteps);
+    if (any_exit) {
+        run_batch_segmented(inputs, sessions, exits, results);
+    } else {
+        if (plan_.partition == ShardPartition::kPipeline) {
+            run_batch_pipeline(inputs, sessions, results);
+        } else {
+            run_batch_channel(inputs, sessions, results);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!results[i].logits_per_step.empty()) {
+                results[i].readout = results[i].logits_per_step.back();
+            }
+            if (sessions[i] != nullptr) {
+                finalize_session(*sessions[i], results[i].timesteps);
+            }
+        }
+    }
+
+    for (const SiaRunResult& r : results) {
+        stats_.steps_executed += r.timesteps;
+        stats_.steps_offered += r.steps_offered;
+        if (r.exit_reason != snn::ExitReason::kNone && r.timesteps < r.steps_offered) {
+            ++stats_.retired_early;
         }
     }
     return results;
+}
+
+void SiaCluster::run_batch_segmented(
+    const std::vector<const snn::SpikeTrain*>& inputs,
+    const std::vector<snn::SessionState*>& sessions,
+    const std::vector<const snn::ExitCriterion*>& exits,
+    std::vector<SiaRunResult>& results) {
+    const std::size_t n = inputs.size();
+
+    // Per-item scratch session: every chunk round resumes the item's
+    // membranes/readout from its scratch and saves them back, so segment
+    // passes compose exactly like PR 7's window chunking. User sessions
+    // are written back only when the item finishes.
+    struct ItemState {
+        snn::SessionState scratch;
+        std::optional<snn::ExitEvaluator> eval;
+        std::int64_t steps_done = 0;
+        std::int64_t steps_total = 0;
+        bool done = false;
+    };
+    std::vector<ItemState> items(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ItemState& it = items[i];
+        it.steps_total = static_cast<std::int64_t>(inputs[i]->size());
+        if (sessions[i] != nullptr) it.scratch = *sessions[i];
+        prepare_session(it.scratch);
+        if (exits[i] != nullptr && exits[i]->enabled()) {
+            it.eval.emplace(*exits[i], it.scratch.readout);
+        }
+        init_result(results[i], 0, model_.classes, model_.layers.size());
+        results[i].steps_offered = it.steps_total;
+    }
+
+    // Chunk rounds: every still-active item runs to its own next
+    // evaluation step, the whole sub-batch crosses the cluster (pipeline
+    // wavefront or channel passes), then criteria are checked and
+    // retired items drop out of all subsequent rounds on every shard.
+    ShardStats total = stats_;
+    std::vector<std::size_t> round_items;
+    std::vector<snn::SpikeTrain> segments;
+    while (true) {
+        round_items.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!items[i].done) round_items.push_back(i);
+        }
+        if (round_items.empty()) break;
+
+        segments.assign(round_items.size(), {});
+        std::vector<const snn::SpikeTrain*> sub_inputs(round_items.size());
+        std::vector<snn::SessionState*> sub_sessions(round_items.size());
+        std::vector<SiaRunResult> sub_results(round_items.size());
+        for (std::size_t j = 0; j < round_items.size(); ++j) {
+            ItemState& it = items[round_items[j]];
+            const snn::ExitCriterion* exit = exits[round_items[j]];
+            const std::int64_t seg_end =
+                it.eval ? std::min(it.steps_total,
+                                   exit->next_eval_step(it.steps_done))
+                        : it.steps_total;
+            const snn::SpikeTrain& train = *inputs[round_items[j]];
+            segments[j].assign(train.begin() + it.steps_done,
+                               train.begin() + seg_end);
+            sub_inputs[j] = &segments[j];
+            sub_sessions[j] = &it.scratch;
+        }
+
+        // The mode functions accumulate into stats_; run each round on a
+        // zeroed accumulator and fold into the running total (rounds are
+        // separated by a PS-side criterion check, so makespans add).
+        stats_ = ShardStats{};
+        if (plan_.partition == ShardPartition::kPipeline) {
+            run_batch_pipeline(sub_inputs, sub_sessions, sub_results);
+        } else {
+            run_batch_channel(sub_inputs, sub_sessions, sub_results);
+        }
+        total.compute_cycles += stats_.compute_cycles;
+        total.transfer_bytes += stats_.transfer_bytes;
+        total.transfer_cycles += stats_.transfer_cycles;
+        total.transfer_stall_cycles += stats_.transfer_stall_cycles;
+        total.fill_cycles += stats_.fill_cycles;
+        total.drain_cycles += stats_.drain_cycles;
+        total.makespan_cycles += stats_.makespan_cycles;
+        total.item_cycles += stats_.item_cycles;
+
+        for (std::size_t j = 0; j < round_items.size(); ++j) {
+            const std::size_t i = round_items[j];
+            ItemState& it = items[i];
+            it.steps_done += sub_results[j].timesteps;
+            it.scratch.initialized = true;
+            results[i].append_chunk(std::move(sub_results[j]));
+            snn::ExitReason reason = snn::ExitReason::kNone;
+            if (it.eval) {
+                reason = it.eval->observe(it.scratch.readout, it.steps_done);
+            }
+            if (reason == snn::ExitReason::kNone && it.steps_done < it.steps_total) {
+                continue;
+            }
+            results[i].exit_reason = reason;
+            results[i].readout = it.scratch.readout;
+            if (sessions[i] != nullptr) {
+                snn::SessionState& user = *sessions[i];
+                user.membranes = std::move(it.scratch.membranes);
+                user.readout = it.scratch.readout;
+                user.initialized = true;
+                user.steps += it.steps_done;
+                ++user.windows;
+            }
+            it.done = true;
+        }
+    }
+    stats_ = total;
 }
 
 void SiaCluster::run_batch_pipeline(

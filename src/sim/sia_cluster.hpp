@@ -33,6 +33,7 @@
 #include "sim/config.hpp"
 #include "sim/shard.hpp"
 #include "sim/sia.hpp"
+#include "snn/exit.hpp"
 #include "snn/model.hpp"
 #include "snn/session.hpp"
 #include "snn/spike.hpp"
@@ -73,6 +74,17 @@ public:
     [[nodiscard]] std::vector<SiaRunResult> run_batch(
         const std::vector<const snn::SpikeTrain*>& inputs,
         const std::vector<snn::SessionState*>& sessions);
+    /// Early-exit form: per-item criteria (nullptr / disabled = full
+    /// train). Retirement propagates across every shard: items run in
+    /// segment rounds ending at their own next evaluation step, and a
+    /// retired item drops out of all subsequent rounds' pipeline waves /
+    /// channel passes. Per-item logits/spikes/sessions stay bit-identical
+    /// to single-Sia `run(input, exit)` at any shard and thread count;
+    /// with no criterion armed this is exactly the legacy schedule.
+    [[nodiscard]] std::vector<SiaRunResult> run_batch(
+        const std::vector<const snn::SpikeTrain*>& inputs,
+        const std::vector<snn::SessionState*>& sessions,
+        const std::vector<const snn::ExitCriterion*>& exits);
 
     /// Cluster accounting of the most recent run_batch call.
     [[nodiscard]] const ShardStats& last_stats() const noexcept { return stats_; }
@@ -90,6 +102,11 @@ private:
     void run_batch_channel(const std::vector<const snn::SpikeTrain*>& inputs,
                            const std::vector<snn::SessionState*>& sessions,
                            std::vector<SiaRunResult>& results);
+    /// Early-exit chunk rounds over the still-active sub-batch.
+    void run_batch_segmented(const std::vector<const snn::SpikeTrain*>& inputs,
+                             const std::vector<snn::SessionState*>& sessions,
+                             const std::vector<const snn::ExitCriterion*>& exits,
+                             std::vector<SiaRunResult>& results);
     /// Validate/size a session before the window (presizes the shared
     /// membrane banks so sliced shards never resize concurrently).
     void prepare_session(snn::SessionState& session) const;

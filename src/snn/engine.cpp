@@ -1,6 +1,7 @@
 #include "snn/engine.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "snn/compute.hpp"
@@ -331,17 +332,49 @@ void FunctionalEngine::fire_scalar(std::size_t index, const SpikeMap* skip_spike
 
 RunResult FunctionalEngine::run(const SpikeTrain& input) {
     reset();
-    return run_window(input);
+    return run_window_impl(input, nullptr);
+}
+
+RunResult FunctionalEngine::run(const SpikeTrain& input, const ExitCriterion& exit) {
+    reset();
+    return run_window_impl(input, &exit);
 }
 
 RunResult FunctionalEngine::run_window(const SpikeTrain& input) {
+    return run_window_impl(input, nullptr);
+}
+
+RunResult FunctionalEngine::run_window(const SpikeTrain& input,
+                                       const ExitCriterion& exit) {
+    return run_window_impl(input, &exit);
+}
+
+RunResult FunctionalEngine::run_window_impl(const SpikeTrain& input,
+                                            const ExitCriterion* exit) {
     RunResult res;
-    res.timesteps = static_cast<std::int64_t>(input.size());
-    res.logits_per_step.reserve(input.size());
+    res.steps_offered = static_cast<std::int64_t>(input.size());
+    if (config_.record_readout_history) res.logits_per_step.reserve(input.size());
+    // The evaluator's baseline is the readout carried in at window
+    // entry, so session windows exit on their own delta (zeros after a
+    // reset(), which makes the stateless case the absolute readout).
+    std::optional<ExitEvaluator> eval;
+    if (exit != nullptr && exit->enabled()) eval.emplace(*exit, readout_);
+    if (exit != nullptr && !exit->enabled()) exit->validate();
+    std::int64_t steps = 0;
     for (const SpikeMap& frame : input) {
         step(frame);
-        res.logits_per_step.push_back(readout_);
+        ++steps;
+        if (config_.record_readout_history) res.logits_per_step.push_back(readout_);
+        if (eval) {
+            const ExitReason reason = eval->observe(readout_, steps);
+            if (reason != ExitReason::kNone) {
+                res.exit_reason = reason;
+                break;  // the item drops out of the hot loop
+            }
+        }
     }
+    res.timesteps = steps;
+    res.readout = readout_;
     res.spike_counts = spike_counts_;
     res.layer_dispatch = dispatch_;
     res.neuron_counts.reserve(model_.layers.size());
@@ -351,7 +384,20 @@ RunResult FunctionalEngine::run_window(const SpikeTrain& input) {
 
 RunResult FunctionalEngine::run_window(const SpikeTrain& input, SessionState& session) {
     restore_session(session);  // zeroes per-run counters: stats are per-window
-    RunResult res = run_window(input);
+    RunResult res = run_window_impl(input, nullptr);
+    save_session(session);
+    session.steps += res.timesteps;
+    ++session.windows;
+    return res;
+}
+
+RunResult FunctionalEngine::run_window(const SpikeTrain& input, SessionState& session,
+                                       const ExitCriterion& exit) {
+    restore_session(session);
+    RunResult res = run_window_impl(input, &exit);
+    // Saving at the exit step keeps the session exactly consistent:
+    // the state is what a stream offering only res.timesteps frames
+    // would have produced.
     save_session(session);
     session.steps += res.timesteps;
     ++session.windows;

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "snn/exit.hpp"
 #include "snn/layer_state.hpp"
 #include "snn/model.hpp"
 #include "snn/session.hpp"
@@ -64,6 +65,12 @@ struct EngineConfig {
     /// Fire-stage implementation (vectorized fused kernels vs scalar
     /// reference loop).
     FirePath fire = FirePath::kVector;
+    /// Record RunResult::logits_per_step (the per-step readout history,
+    /// [T][classes] per run). On by default for the accuracy benches
+    /// and the co-verification tests; the serving hot path never reads
+    /// it — serving benches and examples turn it off and read
+    /// RunResult::readout (always filled) instead.
+    bool record_readout_history = true;
 };
 
 /// Per-layer dispatch counters accumulated across step() calls.
@@ -86,14 +93,24 @@ struct LayerDispatchStats {
 /// Aggregate results of a run.
 struct RunResult {
     /// Accumulated readout (logits) after each timestep: [T][classes].
+    /// Empty when EngineConfig::record_readout_history is off — use
+    /// `readout` (always filled) for the final logits.
     std::vector<std::vector<std::int64_t>> logits_per_step;
+    /// Final accumulated readout after the last integrated timestep.
+    std::vector<std::int64_t> readout;
     /// Total output spikes per layer over the whole run.
     std::vector<std::int64_t> spike_counts;
     /// Neurons per layer (denominator for spike rates).
     std::vector<std::int64_t> neuron_counts;
     /// Per-layer kernel-dispatch and input-density counters.
     std::vector<LayerDispatchStats> layer_dispatch;
+    /// Timesteps actually integrated (== steps_offered unless an
+    /// ExitCriterion fired first).
     std::int64_t timesteps = 0;
+    /// Timesteps the input train offered.
+    std::int64_t steps_offered = 0;
+    /// Why the run stopped (kNone = ran the full offered train).
+    ExitReason exit_reason = ExitReason::kNone;
 
     /// Average spikes per neuron per timestep for layer `i` (Fig. 6/8).
     [[nodiscard]] double spike_rate(std::size_t i) const {
@@ -103,7 +120,12 @@ struct RunResult {
     }
 
     /// Prediction after timestep `t` (argmax of accumulated logits).
+    /// Requires the recorded history; use predicted() when it is off.
     [[nodiscard]] std::int64_t predicted_class(std::int64_t t) const;
+    /// Prediction from the final accumulated readout.
+    [[nodiscard]] std::int64_t predicted() const {
+        return static_cast<std::int64_t>(argmax_first(readout));
+    }
 };
 
 class FunctionalEngine {
@@ -132,6 +154,13 @@ public:
 
     /// reset() + step() over the train; collects statistics.
     [[nodiscard]] RunResult run(const SpikeTrain& input);
+    /// Early-exit form: evaluate `exit` after each eligible timestep
+    /// and stop integrating once it fires (the item "drops out of the
+    /// hot loop" — no psum/fire kernel touches it past the exit step).
+    /// A disabled criterion is bit-identical to run(input); steps that
+    /// do run are bit-identical to the full-T run's prefix. Throws
+    /// std::invalid_argument on an out-of-range criterion.
+    [[nodiscard]] RunResult run(const SpikeTrain& input, const ExitCriterion& exit);
 
     /// Run one window of a stream WITHOUT resetting membranes or
     /// readout: statistics are per-window, logits_per_step continues
@@ -139,12 +168,24 @@ public:
     /// train into consecutive run_window calls after a reset() is
     /// bit-identical to one run() over the whole train.
     [[nodiscard]] RunResult run_window(const SpikeTrain& input);
+    /// Early-exit window: `exit` is evaluated on the readout delta
+    /// accumulated THIS window (absolute readout minus the carried
+    /// baseline at window entry), so a mid-stream window exits on its
+    /// own evidence rather than the history's.
+    [[nodiscard]] RunResult run_window(const SpikeTrain& input,
+                                       const ExitCriterion& exit);
 
     /// Stateful-session form: restore `session` (a fresh reset when it
     /// is uninitialized), run the window, save the state back and
     /// advance the session's step/window counters. Sessions are
     /// engine-agnostic (sim::Sia resumes the same representation).
     [[nodiscard]] RunResult run_window(const SpikeTrain& input, SessionState& session);
+    /// Session window with early exit: the saved state reflects the
+    /// exit point exactly — as if the stream had offered only the
+    /// integrated steps — so the carried SessionState is never
+    /// corrupted and the next window resumes bit-identically.
+    [[nodiscard]] RunResult run_window(const SpikeTrain& input, SessionState& session,
+                                       const ExitCriterion& exit);
 
     /// Copy the carried state (membranes + readout) out of the engine.
     void save_session(SessionState& session) const;
@@ -180,6 +221,10 @@ public:
     [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
 
 private:
+    /// Shared window loop: null `exit` (or a disabled criterion) runs
+    /// the whole train.
+    [[nodiscard]] RunResult run_window_impl(const SpikeTrain& input,
+                                            const ExitCriterion* exit);
     void run_conv_layer(std::size_t index, const SpikeMap& input);
     void run_linear_layer(std::size_t index, const SpikeMap& input);
     void integrate_and_fire(std::size_t index);

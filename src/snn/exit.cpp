@@ -1,0 +1,87 @@
+#include "snn/exit.hpp"
+
+#include <stdexcept>
+
+namespace sia::snn {
+
+void ExitCriterion::validate() const {
+    if (margin < 0) {
+        throw std::invalid_argument("ExitCriterion: margin must be >= 0");
+    }
+    if (stable_checks < 0) {
+        throw std::invalid_argument("ExitCriterion: stable_checks must be >= 0");
+    }
+    if (min_steps < 1) {
+        throw std::invalid_argument("ExitCriterion: min_steps must be >= 1");
+    }
+    if (hysteresis < 1) {
+        throw std::invalid_argument("ExitCriterion: hysteresis must be >= 1");
+    }
+    if (check_interval < 1) {
+        throw std::invalid_argument("ExitCriterion: check_interval must be >= 1");
+    }
+}
+
+ExitEvaluator::ExitEvaluator(const ExitCriterion& criterion,
+                             std::span<const std::int64_t> baseline)
+    : criterion_(criterion), baseline_(baseline.begin(), baseline.end()) {
+    criterion_.validate();
+}
+
+ExitReason ExitEvaluator::observe(std::span<const std::int64_t> readout,
+                                  std::int64_t steps_done) {
+    if (!criterion_.enabled() || !criterion_.evaluates_at(steps_done)) {
+        return ExitReason::kNone;
+    }
+    const std::size_t classes = readout.size();
+    if (classes < 2) return ExitReason::kNone;  // nothing to separate
+
+    // Top-1/top-2 of the window-delta readout, first-index-wins (the
+    // argmax_first convention both engines' predictions are defined by).
+    std::size_t top = 0;
+    std::int64_t best = readout[0] - (0 < baseline_.size() ? baseline_[0] : 0);
+    std::int64_t second = 0;
+    bool have_second = false;
+    for (std::size_t j = 1; j < classes; ++j) {
+        const std::int64_t d =
+            readout[j] - (j < baseline_.size() ? baseline_[j] : 0);
+        if (d > best) {
+            second = best;
+            have_second = true;
+            best = d;
+            top = j;
+        } else if (!have_second || d > second) {
+            second = d;
+            have_second = true;
+        }
+    }
+
+    if (best == second) {
+        // Exact top-2 tie (covers the all-zero / all-equal delta): the
+        // prediction is undecided, so no rule may fire and both streaks
+        // restart from scratch.
+        margin_streak_ = 0;
+        stable_streak_ = 0;
+        last_top_ = -1;
+        return ExitReason::kNone;
+    }
+
+    if (criterion_.margin > 0 && best - second >= criterion_.margin) {
+        ++margin_streak_;
+    } else {
+        margin_streak_ = 0;
+    }
+    stable_streak_ =
+        static_cast<std::int64_t>(top) == last_top_ ? stable_streak_ + 1 : 1;
+    last_top_ = static_cast<std::int64_t>(top);
+
+    if (criterion_.margin > 0 && margin_streak_ >= criterion_.hysteresis) {
+        return ExitReason::kMargin;
+    }
+    if (criterion_.stable_checks > 0 && stable_streak_ >= criterion_.stable_checks) {
+        return ExitReason::kStable;
+    }
+    return ExitReason::kNone;
+}
+
+}  // namespace sia::snn

@@ -407,6 +407,231 @@ TEST(SiaBatched, EmptyTrainInBatchThrows) {
     EXPECT_NO_THROW((void)sia.run(ok[0]));
 }
 
+// ---- ragged retirement (temporal early exit) ----
+
+/// Fires at the first evaluated step unless the readout is exactly tied.
+snn::ExitCriterion eager_exit() {
+    return {.margin = 1, .stable_checks = 0, .min_steps = 1, .hysteresis = 1,
+            .check_interval = 1};
+}
+
+/// Enabled but unreachable: the item runs its full train.
+snn::ExitCriterion unreachable_exit() {
+    return {.margin = 1'000'000'000, .stable_checks = 0, .min_steps = 1,
+            .hysteresis = 1, .check_interval = 1};
+}
+
+void expect_same_exit_result(const sim::SiaRunResult& got,
+                             const sim::SiaRunResult& want) {
+    expect_same_sia_result(got, want);
+    EXPECT_EQ(got.readout, want.readout);
+    EXPECT_EQ(got.steps_offered, want.steps_offered);
+    EXPECT_EQ(got.exit_reason, want.exit_reason);
+}
+
+TEST(SiaBatched, RaggedRetirementMatchesSoloRunsAcrossCompositions) {
+    const auto model = conv_model(41);
+    const std::int64_t timesteps = 6;
+    const auto inputs = random_batch(model, 32, timesteps, 411);
+    const snn::ExitCriterion eager = eager_exit();
+    const snn::ExitCriterion never = unreachable_exit();
+
+    for (const std::int64_t banks : {std::int64_t{1}, std::int64_t{4}}) {
+        sim::SiaConfig config;
+        config.membrane_banks = banks;
+        const auto program = core::SiaCompiler(config).compile(model);
+
+        // Solo references: each item alone on a fresh instance with its
+        // own criterion (alternating eager / full-train).
+        std::vector<sim::SiaRunResult> ref;
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            sim::Sia solo(config, model, program);
+            ref.push_back(solo.run(inputs[i], i % 2 == 0 ? eager : never));
+        }
+
+        for (const std::size_t bs : {std::size_t{2}, std::size_t{7}, std::size_t{32}}) {
+            SCOPED_TRACE("banks=" + std::to_string(banks) + " batch=" +
+                         std::to_string(bs));
+            std::vector<const snn::SpikeTrain*> ptrs;
+            std::vector<snn::SessionState*> sessions(bs, nullptr);
+            std::vector<const snn::ExitCriterion*> exits;
+            for (std::size_t i = 0; i < bs; ++i) {
+                ptrs.push_back(&inputs[i]);
+                exits.push_back(i % 2 == 0 ? &eager : &never);
+            }
+            sim::Sia resident(config, model, program);
+            const auto batched = resident.run_batch(ptrs, sessions, exits);
+            ASSERT_EQ(batched.size(), bs);
+            std::int64_t executed = 0;
+            std::int64_t retired = 0;
+            for (std::size_t i = 0; i < bs; ++i) {
+                SCOPED_TRACE("item=" + std::to_string(i));
+                expect_same_exit_result(batched[i], ref[i]);
+                executed += batched[i].timesteps;
+                if (batched[i].exit_reason != snn::ExitReason::kNone &&
+                    batched[i].timesteps < timesteps) {
+                    ++retired;
+                }
+                ASSERT_LT(i, resident.last_batch_stats().retired_at.size());
+                EXPECT_EQ(resident.last_batch_stats().retired_at[i],
+                          batched[i].timesteps);
+            }
+            const sim::SiaBatchStats& stats = resident.last_batch_stats();
+            EXPECT_EQ(stats.steps_executed, executed);
+            EXPECT_EQ(stats.steps_offered,
+                      static_cast<std::int64_t>(bs) * timesteps);
+            EXPECT_EQ(stats.retired_early, retired);
+        }
+    }
+}
+
+TEST(SiaBatched, RaggedRetirementOnLastWaveSlot) {
+    // Only the item in the wave's last bank slot retires early: its
+    // context frees while slots 0..2 keep running — the schedule must
+    // narrow without disturbing them.
+    const auto model = conv_model(43);
+    const std::int64_t timesteps = 6;
+    const auto inputs = random_batch(model, 4, timesteps, 431);
+    sim::SiaConfig config;
+    config.membrane_banks = 4;
+    const auto program = core::SiaCompiler(config).compile(model);
+    const snn::ExitCriterion eager = eager_exit();
+    const snn::ExitCriterion never = unreachable_exit();
+
+    std::vector<sim::SiaRunResult> ref;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        sim::Sia solo(config, model, program);
+        ref.push_back(solo.run(inputs[i], i == 3 ? eager : never));
+    }
+    ASSERT_NE(ref[3].exit_reason, snn::ExitReason::kNone);
+    ASSERT_LT(ref[3].timesteps, timesteps);
+
+    std::vector<const snn::SpikeTrain*> ptrs;
+    for (const auto& t : inputs) ptrs.push_back(&t);
+    const std::vector<snn::SessionState*> sessions(4, nullptr);
+    const std::vector<const snn::ExitCriterion*> exits{&never, &never, &never,
+                                                       &eager};
+    sim::Sia resident(config, model, program);
+    const auto batched = resident.run_batch(ptrs, sessions, exits);
+    for (std::size_t i = 0; i < 4; ++i) {
+        SCOPED_TRACE("item=" + std::to_string(i));
+        expect_same_exit_result(batched[i], ref[i]);
+    }
+    EXPECT_EQ(resident.last_batch_stats().retired_early, 1);
+}
+
+TEST(SiaBatched, RaggedMidWaveThrowRestoresPartitioning) {
+    // One item retires in the first segment round, then another item's
+    // later frame has the wrong geometry: the segment builder throws
+    // mid-schedule with retired items outstanding. The PartitionGuard
+    // must still restore single-inference partitioning.
+    const auto model = conv_model(47);
+    auto inputs = random_batch(model, 3, 5, 471);
+    // Item 2: poison a frame past the first evaluation boundary.
+    inputs[2][3] = snn::SpikeMap(1, 2, 2);
+    sim::SiaConfig config;
+    config.membrane_banks = 2;
+    const auto program = core::SiaCompiler(config).compile(model);
+    const snn::ExitCriterion eager = eager_exit();
+    // Evaluates at steps 1, 3, ...: the second segment spans [1, 3) and
+    // never fires, so item 2's bad frame at index 3 is reached in the
+    // third round — well after item 0 retired.
+    const snn::ExitCriterion stepper{.margin = 1'000'000'000, .stable_checks = 0,
+                                     .min_steps = 1, .hysteresis = 1,
+                                     .check_interval = 2};
+
+    std::vector<const snn::SpikeTrain*> ptrs;
+    for (const auto& t : inputs) ptrs.push_back(&t);
+    const std::vector<snn::SessionState*> sessions(3, nullptr);
+    const std::vector<const snn::ExitCriterion*> exits{&eager, &stepper, &stepper};
+    sim::Sia sia(config, model, program);
+    EXPECT_THROW((void)sia.run_batch(ptrs, sessions, exits), std::invalid_argument);
+
+    // The instance recovers: single and batched runs still work.
+    const auto ok = random_batch(model, 2, 4, 472);
+    EXPECT_NO_THROW((void)sia.run(ok[0]));
+    EXPECT_NO_THROW((void)sia.run_batch(ok));
+}
+
+TEST(SiaBatched, RaggedBackfillOrderingIsDeterministic) {
+    // More items than bank slots, early retirements: freed slots
+    // back-fill from the pending queue. Two identical calls must agree
+    // exactly, and every item must match its solo run.
+    const auto model = conv_model(53);
+    const auto inputs = random_batch(model, 5, 6, 531);
+    sim::SiaConfig config;
+    config.membrane_banks = 2;
+    const auto program = core::SiaCompiler(config).compile(model);
+    const snn::ExitCriterion eager = eager_exit();
+    const snn::ExitCriterion never = unreachable_exit();
+    const std::vector<const snn::ExitCriterion*> exits{&eager, &never, &eager,
+                                                       &never, &eager};
+
+    std::vector<const snn::SpikeTrain*> ptrs;
+    for (const auto& t : inputs) ptrs.push_back(&t);
+    const std::vector<snn::SessionState*> sessions(5, nullptr);
+
+    sim::Sia first(config, model, program);
+    const auto run1 = first.run_batch(ptrs, sessions, exits);
+    const auto stats1 = first.last_batch_stats();
+    sim::Sia second(config, model, program);
+    const auto run2 = second.run_batch(ptrs, sessions, exits);
+    const auto stats2 = second.last_batch_stats();
+
+    ASSERT_EQ(run1.size(), run2.size());
+    for (std::size_t i = 0; i < run1.size(); ++i) {
+        SCOPED_TRACE("item=" + std::to_string(i));
+        expect_same_exit_result(run1[i], run2[i]);
+        sim::Sia solo(config, model, program);
+        expect_same_exit_result(run1[i], solo.run(inputs[i], *exits[i]));
+    }
+    EXPECT_EQ(stats1.retired_at, stats2.retired_at);
+    EXPECT_EQ(stats1.backfills, stats2.backfills);
+    EXPECT_EQ(stats1.chunk_passes, stats2.chunk_passes);
+    EXPECT_GT(stats1.backfills, 0);
+    EXPECT_GT(stats1.retired_early, 0);
+}
+
+TEST(SiaBatched, DisabledCriteriaRunExactLegacySchedule) {
+    // All-null / all-disabled criteria must produce the legacy wave
+    // schedule bit-for-bit, including the residency accounting.
+    const auto model = conv_model(59);
+    const auto inputs = random_batch(model, 7, 4, 591);
+    sim::SiaConfig config;
+    config.membrane_banks = 2;
+    const auto program = core::SiaCompiler(config).compile(model);
+
+    std::vector<const snn::SpikeTrain*> ptrs;
+    for (const auto& t : inputs) ptrs.push_back(&t);
+    const std::vector<snn::SessionState*> sessions(7, nullptr);
+
+    sim::Sia legacy(config, model, program);
+    const auto want = legacy.run_batch(ptrs, sessions);
+    const auto want_stats = legacy.last_batch_stats();
+
+    const snn::ExitCriterion disabled{};  // margin 0, stable 0: not armed
+    const std::vector<const snn::ExitCriterion*> exits(7, &disabled);
+    sim::Sia via_exits(config, model, program);
+    const auto got = via_exits.run_batch(ptrs, sessions, exits);
+    const auto got_stats = via_exits.last_batch_stats();
+
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        SCOPED_TRACE("item=" + std::to_string(i));
+        expect_same_exit_result(got[i], want[i]);
+        EXPECT_EQ(got[i].timesteps, 4);
+        EXPECT_EQ(got[i].exit_reason, snn::ExitReason::kNone);
+    }
+    EXPECT_EQ(got_stats.waves, want_stats.waves);
+    EXPECT_EQ(got_stats.chunk_passes, want_stats.waves);
+    EXPECT_EQ(got_stats.weight_bytes_streamed, want_stats.weight_bytes_streamed);
+    EXPECT_EQ(got_stats.weight_bytes_sequential, want_stats.weight_bytes_sequential);
+    EXPECT_EQ(got_stats.resident_cycles, want_stats.resident_cycles);
+    EXPECT_EQ(got_stats.sequential_cycles, want_stats.sequential_cycles);
+    EXPECT_EQ(got_stats.retired_early, 0);
+    EXPECT_EQ(got_stats.backfills, 0);
+}
+
 TEST(SiaBatched, SingleRunsInterleaveWithBatchedRuns) {
     // A resident instance can alternate run() and run_batch() freely;
     // neither mode leaks state into the other.

@@ -2,11 +2,13 @@
 // and IF/LIF neuron dynamics via the shared compute primitives.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "snn/compute.hpp"
 #include "snn/encoding.hpp"
+#include "snn/exit.hpp"
 #include "snn/model.hpp"
 #include "snn/spike.hpp"
 #include "util/rng.hpp"
@@ -373,6 +375,119 @@ TEST(ModelOps, CountsSynapticOps) {
     const auto model = tiny_conv_model();
     // conv: 4*4 * 2 * 1 * 9 * 2 = 576; fc: 32*2*2 = 128.
     EXPECT_EQ(model.ops_per_timestep(), 576U + 128U);
+}
+
+// ---- ExitCriterion / ExitEvaluator margin-math edge cases ----
+
+// std::span has no initializer_list constructor in C++20; materialize
+// the readout row for the call.
+ExitReason observe(ExitEvaluator& eval, std::initializer_list<std::int64_t> readout,
+                   std::int64_t steps_done) {
+    const std::vector<std::int64_t> row(readout);
+    return eval.observe(row, steps_done);
+}
+
+TEST(ExitCriterion, ValidateRejectsMalformedFields) {
+    EXPECT_NO_THROW((ExitCriterion{.margin = 10}).validate());
+    EXPECT_NO_THROW(ExitCriterion{}.validate());  // disabled is fine
+    EXPECT_THROW((ExitCriterion{.margin = -1}).validate(), std::invalid_argument);
+    EXPECT_THROW((ExitCriterion{.margin = 10, .stable_checks = -1}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW((ExitCriterion{.margin = 10, .min_steps = 0}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW((ExitCriterion{.margin = 10, .hysteresis = 0}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (ExitCriterion{.margin = 10, .check_interval = 0}).validate(),
+        std::invalid_argument);
+}
+
+TEST(ExitCriterion, EnabledAndEvaluationSchedule) {
+    EXPECT_FALSE(ExitCriterion{}.enabled());
+    EXPECT_TRUE((ExitCriterion{.margin = 1}).enabled());
+    EXPECT_TRUE((ExitCriterion{.stable_checks = 2}).enabled());
+
+    const ExitCriterion c{.margin = 1, .min_steps = 3, .check_interval = 2};
+    EXPECT_FALSE(c.evaluates_at(1));
+    EXPECT_FALSE(c.evaluates_at(2));
+    EXPECT_TRUE(c.evaluates_at(3));
+    EXPECT_FALSE(c.evaluates_at(4));
+    EXPECT_TRUE(c.evaluates_at(5));
+    EXPECT_EQ(c.next_eval_step(0), 3);
+    EXPECT_EQ(c.next_eval_step(3), 5);  // strictly after the argument
+    EXPECT_EQ(c.next_eval_step(4), 5);
+}
+
+TEST(ExitEvaluator, SingleClassModelNeverExits) {
+    // Margin needs a runner-up; with fewer than two classes there is
+    // none, so the evaluator must stay silent forever.
+    const ExitCriterion c{.margin = 1, .stable_checks = 1};
+    ExitEvaluator eval(c, {});
+    for (std::int64_t s = 1; s <= 16; ++s) {
+        EXPECT_EQ(observe(eval, {100 * s}, s), ExitReason::kNone) << "step " << s;
+    }
+    ExitEvaluator empty(c, {});
+    EXPECT_EQ(observe(empty, {}, 1), ExitReason::kNone);
+}
+
+TEST(ExitEvaluator, AllZeroReadoutAtStepOneIsATieNotAnExit) {
+    // Before any spikes reach the readout every class sits at zero —
+    // an exact top-2 tie, which must not count as margin or stability.
+    const ExitCriterion c{.margin = 1, .stable_checks = 1};
+    ExitEvaluator eval(c, {});
+    EXPECT_EQ(observe(eval, {0, 0, 0, 0}, 1), ExitReason::kNone);
+    EXPECT_EQ(observe(eval, {0, 0, 0, 0}, 2), ExitReason::kNone);
+    // First decisive step fires margin (and would satisfy stability).
+    EXPECT_EQ(observe(eval, {5, 0, 0, 0}, 3), ExitReason::kMargin);
+}
+
+TEST(ExitEvaluator, ExactTopTwoTieResetsBothStreaks) {
+    // Hysteresis 2: one margin hit, then a tie, then another hit — the
+    // tie must clear the streak so the second hit starts from scratch.
+    const ExitCriterion c{.margin = 5, .hysteresis = 2};
+    ExitEvaluator eval(c, {});
+    EXPECT_EQ(observe(eval, {10, 0}, 1), ExitReason::kNone);   // streak 1
+    EXPECT_EQ(observe(eval, {10, 10}, 2), ExitReason::kNone);  // tie: reset
+    EXPECT_EQ(observe(eval, {20, 0}, 3), ExitReason::kNone);   // streak 1 again
+    EXPECT_EQ(observe(eval, {30, 0}, 4), ExitReason::kMargin);
+
+    // Stability streaks reset the same way — and a tie also clears the
+    // remembered top class, so the post-tie observation can't chain
+    // with the pre-tie one.
+    const ExitCriterion s{.stable_checks = 2};
+    ExitEvaluator stable(s, {});
+    EXPECT_EQ(observe(stable, {3, 1}, 1), ExitReason::kNone);  // top=0, streak 1
+    EXPECT_EQ(observe(stable, {4, 4}, 2), ExitReason::kNone);  // tie: reset
+    EXPECT_EQ(observe(stable, {5, 4}, 3), ExitReason::kNone);  // top=0, streak 1
+    EXPECT_EQ(observe(stable, {6, 4}, 4), ExitReason::kStable);
+}
+
+TEST(ExitEvaluator, MarginUsesFirstIndexWinsAndBaselineDelta) {
+    // The evaluator judges the delta against its baseline (session
+    // window semantics): a huge carried lead contributes nothing.
+    const ExitCriterion c{.margin = 5};
+    const std::vector<std::int64_t> carried = {1000, 0, 0};
+    ExitEvaluator eval(c, carried);
+    EXPECT_EQ(observe(eval, {1000, 0, 0}, 1), ExitReason::kNone);  // delta all-zero tie
+    EXPECT_EQ(observe(eval, {1001, 0, 0}, 2), ExitReason::kNone);  // delta margin 1
+    EXPECT_EQ(observe(eval, {1000, 6, 0}, 3), ExitReason::kMargin);  // class 1 leads by 6
+}
+
+TEST(ExitEvaluator, MinStepsFloorAndHysteresisWindow) {
+    const ExitCriterion c{.margin = 1, .min_steps = 3, .hysteresis = 2};
+    ExitEvaluator eval(c, {});
+    // Decisive from the start, but steps 1-2 are below the floor and
+    // must not even feed the streak.
+    EXPECT_EQ(observe(eval, {9, 0}, 1), ExitReason::kNone);
+    EXPECT_EQ(observe(eval, {9, 0}, 2), ExitReason::kNone);
+    EXPECT_EQ(observe(eval, {9, 0}, 3), ExitReason::kNone);  // streak 1
+    EXPECT_EQ(observe(eval, {9, 0}, 4), ExitReason::kMargin);  // streak 2
+}
+
+TEST(ExitEvaluator, MarginFiresBeforeStabilityWhenBothQualify) {
+    const ExitCriterion c{.margin = 1, .stable_checks = 1};
+    ExitEvaluator eval(c, {});
+    EXPECT_EQ(observe(eval, {7, 0}, 1), ExitReason::kMargin);
 }
 
 }  // namespace
